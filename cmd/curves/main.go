@@ -1,0 +1,125 @@
+// Command curves regenerates the data behind Figure 1: the tight
+// competitive-ratio function c(ε,m) over ε ∈ (0,1] for a list of machine
+// counts, with the phase-transition corner values.
+//
+// Usage:
+//
+//	curves                    # ASCII plot + corner table, m = 1..4
+//	curves -m 1,2,3,4,8 -points 500 -csv > fig1.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"loadmax/internal/ratio"
+	"loadmax/internal/report"
+	"loadmax/internal/svgplot"
+	"loadmax/internal/textplot"
+)
+
+func main() {
+	var (
+		mList  = flag.String("m", "1,2,3,4", "comma-separated machine counts")
+		points = flag.Int("points", 200, "samples per curve (log-spaced over [min-eps, 1])")
+		minEps = flag.Float64("min-eps", 0.01, "left edge of the slack grid")
+		csv    = flag.Bool("csv", false, "emit CSV instead of plot + tables")
+		svg    = flag.String("svg", "", "also write the figure as SVG to this file")
+	)
+	flag.Parse()
+
+	var machines []int
+	for _, s := range strings.Split(*mList, ",") {
+		m, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || m < 1 {
+			fmt.Fprintf(os.Stderr, "curves: bad machine count %q\n", s)
+			os.Exit(1)
+		}
+		machines = append(machines, m)
+	}
+
+	grid := make([]float64, *points)
+	for i := range grid {
+		frac := float64(i) / float64(*points-1)
+		grid[i] = math.Pow(10, math.Log10(*minEps)*(1-frac))
+	}
+
+	cols := []string{"eps"}
+	for _, m := range machines {
+		cols = append(cols, fmt.Sprintf("c(eps,%d)", m))
+	}
+	table := report.NewTable("c(eps, m)", cols...)
+	plot := &textplot.Plot{
+		Title:  "Figure 1: tight competitive ratios (log-x)",
+		XLabel: "slack eps", YLabel: "competitive ratio",
+		LogX: true, Height: 24, Width: 90,
+	}
+	series := make([][]float64, len(machines))
+	for mi, m := range machines {
+		series[mi] = make([]float64, len(grid))
+		for i, e := range grid {
+			p, err := ratio.Compute(e, m)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "curves:", err)
+				os.Exit(1)
+			}
+			series[mi][i] = p.C
+		}
+		plot.AddSeries(fmt.Sprintf("m=%d", m), grid, series[mi])
+		for _, corner := range ratio.Corners(m) {
+			if c, err := ratio.Compute(corner, m); err == nil {
+				plot.Mark(corner, c.C)
+			}
+		}
+	}
+	for i, e := range grid {
+		row := []interface{}{e}
+		for mi := range machines {
+			row = append(row, series[mi][i])
+		}
+		table.Addf(row...)
+	}
+
+	if *svg != "" {
+		sp := &svgplot.Plot{
+			Title: "Figure 1: tight competitive ratios", XLabel: "slack eps",
+			YLabel: "competitive ratio", LogX: true,
+		}
+		for mi, m := range machines {
+			sp.AddSeries(fmt.Sprintf("m=%d", m), grid, series[mi])
+			for _, corner := range ratio.Corners(m) {
+				if c, err := ratio.Compute(corner, m); err == nil {
+					sp.Mark(corner, c.C)
+				}
+			}
+		}
+		if err := os.WriteFile(*svg, []byte(sp.Render()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "curves:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "[svg written to %s]\n", *svg)
+	}
+
+	if *csv {
+		if err := table.WriteCSV(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "curves:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Print(plot.Render())
+	fmt.Println()
+	corners := report.NewTable("phase transitions (the circles of Fig. 1)",
+		"m", "k", "eps_{k,m}", "c at corner")
+	for _, m := range machines {
+		for k, corner := range ratio.Corners(m) {
+			p, _ := ratio.Compute(corner, m)
+			corners.Addf(m, k+1, corner, p.C)
+		}
+	}
+	corners.WriteText(os.Stdout)
+}

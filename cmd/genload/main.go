@@ -1,0 +1,58 @@
+// Command genload emits synthetic job instances — the workload families
+// the experiments use — as CSV (default) or JSON, for feeding into
+// cmd/loadmax or external tooling.
+//
+// Usage:
+//
+//	genload -gen bimodal -n 500 -eps 0.1 -m 4 > jobs.csv
+//	genload -gen diurnal -n 1000 -json > jobs.json
+//	genload -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"loadmax/internal/workload"
+)
+
+func main() {
+	var (
+		gen    = flag.String("gen", "poisson", "workload family")
+		n      = flag.Int("n", 100, "instance size")
+		eps    = flag.Float64("eps", 0.1, "guaranteed minimum slack")
+		m      = flag.Int("m", 1, "machine count the offered load targets")
+		load   = flag.Float64("load", 1.5, "offered load per machine")
+		spread = flag.Float64("slack-spread", -1, "extra uniform slack width (-1 = default 1, 0 = tight)")
+		seed   = flag.Int64("seed", 1, "RNG seed")
+		asJSON = flag.Bool("json", false, "emit JSON instead of CSV")
+		list   = flag.Bool("list", false, "list available families and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, f := range workload.Families {
+			fmt.Println(f.Name)
+		}
+		return
+	}
+	fam, ok := workload.ByName(*gen)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "genload: unknown family %q (try -list)\n", *gen)
+		os.Exit(1)
+	}
+	inst := fam.Gen(workload.Spec{
+		N: *n, Eps: *eps, M: *m, Load: *load, SlackSpread: *spread, Seed: *seed,
+	})
+	var err error
+	if *asJSON {
+		err = inst.WriteJSON(os.Stdout)
+	} else {
+		err = inst.WriteCSV(os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "genload:", err)
+		os.Exit(1)
+	}
+}

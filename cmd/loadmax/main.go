@@ -1,0 +1,106 @@
+// Command loadmax runs an online scheduler over a job instance — from a
+// JSON/CSV file or a synthetic generator — and reports the accepted load,
+// the offline-optimum bounds and the measured competitive ratio.
+//
+// Usage:
+//
+//	loadmax -m 4 -eps 0.1 -gen bimodal -n 200 -seed 7
+//	loadmax -m 2 -eps 0.3 -in jobs.csv -gantt
+//	loadmax -m 4 -eps 0.1 -algo greedy -gen pareto -n 500
+//
+// Algorithms: see -algo help text (threshold is the paper's Algorithm 1).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"loadmax/internal/analysis"
+	"loadmax/internal/cli"
+	"loadmax/internal/offline"
+	"loadmax/internal/sim"
+	"loadmax/internal/textplot"
+	"loadmax/internal/workload"
+)
+
+func main() {
+	var (
+		m      = flag.Int("m", 2, "number of machines")
+		eps    = flag.Float64("eps", 0.1, "slack ε (threshold needs (0,1]; greedy accepts any > 0)")
+		algo   = flag.String("algo", "threshold", "algorithm: "+strings.Join(cli.AlgorithmNames(), "|"))
+		inFile = flag.String("in", "", "instance file (.json or .csv); overrides -gen")
+		gen    = flag.String("gen", "poisson", "workload family")
+		n      = flag.Int("n", 100, "generated instance size")
+		load   = flag.Float64("load", 1.5, "generated offered load per machine")
+		seed   = flag.Int64("seed", 1, "generator / RNG seed")
+		gantt  = flag.Bool("gantt", false, "print the committed schedule as a Gantt chart")
+		stat   = flag.Bool("stats", false, "print run diagnostics (utilization, rejection breakdown)")
+		optN   = flag.Int("exact-limit", offline.ExactLimit, "max n for the exact offline solver")
+	)
+	flag.Parse()
+
+	inst, err := cli.LoadInstance(*inFile, *gen, workload.Spec{
+		N: *n, Eps: *eps, M: *m, Load: *load, Seed: *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	sched, err := cli.NewScheduler(*algo, *m, *eps, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := sim.Run(sched, inst)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("algorithm   : %s on %d machine(s), slack eps=%g\n", res.Scheduler, res.Machines, *eps)
+	fmt.Printf("instance    : %d jobs, total load %.4g, min slack %.4g\n",
+		res.Submitted, res.TotalLoad, inst.MinSlack())
+	fmt.Printf("accepted    : %d jobs (%.1f%%), load %.4g (%.1f%% of total)\n",
+		res.Accepted, 100*res.AcceptanceRate(), res.Load, 100*res.LoadFraction())
+	for _, v := range res.Violations {
+		fmt.Printf("VIOLATION   : %s\n", v)
+	}
+
+	b := offline.ComputeBounds(inst, res.Machines, *optN)
+	kind := "bounded"
+	if b.Exact {
+		kind = "exact"
+	}
+	fmt.Printf("offline OPT : [%.4g, %.4g] (%s)\n", b.Lower, b.Upper, kind)
+	if res.Load > 0 {
+		fmt.Printf("ratio       : %.4g (OPT upper bound / accepted load)\n", b.Upper/res.Load)
+	}
+
+	if *stat {
+		rep, err := analysis.Analyze(inst, res)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\ndiagnostics :\n%s\n", indent(rep.String()))
+	}
+
+	if *gantt {
+		var slots []textplot.GanttSlot
+		for _, sl := range res.Schedule.Slots() {
+			slots = append(slots, textplot.GanttSlot{
+				Machine: sl.Machine, Start: sl.Start, End: sl.End(),
+				Label: fmt.Sprintf("J%d", sl.Job.ID),
+			})
+		}
+		fmt.Println()
+		fmt.Print(textplot.Gantt("committed schedule", res.Machines, slots, 100))
+	}
+}
+
+func indent(s string) string {
+	return "  " + strings.ReplaceAll(s, "\n", "\n  ")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "loadmax:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,132 @@
+// Command lowerbound plays the Section-3 adversary against an online
+// scheduler and prints the game trace, the realized competitive ratio and
+// the Figure-3 schedules; -tree explores the full Figure-2 decision tree.
+//
+// Usage:
+//
+//	lowerbound -m 3 -eps 0.27                 # the paper's Fig. 2/3 setting
+//	lowerbound -m 4 -eps 0.05 -algo greedy    # watch greedy pay 2+1/eps
+//	lowerbound -m 3 -eps 0.27 -tree           # every decision path
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"strings"
+
+	"loadmax/internal/adversary"
+	"loadmax/internal/cli"
+	"loadmax/internal/ratio"
+	"loadmax/internal/report"
+	"loadmax/internal/svgplot"
+	"loadmax/internal/textplot"
+)
+
+func main() {
+	var (
+		m    = flag.Int("m", 3, "number of machines")
+		eps  = flag.Float64("eps", 0.27, "slack ε ∈ (0,1]")
+		algo = flag.String("algo", "threshold", "algorithm: "+strings.Join(cli.AlgorithmNames(), "|"))
+		beta = flag.Float64("beta", adversary.DefaultBeta, "Lemma-1 overlap-interval length β")
+		tree = flag.Bool("tree", false, "explore the full decision tree (Figure 2)")
+		svg  = flag.String("svg", "", "write the Fig.-3 schedules as SVG to this file prefix (<prefix>-online.svg, <prefix>-opt.svg)")
+	)
+	flag.Parse()
+
+	params, err := ratio.Compute(*eps, *m)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("setting: m=%d eps=%g → phase k=%d, c(eps,m)=%.6f\n\n", *m, *eps, params.K, params.C)
+
+	if *tree {
+		tr, err := adversary.Explore(*eps, *m, *beta)
+		if err != nil {
+			fatal(err)
+		}
+		t := report.NewTable("decision-tree leaves (Figure 2)",
+			"u", "h", "ALG load", "OPT load", "ratio")
+		for _, l := range tr.Leaves {
+			h := "-"
+			if l.H > 0 {
+				h = fmt.Sprintf("%d", l.H)
+			}
+			t.Addf(l.U, h, l.ALGLoad, l.OPTLoad, l.Ratio)
+		}
+		t.Note("minimum ratio %.6f vs c(eps,m) = %.6f — Theorem 1", tr.MinRatio, params.C)
+		t.WriteText(os.Stdout)
+		return
+	}
+
+	sched, err := cli.NewScheduler(*algo, *m, *eps, 1)
+	if err != nil {
+		fatal(err)
+	}
+
+	out, err := adversary.Run(sched, *eps, adversary.Config{Beta: *beta})
+	if err != nil {
+		fatal(err)
+	}
+	if out.Unbounded {
+		fmt.Println("the scheduler rejected J_1: competitive ratio unbounded")
+		return
+	}
+
+	t := report.NewTable(fmt.Sprintf("game trace vs %s", sched.Name()),
+		"step", "phase", "subphase", "job (r, p, d)", "decision")
+	for i, st := range out.Steps {
+		t.Addf(i+1, st.Phase, st.Subphase,
+			fmt.Sprintf("(%.6g, %.6g, %.6g)", st.Job.Release, st.Job.Proc, st.Job.Deadline),
+			st.Decision.String())
+	}
+	t.WriteText(os.Stdout)
+	fmt.Printf("\nphase 2 stopped at u=%d, phase 3 at h=%d\n", out.U, out.H)
+	fmt.Printf("ALG load %.6f, OPT load %.6f → realized ratio %.6f (c = %.6f)\n\n",
+		out.ALGLoad, out.OPTLoad, out.Ratio, params.C)
+
+	var algSlots []textplot.GanttSlot
+	for _, st := range out.Steps {
+		if st.Decision.Accepted {
+			algSlots = append(algSlots, textplot.GanttSlot{
+				Machine: st.Decision.Machine, Start: st.Decision.Start,
+				End: st.Decision.Start + st.Job.Proc, Label: fmt.Sprintf("J%d", st.Job.ID),
+			})
+		}
+	}
+	fmt.Print(textplot.Gantt("online schedule (Fig. 3 top)", *m, algSlots, 90))
+	fmt.Println()
+	var optSlots []textplot.GanttSlot
+	for _, sl := range out.OPTSchedule.Slots() {
+		optSlots = append(optSlots, textplot.GanttSlot{
+			Machine: sl.Machine, Start: sl.Start, End: sl.End(),
+			Label: fmt.Sprintf("J%d", sl.Job.ID),
+		})
+	}
+	fmt.Print(textplot.Gantt("optimal schedule (Fig. 3 bottom)", *m, optSlots, 90))
+
+	if *svg != "" {
+		var a, o []svgplot.GanttSlot
+		for _, s := range algSlots {
+			a = append(a, svgplot.GanttSlot{Machine: s.Machine, Start: s.Start, End: s.End, Label: s.Label})
+		}
+		for _, s := range optSlots {
+			o = append(o, svgplot.GanttSlot{Machine: s.Machine, Start: s.Start, End: s.End, Label: s.Label})
+		}
+		writeSVG(*svg+"-online.svg", svgplot.Gantt("online schedule (Fig. 3 top)", *m, a, 760))
+		writeSVG(*svg+"-opt.svg", svgplot.Gantt("optimal schedule (Fig. 3 bottom)", *m, o, 760))
+	}
+}
+
+func writeSVG(path, doc string) {
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "[svg written to %s]\n", path)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lowerbound:", err)
+	os.Exit(1)
+}

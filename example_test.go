@@ -1,0 +1,58 @@
+package loadmax_test
+
+import (
+	"fmt"
+
+	"loadmax"
+)
+
+// The scheduler decides each job immediately and irrevocably.
+func ExampleNewScheduler() {
+	sched, _ := loadmax.NewScheduler(2, 0.5)
+	jobs := []loadmax.Job{
+		{ID: 1, Release: 0, Proc: 2, Deadline: 3},   // tight, machines empty
+		{ID: 2, Release: 0, Proc: 2, Deadline: 3},   // second machine
+		{ID: 3, Release: 0, Proc: 1, Deadline: 1.6}, // threshold rejects
+	}
+	for _, j := range jobs {
+		d := sched.Submit(j)
+		if d.Accepted {
+			fmt.Printf("J%d → machine %d at t=%g\n", j.ID, d.Machine, d.Start)
+		} else {
+			fmt.Printf("J%d → rejected\n", j.ID)
+		}
+	}
+	// Output:
+	// J1 → machine 0 at t=0
+	// J2 → machine 1 at t=0
+	// J3 → rejected
+}
+
+// Ratio evaluates the tight competitive-ratio function c(ε,m); at
+// ε = 0.5, m = 2 Equation (1) gives 3/2 + 1/ε = 3.5.
+func ExampleRatio() {
+	c, _ := loadmax.Ratio(0.5, 2)
+	fmt.Printf("c(0.5, 2) = %.2f\n", c)
+	// Output:
+	// c(0.5, 2) = 3.50
+}
+
+// PhaseCorners returns the slack values where the ratio function changes
+// phase — the circles of Figure 1. For m = 2 the only corner is 2/7.
+func ExamplePhaseCorners() {
+	corners := loadmax.PhaseCorners(2)
+	fmt.Printf("eps_{1,2} = %.6f\n", corners[0])
+	// Output:
+	// eps_{1,2} = 0.285714
+}
+
+// Adversary plays the Section-3 lower-bound game; against Algorithm 1 it
+// realizes exactly c(ε,m).
+func ExampleAdversary() {
+	sched, _ := loadmax.NewScheduler(2, 0.5)
+	out, _ := loadmax.Adversary(sched, 0.5, 0)
+	c, _ := loadmax.Ratio(0.5, 2)
+	fmt.Printf("realized/c = %.4f\n", out.Ratio/c)
+	// Output:
+	// realized/c = 1.0000
+}

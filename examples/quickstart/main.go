@@ -1,0 +1,65 @@
+// Quickstart: submit a handful of jobs to Algorithm 1 and inspect the
+// decisions — the five-minute tour of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"loadmax"
+)
+
+func main() {
+	// Four machines, every job promises slack ε = 0.25:
+	// deadline ≥ 1.25 × processing time after release.
+	sched, err := loadmax.NewScheduler(4, 0.25)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Algorithm 1 on %d machines, guarantee: ratio ≤ %.3f\n\n",
+		sched.Machines(), sched.Guarantee())
+
+	jobs := []loadmax.Job{
+		{ID: 1, Release: 0, Proc: 4, Deadline: 5},     // tight but machines are empty
+		{ID: 2, Release: 0, Proc: 2, Deadline: 9},     // loose
+		{ID: 3, Release: 1, Proc: 6, Deadline: 8.5},   // tight-ish
+		{ID: 4, Release: 2, Proc: 1, Deadline: 3.3},   // short, tight
+		{ID: 5, Release: 2, Proc: 8, Deadline: 12.5},  // long
+		{ID: 6, Release: 3, Proc: 0.5, Deadline: 3.7}, // very short — may hit the threshold
+	}
+	var accepted float64
+	for _, j := range jobs {
+		dec := sched.Submit(j)
+		if dec.Accepted {
+			accepted += j.Proc
+			fmt.Printf("  %-28v → machine %d, runs [%.4g, %.4g)\n",
+				j, dec.Machine, dec.Start, dec.Start+j.Proc)
+		} else {
+			fmt.Printf("  %-28v → rejected (deadline below admission threshold)\n", j)
+		}
+	}
+	fmt.Printf("\naccepted load: %.4g of %.4g submitted\n", accepted, totalProc(jobs))
+
+	// The same decisions are irrevocable: there is no API to revisit them.
+	// Verify the committed schedule end to end with the simulator instead:
+	inst := loadmax.Instance(jobs)
+	res, err := loadmax.Simulate(sched, inst) // Reset + replay + verify
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("verified replay: %d accepted, load %.4g, violations: %d\n",
+		res.Accepted, res.Load, len(res.Violations))
+
+	// How good is that against a clairvoyant scheduler?
+	b := loadmax.OfflineBounds(inst, 4, 0)
+	fmt.Printf("offline optimum: %.4g (exact=%v) → measured ratio %.3f\n",
+		b.Upper, b.Exact, b.Upper/res.Load)
+}
+
+func totalProc(jobs []loadmax.Job) float64 {
+	var s float64
+	for _, j := range jobs {
+		s += j.Proc
+	}
+	return s
+}

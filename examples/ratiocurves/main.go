@@ -1,0 +1,64 @@
+// Ratiocurves: evaluate the tight competitive-ratio function c(ε,m) —
+// the paper's Figure 1 — from the public API, including the phase
+// structure and the closed-form checkpoints.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"loadmax"
+)
+
+func main() {
+	fmt.Println("c(eps, m): tight competitive ratio for online load maximization")
+	fmt.Println("           with slack eps and immediate commitment on m machines")
+	fmt.Println()
+
+	header := "   eps  |"
+	for m := 1; m <= 4; m++ {
+		header += fmt.Sprintf("    m=%d  ", m)
+	}
+	fmt.Println(header)
+	fmt.Println("--------+------------------------------------")
+	for _, eps := range []float64{0.01, 0.02, 0.05, 0.1, 0.2, 0.3, 0.5, 0.75, 1.0} {
+		row := fmt.Sprintf("%7.3g |", eps)
+		for m := 1; m <= 4; m++ {
+			c, err := loadmax.Ratio(eps, m)
+			if err != nil {
+				log.Fatal(err)
+			}
+			row += fmt.Sprintf(" %7.3f ", c)
+		}
+		fmt.Println(row)
+	}
+
+	fmt.Println("\nphase transitions (the circles of Figure 1):")
+	for m := 2; m <= 4; m++ {
+		fmt.Printf("  m=%d: ", m)
+		for k, corner := range loadmax.PhaseCorners(m) {
+			c, _ := loadmax.Ratio(corner, m)
+			fmt.Printf("eps_%d=%.4f (c=%.3f)  ", k+1, corner, c)
+		}
+		fmt.Println()
+	}
+
+	// Closed-form checkpoints from the paper.
+	fmt.Println("\nclosed-form checkpoints:")
+	c1, _ := loadmax.Ratio(0.5, 1)
+	fmt.Printf("  c(0.5, 1) = %.6f  — 2 + 1/eps = %.6f (Goldwasser–Kerbikov)\n", c1, 2+1/0.5)
+	c2, _ := loadmax.Ratio(0.5, 2)
+	fmt.Printf("  c(0.5, 2) = %.6f  — 3/2 + 1/eps = %.6f (Eq. 1, second phase)\n", c2, 1.5+1/0.5)
+	c3, _ := loadmax.Ratio(0.1, 2)
+	fmt.Printf("  c(0.1, 2) = %.6f  — 2·sqrt(25/16 + 1/eps) + 1/2 = %.6f (Eq. 1, first phase)\n",
+		c3, 2*math.Sqrt(25.0/16+10)+0.5)
+
+	// Proposition 1: the m → ∞ limit.
+	fmt.Println("\nProposition 1 (m → ∞):")
+	eps := 0.001
+	for _, m := range []int{1, 8, 64, 512} {
+		c, _ := loadmax.Ratio(eps, m)
+		fmt.Printf("  c(%g, %4d) = %7.3f   (ln(1/eps) = %.3f)\n", eps, m, c, math.Log(1/eps))
+	}
+}

@@ -1,0 +1,3 @@
+module loadmax
+
+go 1.22

@@ -1,0 +1,315 @@
+// Package adversary implements the lower-bound construction of Section 3:
+// an adaptive adversary that drives any online scheduler with immediate
+// commitment toward competitive ratio c(ε,m) = (m·f_k + 1)/k (Theorem 1).
+//
+// The construction has three phases:
+//
+//   - Phase 1 submits the set-up job J_1(0, 1, d_1) with a large deadline.
+//     Rejecting it leaves the algorithm with zero load against a positive
+//     optimum (unbounded ratio). Otherwise the committed start time t of
+//     J_1 becomes the release date of every later job.
+//
+//   - Phase 2 runs up to m subphases. Subphase h submits up to 2m
+//     identical jobs J_{2,h}(t, p_{2,h}, t + 2·p_{2,h}), where p_{2,h} is
+//     the midpoint of the current overlap interval minus t (Lemma 1): the
+//     adversary maintains an interval I — initially the last β time units
+//     of J_1's execution — during which *every* previously accepted job
+//     executes, so no machine can ever hold two of them. An acceptance
+//     ends the subphase (and shrinks I to its intersection with the
+//     accepted job's execution window); 2m rejections end phase 2 at
+//     subphase u.
+//
+//   - If u ≥ k, phase 3 runs subphases h = u..m, submitting up to m jobs
+//     J_{3,h}(t, (f_h−1)·p_{2,u}, t + p_{2,u} + (f_h−1)·p_{2,u}) each. An
+//     acceptance advances h; a fully-rejected subphase ends the game.
+//
+// The analytic optimum of the produced instance follows Lemmas 2 and 4:
+// stopping in phase 2 at u yields OPT = 1 + (2m largest phase-2 jobs);
+// stopping phase 3 at h yields OPT = 1 + m·p_{2,u} + m·p_{3,h}. Both are
+// achieved by explicit feasible schedules, so the reported ratio is a
+// genuine realized lower bound.
+package adversary
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"loadmax/internal/job"
+	"loadmax/internal/online"
+	"loadmax/internal/ratio"
+	"loadmax/internal/schedule"
+)
+
+// Step records one submission and the scheduler's decision.
+type Step struct {
+	Phase    int // 1, 2 or 3
+	Subphase int // h (0 for phase 1)
+	Index    int // submission index within the subphase, 1-based
+	Job      job.Job
+	Decision online.Decision
+}
+
+// Outcome is the result of one adversary game.
+type Outcome struct {
+	Eps    float64
+	M      int
+	Params ratio.Params
+
+	// Unbounded is true when the scheduler rejected J_1: the adversary
+	// stops and the competitive ratio is unbounded.
+	Unbounded bool
+
+	// T is the committed start time of J_1 (release date of all later
+	// jobs).
+	T float64
+	// U is the final subphase of phase 2 (0 if phase 2 never ran).
+	U int
+	// H is the final subphase of phase 3 (0 if phase 3 never ran).
+	H int
+
+	ALGLoad float64
+	OPTLoad float64
+	// Ratio is OPTLoad/ALGLoad, or +Inf when Unbounded.
+	Ratio float64
+
+	Steps    []Step
+	Instance job.Instance
+
+	// OPTSchedule is the explicit feasible schedule certifying OPTLoad.
+	OPTSchedule *schedule.Schedule
+}
+
+// Config tunes the adversary.
+type Config struct {
+	// Beta is Lemma 1's β: the length of the initial overlap interval.
+	// Smaller β tightens the realized ratio toward c(ε,m) at the cost of
+	// numerically closer job lengths. Default 1e-6.
+	Beta float64
+}
+
+// DefaultBeta is the default overlap-interval length.
+const DefaultBeta = 1e-6
+
+// Run plays the adversary game against the scheduler. The scheduler is
+// Reset first. An error is returned only for protocol violations that
+// make the game meaningless (an infeasible commitment, or acceptances
+// that would require more than m machines).
+func Run(s online.Scheduler, eps float64, cfg Config) (*Outcome, error) {
+	if cfg.Beta <= 0 {
+		cfg.Beta = DefaultBeta
+	}
+	m := s.Machines()
+	params, err := ratio.Compute(eps, m)
+	if err != nil {
+		return nil, fmt.Errorf("adversary: %w", err)
+	}
+	// Scale-aware floor on β: the overlap interval halves up to m times,
+	// so adjacent phase-2 lengths differ by ≥ β/2^m, and feasibility
+	// comparisons against phase-3 deadlines happen at scale f_m ≈ 1/ε.
+	// Keep the smallest deliberate gap three orders of magnitude above
+	// the tolerance at that scale, or the scheduler's comparator will
+	// round an infeasible acceptance into a feasible one.
+	shift := uint(m)
+	if shift > 40 {
+		shift = 40
+	}
+	if floor := 1e3 * job.TimeEps * params.Fq(m) * float64(uint64(1)<<shift); cfg.Beta < floor {
+		cfg.Beta = floor
+	}
+	s.Reset()
+
+	out := &Outcome{Eps: eps, M: m, Params: params}
+	nextID := 0
+	submit := func(phase, subphase, index int, j job.Job) online.Decision {
+		j.ID = nextID
+		nextID++
+		d := s.Submit(j)
+		d.JobID = j.ID
+		out.Steps = append(out.Steps, Step{Phase: phase, Subphase: subphase, Index: index, Job: j, Decision: d})
+		out.Instance = append(out.Instance, j)
+		return d
+	}
+
+	// --- Phase 1: the set-up job.
+	// d_1 = f_m + 3 lets the optimum run J_1 before t when t ≥ 1 and after
+	// every other deadline when t < 1 (see package comment in the proof of
+	// Theorem 1).
+	fm := params.Fq(m)
+	j1 := job.Job{Release: 0, Proc: 1, Deadline: fm + 3}
+	d1 := submit(1, 0, 1, j1)
+	if !d1.Accepted {
+		out.Unbounded = true
+		out.Ratio = math.Inf(1)
+		out.OPTLoad = 1 // the optimum runs J_1
+		return out, nil
+	}
+	t := d1.Start
+	if job.Less(t, 0) || job.Greater(t+1, j1.Deadline) {
+		return nil, fmt.Errorf("adversary: infeasible commitment for J_1: start %g", t)
+	}
+	out.T = t
+
+	// --- Phase 2: overlap-interval halving (Lemma 1).
+	// I starts as the last β of J_1's execution [t, t+1].
+	iLo, iHi := t+1-cfg.Beta, t+1
+	p2 := make([]float64, 0, m)   // p_{2,h} per subphase
+	acc2 := make([]float64, 0, m) // accepted phase-2 processing times
+	counts2 := make([]int, 0, m)  // submissions per subphase
+	u := 0
+	for h := 1; h <= m; h++ {
+		p := (iLo+iHi)/2 - t
+		d := t + 2*p
+		p2 = append(p2, p)
+		accepted := false
+		n := 0
+		for i := 1; i <= 2*m; i++ {
+			n++
+			dec := submit(2, h, i, job.Job{Release: t, Proc: p, Deadline: d})
+			if dec.Accepted {
+				lo := math.Max(iLo, dec.Start)
+				hi := math.Min(iHi, dec.Start+p)
+				// Exact comparison: the halving chain operates at scales
+				// below the tolerance-aware comparator's resolution, and
+				// the interval intersection is exact arithmetic.
+				if lo >= hi {
+					return nil, fmt.Errorf("adversary: accepted job (start %g, p %g) misses overlap interval (%g,%g)",
+						dec.Start, p, iLo, iHi)
+				}
+				iLo, iHi = lo, hi
+				acc2 = append(acc2, p)
+				accepted = true
+				break
+			}
+		}
+		counts2 = append(counts2, n)
+		if !accepted {
+			u = h
+			break
+		}
+	}
+	if u == 0 {
+		// Acceptance in every subphase needs m+1 distinct machines
+		// (Lemma 1) — only an infeasible scheduler gets here.
+		return nil, fmt.Errorf("adversary: scheduler accepted a job in all %d phase-2 subphases (infeasible)", m)
+	}
+	out.U = u
+
+	algLoad := 1.0
+	for _, p := range acc2 {
+		algLoad += p
+	}
+
+	if u < params.K {
+		// Lemma 2: stop. The optimum executes J_1 plus the 2m largest
+		// phase-2 jobs (any pair runs shorter-first on one machine).
+		out.ALGLoad = algLoad
+		out.OPTLoad, out.OPTSchedule = optPhase2(m, t, j1, p2, counts2, fm)
+		out.Ratio = out.OPTLoad / out.ALGLoad
+		return out, nil
+	}
+
+	// --- Phase 3: geometric lengths (f_h − 1)·p_{2,u}.
+	p2u := p2[u-1]
+	acc3 := make([]float64, 0, m)
+	hEnd := 0
+	for h := u; h <= m; h++ {
+		p := (params.Fq(h) - 1) * p2u
+		d := t + p2u + p
+		accepted := false
+		for i := 1; i <= m; i++ {
+			dec := submit(3, h, i, job.Job{Release: t, Proc: p, Deadline: d})
+			if dec.Accepted {
+				acc3 = append(acc3, p)
+				accepted = true
+				break
+			}
+		}
+		if !accepted {
+			hEnd = h
+			break
+		}
+	}
+	if hEnd == 0 {
+		return nil, fmt.Errorf("adversary: scheduler accepted a job in all phase-3 subphases %d..%d (infeasible)", u, m)
+	}
+	out.H = hEnd
+	for _, p := range acc3 {
+		algLoad += p
+	}
+	out.ALGLoad = algLoad
+
+	// Lemma 4: the optimum runs J_1, m copies of J_{2,u} and m copies of
+	// J_{3,h} — one of each per machine, J_{2,u} first.
+	p3h := (params.Fq(hEnd) - 1) * p2u
+	out.OPTLoad, out.OPTSchedule = optPhase3(m, t, j1, p2u, p3h, fm)
+	out.Ratio = out.OPTLoad / out.ALGLoad
+	return out, nil
+}
+
+// optPhase2 builds the certifying optimal schedule for a game stopped in
+// phase 2: J_1 plus the 2m largest submitted phase-2 jobs, paired
+// shorter-first per machine. Returns its load.
+func optPhase2(m int, t float64, j1 job.Job, p2 []float64, counts2 []int, fm float64) (float64, *schedule.Schedule) {
+	var lengths []float64
+	for h, p := range p2 {
+		for i := 0; i < counts2[h]; i++ {
+			lengths = append(lengths, p)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(lengths)))
+	if len(lengths) > 2*m {
+		lengths = lengths[:2*m]
+	}
+	s := schedule.New(m)
+	load := 1.0
+	addJ1(s, t, j1, fm)
+	// Pair the 2m chosen jobs two per machine, shorter first: lengths is
+	// sorted descending, so pair i uses entries i and 2m−1−i.
+	id := -1
+	for i := 0; i < len(lengths)/2; i++ {
+		a, b := lengths[len(lengths)-1-i], lengths[i] // shorter, longer
+		// shorter job first: completes at t+a ≤ t+2a (its deadline);
+		// longer completes at t+a+b ≤ t+2b ⟺ a ≤ b.
+		s.Add(job.Job{ID: id, Release: t, Proc: a, Deadline: t + 2*a}, i%m, t)
+		id--
+		s.Add(job.Job{ID: id, Release: t, Proc: b, Deadline: t + 2*b}, i%m, t+a)
+		id--
+		load += a + b
+	}
+	// Odd leftover (can happen only when fewer than 2m jobs were
+	// submitted, i.e. m = 1 games): run it alone.
+	if len(lengths)%2 == 1 && len(lengths) > 0 {
+		p := lengths[len(lengths)/2]
+		s.Add(job.Job{ID: id, Release: t, Proc: p, Deadline: t + 2*p}, (len(lengths)/2)%m, t)
+		load += p
+	}
+	return load, s
+}
+
+// optPhase3 builds the certifying optimal schedule for a game stopped in
+// phase 3 at subphase h: per machine one J_{2,u} then one J_{3,h}, plus
+// J_1 out of the way.
+func optPhase3(m int, t float64, j1 job.Job, p2u, p3h, fm float64) (float64, *schedule.Schedule) {
+	s := schedule.New(m)
+	addJ1(s, t, j1, fm)
+	id := -1
+	for i := 0; i < m; i++ {
+		s.Add(job.Job{ID: id, Release: t, Proc: p2u, Deadline: t + 2*p2u}, i, t)
+		id--
+		s.Add(job.Job{ID: id, Release: t, Proc: p3h, Deadline: t + p2u + p3h}, i, t+p2u)
+		id--
+	}
+	return 1 + float64(m)*(p2u+p3h), s
+}
+
+// addJ1 places the set-up job where it cannot collide with the phase-2/3
+// block [t, t + f_m): before t when t ≥ 1, after every other deadline
+// otherwise (d_1 = f_m + 3 makes both feasible).
+func addJ1(s *schedule.Schedule, t float64, j1 job.Job, fm float64) {
+	if t >= 1 {
+		s.Add(j1, 0, 0)
+		return
+	}
+	s.Add(j1, 0, t+fm)
+}

@@ -1,0 +1,356 @@
+package adversary
+
+import (
+	"math"
+	"testing"
+
+	"loadmax/internal/core"
+	"loadmax/internal/job"
+	"loadmax/internal/online"
+	"loadmax/internal/ratio"
+	"loadmax/internal/sim"
+)
+
+// ratioTol converts the O(β) slack of the construction into a test
+// tolerance: realized ratios sit within a few β·c of c(ε,m).
+const ratioTol = 1e-4
+
+func TestAdversaryMeetsBoundAgainstThreshold(t *testing.T) {
+	// Theorem 1 (lower bound) + Theorem 2 (upper bound) together: the
+	// adversary forces Algorithm 1 to exactly c(ε,m) − O(β).
+	for _, m := range []int{1, 2, 3, 4, 5, 6} {
+		for _, eps := range []float64{0.01, 0.05, 0.15, 0.35, 0.7, 1.0} {
+			th, err := core.New(m, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := Run(th, eps, Config{})
+			if err != nil {
+				t.Fatalf("m=%d eps=%g: %v", m, eps, err)
+			}
+			c := ratio.C(eps, m)
+			if math.Abs(out.Ratio-c) > ratioTol*c {
+				t.Errorf("m=%d eps=%g: realized ratio %.6f, want c = %.6f",
+					m, eps, out.Ratio, c)
+			}
+			if out.Unbounded {
+				t.Errorf("m=%d eps=%g: Threshold rejected J_1", m, eps)
+			}
+		}
+	}
+}
+
+func TestAdversaryInstanceIsValid(t *testing.T) {
+	// Every job the adversary emits satisfies the slack condition (3) and
+	// release-order sortedness — the construction's validity claim in the
+	// proof of Theorem 1 (deadline choices of phase 2, Lemma 3).
+	for _, m := range []int{1, 3, 5} {
+		for _, eps := range []float64{0.02, 0.3, 0.9} {
+			th, err := core.New(m, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := Run(th, eps, Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := out.Instance.Validate(eps); err != nil {
+				t.Errorf("m=%d eps=%g: adversary emitted invalid instance: %v", m, eps, err)
+			}
+		}
+	}
+}
+
+func TestOptScheduleCertifiesOptLoad(t *testing.T) {
+	// The analytic OPT is backed by an explicit schedule: it must be
+	// feasible and carry exactly OPTLoad.
+	for _, m := range []int{1, 2, 4} {
+		for _, eps := range []float64{0.05, 0.5, 1.0} {
+			th, err := core.New(m, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := Run(th, eps, Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.OPTSchedule == nil {
+				t.Fatalf("m=%d eps=%g: no certifying schedule", m, eps)
+			}
+			for _, v := range out.OPTSchedule.Verify() {
+				t.Errorf("m=%d eps=%g: OPT schedule violation: %v", m, eps, v)
+			}
+			if !job.Eq(out.OPTSchedule.Load(), out.OPTLoad) {
+				t.Errorf("m=%d eps=%g: schedule load %g ≠ OPTLoad %g",
+					m, eps, out.OPTSchedule.Load(), out.OPTLoad)
+			}
+		}
+	}
+}
+
+func TestThresholdScheduleFeasibleUnderAdversary(t *testing.T) {
+	// Replay the adversary's instance through sim to double-check the
+	// commitments Algorithm 1 made during the game.
+	for _, m := range []int{2, 4} {
+		for _, eps := range []float64{0.05, 0.4} {
+			th, err := core.New(m, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := Run(th, eps, Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := sim.Run(th, out.Instance)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range res.Violations {
+				t.Errorf("m=%d eps=%g: %s", m, eps, v)
+			}
+			if !job.Eq(res.Load, out.ALGLoad) {
+				t.Errorf("m=%d eps=%g: replay load %g ≠ game load %g",
+					m, eps, res.Load, out.ALGLoad)
+			}
+		}
+	}
+}
+
+// rejectAll rejects every job — the degenerate scheduler whose ratio is
+// unbounded (it even rejects J_1).
+type rejectAll struct{ m int }
+
+func (r rejectAll) Name() string  { return "reject-all" }
+func (r rejectAll) Machines() int { return r.m }
+func (r rejectAll) Reset()        {}
+func (r rejectAll) Submit(j job.Job) online.Decision {
+	return online.Decision{JobID: j.ID, Accepted: false}
+}
+
+func TestRejectingJ1IsUnbounded(t *testing.T) {
+	out, err := Run(rejectAll{m: 3}, 0.5, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Unbounded || !math.IsInf(out.Ratio, 1) {
+		t.Errorf("rejecting J_1 must be unbounded, got %+v", out)
+	}
+}
+
+// greedyFresh accepts whenever an idle machine exists, starting at the
+// release date — the naive strategy the lower bound punishes hardest.
+type greedyFresh struct {
+	m    int
+	next int
+}
+
+func (g *greedyFresh) Name() string  { return "greedy-fresh" }
+func (g *greedyFresh) Machines() int { return g.m }
+func (g *greedyFresh) Reset()        { g.next = 0 }
+func (g *greedyFresh) Submit(j job.Job) online.Decision {
+	if g.next >= g.m {
+		return online.Decision{JobID: j.ID, Accepted: false}
+	}
+	d := online.Decision{JobID: j.ID, Accepted: true, Machine: g.next, Start: j.Release}
+	g.next++
+	return d
+}
+
+func TestGreedySuffersMoreThanThreshold(t *testing.T) {
+	// A scheduler that burns all machines on unit jobs (u = m path) ends
+	// with ratio (1 + m·f_m)/(m + Σ(f_h −1)·0)… — in any case at least c.
+	// The point of the lower bound: no strategy beats c, and naive ones
+	// do worse for small ε where k < m.
+	eps, m := 0.02, 4
+	th, err := core.New(m, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	thOut, err := Run(th, eps, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gOut, err := Run(&greedyFresh{m: m}, eps, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ratio.C(eps, m)
+	if gOut.Ratio < c-ratioTol*c {
+		t.Errorf("greedy ratio %.4f below c = %.4f — lower bound violated", gOut.Ratio, c)
+	}
+	if gOut.Ratio <= thOut.Ratio+ratioTol {
+		t.Errorf("greedy (%.4f) should suffer more than Threshold (%.4f) at eps=%g k=%d",
+			gOut.Ratio, thOut.Ratio, eps, thOut.Params.K)
+	}
+}
+
+func TestExploreMinEqualsC(t *testing.T) {
+	// Theorem 1 as a tree statement: the minimum realized ratio over all
+	// decision-tree leaves equals c(ε,m) — no deterministic algorithm can
+	// do better against the adversary.
+	for _, m := range []int{1, 2, 3, 4, 5} {
+		for _, eps := range []float64{0.03, 0.12, 0.45, 0.95} {
+			tree, err := Explore(eps, m, 0)
+			if err != nil {
+				t.Fatalf("m=%d eps=%g: %v", m, eps, err)
+			}
+			c := ratio.C(eps, m)
+			if math.Abs(tree.MinRatio-c) > ratioTol*c {
+				t.Errorf("m=%d eps=%g: min leaf ratio %.6f, want c = %.6f",
+					m, eps, tree.MinRatio, c)
+			}
+			for _, l := range tree.Leaves {
+				if l.Ratio < c-ratioTol*c {
+					t.Errorf("m=%d eps=%g: leaf %v below c = %.6f", m, eps, l, c)
+				}
+			}
+		}
+	}
+}
+
+func TestExploreLeafCount(t *testing.T) {
+	// (k−1) early-stop leaves plus Σ_{u=k}^{m}(m−u+1) phase-3 leaves.
+	for _, m := range []int{1, 2, 3, 4, 6} {
+		for _, eps := range []float64{0.05, 0.5} {
+			tree, err := Explore(eps, m, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			k := tree.Params.K
+			want := k - 1
+			for u := k; u <= m; u++ {
+				want += m - u + 1
+			}
+			if len(tree.Leaves) != want {
+				t.Errorf("m=%d eps=%g k=%d: %d leaves, want %d",
+					m, eps, k, len(tree.Leaves), want)
+			}
+		}
+	}
+}
+
+func TestEqualizedLeavesWithinSameU(t *testing.T) {
+	// Equation (5): for a fixed u ≥ k, the ratios of all phase-3 stop
+	// points h are equalized by the adversary's choice of job lengths.
+	tree, err := Explore(0.04, 4, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := tree.Params.K
+	var base float64
+	for _, l := range tree.Leaves {
+		if l.U != k || l.H == 0 {
+			continue
+		}
+		if base == 0 {
+			base = l.Ratio
+			continue
+		}
+		if math.Abs(l.Ratio-base) > 1e-5*base {
+			t.Errorf("leaf %v not equalized with ratio %.8f", l, base)
+		}
+	}
+}
+
+func TestBetaControlsGap(t *testing.T) {
+	// The realized ratio approaches c as β shrinks.
+	eps, m := 0.1, 3
+	c := ratio.C(eps, m)
+	var prevGap float64 = math.Inf(1)
+	for _, beta := range []float64{1e-2, 1e-4, 1e-6} {
+		th, err := core.New(m, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := Run(th, eps, Config{Beta: beta})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gap := math.Abs(out.Ratio - c)
+		if gap > prevGap+1e-12 {
+			t.Errorf("beta=%g: gap %.3e did not shrink (prev %.3e)", beta, gap, prevGap)
+		}
+		prevGap = gap
+	}
+	if prevGap > 1e-5*c {
+		t.Errorf("final gap %.3e too large", prevGap)
+	}
+}
+
+func TestOverlapIntervalHalving(t *testing.T) {
+	// Lemma 1: after each accepted phase-2 job the overlap interval keeps
+	// at least half its length, so the adversary can always run m
+	// subphases with p ∈ (1−β, 1). We probe indirectly: all phase-2 jobs
+	// emitted in a full-length game have lengths in (1−β, 1).
+	beta := 1e-3
+	// Force the longest possible phase 2 with the scripted u=m path.
+	m := 5
+	eps := 0.9 // k = m keeps u = m legal
+	params, err := ratio.Compute(eps, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if params.K != m {
+		t.Skipf("phase k=%d ≠ m; pick a larger eps", params.K)
+	}
+	sc := newScripted(m, planFor(m, params.K, m, m))
+	out, err := Run(sc, eps, Config{Beta: beta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.U != m {
+		t.Fatalf("game stopped at u=%d, want %d", out.U, m)
+	}
+	for _, st := range out.Steps {
+		if st.Phase != 2 {
+			continue
+		}
+		if st.Job.Proc <= 1-beta || st.Job.Proc >= 1 {
+			t.Errorf("phase-2 job length %g outside (1−β, 1)", st.Job.Proc)
+		}
+	}
+}
+
+func TestInfeasibleCommitmentDetected(t *testing.T) {
+	// A scheduler that commits J_1 beyond its deadline must be rejected
+	// by the adversary's sanity check.
+	bad := &badStart{m: 2}
+	if _, err := Run(bad, 0.5, Config{}); err == nil {
+		t.Error("expected error for infeasible J_1 commitment")
+	}
+}
+
+type badStart struct{ m int }
+
+func (b *badStart) Name() string  { return "bad-start" }
+func (b *badStart) Machines() int { return b.m }
+func (b *badStart) Reset()        {}
+func (b *badStart) Submit(j job.Job) online.Decision {
+	return online.Decision{JobID: j.ID, Accepted: true, Machine: 0, Start: j.Deadline} // always too late
+}
+
+func TestStepsTraceShape(t *testing.T) {
+	th, err := core.New(3, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Run(th, 0.2, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Steps) == 0 || out.Steps[0].Phase != 1 {
+		t.Fatal("trace must start with phase 1")
+	}
+	// Phases only ever increase along the trace.
+	prev := 1
+	for _, st := range out.Steps {
+		if st.Phase < prev {
+			t.Errorf("phase went backwards: %d after %d", st.Phase, prev)
+		}
+		prev = st.Phase
+	}
+	// Instance mirrors the steps one-to-one.
+	if len(out.Instance) != len(out.Steps) {
+		t.Errorf("instance has %d jobs, trace has %d steps", len(out.Instance), len(out.Steps))
+	}
+}

@@ -1,0 +1,96 @@
+package adversary
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"loadmax/internal/job"
+	"loadmax/internal/online"
+	"loadmax/internal/ratio"
+)
+
+// randomPlayer is a scheduler that accepts each job with a random coin
+// flip whenever a fresh machine remains, allocating the accepted job to
+// that fresh machine at its release date. Every such play is feasible, so
+// Theorem 1 demands ratio ≥ c(ε,m) for ALL of them — a randomized
+// falsification attempt on the lower bound that goes beyond the
+// structured leaf enumeration of Explore.
+type randomPlayer struct {
+	m    int
+	rng  *rand.Rand
+	seed int64
+	next int
+	p    float64 // acceptance probability
+}
+
+var _ online.Scheduler = (*randomPlayer)(nil)
+
+func (r *randomPlayer) Name() string  { return "random-player" }
+func (r *randomPlayer) Machines() int { return r.m }
+func (r *randomPlayer) Reset() {
+	r.rng = rand.New(rand.NewSource(r.seed))
+	r.next = 0
+}
+
+func (r *randomPlayer) Submit(j job.Job) online.Decision {
+	if r.next >= r.m || r.rng.Float64() > r.p {
+		return online.Decision{JobID: j.ID, Accepted: false}
+	}
+	d := online.Decision{JobID: j.ID, Accepted: true, Machine: r.next, Start: j.Release}
+	r.next++
+	return d
+}
+
+func TestQuickRandomPlayNeverBeatsLowerBound(t *testing.T) {
+	prop := func(seed int64, mRaw, epsRaw, pRaw uint8) bool {
+		m := 1 + int(mRaw)%5
+		eps := 0.02 + 0.98*float64(epsRaw)/255
+		p := 0.2 + 0.7*float64(pRaw)/255
+		pl := &randomPlayer{m: m, seed: seed, p: p}
+		out, err := Run(pl, eps, Config{})
+		if err != nil {
+			// A random player that accepts J_1 but then violates the
+			// protocol cannot happen: fresh-machine starts are always
+			// feasible here. Any error is a real failure.
+			return false
+		}
+		if out.Unbounded {
+			return true // rejecting J_1 is the worst play of all
+		}
+		c := ratio.C(eps, m)
+		return out.Ratio >= c*(1-1e-3)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomPlayDistribution(t *testing.T) {
+	// Aggregate view: across many random plays at one (ε, m), the minimum
+	// realized ratio approaches but never crosses c.
+	eps, m := 0.1, 3
+	c := ratio.C(eps, m)
+	minRatio := math.Inf(1)
+	for seed := int64(0); seed < 500; seed++ {
+		pl := &randomPlayer{m: m, seed: seed, p: 0.5}
+		out, err := Run(pl, eps, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Unbounded {
+			continue
+		}
+		if out.Ratio < minRatio {
+			minRatio = out.Ratio
+		}
+	}
+	if minRatio < c*(1-1e-3) {
+		t.Errorf("a random play achieved %.6f below c = %.6f", minRatio, c)
+	}
+	// The bound is tight: at least one play should come close.
+	if minRatio > c*1.5 {
+		t.Logf("note: closest random play %.4f vs c %.4f (random play rarely finds the optimum path)", minRatio, c)
+	}
+}

@@ -1,0 +1,151 @@
+package adversary
+
+import (
+	"fmt"
+	"math"
+
+	"loadmax/internal/job"
+	"loadmax/internal/online"
+	"loadmax/internal/ratio"
+)
+
+// This file explores the adversary's decision tree (Figure 2 of the
+// paper). Against the adaptive adversary, a deterministic scheduler's
+// behaviour collapses to a path: in each phase-2 subphase it either
+// accepts a job (the adversary then opens the next subphase) or rejects
+// all 2m copies (ending phase 2 at subphase u); in each phase-3 subphase
+// it either accepts (advancing) or rejects all m copies (ending the game
+// at subphase h). Enumerating all (u, h) pairs therefore covers every
+// leaf of the tree, and Theorem 1 is the statement that the *minimum*
+// ratio over the leaves equals c(ε,m).
+
+// Leaf is one leaf of the adversary's decision tree.
+type Leaf struct {
+	U int // final phase-2 subphase
+	H int // final phase-3 subphase; 0 when the game ends in phase 2 (u < k)
+	// Ratio is the realized competitive ratio on this path.
+	Ratio float64
+	// ALGLoad and OPTLoad are the leaf's loads.
+	ALGLoad, OPTLoad float64
+}
+
+func (l Leaf) String() string {
+	if l.H == 0 {
+		return fmt.Sprintf("u=%d (stop in phase 2): ratio %.4f", l.U, l.Ratio)
+	}
+	return fmt.Sprintf("u=%d h=%d: ratio %.4f", l.U, l.H, l.Ratio)
+}
+
+// Tree is the full explored decision tree for one (ε, m).
+type Tree struct {
+	Eps    float64
+	M      int
+	Params ratio.Params
+	Leaves []Leaf
+	// MinRatio is the best any deterministic algorithm achieves against
+	// the adversary — Theorem 1 says it equals c(ε,m) (up to O(β)).
+	MinRatio float64
+	// MinLeaf is the index of the minimizing leaf in Leaves.
+	MinLeaf int
+}
+
+// Explore plays the adversary against a scripted scheduler for every leaf
+// of the decision tree and returns the realized ratios. beta ≤ 0 selects
+// DefaultBeta.
+func Explore(eps float64, m int, beta float64) (*Tree, error) {
+	params, err := ratio.Compute(eps, m)
+	if err != nil {
+		return nil, err
+	}
+	tree := &Tree{Eps: eps, M: m, Params: params, MinRatio: math.Inf(1), MinLeaf: -1}
+	addLeaf := func(u, h int) error {
+		sc := newScripted(m, planFor(m, params.K, u, h))
+		out, err := Run(sc, eps, Config{Beta: beta})
+		if err != nil {
+			return fmt.Errorf("leaf u=%d h=%d: %w", u, h, err)
+		}
+		if out.U != u || out.H != h {
+			return fmt.Errorf("leaf u=%d h=%d: game ended at u=%d h=%d", u, h, out.U, out.H)
+		}
+		leaf := Leaf{U: u, H: h, Ratio: out.Ratio, ALGLoad: out.ALGLoad, OPTLoad: out.OPTLoad}
+		tree.Leaves = append(tree.Leaves, leaf)
+		if leaf.Ratio < tree.MinRatio {
+			tree.MinRatio = leaf.Ratio
+			tree.MinLeaf = len(tree.Leaves) - 1
+		}
+		return nil
+	}
+	for u := 1; u < params.K; u++ {
+		if err := addLeaf(u, 0); err != nil {
+			return nil, err
+		}
+	}
+	for u := params.K; u <= m; u++ {
+		for h := u; h <= m; h++ {
+			if err := addLeaf(u, h); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return tree, nil
+}
+
+// planFor returns the accept/reject script realizing leaf (u, h): accept
+// J_1, accept the first job of phase-2 subphases 1..u−1, reject all 2m of
+// subphase u; then (when u ≥ k) accept the first job of phase-3 subphases
+// u..h−1 and reject all m of subphase h.
+func planFor(m, k, u, h int) []bool {
+	var plan []bool
+	plan = append(plan, true) // J_1
+	for sub := 1; sub < u; sub++ {
+		plan = append(plan, true)
+	}
+	for i := 0; i < 2*m; i++ {
+		plan = append(plan, false)
+	}
+	if u >= k && h > 0 {
+		for sub := u; sub < h; sub++ {
+			plan = append(plan, true)
+		}
+		for i := 0; i < m; i++ {
+			plan = append(plan, false)
+		}
+	}
+	return plan
+}
+
+// scripted is a test scheduler that follows a fixed accept/reject plan,
+// allocating every accepted job to a fresh machine at its release date.
+// Against the adversary this is feasible: accepted jobs across subphases
+// are pairwise machine-incompatible anyway (Lemmas 1 and 3), and a fresh
+// machine always exists on any root-to-leaf path (at most m acceptances).
+type scripted struct {
+	m    int
+	plan []bool
+	pos  int
+	next int // next fresh machine
+}
+
+var _ online.Scheduler = (*scripted)(nil)
+
+func newScripted(m int, plan []bool) *scripted {
+	return &scripted{m: m, plan: plan}
+}
+
+func (s *scripted) Name() string  { return "scripted" }
+func (s *scripted) Machines() int { return s.m }
+func (s *scripted) Reset()        { s.pos, s.next = 0, 0 }
+
+func (s *scripted) Submit(j job.Job) online.Decision {
+	accept := false
+	if s.pos < len(s.plan) {
+		accept = s.plan[s.pos]
+	}
+	s.pos++
+	if !accept || s.next >= s.m {
+		return online.Decision{JobID: j.ID, Accepted: false}
+	}
+	d := online.Decision{JobID: j.ID, Accepted: true, Machine: s.next, Start: j.Release}
+	s.next++
+	return d
+}

@@ -1,0 +1,153 @@
+package adversary
+
+import (
+	"fmt"
+	"math"
+
+	"loadmax/internal/job"
+	"loadmax/internal/online"
+)
+
+// This file implements the impossibility construction the paper cites for
+// *general* objective functions (§1, Lucier et al. [28]): with immediate
+// commitment, once job values w_j are decoupled from processing times no
+// online algorithm has a bounded competitive ratio, for any slack.
+//
+// The game runs m+1 rounds of mutually-conflicting jobs with weights
+// growing geometrically in W. Round i submits up to m identical jobs of
+// weight W^i whose processing time is the midpoint of the current overlap
+// interval (the same Lemma-1 device as the load adversary): any feasible
+// execution of such a job covers the midpoint, so it cannot share a
+// machine with any previously accepted job. An acceptance ends the round
+// and burns a machine; after at most m acceptances some round u is fully
+// rejected, and the adversary stops with OPT ≥ m·W^u against
+// ALG ≤ Σ_{i<u} W^i — ratio ≥ m·(W−1)·(1−o(1)), unbounded as W → ∞.
+
+// WeightedOutcome reports one weighted game.
+type WeightedOutcome struct {
+	Eps float64
+	M   int
+	W   float64 // weight growth base
+
+	// U is the first fully-rejected round (0-based).
+	U int
+	// ALGValue and OPTValue are weighted objective values.
+	ALGValue float64
+	OPTValue float64
+	// Ratio is OPTValue/ALGValue (+Inf when ALGValue = 0).
+	Ratio float64
+
+	Instance job.Instance
+	// Weights maps job ID → weight.
+	Weights map[int]float64
+}
+
+// RunWeighted plays the weighted impossibility game against a scheduler.
+// The scheduler sees ordinary (r, p, d) jobs — weights are the
+// adversary's bookkeeping, which is the point: no commitment-on-arrival
+// scheduler can hedge against values it only learns by accepting.
+func RunWeighted(s online.Scheduler, eps, w float64) (*WeightedOutcome, error) {
+	if eps <= 0 || eps > 1 {
+		return nil, fmt.Errorf("adversary: slack %g outside (0,1]", eps)
+	}
+	if w <= 1 {
+		return nil, fmt.Errorf("adversary: weight base %g must exceed 1", w)
+	}
+	m := s.Machines()
+	s.Reset()
+	out := &WeightedOutcome{Eps: eps, M: m, W: w, Weights: make(map[int]float64)}
+	nextID := 0
+	submit := func(j job.Job, weight float64) online.Decision {
+		j.ID = nextID
+		nextID++
+		out.Instance = append(out.Instance, j)
+		out.Weights[j.ID] = weight
+		d := s.Submit(j)
+		d.JobID = j.ID
+		return d
+	}
+
+	// Round 0 establishes the overlap interval with unit jobs; later
+	// rounds use midpoint lengths. All jobs are released at time 0.
+	iLo, iHi := 0.0, 1+eps // the possible execution range of a unit job
+	u := -1
+	var roundP []float64
+	for round := 0; round <= m; round++ {
+		weight := math.Pow(w, float64(round))
+		var p, d float64
+		if round == 0 {
+			p, d = 1, 1+eps
+		} else {
+			mid := (iLo + iHi) / 2
+			p, d = mid, 2*mid
+		}
+		roundP = append(roundP, p)
+		accepted := false
+		for i := 0; i < m; i++ {
+			dec := submit(job.Job{Release: 0, Proc: p, Deadline: d}, weight)
+			if dec.Accepted {
+				lo := math.Max(iLo, dec.Start)
+				hi := math.Min(iHi, dec.Start+p)
+				if lo >= hi {
+					return nil, fmt.Errorf("adversary: weighted round %d acceptance misses overlap interval", round)
+				}
+				iLo, iHi = lo, hi
+				out.ALGValue += weight
+				accepted = true
+				break
+			}
+		}
+		if !accepted {
+			u = round
+			break
+		}
+	}
+	if u < 0 {
+		return nil, fmt.Errorf("adversary: scheduler accepted in all %d weighted rounds (needs %d machines)", m+1, m+1)
+	}
+	out.U = u
+	// The optimum takes the m fully-rejected round-u jobs, one per
+	// machine (identical windows [0, 2p] admit one job per machine;
+	// earlier-round jobs are ignored — a lower bound suffices).
+	out.OPTValue = float64(m) * math.Pow(w, float64(u))
+	if u == 0 {
+		// Round 0 had one job of weight 1 per submission, m of them.
+		out.OPTValue = float64(m)
+	}
+	if out.ALGValue == 0 {
+		out.Ratio = math.Inf(1)
+	} else {
+		out.Ratio = out.OPTValue / out.ALGValue
+	}
+	_ = roundP
+	return out, nil
+}
+
+// ExploreWeighted plays the weighted game against every deterministic
+// accept/reject pattern (accept one job in each round before u, reject
+// round u entirely) and returns the minimum finite ratio — the best any
+// algorithm can do, which still grows linearly in W.
+func ExploreWeighted(eps, w float64, m int) (minRatio float64, err error) {
+	minRatio = math.Inf(1)
+	for u := 1; u <= m; u++ {
+		plan := make([]bool, 0, (u+1)*m)
+		for round := 0; round < u; round++ {
+			plan = append(plan, true)
+		}
+		for i := 0; i < m; i++ {
+			plan = append(plan, false)
+		}
+		sc := newScripted(m, plan)
+		out, err := RunWeighted(sc, eps, w)
+		if err != nil {
+			return 0, fmt.Errorf("weighted leaf u=%d: %w", u, err)
+		}
+		if out.U != u {
+			return 0, fmt.Errorf("weighted leaf u=%d stopped at %d", u, out.U)
+		}
+		if out.Ratio < minRatio {
+			minRatio = out.Ratio
+		}
+	}
+	return minRatio, nil
+}

@@ -1,0 +1,109 @@
+package adversary
+
+import (
+	"math"
+	"testing"
+
+	"loadmax/internal/baseline"
+	"loadmax/internal/core"
+)
+
+func TestWeightedRatioGrowsWithW(t *testing.T) {
+	// The Lucier-et-al. impossibility: the best achievable ratio grows
+	// without bound in the weight base W.
+	eps, m := 0.3, 3
+	prev := 0.0
+	for _, w := range []float64{2, 8, 32, 128} {
+		minRatio, err := ExploreWeighted(eps, w, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if minRatio <= prev {
+			t.Fatalf("W=%g: min ratio %g did not grow (prev %g)", w, minRatio, prev)
+		}
+		// The analytic floor: ratio(u) = m·W^u / Σ_{i<u} W^i ≥ m(W−1)·(1−W^{−m}).
+		floor := float64(m) * (w - 1) * (1 - math.Pow(w, -float64(m)))
+		if minRatio < floor-1e-6 {
+			t.Errorf("W=%g: min ratio %g below analytic floor %g", w, minRatio, floor)
+		}
+		prev = minRatio
+	}
+}
+
+func TestWeightedInstanceValid(t *testing.T) {
+	th, err := core.New(3, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := RunWeighted(th, 0.4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Instance.Validate(0.4); err != nil {
+		t.Errorf("weighted adversary emitted invalid instance: %v", err)
+	}
+	for _, j := range out.Instance {
+		if _, ok := out.Weights[j.ID]; !ok {
+			t.Errorf("job %d has no weight", j.ID)
+		}
+	}
+	if out.Ratio < 1 {
+		t.Errorf("ratio %g below 1", out.Ratio)
+	}
+}
+
+func TestWeightedAgainstLoadSchedulers(t *testing.T) {
+	// Load-objective schedulers are also victims: their weighted ratio
+	// is at least the all-strategies minimum.
+	eps, m, w := 0.25, 3, 50.0
+	minRatio, err := ExploreWeighted(eps, w, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := core.New(m, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []interface {
+		Name() string
+	}{th, baseline.NewGreedy(m)} {
+		_ = s
+	}
+	thOut, err := RunWeighted(th, eps, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(thOut.Ratio, 1) && thOut.Ratio < minRatio-1e-6 {
+		t.Errorf("threshold weighted ratio %g below tree minimum %g", thOut.Ratio, minRatio)
+	}
+	gOut, err := RunWeighted(baseline.NewGreedy(m), eps, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(gOut.Ratio, 1) && gOut.Ratio < minRatio-1e-6 {
+		t.Errorf("greedy weighted ratio %g below tree minimum %g", gOut.Ratio, minRatio)
+	}
+}
+
+func TestWeightedValidation(t *testing.T) {
+	th, _ := core.New(2, 0.5)
+	if _, err := RunWeighted(th, 0, 10); err == nil {
+		t.Error("eps=0 must error")
+	}
+	if _, err := RunWeighted(th, 0.5, 1); err == nil {
+		t.Error("W ≤ 1 must error")
+	}
+	if _, err := RunWeighted(th, 1.5, 10); err == nil {
+		t.Error("eps > 1 must error")
+	}
+}
+
+func TestWeightedRejectAllIsUnbounded(t *testing.T) {
+	out, err := RunWeighted(rejectAll{m: 2}, 0.5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(out.Ratio, 1) || out.U != 0 {
+		t.Errorf("reject-all: ratio %g u=%d, want +Inf at round 0", out.Ratio, out.U)
+	}
+}

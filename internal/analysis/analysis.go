@@ -1,0 +1,126 @@
+// Package analysis computes post-run diagnostics from a verified
+// simulation: machine utilization, and a breakdown of rejections into
+// *capacity* rejections (no machine could have met the deadline — any
+// algorithm in the model loses these) and *policy* rejections (some
+// machine had room, the admission rule declined — the "insurance
+// premium" Algorithm 1 pays for its worst-case guarantee).
+//
+// The classification replays the decision sequence against the committed
+// schedule, reconstructing each machine's completion horizon at every
+// submission instant — no scheduler internals required, so it works for
+// any online.Scheduler's output.
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"loadmax/internal/job"
+	"loadmax/internal/online"
+	"loadmax/internal/sim"
+)
+
+// Report is the per-run diagnostic summary.
+type Report struct {
+	Machines int
+
+	// Utilization is busy time / (m · makespan), 0 when the run is empty.
+	Utilization float64
+	// PerMachineBusy is the committed busy time per machine.
+	PerMachineBusy []float64
+	// Makespan is the last completion time.
+	Makespan float64
+
+	// Accepted counts and load.
+	Accepted     int
+	AcceptedLoad float64
+
+	// CapacityRejections could not have been scheduled by ANY policy at
+	// their submission instant (given the commitments made so far).
+	CapacityRejections int
+	CapacityLoad       float64
+	// PolicyRejections had a feasible machine but were declined — the
+	// admission rule's deliberate choice.
+	PolicyRejections int
+	PolicyLoad       float64
+}
+
+// RejectionRate returns (capacity+policy)/(total submissions).
+func (r *Report) RejectionRate() float64 {
+	total := r.Accepted + r.CapacityRejections + r.PolicyRejections
+	if total == 0 {
+		return 0
+	}
+	return float64(r.CapacityRejections+r.PolicyRejections) / float64(total)
+}
+
+// Analyze builds the diagnostic report from a simulation result and its
+// instance. The instance must be the one the result was produced from
+// (submission order matters for horizon reconstruction).
+func Analyze(inst job.Instance, res *sim.Result) (*Report, error) {
+	if res == nil || res.Schedule == nil {
+		return nil, fmt.Errorf("analysis: nil result")
+	}
+	m := res.Machines
+	rep := &Report{Machines: m, PerMachineBusy: make([]float64, m)}
+
+	decisions := make(map[int]online.Decision, len(res.Decisions))
+	for _, d := range res.Decisions {
+		decisions[d.JobID] = d
+	}
+
+	horizons := make([]float64, m)
+	for _, j := range inst {
+		d, ok := decisions[j.ID]
+		if !ok {
+			return nil, fmt.Errorf("analysis: job %d has no decision", j.ID)
+		}
+		if d.Accepted {
+			rep.Accepted++
+			rep.AcceptedLoad += j.Proc
+			end := d.Start + j.Proc
+			if end > horizons[d.Machine] {
+				horizons[d.Machine] = end
+			}
+			rep.PerMachineBusy[d.Machine] += j.Proc
+			if end > rep.Makespan {
+				rep.Makespan = end
+			}
+			continue
+		}
+		// Could any machine have run it, given the commitments so far?
+		feasible := false
+		for mi := 0; mi < m; mi++ {
+			start := math.Max(horizons[mi], j.Release)
+			if job.LessEq(start+j.Proc, j.Deadline) {
+				feasible = true
+				break
+			}
+		}
+		if feasible {
+			rep.PolicyRejections++
+			rep.PolicyLoad += j.Proc
+		} else {
+			rep.CapacityRejections++
+			rep.CapacityLoad += j.Proc
+		}
+	}
+	if rep.Makespan > 0 {
+		var busy float64
+		for _, b := range rep.PerMachineBusy {
+			busy += b
+		}
+		rep.Utilization = busy / (float64(m) * rep.Makespan)
+	}
+	return rep, nil
+}
+
+// String renders a compact multi-line summary.
+func (r *Report) String() string {
+	return fmt.Sprintf(
+		"utilization %.1f%% over makespan %.4g\naccepted    %d jobs (load %.4g)\nrejections  %d capacity (load %.4g), %d policy/insurance (load %.4g)",
+		100*r.Utilization, r.Makespan,
+		r.Accepted, r.AcceptedLoad,
+		r.CapacityRejections, r.CapacityLoad,
+		r.PolicyRejections, r.PolicyLoad)
+}

@@ -1,0 +1,161 @@
+package analysis
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"loadmax/internal/baseline"
+	"loadmax/internal/core"
+	"loadmax/internal/job"
+	"loadmax/internal/sim"
+	"loadmax/internal/workload"
+)
+
+func TestAnalyzeCountsAddUp(t *testing.T) {
+	inst := workload.Bimodal(workload.Spec{N: 120, Eps: 0.1, M: 3, Seed: 4})
+	th, err := core.New(3, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(th, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Analyze(inst, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Accepted + rep.CapacityRejections + rep.PolicyRejections; got != len(inst) {
+		t.Errorf("classified %d of %d jobs", got, len(inst))
+	}
+	if !job.Eq(rep.AcceptedLoad, res.Load) {
+		t.Errorf("accepted load %g ≠ sim load %g", rep.AcceptedLoad, res.Load)
+	}
+	if rep.Utilization < 0 || rep.Utilization > 1 {
+		t.Errorf("utilization %g outside [0,1]", rep.Utilization)
+	}
+	if rep.RejectionRate() < 0 || rep.RejectionRate() > 1 {
+		t.Errorf("rejection rate %g", rep.RejectionRate())
+	}
+	if !strings.Contains(rep.String(), "insurance") {
+		t.Error("String() missing rejection breakdown")
+	}
+}
+
+func TestThresholdPaysInsuranceGreedyDoesNot(t *testing.T) {
+	// By construction greedy rejects only when NO machine fits — its
+	// policy-rejection count must be zero. Threshold's policy rejections
+	// are exactly its insurance premium.
+	inst := workload.Bimodal(workload.Spec{N: 150, Eps: 0.05, M: 4, Seed: 6})
+	g := baseline.NewGreedy(4)
+	gres, err := sim.Run(g, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grep, err := Analyze(inst, gres)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grep.PolicyRejections != 0 {
+		t.Errorf("greedy policy rejections = %d, want 0", grep.PolicyRejections)
+	}
+	th, err := core.New(4, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tres, err := sim.Run(th, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trep, err := Analyze(inst, tres)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trep.PolicyRejections == 0 {
+		t.Error("threshold should pay some insurance on a bimodal load")
+	}
+}
+
+func TestAnalyzeHandDrawn(t *testing.T) {
+	// One machine: accept J0 [0,4], then J1 (tight, no room) is a
+	// capacity rejection; J2 (room existed) a policy rejection would need
+	// a non-greedy scheduler — use threshold with a parked load.
+	inst := job.Instance{
+		{ID: 0, Release: 0, Proc: 4, Deadline: 6},
+		{ID: 1, Release: 1, Proc: 4, Deadline: 5.2},  // no machine can fit
+		{ID: 2, Release: 2, Proc: 2, Deadline: 40.8}, // fits after J0
+	}
+	th, err := core.New(1, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(th, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Analyze(inst, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CapacityRejections != 1 {
+		t.Errorf("capacity rejections = %d, want 1 (J1)", rep.CapacityRejections)
+	}
+	// J2: d = 40.8 vs threshold at t=2: l=2 → d_lim = 2 + 2·(1+ε)/ε·… for
+	// eps=0.3, f_1 = 13/3 ≈ 4.33: d_lim = 2 + 2·4.33 = 10.67 ≤ 40.8 → accepted.
+	if rep.Accepted != 2 {
+		t.Errorf("accepted = %d, want 2", rep.Accepted)
+	}
+	if math.Abs(rep.Makespan-6) > 1e-9 {
+		t.Errorf("makespan = %g, want 6 (J0 to 4, J2 to 6)", rep.Makespan)
+	}
+	if math.Abs(rep.Utilization-1) > 1e-9 {
+		t.Errorf("utilization = %g, want 1 (no idle time)", rep.Utilization)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	if _, err := Analyze(nil, nil); err == nil {
+		t.Error("nil result must error")
+	}
+	inst := job.Instance{{ID: 9, Release: 0, Proc: 1, Deadline: 2}}
+	th, _ := core.New(1, 0.5)
+	res, err := sim.Run(th, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Analyze(inst, res); err == nil {
+		t.Error("instance/result mismatch must error")
+	}
+}
+
+// Property: the three classes partition every instance, loads are
+// consistent, and greedy never has policy rejections.
+func TestQuickPartition(t *testing.T) {
+	prop := func(seed int64, mRaw, famRaw uint8) bool {
+		m := 1 + int(mRaw)%4
+		fam := workload.Families[int(famRaw)%len(workload.Families)]
+		inst := fam.Gen(workload.Spec{N: 60, Eps: 0.2, M: m, Seed: seed})
+		g := baseline.NewGreedy(m)
+		res, err := sim.Run(g, inst)
+		if err != nil {
+			return false
+		}
+		rep, err := Analyze(inst, res)
+		if err != nil {
+			return false
+		}
+		if rep.Accepted+rep.CapacityRejections+rep.PolicyRejections != len(inst) {
+			return false
+		}
+		if rep.PolicyRejections != 0 {
+			return false
+		}
+		total := rep.AcceptedLoad + rep.CapacityLoad + rep.PolicyLoad
+		return job.Eq(total, inst.TotalLoad())
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

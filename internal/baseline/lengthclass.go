@@ -1,0 +1,100 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"loadmax/internal/job"
+	"loadmax/internal/online"
+)
+
+// LengthClass is a reconstruction of Lee's multi-machine algorithm [26]:
+// jobs are partitioned into geometric length classes with growth factor
+// g = ε^{−1/m}, and machine i is dedicated to class i (mod m); within its
+// machine a job is admitted greedily. The idea is that a machine never
+// mixes wildly different lengths, so a short accepted job cannot block a
+// long future job by more than a factor g — giving the 1 + m + m·ε^{−1/m}
+// flavour of Lee's bound.
+//
+// Deviations from the original (whose precise pseudo-code the paper does
+// not reproduce): the class anchor is the first submitted job's length
+// (an online algorithm knows no global p_min), and commitment is
+// immediate (start time fixed at admission) rather than on admission.
+// Both only *weaken* the baseline, which is the conservative direction
+// for comparisons against Algorithm 1.
+type LengthClass struct {
+	m        int
+	eps      float64
+	g        float64 // class growth factor ε^{−1/m}
+	anchor   float64 // length of the first accepted-for-classing job; 0 = unset
+	now      float64
+	horizons []float64
+}
+
+var _ online.Scheduler = (*LengthClass)(nil)
+
+// NewLengthClass builds the Lee-style baseline for m machines and slack ε.
+func NewLengthClass(m int, eps float64) (*LengthClass, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("baseline: m=%d must be ≥ 1", m)
+	}
+	if eps <= 0 || eps > 1 {
+		return nil, fmt.Errorf("baseline: slack %g outside (0,1]", eps)
+	}
+	return &LengthClass{
+		m:        m,
+		eps:      eps,
+		g:        math.Pow(eps, -1/float64(m)),
+		horizons: make([]float64, m),
+	}, nil
+}
+
+// Name implements online.Scheduler.
+func (lc *LengthClass) Name() string { return "length-class" }
+
+// Machines implements online.Scheduler.
+func (lc *LengthClass) Machines() int { return lc.m }
+
+// Reset implements online.Scheduler.
+func (lc *LengthClass) Reset() {
+	lc.now = 0
+	lc.anchor = 0
+	for i := range lc.horizons {
+		lc.horizons[i] = 0
+	}
+}
+
+// class maps a processing time to its dedicated machine.
+func (lc *LengthClass) class(p float64) int {
+	if lc.m == 1 {
+		return 0
+	}
+	idx := int(math.Floor(math.Log(p/lc.anchor) / math.Log(lc.g)))
+	idx %= lc.m
+	if idx < 0 {
+		idx += lc.m
+	}
+	return idx
+}
+
+// Submit implements online.Scheduler.
+func (lc *LengthClass) Submit(j job.Job) online.Decision {
+	if job.Less(j.Release, lc.now) {
+		panic(fmt.Sprintf("baseline: out-of-order submission: job %d at %g, clock %g",
+			j.ID, j.Release, lc.now))
+	}
+	if j.Release > lc.now {
+		lc.now = j.Release
+	}
+	if lc.anchor == 0 {
+		lc.anchor = j.Proc
+	}
+	mi := lc.class(j.Proc)
+	l := math.Max(0, lc.horizons[mi]-lc.now)
+	if !job.LessEq(lc.now+l+j.Proc, j.Deadline) {
+		return online.Decision{JobID: j.ID, Accepted: false}
+	}
+	start := lc.now + l
+	lc.horizons[mi] = start + j.Proc
+	return online.Decision{JobID: j.ID, Accepted: true, Machine: mi, Start: start}
+}

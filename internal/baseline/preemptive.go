@@ -1,0 +1,164 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"loadmax/internal/job"
+)
+
+// This file reconstructs the preemptive comparator of DasGupta & Palis
+// [10] and Garay et al. [16]: machines support preemption but not
+// migration, and the algorithm commits to *acceptance* immediately while
+// start times stay flexible (immediate notification). Its competitive
+// ratio is 1 + 1/ε — the reference point for what non-preemption costs.
+//
+// Admission rule (the natural EDF test): accept job J_j on the first
+// machine whose pending work plus J_j remains EDF-schedulable. At any
+// admission instant all pending work has been released, so single-machine
+// preemptive feasibility reduces to the EDF cumulative-completion check;
+// EDF's optimality makes the test exact.
+//
+// Because start times are not committed, this baseline deliberately does
+// NOT implement online.Scheduler (whose Decision carries an immutable
+// start); PreemptiveRun drives it directly and returns the verified load.
+
+// PreemptiveResult reports one preemptive-EDF run.
+type PreemptiveResult struct {
+	Accepted int
+	Rejected int
+	Load     float64
+	// AcceptedIDs lists the admitted jobs in submission order.
+	AcceptedIDs []int
+}
+
+// PreemptiveRun replays the instance through the preemptive-EDF admission
+// policy on m machines, simulating the per-machine EDF execution and
+// verifying that every accepted job finishes by its deadline.
+func PreemptiveRun(inst job.Instance, m int) (*PreemptiveResult, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("baseline: m=%d must be ≥ 1", m)
+	}
+	if err := inst.Validate(-1); err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	machines := make([]*machineEDF, m)
+	for i := range machines {
+		machines[i] = &machineEDF{}
+	}
+	res := &PreemptiveResult{}
+	for _, j := range inst {
+		placed := false
+		for _, me := range machines {
+			if err := me.advance(j.Release); err != nil {
+				return nil, err
+			}
+			if !placed && me.fits(j) {
+				me.add(j)
+				res.Accepted++
+				res.Load += j.Proc
+				res.AcceptedIDs = append(res.AcceptedIDs, j.ID)
+				placed = true
+			}
+		}
+		if !placed {
+			res.Rejected++
+		}
+	}
+	for _, me := range machines {
+		if err := me.advance(math.Inf(1)); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// edfJob is an accepted job's residual work on one machine.
+type edfJob struct {
+	deadline  float64
+	remaining float64
+}
+
+// machineEDF is one preemptive machine running earliest-deadline-first.
+type machineEDF struct {
+	clock float64
+	queue []edfJob // kept sorted by deadline
+}
+
+// advance executes EDF from the machine's clock until time t, erroring if
+// any job's deadline passes with work remaining (which the admission test
+// is supposed to preclude — this is the verifier, not a recovery path).
+func (me *machineEDF) advance(t float64) error {
+	if t < me.clock {
+		return fmt.Errorf("baseline: EDF clock moved backwards (%g → %g)", me.clock, t)
+	}
+	// Verify schedulability before burning: cumulative EDF completions
+	// must meet every deadline (covers the final infinite drain too).
+	ct := me.clock
+	for _, jq := range me.queue {
+		ct += jq.remaining
+		if job.Greater(ct, jq.deadline) {
+			return fmt.Errorf("baseline: EDF deadline miss pending (deadline %g, completion %g)",
+				jq.deadline, ct)
+		}
+	}
+	avail := t - me.clock
+	i := 0
+	for ; i < len(me.queue) && avail > 0; i++ {
+		jq := &me.queue[i]
+		burn := math.Min(avail, jq.remaining)
+		jq.remaining -= burn
+		avail -= burn
+		if jq.remaining > job.TimeEps {
+			break
+		}
+	}
+	// Drop completed prefix.
+	keep := me.queue[:0]
+	for _, jq := range me.queue {
+		if jq.remaining > job.TimeEps {
+			keep = append(keep, jq)
+		}
+	}
+	me.queue = keep
+	me.clock = t
+	if math.IsInf(t, 1) && len(me.queue) != 0 {
+		return fmt.Errorf("baseline: EDF drain left %d jobs unfinished", len(me.queue))
+	}
+	return nil
+}
+
+// fits reports whether adding j keeps the machine EDF-schedulable: insert
+// by deadline and check cumulative completions.
+func (me *machineEDF) fits(j job.Job) bool {
+	ct := me.clock
+	inserted := false
+	check := func(deadline, work float64) bool {
+		ct += work
+		return job.LessEq(ct, deadline)
+	}
+	for _, jq := range me.queue {
+		if !inserted && j.Deadline < jq.deadline {
+			if !check(j.Deadline, j.Proc) {
+				return false
+			}
+			inserted = true
+		}
+		if !check(jq.deadline, jq.remaining) {
+			return false
+		}
+	}
+	if !inserted {
+		return check(j.Deadline, j.Proc)
+	}
+	return true
+}
+
+// add inserts the job preserving deadline order.
+func (me *machineEDF) add(j job.Job) {
+	me.queue = append(me.queue, edfJob{deadline: j.Deadline, remaining: j.Proc})
+	sort.SliceStable(me.queue, func(a, b int) bool {
+		return me.queue[a].deadline < me.queue[b].deadline
+	})
+}

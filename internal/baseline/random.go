@@ -1,0 +1,95 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"loadmax/internal/job"
+	"loadmax/internal/online"
+)
+
+// RandomAdmission accepts each feasible job independently with
+// probability q, allocating least-loaded. A floor baseline: any admission
+// policy worth publishing should beat it on structured workloads.
+type RandomAdmission struct {
+	m        int
+	q        float64
+	seed     int64
+	rng      *rand.Rand
+	now      float64
+	horizons []float64
+}
+
+var (
+	_ online.Scheduler  = (*RandomAdmission)(nil)
+	_ online.Randomized = (*RandomAdmission)(nil)
+)
+
+// NewRandomAdmission builds the baseline with acceptance probability
+// q ∈ [0,1] and a deterministic seed.
+func NewRandomAdmission(m int, q float64, seed int64) (*RandomAdmission, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("baseline: m=%d must be ≥ 1", m)
+	}
+	if q < 0 || q > 1 {
+		return nil, fmt.Errorf("baseline: probability %g outside [0,1]", q)
+	}
+	return &RandomAdmission{
+		m: m, q: q, seed: seed,
+		rng:      rand.New(rand.NewSource(seed)),
+		horizons: make([]float64, m),
+	}, nil
+}
+
+// Name implements online.Scheduler.
+func (r *RandomAdmission) Name() string { return fmt.Sprintf("random(q=%g)", r.q) }
+
+// Machines implements online.Scheduler.
+func (r *RandomAdmission) Machines() int { return r.m }
+
+// Reset implements online.Scheduler; the RNG restarts from the seed so
+// runs are reproducible.
+func (r *RandomAdmission) Reset() {
+	r.now = 0
+	r.rng = rand.New(rand.NewSource(r.seed))
+	for i := range r.horizons {
+		r.horizons[i] = 0
+	}
+}
+
+// Reseed implements online.Randomized.
+func (r *RandomAdmission) Reseed(seed int64) {
+	r.seed = seed
+	r.Reset()
+}
+
+// Submit implements online.Scheduler.
+func (r *RandomAdmission) Submit(j job.Job) online.Decision {
+	if job.Less(j.Release, r.now) {
+		panic(fmt.Sprintf("baseline: out-of-order submission: job %d at %g, clock %g",
+			j.ID, j.Release, r.now))
+	}
+	if j.Release > r.now {
+		r.now = j.Release
+	}
+	// Draw first so the random sequence is independent of feasibility.
+	toss := r.rng.Float64() < r.q
+	best := -1
+	var bestLoad float64
+	for i := 0; i < r.m; i++ {
+		l := math.Max(0, r.horizons[i]-r.now)
+		if !job.LessEq(r.now+l+j.Proc, j.Deadline) {
+			continue
+		}
+		if best < 0 || l < bestLoad {
+			best, bestLoad = i, l
+		}
+	}
+	if best < 0 || !toss {
+		return online.Decision{JobID: j.ID, Accepted: false}
+	}
+	start := r.now + bestLoad
+	r.horizons[best] = start + j.Proc
+	return online.Decision{JobID: j.ID, Accepted: true, Machine: best, Start: start}
+}

@@ -1,0 +1,131 @@
+// Package cli holds the flag-level plumbing shared by the command-line
+// tools: the scheduler registry (string → constructor), instance loading
+// from files or generators, and small parsing helpers. Keeping it out of
+// the main packages makes the wiring unit-testable.
+package cli
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"loadmax/internal/baseline"
+	"loadmax/internal/core"
+	"loadmax/internal/job"
+	"loadmax/internal/online"
+	"loadmax/internal/randomized"
+	"loadmax/internal/workload"
+)
+
+// AlgorithmNames lists the scheduler names NewScheduler accepts, sorted.
+func AlgorithmNames() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+type ctor func(m int, eps float64, seed int64) (online.Scheduler, error)
+
+var registry = map[string]ctor{
+	"threshold": func(m int, eps float64, _ int64) (online.Scheduler, error) {
+		return core.New(m, eps)
+	},
+	"threshold-leastloaded": func(m int, eps float64, _ int64) (online.Scheduler, error) {
+		return core.New(m, eps, core.WithPolicy(core.LeastLoaded))
+	},
+	"threshold-firstfit": func(m int, eps float64, _ int64) (online.Scheduler, error) {
+		return core.New(m, eps, core.WithPolicy(core.FirstFit))
+	},
+	"greedy": func(m int, _ float64, _ int64) (online.Scheduler, error) {
+		return baseline.NewGreedy(m), nil
+	},
+	"greedy-bestfit": func(m int, _ float64, _ int64) (online.Scheduler, error) {
+		return baseline.NewGreedyBestFit(m), nil
+	},
+	"lengthclass": func(m int, eps float64, _ int64) (online.Scheduler, error) {
+		return baseline.NewLengthClass(m, eps)
+	},
+	"random": func(m int, _ float64, seed int64) (online.Scheduler, error) {
+		return baseline.NewRandomAdmission(m, 0.5, seed)
+	},
+	"randomized": func(m int, eps float64, seed int64) (online.Scheduler, error) {
+		if m != 1 {
+			return nil, fmt.Errorf("randomized (Corollary 1) is a single-machine algorithm; pass -m 1")
+		}
+		return randomized.New(eps, 0, seed)
+	},
+}
+
+// NewScheduler resolves an algorithm name to a fresh scheduler.
+func NewScheduler(name string, m int, eps float64, seed int64) (online.Scheduler, error) {
+	c, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown algorithm %q (have %s)", name, strings.Join(AlgorithmNames(), ", "))
+	}
+	return c(m, eps, seed)
+}
+
+// LoadInstance reads an instance from a file (.json or anything-else =
+// CSV) when path is non-empty, or generates one from the named workload
+// family otherwise.
+func LoadInstance(path, family string, spec workload.Spec) (job.Instance, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return ReadInstance(f, strings.HasSuffix(path, ".json"))
+	}
+	fam, ok := workload.ByName(family)
+	if !ok {
+		names := make([]string, len(workload.Families))
+		for i, f := range workload.Families {
+			names[i] = f.Name
+		}
+		return nil, fmt.Errorf("unknown workload family %q (have %s)", family, strings.Join(names, ", "))
+	}
+	return fam.Gen(spec), nil
+}
+
+// ReadInstance parses an instance from a reader in JSON or CSV form.
+func ReadInstance(r io.Reader, asJSON bool) (job.Instance, error) {
+	if asJSON {
+		return job.ReadJSON(r)
+	}
+	return job.ReadCSV(r)
+}
+
+// ParseIntList parses "1,2,3" into integers.
+func ParseIntList(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// ParseFloatList parses "0.1,0.5" into floats.
+func ParseFloatList(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad float %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

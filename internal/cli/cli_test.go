@@ -1,0 +1,110 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"loadmax/internal/workload"
+)
+
+func TestAlgorithmNamesSortedAndComplete(t *testing.T) {
+	names := AlgorithmNames()
+	if len(names) != len(registry) {
+		t.Fatalf("%d names for %d registry entries", len(names), len(registry))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("names not sorted: %q ≥ %q", names[i-1], names[i])
+		}
+	}
+}
+
+func TestNewSchedulerAll(t *testing.T) {
+	for _, name := range AlgorithmNames() {
+		m := 2
+		if name == "randomized" {
+			m = 1
+		}
+		s, err := NewScheduler(name, m, 0.3, 7)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if s.Machines() != m {
+			t.Errorf("%s: machines = %d", name, s.Machines())
+		}
+	}
+	if _, err := NewScheduler("no-such", 2, 0.3, 7); err == nil {
+		t.Error("unknown algorithm must error")
+	}
+	if _, err := NewScheduler("randomized", 4, 0.3, 7); err == nil {
+		t.Error("randomized with m≠1 must error")
+	}
+}
+
+func TestLoadInstanceFromGenerator(t *testing.T) {
+	inst, err := LoadInstance("", "poisson", workload.Spec{N: 20, Eps: 0.2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inst) != 20 {
+		t.Errorf("got %d jobs", len(inst))
+	}
+	if _, err := LoadInstance("", "nope", workload.Spec{N: 1, Eps: 0.2}); err == nil {
+		t.Error("unknown family must error")
+	}
+}
+
+func TestLoadInstanceFromFiles(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "inst.csv")
+	if err := os.WriteFile(csvPath, []byte("id,release,proc,deadline\n0,0,1,2\n1,1,2,5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := LoadInstance(csvPath, "", workload.Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inst) != 2 || inst[1].Proc != 2 {
+		t.Errorf("csv parse: %+v", inst)
+	}
+	jsonPath := filepath.Join(dir, "inst.json")
+	if err := os.WriteFile(jsonPath, []byte(`[{"id":0,"r":0,"p":1,"d":3}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	inst, err = LoadInstance(jsonPath, "", workload.Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inst) != 1 || inst[0].Deadline != 3 {
+		t.Errorf("json parse: %+v", inst)
+	}
+	if _, err := LoadInstance(filepath.Join(dir, "missing.csv"), "", workload.Spec{}); err == nil {
+		t.Error("missing file must error")
+	}
+}
+
+func TestReadInstanceBadJSON(t *testing.T) {
+	if _, err := ReadInstance(strings.NewReader("{"), true); err == nil {
+		t.Error("bad JSON must error")
+	}
+}
+
+func TestParseLists(t *testing.T) {
+	ints, err := ParseIntList("1, 2,3")
+	if err != nil || len(ints) != 3 || ints[2] != 3 {
+		t.Errorf("ParseIntList: %v %v", ints, err)
+	}
+	if _, err := ParseIntList("1,x"); err == nil {
+		t.Error("bad int must error")
+	}
+	fs, err := ParseFloatList("0.1, 0.5")
+	if err != nil || len(fs) != 2 || fs[1] != 0.5 {
+		t.Errorf("ParseFloatList: %v %v", fs, err)
+	}
+	if _, err := ParseFloatList("a"); err == nil {
+		t.Error("bad float must error")
+	}
+}

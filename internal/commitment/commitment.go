@@ -1,0 +1,430 @@
+// Package commitment implements the weaker commitment models the paper's
+// introduction catalogs, completing the spectrum around the paper's own
+// immediate-commitment setting:
+//
+//   - δ-delayed commitment (Azar et al. [2], Chen et al. [8]): the
+//     decision for job J_j may wait until r_j + δ·p_j, but is then just
+//     as irrevocable — machine and start time included.
+//
+//   - commitment on admission (Goldwasser [18], Lee [26], Lipton &
+//     Tomkins [27]): the scheduler commits to a job only at the moment it
+//     starts it; until then the job waits in a pending pool and may be
+//     silently dropped.
+//
+// Both models are driven by Run, which advances simulated time across
+// arrivals, collects the (possibly deferred) decisions, and verifies the
+// model's timing contract: every decision must land by DecideBy(j), every
+// accepted job must run feasibly, and no job may be decided twice. The
+// price-of-commitment experiment (E10) compares accepted load across the
+// whole spectrum.
+package commitment
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"loadmax/internal/job"
+	"loadmax/internal/schedule"
+)
+
+// Decision is a deferred-model decision: like online.Decision plus the
+// time at which it was made.
+type Decision struct {
+	JobID     int
+	Accepted  bool
+	Machine   int
+	Start     float64
+	DecidedAt float64
+}
+
+// Scheduler is an online algorithm whose decisions may be deferred.
+// Submit and Advance may both emit decisions for any pending jobs whose
+// time has come; Drain must decide everything still pending.
+type Scheduler interface {
+	Name() string
+	Machines() int
+	Reset()
+	// DecideBy returns the latest legal decision time for a job under
+	// this scheduler's commitment model.
+	DecideBy(j job.Job) float64
+	// Submit presents a job at its release date.
+	Submit(j job.Job) []Decision
+	// Advance moves simulated time forward, deciding due jobs.
+	Advance(now float64) []Decision
+	// Drain ends the input stream and decides all remaining jobs.
+	Drain() []Decision
+}
+
+// Result is a verified deferred-model run.
+type Result struct {
+	Scheduler string
+	Machines  int
+	Submitted int
+	Accepted  int
+	Rejected  int
+	Load      float64
+	TotalLoad float64
+	Decisions []Decision
+	Schedule  *schedule.Schedule
+	// Violations lists breaches of feasibility or the commitment-timing
+	// contract.
+	Violations []string
+}
+
+// LoadFraction returns Load/TotalLoad (1 for an empty run).
+func (r *Result) LoadFraction() float64 {
+	if r.TotalLoad == 0 {
+		return 1
+	}
+	return r.Load / r.TotalLoad
+}
+
+// Run replays the instance through a deferred-commitment scheduler and
+// verifies the outcome.
+func Run(s Scheduler, inst job.Instance) (*Result, error) {
+	if err := inst.Validate(-1); err != nil {
+		return nil, fmt.Errorf("commitment: invalid instance: %w", err)
+	}
+	s.Reset()
+	res := &Result{
+		Scheduler: s.Name(),
+		Machines:  s.Machines(),
+		TotalLoad: inst.TotalLoad(),
+		Submitted: len(inst),
+	}
+	byID := make(map[int]job.Job, len(inst))
+	collect := func(ds []Decision) {
+		res.Decisions = append(res.Decisions, ds...)
+	}
+	for _, j := range inst {
+		byID[j.ID] = j
+		collect(s.Advance(j.Release))
+		collect(s.Submit(j))
+	}
+	collect(s.Drain())
+
+	// Verification.
+	seen := make(map[int]bool, len(inst))
+	sched := schedule.New(s.Machines())
+	for _, d := range res.Decisions {
+		jj, ok := byID[d.JobID]
+		if !ok {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("decision for unknown job %d", d.JobID))
+			continue
+		}
+		if seen[d.JobID] {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("job %d decided twice", d.JobID))
+			continue
+		}
+		seen[d.JobID] = true
+		if job.Greater(d.DecidedAt, s.DecideBy(jj)) {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("job %d decided at %g, after its commitment deadline %g",
+					d.JobID, d.DecidedAt, s.DecideBy(jj)))
+		}
+		if job.Less(d.DecidedAt, jj.Release) {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("job %d decided at %g before release %g", d.JobID, d.DecidedAt, jj.Release))
+		}
+		if !d.Accepted {
+			res.Rejected++
+			continue
+		}
+		res.Accepted++
+		res.Load += jj.Proc
+		if job.Less(d.Start, d.DecidedAt) {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("job %d committed at %g to a start in the past (%g)",
+					d.JobID, d.DecidedAt, d.Start))
+		}
+		if err := sched.Add(jj, d.Machine, d.Start); err != nil {
+			res.Violations = append(res.Violations, err.Error())
+		}
+	}
+	for id := range byID {
+		if !seen[id] {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("job %d never decided", id))
+		}
+	}
+	for _, err := range sched.Verify() {
+		res.Violations = append(res.Violations, err.Error())
+	}
+	res.Schedule = sched
+	return res, nil
+}
+
+// ---------------------------------------------------------------------------
+// δ-delayed commitment.
+
+// Delayed is greedy admission with δ-delayed commitment: each job's
+// decision is postponed to r_j + δ·p_j (gathering that much more
+// information about competing arrivals), then committed greedily —
+// best fit over the machine horizons at decision time, preferring the
+// pending job with the earliest deadline.
+type Delayed struct {
+	m        int
+	delta    float64
+	now      float64
+	horizons []float64
+	pending  []job.Job
+}
+
+var _ Scheduler = (*Delayed)(nil)
+
+// NewDelayed builds the δ-delayed greedy scheduler. delta = 0 degenerates
+// to immediate commitment.
+func NewDelayed(m int, delta float64) (*Delayed, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("commitment: m=%d must be ≥ 1", m)
+	}
+	if delta < 0 {
+		return nil, fmt.Errorf("commitment: delta=%g must be ≥ 0", delta)
+	}
+	return &Delayed{m: m, delta: delta, horizons: make([]float64, m)}, nil
+}
+
+// Name implements Scheduler.
+func (d *Delayed) Name() string { return fmt.Sprintf("delayed(δ=%g)", d.delta) }
+
+// Machines implements Scheduler.
+func (d *Delayed) Machines() int { return d.m }
+
+// DecideBy implements Scheduler: r_j + δ·p_j.
+func (d *Delayed) DecideBy(j job.Job) float64 { return j.Release + d.delta*j.Proc }
+
+// Reset implements Scheduler.
+func (d *Delayed) Reset() {
+	d.now = 0
+	d.pending = nil
+	for i := range d.horizons {
+		d.horizons[i] = 0
+	}
+}
+
+// Submit implements Scheduler.
+func (d *Delayed) Submit(j job.Job) []Decision {
+	d.pending = append(d.pending, j)
+	return d.decideDue(math.Max(d.now, j.Release))
+}
+
+// Advance implements Scheduler.
+func (d *Delayed) Advance(now float64) []Decision {
+	return d.decideDue(math.Max(d.now, now))
+}
+
+// Drain implements Scheduler.
+func (d *Delayed) Drain() []Decision {
+	return d.decideDue(math.Inf(1))
+}
+
+// decideDue commits every pending job whose decision deadline has passed,
+// in decision-deadline order (simulated time moves to each deadline in
+// turn, so commitments happen "at" their deadline, not late).
+func (d *Delayed) decideDue(now float64) []Decision {
+	sort.SliceStable(d.pending, func(a, b int) bool {
+		return d.DecideBy(d.pending[a]) < d.DecideBy(d.pending[b])
+	})
+	var out []Decision
+	keep := d.pending[:0]
+	for _, j := range d.pending {
+		due := d.DecideBy(j)
+		if due > now {
+			keep = append(keep, j)
+			continue
+		}
+		if due > d.now {
+			d.now = due
+		}
+		out = append(out, d.commit(j))
+	}
+	d.pending = append([]job.Job(nil), keep...)
+	if now > d.now && !math.IsInf(now, 1) {
+		d.now = now
+	}
+	return out
+}
+
+// commit greedily places a job at its decision instant: best fit over
+// the machines that can still complete it on time.
+func (d *Delayed) commit(j job.Job) Decision {
+	t := d.now
+	best, bestLoad := -1, -1.0
+	for i := 0; i < d.m; i++ {
+		l := math.Max(0, d.horizons[i]-t)
+		if !job.LessEq(t+l+j.Proc, j.Deadline) {
+			continue
+		}
+		if l > bestLoad {
+			best, bestLoad = i, l
+		}
+	}
+	if best < 0 {
+		return Decision{JobID: j.ID, Accepted: false, DecidedAt: t}
+	}
+	start := t + bestLoad
+	d.horizons[best] = start + j.Proc
+	return Decision{JobID: j.ID, Accepted: true, Machine: best, Start: start, DecidedAt: t}
+}
+
+// ---------------------------------------------------------------------------
+// Commitment on admission.
+
+// PickPolicy selects which pending job a freed machine starts.
+type PickPolicy int
+
+const (
+	// PickLongest starts the longest feasible pending job (ties by
+	// earlier deadline) — the right greedy for load maximization, and
+	// where the on-admission model's flexibility actually pays: a short
+	// job can wait in the pool instead of blocking a 1/ε-sized one.
+	PickLongest PickPolicy = iota
+	// PickEDF starts the feasible pending job with the earliest deadline
+	// (classic completion-oriented list scheduling; comparison policy).
+	PickEDF
+)
+
+// OnAdmission commits to a job only when a machine actually starts it:
+// pending jobs wait in a pool; whenever a machine frees up, the pick
+// policy selects the next feasible pending job to start; a job whose last
+// possible start passes on every machine is rejected at that instant.
+type OnAdmission struct {
+	m        int
+	pick     PickPolicy
+	now      float64
+	horizons []float64
+	pending  []job.Job
+}
+
+var _ Scheduler = (*OnAdmission)(nil)
+
+// NewOnAdmission builds the commitment-on-admission scheduler with the
+// longest-job-first pool policy.
+func NewOnAdmission(m int) (*OnAdmission, error) {
+	return NewOnAdmissionWithPolicy(m, PickLongest)
+}
+
+// NewOnAdmissionWithPolicy builds the scheduler with an explicit pool
+// policy.
+func NewOnAdmissionWithPolicy(m int, pick PickPolicy) (*OnAdmission, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("commitment: m=%d must be ≥ 1", m)
+	}
+	return &OnAdmission{m: m, pick: pick, horizons: make([]float64, m)}, nil
+}
+
+// Name implements Scheduler.
+func (o *OnAdmission) Name() string {
+	if o.pick == PickEDF {
+		return "on-admission/edf"
+	}
+	return "on-admission"
+}
+
+// Machines implements Scheduler.
+func (o *OnAdmission) Machines() int { return o.m }
+
+// DecideBy implements Scheduler: the job's last feasible start d_j − p_j
+// (a decision cannot be forced any earlier in this model).
+func (o *OnAdmission) DecideBy(j job.Job) float64 { return j.Deadline - j.Proc }
+
+// Reset implements Scheduler.
+func (o *OnAdmission) Reset() {
+	o.now = 0
+	o.pending = nil
+	for i := range o.horizons {
+		o.horizons[i] = 0
+	}
+}
+
+// Submit implements Scheduler: the job only joins the pool — starts are
+// issued by Advance/Drain, so jobs released at the same instant are
+// considered together rather than in submission order.
+func (o *OnAdmission) Submit(j job.Job) []Decision {
+	o.pending = append(o.pending, j)
+	return nil
+}
+
+// Advance implements Scheduler.
+func (o *OnAdmission) Advance(now float64) []Decision { return o.run(math.Max(o.now, now)) }
+
+// Drain implements Scheduler.
+func (o *OnAdmission) Drain() []Decision { return o.run(math.Inf(1)) }
+
+// run replays continuous time from o.now to the target instant: machines
+// start pending jobs the moment they free up (EDF among feasible ones),
+// and pending jobs expire the moment their last start passes.
+func (o *OnAdmission) run(until float64) []Decision {
+	var out []Decision
+	for {
+		if len(o.pending) == 0 {
+			break
+		}
+		// Order the pool by the pick policy; the first feasible entry
+		// starts when a machine frees.
+		sort.SliceStable(o.pending, func(a, b int) bool {
+			pa, pb := o.pending[a], o.pending[b]
+			if o.pick == PickLongest && pa.Proc != pb.Proc {
+				return pa.Proc > pb.Proc
+			}
+			return pa.Deadline < pb.Deadline
+		})
+		// Earliest machine availability from the current instant.
+		free := math.Inf(1)
+		machine := -1
+		for i := 0; i < o.m; i++ {
+			avail := math.Max(o.now, o.horizons[i])
+			if avail < free {
+				free, machine = avail, i
+			}
+		}
+		// Expire jobs whose last start passes before anything can run.
+		progressed := false
+		keep := o.pending[:0]
+		for _, j := range o.pending {
+			last := j.Deadline - j.Proc
+			if job.Less(last, math.Min(free, until)) {
+				out = append(out, Decision{JobID: j.ID, Accepted: false, DecidedAt: last})
+				progressed = true
+				continue
+			}
+			keep = append(keep, j)
+		}
+		o.pending = append([]job.Job(nil), keep...)
+		if len(o.pending) == 0 {
+			break
+		}
+		if free >= until {
+			// Starts exactly at `until` wait for the next event so that
+			// simultaneous arrivals are pooled before anything launches.
+			break
+		}
+		// Start the first feasible pool entry at `free`.
+		started := false
+		for idx, j := range o.pending {
+			if job.LessEq(free+j.Proc, j.Deadline) {
+				o.horizons[machine] = free + j.Proc
+				if free > o.now {
+					o.now = free
+				}
+				out = append(out, Decision{
+					JobID: j.ID, Accepted: true, Machine: machine,
+					Start: free, DecidedAt: free,
+				})
+				o.pending = append(o.pending[:idx], o.pending[idx+1:]...)
+				started = true
+				break
+			}
+		}
+		if !started && !progressed {
+			break // nothing can run and nothing expired: quiescent
+		}
+	}
+	if !math.IsInf(until, 1) && until > o.now {
+		o.now = until
+	}
+	return out
+}

@@ -1,0 +1,296 @@
+package commitment
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"loadmax/internal/job"
+	"loadmax/internal/workload"
+)
+
+func TestDelayedZeroDeltaActsImmediately(t *testing.T) {
+	d, err := NewDelayed(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := job.Instance{
+		{ID: 0, Release: 0, Proc: 2, Deadline: 3},
+		{ID: 1, Release: 0, Proc: 2, Deadline: 3},
+	}
+	res, err := Run(d, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+	for _, dec := range res.Decisions {
+		if !job.Eq(dec.DecidedAt, 0) {
+			t.Errorf("δ=0 decision at %g, want release instant", dec.DecidedAt)
+		}
+	}
+	if res.Accepted != 2 {
+		t.Errorf("accepted %d, want 2 (one per machine)", res.Accepted)
+	}
+}
+
+func TestDelayedWaitsExactlyDelta(t *testing.T) {
+	d, err := NewDelayed(1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := job.Instance{{ID: 0, Release: 2, Proc: 4, Deadline: 10}}
+	res, err := Run(d, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+	dec := res.Decisions[0]
+	if !job.Eq(dec.DecidedAt, 4) { // r + δ·p = 2 + 0.5·4
+		t.Errorf("decided at %g, want 4", dec.DecidedAt)
+	}
+	if !dec.Accepted || !job.Eq(dec.Start, 4) {
+		t.Errorf("decision %+v, want accept with start 4", dec)
+	}
+}
+
+func TestDelayedSeesCompetingArrival(t *testing.T) {
+	// The whole point of delay: a big job arriving just after a small one
+	// is visible at the small job's (later) decision point. With δ = 1
+	// the small job (r=0, p=1) decides at t=1, after the big job (r=0.5)
+	// has already been committed — so the small job queues behind it
+	// rather than blocking it.
+	d, err := NewDelayed(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := job.Instance{
+		{ID: 0, Release: 0, Proc: 1, Deadline: 30},
+		{ID: 1, Release: 0.4, Proc: 0.1, Deadline: 0.55}, // decides at 0.5, tight
+		{ID: 2, Release: 0.5, Proc: 10, Deadline: 21},    // decides at 10.5
+	}
+	res, err := Run(d, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+	// Decision order follows decide-by times: job1 (0.5), job0 (1), job2 (10.5).
+	if res.Decisions[0].JobID != 1 || res.Decisions[1].JobID != 0 || res.Decisions[2].JobID != 2 {
+		t.Errorf("decision order: %v %v %v", res.Decisions[0], res.Decisions[1], res.Decisions[2])
+	}
+}
+
+func TestDelayedValidation(t *testing.T) {
+	if _, err := NewDelayed(0, 0.5); err == nil {
+		t.Error("m=0 must error")
+	}
+	if _, err := NewDelayed(1, -1); err == nil {
+		t.Error("negative delta must error")
+	}
+}
+
+func TestOnAdmissionStartsEDF(t *testing.T) {
+	o, err := NewOnAdmissionWithPolicy(1, PickEDF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two jobs pending when the machine frees: the earlier deadline runs
+	// first even though it arrived second.
+	inst := job.Instance{
+		{ID: 0, Release: 0, Proc: 2, Deadline: 10}, // starts immediately
+		{ID: 1, Release: 0.5, Proc: 1, Deadline: 20},
+		{ID: 2, Release: 1, Proc: 1, Deadline: 4}, // tighter: must run at t=2
+	}
+	res, err := Run(o, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+	if res.Accepted != 3 {
+		t.Fatalf("accepted %d, want 3", res.Accepted)
+	}
+	starts := map[int]float64{}
+	for _, dec := range res.Decisions {
+		starts[dec.JobID] = dec.Start
+	}
+	if !job.Eq(starts[0], 0) || !job.Eq(starts[2], 2) || !job.Eq(starts[1], 3) {
+		t.Errorf("starts: %v, want 0/2/3 in EDF order", starts)
+	}
+}
+
+func TestOnAdmissionExpiresHopelessJobs(t *testing.T) {
+	o, err := NewOnAdmission(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := job.Instance{
+		{ID: 0, Release: 0, Proc: 10, Deadline: 15},
+		{ID: 1, Release: 1, Proc: 2, Deadline: 5}, // last start 3 < machine free 10
+	}
+	res, err := Run(o, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+	var rej *Decision
+	for i := range res.Decisions {
+		if res.Decisions[i].JobID == 1 {
+			rej = &res.Decisions[i]
+		}
+	}
+	if rej == nil || rej.Accepted {
+		t.Fatalf("job 1 should be rejected: %+v", rej)
+	}
+	if !job.Eq(rej.DecidedAt, 3) {
+		t.Errorf("rejection decided at %g, want 3 (last feasible start)", rej.DecidedAt)
+	}
+}
+
+func TestOnAdmissionBeatsImmediateOnAdversarialPattern(t *testing.T) {
+	// The lower-bound trap: a tight unit job next to a tight 8-unit job.
+	// Immediate greedy must commit the unit job on arrival and then
+	// cannot fit the long one (1 + 8 > 8.8); on-admission pools both and
+	// longest-first starts the long one, letting the unit expire — load 8
+	// instead of 1.
+	inst := job.Instance{
+		{ID: 0, Release: 0, Proc: 1, Deadline: 2.1},
+		{ID: 1, Release: 0, Proc: 8, Deadline: 8.8},
+	}
+	o, _ := NewOnAdmission(1)
+	ores, err := Run(o, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ores.Violations) != 0 {
+		t.Fatalf("violations: %v", ores.Violations)
+	}
+	d, _ := NewDelayed(1, 0)
+	dres, err := Run(d, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !job.Eq(ores.Load, 8) || !job.Eq(dres.Load, 1) {
+		t.Errorf("on-admission %.2f (want 8), immediate greedy %.2f (want 1)",
+			ores.Load, dres.Load)
+	}
+}
+
+func TestRunDetectsLateDecisions(t *testing.T) {
+	// A scheduler that always decides at +1 past its own contract.
+	late := &lateDecider{}
+	inst := job.Instance{{ID: 0, Release: 0, Proc: 1, Deadline: 5}}
+	res, err := Run(late, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, v := range res.Violations {
+		if contains(v, "commitment deadline") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("late decision not flagged: %v", res.Violations)
+	}
+}
+
+type lateDecider struct{ pending []job.Job }
+
+func (l *lateDecider) Name() string                   { return "late" }
+func (l *lateDecider) Machines() int                  { return 1 }
+func (l *lateDecider) Reset()                         { l.pending = nil }
+func (l *lateDecider) DecideBy(j job.Job) float64     { return j.Release }
+func (l *lateDecider) Submit(j job.Job) []Decision    { l.pending = append(l.pending, j); return nil }
+func (l *lateDecider) Advance(now float64) []Decision { return nil }
+func (l *lateDecider) Drain() []Decision {
+	var out []Decision
+	for _, j := range l.pending {
+		out = append(out, Decision{JobID: j.ID, Accepted: false, DecidedAt: j.Release + 1})
+	}
+	return out
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 ||
+		(func() bool {
+			for i := 0; i+len(sub) <= len(s); i++ {
+				if s[i:i+len(sub)] == sub {
+					return true
+				}
+			}
+			return false
+		})())
+}
+
+// Property: both models produce violation-free runs on every workload
+// family, and weaker commitment never accepts less load than δ=0 greedy
+// on the same instance… is *not* a theorem per instance; what holds is
+// feasibility, single-decision and timing — asserted here.
+func TestQuickModelsAreClean(t *testing.T) {
+	prop := func(seed int64, mRaw, famRaw uint8, deltaRaw uint8) bool {
+		m := 1 + int(mRaw)%4
+		fams := workload.Families
+		fam := fams[int(famRaw)%len(fams)]
+		inst := fam.Gen(workload.Spec{N: 60, Eps: 0.15, M: m, Seed: seed})
+		delta := float64(deltaRaw) / 255 * 0.15
+		d, err := NewDelayed(m, delta)
+		if err != nil {
+			return false
+		}
+		rd, err := Run(d, inst)
+		if err != nil || len(rd.Violations) != 0 {
+			return false
+		}
+		o, err := NewOnAdmission(m)
+		if err != nil {
+			return false
+		}
+		ro, err := Run(o, inst)
+		if err != nil || len(ro.Violations) != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDrainDecidesEverything(t *testing.T) {
+	d, _ := NewDelayed(2, 1)
+	inst := workload.Poisson(workload.Spec{N: 40, Eps: 0.3, M: 2, Seed: 3})
+	res, err := Run(d, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Decisions) != len(inst) {
+		t.Errorf("%d decisions for %d jobs", len(res.Decisions), len(inst))
+	}
+	if got := res.Accepted + res.Rejected; got != len(inst) {
+		t.Errorf("accepted+rejected = %d", got)
+	}
+}
+
+func TestLoadFractionEmptyRun(t *testing.T) {
+	d, _ := NewDelayed(1, 0)
+	res, err := Run(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LoadFraction() != 1 {
+		t.Errorf("empty LoadFraction = %g", res.LoadFraction())
+	}
+	if !math.IsInf(d.DecideBy(job.Job{Release: 1, Proc: math.Inf(1)}), 1) {
+		// DecideBy with infinite proc — degenerate but must not panic.
+		t.Log("DecideBy handled infinite proc")
+	}
+}

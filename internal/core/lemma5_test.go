@@ -1,0 +1,144 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"loadmax/internal/job"
+)
+
+// These tests check the structural invariants behind Lemma 5, the key
+// property of Algorithm 1's allocation rule: allocating a job to a
+// machine indexed above k (in the decreasing-load order) immediately
+// demotes that machine below index k, because the accepted job is longer
+// than the k-th load (third claim: l(m_k)|_j < p_j).
+
+// loadsSortedDesc returns the current loads in decreasing order.
+func loadsSortedDesc(th *Threshold) []float64 {
+	ls := th.Loads()
+	sort.Sort(sort.Reverse(sort.Float64Slice(ls)))
+	return ls
+}
+
+func TestLemma5ThirdClaim(t *testing.T) {
+	// Whenever Algorithm 1 allocates to a machine whose pre-allocation
+	// load rank i exceeds k, the k-th largest load must be smaller than
+	// the job's processing time.
+	prop := func(seed int64, mRaw uint8, epsRaw uint16) bool {
+		m := 2 + int(mRaw)%5
+		eps := 0.02 + 0.6*float64(epsRaw)/65535
+		th, err := New(m, eps)
+		if err != nil {
+			return false
+		}
+		k := th.Params().K
+		rng := rand.New(rand.NewSource(seed))
+		now := 0.0
+		for i := 0; i < 120; i++ {
+			now += rng.Float64() * 0.5
+			p := 0.05 + rng.Float64()*6
+			jj := job.Job{ID: i, Release: now, Proc: p,
+				Deadline: now + (1+eps+rng.Float64()*1.5)*p}
+
+			// Snapshot pre-allocation state *at the decision instant*:
+			// Loads() is relative to the scheduler's current clock, which
+			// Submit will advance to the release date; shift accordingly
+			// (horizon = clock + load, so load@release = max(0, horizon −
+			// release)).
+			preLoads := th.Loads()
+			clock := th.Now()
+			for mi := range preLoads {
+				preLoads[mi] = math.Max(0, preLoads[mi]+clock-jj.Release)
+			}
+			preSorted := append([]float64(nil), preLoads...)
+			sort.Sort(sort.Reverse(sort.Float64Slice(preSorted)))
+
+			d := th.Submit(jj)
+			if !d.Accepted {
+				continue
+			}
+			// Rank of the chosen machine by pre-allocation load
+			// (1-based, ties counted optimistically toward lower rank).
+			rank := 1
+			for mi, l := range preLoads {
+				if mi == d.Machine {
+					continue
+				}
+				if l > preLoads[d.Machine] {
+					rank++
+				}
+			}
+			if rank > k {
+				// Third claim of Lemma 5: l(m_k) < p_j.
+				if !job.Less(preSorted[k-1], jj.Proc) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllocationAboveKDemotesMachine(t *testing.T) {
+	// The consequence of the third claim the paper spells out: after
+	// allocating to a machine with index i > k, that machine's new index
+	// is below k (its load now exceeds the old l(m_{k}), …, l(m_1) is not
+	// guaranteed — but it exceeds l(m_k), putting it strictly above
+	// position k).
+	eps, m := 0.1, 4
+	th, err := New(m, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := th.Params().K
+	if k < 2 {
+		t.Skipf("k=%d < 2: every machine is above position k trivially", k)
+	}
+	// Build a state with distinct loads, then force an allocation to an
+	// idle machine (rank > k) with a long job. With loads {5,4,0,0} and
+	// k=2 the threshold is 4·f_2 ≈ 10.64, so the long job needs d ≥ that
+	// while being too long to queue on the busy machines.
+	th.Submit(job.Job{ID: 0, Release: 0, Proc: 5, Deadline: 100})
+	th.Submit(job.Job{ID: 1, Release: 0, Proc: 4, Deadline: 5}) // lands on a fresh machine
+	d := th.Submit(job.Job{ID: 2, Release: 0, Proc: 8, Deadline: 11})
+	if !d.Accepted {
+		t.Fatal("long job rejected")
+	}
+	loads := loadsSortedDesc(th)
+	// The machine that got the long job must now hold the largest load.
+	if !job.Eq(loads[0], 8) {
+		t.Errorf("post-allocation loads %v: long job's machine should lead", loads)
+	}
+}
+
+func TestThresholdUsesLeastLoadedSubset(t *testing.T) {
+	// Direct check of Eqs. (9)–(10): with loads {5,4,0,0} and k=2 the
+	// threshold is max over positions 2..4 of l·f = 4·f_2 — the 5-load
+	// machine (position 1 ≤ k−1) never contributes.
+	eps, m := 0.1, 4
+	th, err := New(m, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := th.Params()
+	if p.K != 2 {
+		t.Skipf("k=%d, test calibrated for k=2", p.K)
+	}
+	th.Submit(job.Job{ID: 0, Release: 0, Proc: 5, Deadline: 100})
+	th.Submit(job.Job{ID: 1, Release: 0, Proc: 4, Deadline: 5})
+	want := 4 * p.Fq(2) // positions 3,4 carry zero load
+	if got := th.Threshold(); !job.Eq(got, want) {
+		t.Errorf("threshold = %g, want %g (least-loaded m−k+1 machines only)", got, want)
+	}
+	// Sanity: with the most-loaded machine INCLUDED the value would be
+	// 5·f_2 — confirm the threshold is strictly below that.
+	if got := th.Threshold(); got >= 5*p.Fq(2) {
+		t.Errorf("threshold %g includes the most-loaded machine", got)
+	}
+}

@@ -1,0 +1,286 @@
+// Package core implements the paper's primary contribution: Algorithm 1
+// ("Threshold"), a deterministic online algorithm with immediate
+// commitment for load maximization on m identical non-preemptive machines
+// with slack ε, achieving competitive ratio (m·f_k + 1)/k for phases
+// k ≤ 3 and at most (m·f_k + 1)/k + (3−e)/(e−1) otherwise (Theorem 2).
+//
+// The algorithm, per submission of job J_j at time t = r_j:
+//
+//  1. Update the outstanding load l(m_h) of every machine and index the
+//     machines by decreasing load, l(m_1) ≥ … ≥ l(m_m).
+//  2. Compute the deadline threshold over the m−k+1 least-loaded machines
+//     (Eqs. 9–10):
+//     d_lim = max_{h ∈ {k,…,m}} ( t + l(m_h)·f_h ).
+//  3. Reject J_j if d_j < d_lim; otherwise accept and allocate it to the
+//     *candidate* machine (one that can still complete it by its
+//     deadline) with the highest load — best fit — starting immediately
+//     after that machine's outstanding load.
+//
+// The k most-loaded machines are deliberately excluded from the threshold:
+// load parked on them can never inflate d_lim, and best-fit allocation
+// steers load onto them first (Section 1.1). Claim 1 guarantees that an
+// accepted job always has a candidate machine — the least-loaded machine
+// qualifies whenever d_j ≥ d_lim.
+//
+// The package also provides allocation-policy and phase-override variants
+// used by the ablation experiments (E9); the paper's algorithm is the
+// BestFit policy with the phase k determined by ratio.Compute.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"loadmax/internal/job"
+	"loadmax/internal/online"
+	"loadmax/internal/ratio"
+)
+
+// AllocPolicy selects which candidate machine receives an accepted job.
+type AllocPolicy int
+
+const (
+	// BestFit allocates to the candidate machine with the highest
+	// outstanding load — the paper's policy (Algorithm 1, line 9).
+	BestFit AllocPolicy = iota
+	// LeastLoaded allocates to the candidate machine with the lowest
+	// outstanding load (classic list scheduling; ablation).
+	LeastLoaded
+	// FirstFit allocates to the lowest-indexed candidate machine
+	// (ablation).
+	FirstFit
+)
+
+func (p AllocPolicy) String() string {
+	switch p {
+	case BestFit:
+		return "best-fit"
+	case LeastLoaded:
+		return "least-loaded"
+	case FirstFit:
+		return "first-fit"
+	default:
+		return fmt.Sprintf("AllocPolicy(%d)", int(p))
+	}
+}
+
+// Option configures a Threshold scheduler.
+type Option func(*config)
+
+type config struct {
+	policy  AllocPolicy
+	forceK  int // 0 = use the paper's phase selection
+	nameTag string
+}
+
+// WithPolicy overrides the allocation policy (default BestFit).
+func WithPolicy(p AllocPolicy) Option { return func(c *config) { c.policy = p } }
+
+// WithForcedPhase overrides the phase index k, re-solving the f-parameter
+// recursion for that k (ablation only; the guarantee of Theorem 2 applies
+// to the paper's phase selection).
+func WithForcedPhase(k int) Option { return func(c *config) { c.forceK = k } }
+
+// WithName appends a tag to the scheduler's reported name.
+func WithName(tag string) Option { return func(c *config) { c.nameTag = tag } }
+
+// Threshold is Algorithm 1. It satisfies online.Scheduler. The zero value
+// is not usable; construct with New.
+type Threshold struct {
+	m      int
+	eps    float64
+	params ratio.Params
+	policy AllocPolicy
+	name   string
+
+	now      float64
+	horizons []float64 // per physical machine: completion time of committed work
+
+	// scratch buffers reused across submissions to keep Submit
+	// allocation-free on the hot path.
+	order []int // machine indices sorted by decreasing load
+	loads []float64
+}
+
+var _ online.Scheduler = (*Threshold)(nil)
+
+// New constructs Algorithm 1 for m machines and slack ε ∈ (0, 1]. The
+// phase index k and the parameters f_k,…,f_m are solved from the paper's
+// recursion (package ratio).
+func New(m int, eps float64, opts ...Option) (*Threshold, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("core: m=%d must be ≥ 1", m)
+	}
+	cfg := config{policy: BestFit}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	var (
+		p   ratio.Params
+		err error
+	)
+	if cfg.forceK > 0 {
+		p, err = ratio.ComputeForced(eps, cfg.forceK, m)
+	} else {
+		p, err = ratio.Compute(eps, m)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	name := "threshold"
+	if cfg.policy != BestFit {
+		name += "/" + cfg.policy.String()
+	}
+	if cfg.forceK > 0 {
+		name += fmt.Sprintf("/k=%d", cfg.forceK)
+	}
+	if cfg.nameTag != "" {
+		name += "/" + cfg.nameTag
+	}
+	t := &Threshold{
+		m:        m,
+		eps:      eps,
+		params:   p,
+		policy:   cfg.policy,
+		name:     name,
+		horizons: make([]float64, m),
+		order:    make([]int, m),
+		loads:    make([]float64, m),
+	}
+	return t, nil
+}
+
+// Name implements online.Scheduler.
+func (t *Threshold) Name() string { return t.name }
+
+// Machines implements online.Scheduler.
+func (t *Threshold) Machines() int { return t.m }
+
+// Params returns the solved ratio parameters (k, f_k..f_m, c) the
+// scheduler operates with.
+func (t *Threshold) Params() ratio.Params { return t.params }
+
+// Guarantee returns the Theorem-2 competitive-ratio guarantee for this
+// configuration ((m·f_k+1)/k, plus the 0.164 surcharge for k > 3).
+func (t *Threshold) Guarantee() float64 { return t.params.UpperBoundValue() }
+
+// Reset implements online.Scheduler.
+func (t *Threshold) Reset() {
+	t.now = 0
+	for i := range t.horizons {
+		t.horizons[i] = 0
+	}
+}
+
+// Now returns the current simulation time (the release date of the last
+// submitted job).
+func (t *Threshold) Now() float64 { return t.now }
+
+// Loads returns the current outstanding loads per physical machine
+// (unsorted), for inspection by experiments and tests.
+func (t *Threshold) Loads() []float64 {
+	out := make([]float64, t.m)
+	for i, h := range t.horizons {
+		out[i] = math.Max(0, h-t.now)
+	}
+	return out
+}
+
+// Threshold returns the current acceptance threshold d_lim at time t.now,
+// Eqs. (9)–(10). Exposed for tests and the decision-trace experiments.
+func (t *Threshold) Threshold() float64 {
+	t.refreshOrder()
+	return t.dlim()
+}
+
+// refreshOrder recomputes loads at t.now and sorts machine indices by
+// decreasing load (ties by machine index, so the order — and with it the
+// algorithm — is fully deterministic). Insertion sort keeps the hot path
+// allocation-free and is adaptive: between consecutive submissions the
+// order barely changes, so the common case is near-linear.
+func (t *Threshold) refreshOrder() {
+	for i := 0; i < t.m; i++ {
+		t.loads[i] = math.Max(0, t.horizons[i]-t.now)
+		t.order[i] = i
+	}
+	less := func(a, b int) bool {
+		la, lb := t.loads[a], t.loads[b]
+		if la != lb {
+			return la > lb
+		}
+		return a < b
+	}
+	for i := 1; i < t.m; i++ {
+		for j := i; j > 0 && less(t.order[j], t.order[j-1]); j-- {
+			t.order[j], t.order[j-1] = t.order[j-1], t.order[j]
+		}
+	}
+}
+
+// dlim evaluates Eq. (10) over the current order: the maximum of
+// t + l(m_h)·f_h for h ∈ {k,…,m}, where m_h is the machine with the h-th
+// largest load.
+func (t *Threshold) dlim() float64 {
+	d := t.now
+	for h := t.params.K; h <= t.m; h++ {
+		if v := t.now + t.loads[t.order[h-1]]*t.params.Fq(h); v > d {
+			d = v
+		}
+	}
+	return d
+}
+
+// Submit implements online.Scheduler. Jobs must arrive in non-decreasing
+// release order; Submit panics otherwise, because a violated protocol
+// invalidates every competitive-ratio statement downstream.
+func (t *Threshold) Submit(j job.Job) online.Decision {
+	if job.Less(j.Release, t.now) {
+		panic(fmt.Sprintf("core: out-of-order submission: job %d released at %g, clock at %g",
+			j.ID, j.Release, t.now))
+	}
+	if j.Release > t.now {
+		t.now = j.Release
+	}
+	t.refreshOrder()
+
+	if job.Less(j.Deadline, t.dlim()) {
+		return online.Decision{JobID: j.ID, Accepted: false}
+	}
+
+	machine := t.pickMachine(j)
+	if machine < 0 {
+		// Claim 1: unreachable for valid slack-ε jobs. A job violating the
+		// slack condition could land here; reject it rather than corrupt
+		// the committed schedule.
+		return online.Decision{JobID: j.ID, Accepted: false}
+	}
+	start := t.now + t.loads[machine]
+	t.horizons[machine] = start + j.Proc
+	return online.Decision{JobID: j.ID, Accepted: true, Machine: machine, Start: start}
+}
+
+// pickMachine returns the physical machine index chosen by the allocation
+// policy among candidates (machines that can complete j by its deadline),
+// or −1 if no candidate exists.
+func (t *Threshold) pickMachine(j job.Job) int {
+	best := -1
+	for h := 0; h < t.m; h++ {
+		i := t.order[h] // decreasing load
+		if !job.LessEq(t.now+t.loads[i]+j.Proc, j.Deadline) {
+			continue
+		}
+		switch t.policy {
+		case BestFit:
+			// Machines are scanned in decreasing load order; the first
+			// candidate is the most-loaded one.
+			return i
+		case LeastLoaded:
+			best = i // keep scanning; the last candidate is least loaded
+		case FirstFit:
+			if best < 0 || i < best {
+				best = i
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"loadmax/internal/adversary"
+	"loadmax/internal/baseline"
+	"loadmax/internal/core"
+	"loadmax/internal/ratio"
+	"loadmax/internal/report"
+)
+
+// E11Weighted demonstrates the impossibility result the paper cites to
+// motivate its load objective (§1, Lucier et al. [28]): with immediate
+// commitment and *general* job values w_j, no online algorithm has a
+// bounded competitive ratio for any slack — in sharp contrast to the
+// w_j = p_j load objective, where Theorem 2 gives c(ε,m).
+//
+// The adversary runs m+1 rounds of mutually-conflicting jobs with values
+// W⁰, W¹, …; whatever the algorithm does, some fully-rejected round u
+// leaves OPT ≥ m·Wᵘ against ALG ≤ Σ_{i<u} Wⁱ. Sweeping W shows the best
+// achievable ratio growing without bound — while the load-objective bound
+// c(ε,m) for the same (ε,m) stays fixed.
+func E11Weighted(opt Options) (*Result, error) {
+	m := 3
+	eps := 0.25
+	weights := []float64{2, 4, 16, 64, 256}
+	if opt.Quick {
+		weights = []float64{4, 64}
+	}
+
+	res := &Result{
+		ID:       "E11",
+		Title:    "General weights are hopeless under immediate commitment",
+		Artifact: "§1 impossibility for general objectives (Lucier et al. [28])",
+	}
+
+	c := ratio.C(eps, m)
+	t := report.NewTable(
+		fmt.Sprintf("Weighted adversary (m=%d, eps=%g): best achievable ratio vs weight base W", m, eps),
+		"W", "min ratio over all strategies", "threshold (load-greedy victim)", "greedy victim", "load objective c(eps,m)")
+	var lastMin float64
+	for _, w := range weights {
+		minRatio, err := adversary.ExploreWeighted(eps, w, m)
+		if err != nil {
+			return nil, err
+		}
+		th, err := core.New(m, eps)
+		if err != nil {
+			return nil, err
+		}
+		thOut, err := adversary.RunWeighted(th, eps, w)
+		if err != nil {
+			return nil, err
+		}
+		gOut, err := adversary.RunWeighted(baseline.NewGreedy(m), eps, w)
+		if err != nil {
+			return nil, err
+		}
+		t.Addf(w, minRatio, fmtRatio(thOut.Ratio), fmtRatio(gOut.Ratio), c)
+		if minRatio <= lastMin {
+			return nil, fmt.Errorf("E11: min ratio %g did not grow with W=%g — impossibility not visible", minRatio, w)
+		}
+		lastMin = minRatio
+	}
+	t.Note("'min over all strategies' enumerates every deterministic accept/reject pattern of the game tree")
+	res.Tables = append(res.Tables, t)
+
+	res.Findings = append(res.Findings,
+		"the best achievable weighted ratio grows ≈ linearly in W — unbounded, for every slack: the impossibility that motivates the paper's w_j = p_j objective.",
+		fmt.Sprintf("with w_j = p_j the same (eps, m) has the fixed tight ratio c = %.3f (Theorems 1–2): slack buys tractability exactly when values equal sizes.", c),
+	)
+	return res, nil
+}
+
+func fmtRatio(r float64) string {
+	if math.IsInf(r, 1) {
+		return "∞"
+	}
+	return fmt.Sprintf("%.4g", r)
+}

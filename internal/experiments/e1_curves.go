@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"loadmax/internal/ratio"
+	"loadmax/internal/report"
+	"loadmax/internal/textplot"
+)
+
+// E1Fig1Curves regenerates Figure 1: the tight competitive-ratio curves
+// c(ε,m) for m = 1..4 over the slack interval (0, 1], with the
+// phase-transition circles at the corner values ε_{k,m}.
+func E1Fig1Curves(opt Options) (*Result, error) {
+	machines := []int{1, 2, 3, 4}
+	points := 200
+	if opt.Quick {
+		points = 40
+	}
+	// Log-spaced ε grid over [0.01, 1] (Fig. 1's interesting range; the
+	// curves blow up polynomially as ε → 0).
+	epsGrid := make([]float64, points)
+	for i := range epsGrid {
+		frac := float64(i) / float64(points-1)
+		epsGrid[i] = math.Pow(10, -2+2*frac) // 0.01 … 1
+	}
+
+	plot := &textplot.Plot{
+		Title:  "Figure 1: c(eps, m) for m = 1..4 (log-x)",
+		XLabel: "slack eps",
+		YLabel: "competitive ratio",
+		LogX:   true,
+		Height: 24,
+	}
+	curveTable := report.NewTable("Fig. 1 data: c(eps, m) at sampled slack values",
+		"eps", "c(eps,1)", "c(eps,2)", "c(eps,3)", "c(eps,4)")
+	cornerTable := report.NewTable("Fig. 1 phase-transition circles: corner values eps_{k,m}",
+		"m", "k", "eps_{k,m}", "c at corner", "f_k at corner")
+
+	series := make(map[int][]float64, len(machines))
+	for _, m := range machines {
+		ys := make([]float64, len(epsGrid))
+		for i, e := range epsGrid {
+			p, err := ratio.Compute(e, m)
+			if err != nil {
+				return nil, err
+			}
+			ys[i] = p.C
+		}
+		series[m] = ys
+		plot.AddSeries(fmt.Sprintf("m=%d", m), epsGrid, ys)
+		for k, corner := range ratio.Corners(m) {
+			p, err := ratio.Compute(corner, m)
+			if err != nil {
+				return nil, err
+			}
+			plot.Mark(corner, p.C)
+			cornerTable.Addf(m, k+1, corner, p.C, p.Fq(p.K))
+		}
+	}
+	// Sample the table at a readable subset.
+	step := len(epsGrid) / 20
+	if step < 1 {
+		step = 1
+	}
+	for i := 0; i < len(epsGrid); i += step {
+		curveTable.Addf(epsGrid[i],
+			series[1][i], series[2][i], series[3][i], series[4][i])
+	}
+	curveTable.Note("paper: curves decrease in both eps and m; m=1 equals Goldwasser–Kerbikov 2+1/eps; m−1 phase transitions per curve")
+
+	findings := []string{
+		fmt.Sprintf("c(0.01,·): m=1 %.2f → m=4 %.2f — additional machines pay off most at small slack (paper Fig. 1 shape).",
+			series[1][0], series[4][0]),
+		fmt.Sprintf("corner eps_{1,2} = %.6f matches the paper's 2/7 = %.6f.",
+			ratio.Corners(2)[0], 2.0/7.0),
+		"every curve is continuous at its corners and monotone decreasing (asserted by internal/ratio tests).",
+	}
+	return &Result{
+		ID:       "E1",
+		Title:    "Competitive-ratio curves",
+		Artifact: "Figure 1",
+		Tables:   []*report.Table{curveTable, cornerTable},
+		Plots:    []string{plot.Render()},
+		Findings: findings,
+	}, nil
+}

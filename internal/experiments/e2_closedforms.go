@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"loadmax/internal/ratio"
+	"loadmax/internal/report"
+)
+
+// E2ClosedForms validates Equation (1) and the exact terms of the last
+// three phases against the numeric recursion.
+func E2ClosedForms(opt Options) (*Result, error) {
+	res := &Result{
+		ID:       "E2",
+		Title:    "Closed forms vs numeric recursion",
+		Artifact: "Equation (1); §1.1 'exact terms … for the last three phases'",
+	}
+
+	// Equation (1): m = 2, both branches.
+	eq1 := report.NewTable("Equation (1): c(eps,2) closed form vs recursion",
+		"eps", "phase k", "numeric", "Eq.(1)", "|diff|")
+	grid := []float64{0.01, 0.02, 0.05, 0.1, 0.2, 0.25, 2.0 / 7.0, 0.3, 0.4, 0.5, 0.7, 1.0}
+	if opt.Quick {
+		grid = []float64{0.05, 2.0 / 7.0, 0.5, 1.0}
+	}
+	maxDiff := 0.0
+	for _, e := range grid {
+		p, err := ratio.Compute(e, 2)
+		if err != nil {
+			return nil, err
+		}
+		cf := ratio.CM2(e)
+		d := math.Abs(p.C - cf)
+		maxDiff = math.Max(maxDiff, d)
+		eq1.Addf(e, p.K, p.C, cf, d)
+	}
+	eq1.Note("corner 2/7 ≈ 0.285714 separates the √(1/eps) phase from the 3/2 + 1/eps phase")
+	res.Tables = append(res.Tables, eq1)
+
+	// m = 1: the Goldwasser–Kerbikov optimum.
+	m1 := report.NewTable("m = 1: c(eps,1) vs 2 + 1/eps (Goldwasser–Kerbikov)",
+		"eps", "numeric", "2+1/eps", "|diff|")
+	for _, e := range grid {
+		p, err := ratio.Compute(e, 1)
+		if err != nil {
+			return nil, err
+		}
+		m1.Addf(e, p.C, ratio.CM1(e), math.Abs(p.C-ratio.CM1(e)))
+	}
+	res.Tables = append(res.Tables, m1)
+
+	// Last three phases for m = 3..5: linear, quadratic and cubic exact
+	// terms.
+	phases := report.NewTable("Last three phases: exact terms (degree 1–3 polynomials) vs recursion",
+		"m", "phase k", "eps", "numeric", "closed form", "|diff|")
+	for _, m := range []int{3, 4, 5} {
+		corners := ratio.Corners(m)
+		samples := []struct {
+			k   int
+			eps float64
+		}{
+			{m, (corners[m-2] + 1) / 2},                // last phase
+			{m - 1, (corners[m-3] + corners[m-2]) / 2}, // second-to-last
+			{m - 2, pickThirdLast(corners, m)},         // third-to-last
+		}
+		for _, s := range samples {
+			p, err := ratio.Compute(s.eps, m)
+			if err != nil {
+				return nil, err
+			}
+			if p.K != s.k {
+				return nil, fmt.Errorf("E2: sample eps=%g for m=%d landed in phase %d, want %d",
+					s.eps, m, p.K, s.k)
+			}
+			var cf float64
+			switch s.k {
+			case m:
+				cf = ratio.CLastPhase(s.eps, m)
+			case m - 1:
+				cf = ratio.CSecondLastPhase(s.eps, m)
+			default:
+				cf = ratio.CThirdLastPhase(s.eps, m)
+			}
+			phases.Addf(m, s.k, s.eps, p.C, cf, math.Abs(p.C-cf))
+		}
+	}
+	phases.Note("phase polynomial degrees 1/2/3 explain why only the last three phases admit radicals (PhasePolynomial)")
+	res.Tables = append(res.Tables, phases)
+
+	// Corner closed form.
+	cornerT := report.NewTable("Corner eps_{m−1,m} = m(m−1)/(m²+m+1): closed form vs numeric",
+		"m", "numeric", "closed form", "|diff|")
+	for m := 2; m <= 6; m++ {
+		num := ratio.Corners(m)[m-2]
+		cf := ratio.CornerSecondLast(m)
+		cornerT.Addf(m, num, cf, math.Abs(num-cf))
+	}
+	res.Tables = append(res.Tables, cornerT)
+
+	res.Findings = append(res.Findings,
+		fmt.Sprintf("Eq. (1) reproduced to max |diff| = %.2e over the grid.", maxDiff),
+		"the m=2 corner is exactly 2/7 and generalizes to eps_{m−1,m} = m(m−1)/(m²+m+1).",
+	)
+	return res, nil
+}
+
+// pickThirdLast returns a slack inside phase m−2: between ε_{m−3,m} (or
+// a small floor for m = 3) and ε_{m−2,m}.
+func pickThirdLast(corners []float64, m int) float64 {
+	hi := corners[m-3]
+	lo := hi / 4
+	if m >= 4 {
+		lo = corners[m-4]
+	}
+	return (lo + hi) / 2
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+
+	"loadmax/internal/adversary"
+	"loadmax/internal/core"
+	"loadmax/internal/ratio"
+	"loadmax/internal/report"
+	"loadmax/internal/textplot"
+)
+
+// E3DecisionTree regenerates Figures 2 and 3: the adversary's decision
+// tree for m = 3 with ε ∈ [ε_{1,3}, ε_{2,3}) (phase k = 2), the leaf
+// ratios along every path, and the online/optimal schedules for the game
+// Algorithm 1 actually plays.
+func E3DecisionTree(opt Options) (*Result, error) {
+	const m = 3
+	corners := ratio.Corners(m)
+	eps := (corners[0] + corners[1]) / 2 // inside [ε_{1,3}, ε_{2,3})
+	params, err := ratio.Compute(eps, m)
+	if err != nil {
+		return nil, err
+	}
+	if params.K != 2 {
+		return nil, fmt.Errorf("E3: eps=%g gives phase %d, want 2 (Fig. 2's regime)", eps, params.K)
+	}
+	res := &Result{
+		ID:       "E3",
+		Title:    "Adversary decision tree and schedules (m = 3)",
+		Artifact: "Figures 2 and 3",
+	}
+
+	// --- Figure 2: the full decision tree.
+	tree, err := adversary.Explore(eps, m, 0)
+	if err != nil {
+		return nil, err
+	}
+	treeT := report.NewTable(
+		fmt.Sprintf("Fig. 2 leaves: adversary vs every deterministic path (m=3, eps=%.4f, k=2)", eps),
+		"path", "u (phase-2 stop)", "h (phase-3 stop)", "ALG load", "OPT load", "ratio")
+	for i, l := range tree.Leaves {
+		h := "-"
+		if l.H > 0 {
+			h = fmt.Sprintf("%d", l.H)
+		}
+		treeT.Addf(fmt.Sprintf("leaf %d", i+1), l.U, h, l.ALGLoad, l.OPTLoad, l.Ratio)
+	}
+	treeT.Note("rejecting J_1 (not shown) is an unbounded leaf; every shown leaf has ratio ≥ c")
+	res.Tables = append(res.Tables, treeT)
+
+	// --- Figure 3: the red path — what Algorithm 1 actually does.
+	th, err := core.New(m, eps)
+	if err != nil {
+		return nil, err
+	}
+	game, err := adversary.Run(th, eps, adversary.Config{})
+	if err != nil {
+		return nil, err
+	}
+	traceT := report.NewTable("Fig. 2/3 trace: the game against Algorithm 1 (Threshold)",
+		"step", "phase", "subphase", "job (r, p, d)", "decision")
+	for i, st := range game.Steps {
+		traceT.Addf(i+1, st.Phase, st.Subphase,
+			fmt.Sprintf("(%.4g, %.4g, %.4g)", st.Job.Release, st.Job.Proc, st.Job.Deadline),
+			st.Decision.String())
+	}
+	traceT.Note("phase 2 stops at u=%d, phase 3 at h=%d; realized ratio %.4f vs c=%.4f",
+		game.U, game.H, game.Ratio, params.C)
+	res.Tables = append(res.Tables, traceT)
+
+	// Gantt charts: online schedule (from the decisions) and the optimal
+	// schedule (the adversary's certificate).
+	var onlineSlots []textplot.GanttSlot
+	for _, st := range game.Steps {
+		if st.Decision.Accepted {
+			onlineSlots = append(onlineSlots, textplot.GanttSlot{
+				Machine: st.Decision.Machine,
+				Start:   st.Decision.Start,
+				End:     st.Decision.Start + st.Job.Proc,
+				Label:   fmt.Sprintf("J%d", st.Job.ID),
+			})
+		}
+	}
+	var optSlots []textplot.GanttSlot
+	for _, sl := range game.OPTSchedule.Slots() {
+		optSlots = append(optSlots, textplot.GanttSlot{
+			Machine: sl.Machine,
+			Start:   sl.Start,
+			End:     sl.End(),
+			Label:   fmt.Sprintf("J%d", sl.Job.ID),
+		})
+	}
+	res.Plots = append(res.Plots,
+		textplot.Gantt(fmt.Sprintf("Fig. 3 (top): online schedule — load %.4f", game.ALGLoad), m, onlineSlots, 78),
+		textplot.Gantt(fmt.Sprintf("Fig. 3 (bottom): optimal schedule — load %.4f", game.OPTLoad), m, optSlots, 78),
+	)
+
+	res.Findings = append(res.Findings,
+		fmt.Sprintf("all %d leaves have ratio ≥ c = %.4f; the minimum %.4f is met at u=k=%d (Theorem 1).",
+			len(tree.Leaves), params.C, tree.MinRatio, params.K),
+		fmt.Sprintf("Algorithm 1 walks the u=%d, h=%d path and realizes %.4f — exactly the bound (Theorem 2 tight).",
+			game.U, game.H, game.Ratio),
+	)
+	return res, nil
+}

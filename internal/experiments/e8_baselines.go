@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+
+	"loadmax/internal/baseline"
+	"loadmax/internal/core"
+	"loadmax/internal/online"
+	"loadmax/internal/ratio"
+	"loadmax/internal/report"
+	"loadmax/internal/sim"
+	"loadmax/internal/stats"
+	"loadmax/internal/workload"
+)
+
+// E8Baselines compares Algorithm 1 against the related-work comparators
+// of §1.2: greedy list scheduling (the Fig. 1 dashed line — its parallel
+// ratio equals the m=1 optimum), the Lee-style length-classification
+// algorithm, random admission, and the preemptive-EDF reference (a
+// strictly stronger machine model, shown for context).
+func E8Baselines(opt Options) (*Result, error) {
+	m := 4
+	epsGrid := []float64{0.05, 0.3}
+	seeds := 15
+	n := 300
+	if opt.Quick {
+		epsGrid = []float64{0.1}
+		seeds = 4
+		n = 100
+	}
+
+	res := &Result{
+		ID:       "E8",
+		Title:    "Baseline comparison",
+		Artifact: "§1.2 related work; Figure 1 dashed line",
+	}
+
+	// --- Adversarial stress: the adversary adapts to each algorithm.
+	at := report.NewTable(fmt.Sprintf("Adaptive adversary (m=%d): realized ratio per algorithm", m),
+		"eps", "c(eps,m)", "threshold", "greedy", "greedy/best-fit", "length-class")
+	for _, eps := range epsGrid {
+		c := ratio.C(eps, m)
+		row := []interface{}{eps, c}
+		for _, mk := range []func() (online.Scheduler, error){
+			func() (online.Scheduler, error) { return core.New(m, eps) },
+			func() (online.Scheduler, error) { return baseline.NewGreedy(m), nil },
+			func() (online.Scheduler, error) { return baseline.NewGreedyBestFit(m), nil },
+			func() (online.Scheduler, error) { return baseline.NewLengthClass(m, eps) },
+		} {
+			s, err := mk()
+			if err != nil {
+				return nil, err
+			}
+			r, err := adversaryRatioFor(s, eps)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, r)
+		}
+		at.Addf(row...)
+	}
+	at.Note("theory: greedy's parallel-machine ratio equals the single-machine optimum 2+1/eps (Kim & Chwa); threshold meets c(eps,m)")
+	res.Tables = append(res.Tables, at)
+
+	// --- Random workloads: accepted-load fraction per family.
+	for _, eps := range epsGrid {
+		wt := report.NewTable(
+			fmt.Sprintf("Random workloads (m=%d, eps=%g, n=%d, %d seeds): mean accepted-load fraction", m, eps, n, seeds),
+			"family", "threshold", "greedy", "greedy/best-fit", "length-class", "random(q=.5)", "preemptive-EDF*")
+		for _, fam := range workload.Families {
+			fracs := make(map[string][]float64)
+			for s := 0; s < seeds; s++ {
+				inst := fam.Gen(workload.Spec{N: n, Eps: eps, M: m, Seed: opt.Seed + int64(s)*13})
+				total := inst.TotalLoad()
+
+				schedulers := []online.Scheduler{}
+				th, err := core.New(m, eps)
+				if err != nil {
+					return nil, err
+				}
+				lc, err := baseline.NewLengthClass(m, eps)
+				if err != nil {
+					return nil, err
+				}
+				ra, err := baseline.NewRandomAdmission(m, 0.5, opt.Seed+int64(s))
+				if err != nil {
+					return nil, err
+				}
+				schedulers = append(schedulers, th, baseline.NewGreedy(m),
+					baseline.NewGreedyBestFit(m), lc, ra)
+				results, err := sim.Compare(schedulers, inst)
+				if err != nil {
+					return nil, err
+				}
+				for _, r := range results {
+					if len(r.Violations) != 0 {
+						return nil, fmt.Errorf("E8: %s violations: %v", r.Scheduler, r.Violations)
+					}
+					fracs[r.Scheduler] = append(fracs[r.Scheduler], r.LoadFraction())
+				}
+				pre, err := baseline.PreemptiveRun(inst, m)
+				if err != nil {
+					return nil, err
+				}
+				fracs["preemptive"] = append(fracs["preemptive"], pre.Load/total)
+			}
+			wt.Addf(fam.Name,
+				stats.Mean(fracs["threshold"]),
+				stats.Mean(fracs["greedy"]),
+				stats.Mean(fracs["greedy/best-fit"]),
+				stats.Mean(fracs["length-class"]),
+				stats.Mean(fracs[fmt.Sprintf("random(q=%g)", 0.5)]),
+				stats.Mean(fracs["preemptive"]))
+		}
+		wt.Note("preemptive-EDF* commits to acceptance but not start times (stronger model, ratio 1+1/eps) — an upper reference, not a competitor")
+		res.Tables = append(res.Tables, wt)
+	}
+
+	res.Findings = append(res.Findings,
+		"against the adaptive adversary, threshold tracks c(eps,m) while greedy pays the 2+1/eps single-machine price — the Fig. 1 dashed-line gap.",
+		"on benign random workloads greedy accepts slightly more load (threshold's rejections are insurance against adversarial tails).",
+		"the preemptive reference confirms the price of non-preemption the paper discusses in §1.2.",
+	)
+	return res, nil
+}

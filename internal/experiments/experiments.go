@@ -1,0 +1,142 @@
+// Package experiments contains one driver per reproduced artifact of the
+// paper (see DESIGN.md §4):
+//
+//	E1  Figure 1     — c(ε,m) curves with phase-transition circles
+//	E2  Equation (1) — closed forms vs numeric recursion
+//	E3  Figures 2–3  — adversary decision tree and schedules (m=3)
+//	E4  Theorem 1    — lower bound realized against Threshold and greedy
+//	E5  Theorem 2    — upper bound validated on random workloads
+//	E6  Prop. 1      — the m → ∞ limit ln(1/ε)
+//	E7  Corollary 1  — randomized single-machine O(log 1/ε)
+//	E8  Related work — baseline comparison (Fig. 1 dashed line)
+//	E9  Ablations    — allocation policy, phase override, ε > 1 greedy
+//	E10 Extension    — the price of commitment across the §1 model spectrum
+//	E11 Extension    — unbounded ratio for general weights (Lucier et al.)
+//	E12 Extension    — commitment with penalties (revocation-fine sweep)
+//	E13 Extension    — worst-case hunt: random falsification of Theorem 2
+//	E14 Extension    — systems evaluation: decision latency & throughput
+//	E15 Extension    — unit jobs without slack (Baruah 2; Ding et al. e/(e−1))
+//
+// Each driver returns a Result whose tables and plots are rendered by
+// cmd/experiments into EXPERIMENTS.md, and is exercised by bench_test.go.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"loadmax/internal/report"
+)
+
+// Options tunes the experiment grids.
+type Options struct {
+	// Quick shrinks grids and repetition counts for use in tests and
+	// benchmarks; the full grids run in cmd/experiments.
+	Quick bool
+	// Seed drives every randomized component; runs are reproducible.
+	Seed int64
+}
+
+// Result is one experiment's output.
+type Result struct {
+	ID       string
+	Title    string
+	Artifact string // which paper artifact this reproduces
+	Tables   []*report.Table
+	Plots    []string
+	// Findings summarizes paper-vs-measured in prose (one line each).
+	Findings []string
+}
+
+// WriteText renders the result for terminals.
+func (r *Result) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s (%s) ==\n\n", r.ID, r.Title, r.Artifact); err != nil {
+		return err
+	}
+	for _, t := range r.Tables {
+		if err := t.WriteText(w); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	for _, p := range r.Plots {
+		if _, err := fmt.Fprintln(w, p); err != nil {
+			return err
+		}
+	}
+	for _, f := range r.Findings {
+		if _, err := fmt.Fprintf(w, "finding: %s\n", f); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// WriteMarkdown renders the result for EXPERIMENTS.md.
+func (r *Result) WriteMarkdown(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "## %s — %s\n\n*Reproduces: %s*\n\n", r.ID, r.Title, r.Artifact); err != nil {
+		return err
+	}
+	for _, t := range r.Tables {
+		if err := t.WriteMarkdown(w); err != nil {
+			return err
+		}
+	}
+	for _, p := range r.Plots {
+		if _, err := fmt.Fprintf(w, "```\n%s```\n\n", p); err != nil {
+			return err
+		}
+	}
+	if len(r.Findings) > 0 {
+		if _, err := fmt.Fprintln(w, "**Findings**"); err != nil {
+			return err
+		}
+		for _, f := range r.Findings {
+			if _, err := fmt.Fprintf(w, "- %s\n", f); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Driver runs one experiment.
+type Driver struct {
+	ID  string
+	Run func(Options) (*Result, error)
+}
+
+// All lists every experiment in order.
+var All = []Driver{
+	{"E1", E1Fig1Curves},
+	{"E2", E2ClosedForms},
+	{"E3", E3DecisionTree},
+	{"E4", E4LowerBound},
+	{"E5", E5UpperBound},
+	{"E6", E6LnLimit},
+	{"E7", E7Randomized},
+	{"E8", E8Baselines},
+	{"E9", E9Ablations},
+	{"E10", E10Commitment},
+	{"E11", E11Weighted},
+	{"E12", E12Penalties},
+	{"E13", E13WorstCaseHunt},
+	{"E14", E14Performance},
+	{"E15", E15UnitJobs},
+}
+
+// ByID returns the driver with the given ID, or false.
+func ByID(id string) (Driver, bool) {
+	for _, d := range All {
+		if d.ID == id {
+			return d, true
+		}
+	}
+	return Driver{}, false
+}

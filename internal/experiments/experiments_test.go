@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Every experiment must run clean in Quick mode and produce non-empty
+// tables and findings — these are the paper artifacts; an empty one means
+// a silent reproduction failure.
+func TestAllExperimentsQuick(t *testing.T) {
+	for _, d := range All {
+		d := d
+		t.Run(d.ID, func(t *testing.T) {
+			r, err := d.Run(Options{Quick: true, Seed: 1})
+			if err != nil {
+				t.Fatalf("%s: %v", d.ID, err)
+			}
+			if r.ID != d.ID {
+				t.Errorf("result ID %q ≠ driver ID %q", r.ID, d.ID)
+			}
+			if r.Artifact == "" {
+				t.Error("missing artifact reference")
+			}
+			if len(r.Tables) == 0 {
+				t.Error("no tables produced")
+			}
+			for ti, tbl := range r.Tables {
+				if len(tbl.Rows) == 0 {
+					t.Errorf("table %d (%s) has no rows", ti, tbl.Title)
+				}
+			}
+			if len(r.Findings) == 0 {
+				t.Error("no findings recorded")
+			}
+		})
+	}
+}
+
+func TestResultRenderers(t *testing.T) {
+	r, err := E2ClosedForms(Options{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var txt, md bytes.Buffer
+	if err := r.WriteText(&txt); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteMarkdown(&md); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(txt.String(), "E2") {
+		t.Error("text output missing experiment ID")
+	}
+	if !strings.Contains(md.String(), "## E2") {
+		t.Error("markdown output missing heading")
+	}
+	if !strings.Contains(md.String(), "Equation (1)") {
+		t.Error("markdown output missing artifact")
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("E5"); !ok {
+		t.Error("E5 missing")
+	}
+	if _, ok := ByID("E42"); ok {
+		t.Error("E42 should not exist")
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	// Same options ⇒ identical tables (the suite is fully seeded).
+	run := func() string {
+		r, err := E5UpperBound(Options{Quick: true, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		r.WriteText(&buf)
+		return buf.String()
+	}
+	if run() != run() {
+		t.Error("E5 output differs across identical runs")
+	}
+}

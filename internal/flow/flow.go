@@ -1,0 +1,136 @@
+// Package flow provides a Dinic maximum-flow solver on small directed
+// graphs with float64 capacities. It is the substrate for the fractional
+// preemptive relaxation in package offline, which upper-bounds the optimal
+// offline load via a job→interval→sink network.
+package flow
+
+import (
+	"math"
+)
+
+// edge is one directed arc with residual capacity.
+type edge struct {
+	to  int
+	cap float64
+	rev int // index of the reverse edge in adj[to]
+}
+
+// Network is a flow network under construction. Nodes are dense integers
+// 0..n−1 chosen by the caller.
+type Network struct {
+	adj     [][]edge
+	tracked []edgeRef
+}
+
+// edgeRef remembers where a tracked edge lives and its original capacity,
+// so FlowOn can report cap − residual after MaxFlow.
+type edgeRef struct {
+	u, idx int
+	cap    float64
+}
+
+// EdgeID identifies an edge returned by AddEdgeTracked.
+type EdgeID int
+
+// NewNetwork creates a network with n nodes.
+func NewNetwork(n int) *Network {
+	return &Network{adj: make([][]edge, n)}
+}
+
+// AddEdge adds a directed edge u→v with the given capacity (and the
+// implicit zero-capacity reverse edge Dinic requires).
+func (g *Network) AddEdge(u, v int, cap float64) {
+	if cap < 0 {
+		panic("flow: negative capacity")
+	}
+	g.adj[u] = append(g.adj[u], edge{to: v, cap: cap, rev: len(g.adj[v])})
+	g.adj[v] = append(g.adj[v], edge{to: u, cap: 0, rev: len(g.adj[u]) - 1})
+}
+
+// AddEdgeTracked adds an edge whose final flow value can be read back
+// with FlowOn after MaxFlow — used by the fluid-plan extraction in
+// package offline.
+func (g *Network) AddEdgeTracked(u, v int, cap float64) EdgeID {
+	g.AddEdge(u, v, cap)
+	g.tracked = append(g.tracked, edgeRef{u: u, idx: len(g.adj[u]) - 1, cap: cap})
+	return EdgeID(len(g.tracked) - 1)
+}
+
+// FlowOn returns the flow routed over a tracked edge by the last MaxFlow
+// call (original capacity minus residual).
+func (g *Network) FlowOn(id EdgeID) float64 {
+	ref := g.tracked[id]
+	f := ref.cap - g.adj[ref.u][ref.idx].cap
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// capEps guards float64 residual comparisons: residuals below this are
+// treated as saturated.
+const capEps = 1e-12
+
+// MaxFlow computes the maximum s→t flow with Dinic's algorithm
+// (level graph BFS + blocking-flow DFS).
+func (g *Network) MaxFlow(s, t int) float64 {
+	var total float64
+	n := len(g.adj)
+	level := make([]int, n)
+	iter := make([]int, n)
+	queue := make([]int, 0, n)
+
+	bfs := func() bool {
+		for i := range level {
+			level[i] = -1
+		}
+		level[s] = 0
+		queue = queue[:0]
+		queue = append(queue, s)
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, e := range g.adj[u] {
+				if e.cap > capEps && level[e.to] < 0 {
+					level[e.to] = level[u] + 1
+					queue = append(queue, e.to)
+				}
+			}
+		}
+		return level[t] >= 0
+	}
+
+	var dfs func(u int, f float64) float64
+	dfs = func(u int, f float64) float64 {
+		if u == t {
+			return f
+		}
+		for ; iter[u] < len(g.adj[u]); iter[u]++ {
+			e := &g.adj[u][iter[u]]
+			if e.cap <= capEps || level[e.to] != level[u]+1 {
+				continue
+			}
+			d := dfs(e.to, math.Min(f, e.cap))
+			if d > capEps {
+				e.cap -= d
+				g.adj[e.to][e.rev].cap += d
+				return d
+			}
+		}
+		return 0
+	}
+
+	for bfs() {
+		for i := range iter {
+			iter[i] = 0
+		}
+		for {
+			f := dfs(s, math.Inf(1))
+			if f <= capEps {
+				break
+			}
+			total += f
+		}
+	}
+	return total
+}

@@ -1,0 +1,148 @@
+package flow
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSimplePath(t *testing.T) {
+	g := NewNetwork(3)
+	g.AddEdge(0, 1, 5)
+	g.AddEdge(1, 2, 3)
+	if got := g.MaxFlow(0, 2); math.Abs(got-3) > 1e-9 {
+		t.Errorf("MaxFlow = %g, want 3", got)
+	}
+}
+
+func TestParallelPaths(t *testing.T) {
+	g := NewNetwork(4)
+	g.AddEdge(0, 1, 4)
+	g.AddEdge(0, 2, 2)
+	g.AddEdge(1, 3, 3)
+	g.AddEdge(2, 3, 5)
+	if got := g.MaxFlow(0, 3); math.Abs(got-5) > 1e-9 {
+		t.Errorf("MaxFlow = %g, want 5", got)
+	}
+}
+
+func TestClassicDinicExample(t *testing.T) {
+	// Standard 6-node example with augmenting paths that need residuals.
+	g := NewNetwork(6)
+	g.AddEdge(0, 1, 10)
+	g.AddEdge(0, 2, 10)
+	g.AddEdge(1, 2, 2)
+	g.AddEdge(1, 3, 4)
+	g.AddEdge(1, 4, 8)
+	g.AddEdge(2, 4, 9)
+	g.AddEdge(3, 5, 10)
+	g.AddEdge(4, 3, 6)
+	g.AddEdge(4, 5, 10)
+	if got := g.MaxFlow(0, 5); math.Abs(got-19) > 1e-9 {
+		t.Errorf("MaxFlow = %g, want 19", got)
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	g := NewNetwork(4)
+	g.AddEdge(0, 1, 7)
+	g.AddEdge(2, 3, 7)
+	if got := g.MaxFlow(0, 3); got != 0 {
+		t.Errorf("MaxFlow = %g, want 0", got)
+	}
+}
+
+func TestZeroCapacityEdge(t *testing.T) {
+	g := NewNetwork(2)
+	g.AddEdge(0, 1, 0)
+	if got := g.MaxFlow(0, 1); got != 0 {
+		t.Errorf("MaxFlow = %g, want 0", got)
+	}
+}
+
+func TestNegativeCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative capacity must panic")
+		}
+	}()
+	NewNetwork(2).AddEdge(0, 1, -1)
+}
+
+// TestQuickFlowBounds: max flow never exceeds the total capacity out of
+// the source or into the sink, and is non-negative.
+func TestQuickFlowBounds(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(8)
+		g := NewNetwork(n)
+		var srcCap, sinkCap float64
+		for i := 0; i < 3*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			c := rng.Float64() * 10
+			g.AddEdge(u, v, c)
+			if u == 0 {
+				srcCap += c
+			}
+			if v == n-1 {
+				sinkCap += c
+			}
+		}
+		f := g.MaxFlow(0, n-1)
+		return f >= 0 && f <= srcCap+1e-9 && f <= sinkCap+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickFlowConservation: re-running max flow on the residual network
+// yields zero (the first run saturated every augmenting path).
+func TestQuickFlowSaturation(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(6)
+		g := NewNetwork(n)
+		for i := 0; i < 3*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				g.AddEdge(u, v, rng.Float64()*10)
+			}
+		}
+		g.MaxFlow(0, n-1)
+		return g.MaxFlow(0, n-1) <= 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkDinicGrid(b *testing.B) {
+	// A w×w grid from corner to corner.
+	const w = 30
+	build := func() *Network {
+		g := NewNetwork(w * w)
+		for r := 0; r < w; r++ {
+			for c := 0; c < w; c++ {
+				if c+1 < w {
+					g.AddEdge(r*w+c, r*w+c+1, 1)
+				}
+				if r+1 < w {
+					g.AddEdge(r*w+c, (r+1)*w+c, 1)
+				}
+			}
+		}
+		return g
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := build()
+		if f := g.MaxFlow(0, w*w-1); f != 2 {
+			b.Fatalf("flow %g", f)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package job
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteJSON writes the instance as a JSON array of jobs.
+func (in Instance) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(in)
+}
+
+// ReadJSON parses a JSON array of jobs.
+func ReadJSON(r io.Reader) (Instance, error) {
+	var in Instance
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("decode instance: %w", err)
+	}
+	return in, nil
+}
+
+// WriteCSV writes "id,release,proc,deadline" rows with a header.
+func (in Instance) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "id,release,proc,deadline"); err != nil {
+		return err
+	}
+	for _, j := range in {
+		if _, err := fmt.Fprintf(bw, "%d,%s,%s,%s\n", j.ID,
+			fmtFloat(j.Release), fmtFloat(j.Proc), fmtFloat(j.Deadline)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses "id,release,proc,deadline" rows. A header line (any line
+// whose first field is not an integer) is skipped. Blank lines and lines
+// starting with '#' are ignored.
+func ReadCSV(r io.Reader) (Instance, error) {
+	sc := bufio.NewScanner(r)
+	var in Instance
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("line %d: want 4 fields, got %d", lineNo, len(fields))
+		}
+		id, err := strconv.Atoi(strings.TrimSpace(fields[0]))
+		if err != nil {
+			if lineNo == 1 {
+				continue // header
+			}
+			return nil, fmt.Errorf("line %d: bad id %q", lineNo, fields[0])
+		}
+		var vals [3]float64
+		for i, f := range fields[1:] {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad float %q", lineNo, f)
+			}
+			vals[i] = v
+		}
+		in = append(in, Job{ID: id, Release: vals[0], Proc: vals[1], Deadline: vals[2]})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

@@ -1,0 +1,90 @@
+package job
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sample() Instance {
+	return Instance{
+		{ID: 0, Release: 0, Proc: 1.5, Deadline: 3},
+		{ID: 1, Release: 0.25, Proc: 2, Deadline: 10},
+		{ID: 2, Release: 7, Proc: 0.125, Deadline: 7.5},
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := sample()
+	if err := in.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d jobs, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Errorf("job %d: %+v != %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := sample()
+	if err := in.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d jobs, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Errorf("job %d: %+v != %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestCSVCommentsAndBlanks(t *testing.T) {
+	src := `id,release,proc,deadline
+# a comment
+
+0,0,1,2
+1,3,1,4.5
+`
+	out, err := ReadCSV(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[1].Deadline != 4.5 {
+		t.Errorf("parsed %+v", out)
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	cases := []string{
+		"0,1,2",           // wrong field count
+		"0,x,1,2",         // bad float
+		"a,b\nnope,1,2,3", // bad id on non-header line
+	}
+	for _, src := range cases {
+		if _, err := ReadCSV(strings.NewReader(src)); err == nil {
+			t.Errorf("input %q: want error", src)
+		}
+	}
+}
+
+func TestReadJSONError(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{not json")); err == nil {
+		t.Error("want error for malformed JSON")
+	}
+}

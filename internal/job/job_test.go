@@ -1,0 +1,235 @@
+package job
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestComparators(t *testing.T) {
+	cases := []struct {
+		a, b                      float64
+		eq, less, lessEq, greater bool
+	}{
+		{1, 1, true, false, true, false},
+		{1, 1 + 1e-13, true, false, true, false}, // within tolerance
+		{1, 2, false, true, true, false},
+		{2, 1, false, false, false, true},
+		{1e12, 1e12 + 1, true, false, true, false}, // relative tolerance at scale
+		{0, 1e-12, true, false, true, false},       // absolute floor near zero
+	}
+	for _, c := range cases {
+		if Eq(c.a, c.b) != c.eq {
+			t.Errorf("Eq(%g,%g) = %v, want %v", c.a, c.b, Eq(c.a, c.b), c.eq)
+		}
+		if Less(c.a, c.b) != c.less {
+			t.Errorf("Less(%g,%g) = %v, want %v", c.a, c.b, Less(c.a, c.b), c.less)
+		}
+		if LessEq(c.a, c.b) != c.lessEq {
+			t.Errorf("LessEq(%g,%g) = %v, want %v", c.a, c.b, LessEq(c.a, c.b), c.lessEq)
+		}
+		if Greater(c.a, c.b) != c.greater {
+			t.Errorf("Greater(%g,%g) = %v, want %v", c.a, c.b, Greater(c.a, c.b), c.greater)
+		}
+	}
+}
+
+func TestQuickComparatorDuality(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		// Exactly one of Less, Eq, Greater holds.
+		n := 0
+		if Less(a, b) {
+			n++
+		}
+		if Eq(a, b) {
+			n++
+		}
+		if Greater(a, b) {
+			n++
+		}
+		if n != 1 {
+			return false
+		}
+		return LessEq(a, b) == !Greater(a, b) && GreaterEq(a, b) == !Less(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSlack(t *testing.T) {
+	j := Job{Release: 2, Proc: 4, Deadline: 8}
+	// d − r − p = 2 → slack = 2/4 = 0.5.
+	if got := j.Slack(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Slack = %g, want 0.5", got)
+	}
+	if !j.HasSlack(0.5) || !j.Tight(0.5) {
+		t.Error("job must have tight slack 0.5")
+	}
+	if j.HasSlack(0.51) {
+		t.Error("job must not have slack 0.51")
+	}
+	if got := (Job{Proc: 0}).Slack(); !math.IsInf(got, 1) {
+		t.Errorf("zero-proc slack = %g, want +Inf", got)
+	}
+}
+
+func TestLatestStartWindow(t *testing.T) {
+	j := Job{Release: 1, Proc: 3, Deadline: 10}
+	if got := j.LatestStart(); got != 7 {
+		t.Errorf("LatestStart = %g, want 7", got)
+	}
+	if got := j.Window(); got != 9 {
+		t.Errorf("Window = %g, want 9", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := Job{ID: 1, Release: 0, Proc: 2, Deadline: 3}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid job rejected: %v", err)
+	}
+	bad := []Job{
+		{ID: 2, Release: 0, Proc: 0, Deadline: 3},           // zero proc
+		{ID: 3, Release: -1, Proc: 1, Deadline: 3},          // negative release
+		{ID: 4, Release: 0, Proc: 5, Deadline: 3},           // window too short
+		{ID: 5, Release: math.NaN(), Proc: 1, Deadline: 3},  // NaN
+		{ID: 6, Release: math.Inf(1), Proc: 1, Deadline: 3}, // Inf
+	}
+	for _, j := range bad {
+		if err := j.Validate(); err == nil {
+			t.Errorf("invalid job %v accepted", j)
+		}
+	}
+}
+
+func TestInstanceAggregates(t *testing.T) {
+	in := Instance{
+		{ID: 0, Release: 0, Proc: 2, Deadline: 4},
+		{ID: 1, Release: 1, Proc: 5, Deadline: 12},
+		{ID: 2, Release: 3, Proc: 1, Deadline: 4.4},
+	}
+	if got := in.TotalLoad(); got != 8 {
+		t.Errorf("TotalLoad = %g, want 8", got)
+	}
+	if got := in.MaxDeadline(); got != 12 {
+		t.Errorf("MaxDeadline = %g, want 12", got)
+	}
+	if got := in.MaxProc(); got != 5 {
+		t.Errorf("MaxProc = %g, want 5", got)
+	}
+	if got := in.MinProc(); got != 1 {
+		t.Errorf("MinProc = %g, want 1", got)
+	}
+	// min slack: job 0 has (4−0−2)/2 = 1; job 1: (12−1−5)/5 = 1.2;
+	// job 2: (4.4−3−1)/1 = 0.4.
+	if got := in.MinSlack(); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("MinSlack = %g, want 0.4", got)
+	}
+	if err := in.Validate(0.4); err != nil {
+		t.Errorf("Validate(0.4) failed: %v", err)
+	}
+	if err := in.Validate(0.5); err == nil {
+		t.Error("Validate(0.5) must fail")
+	}
+	empty := Instance{}
+	if got := empty.MinSlack(); !math.IsInf(got, 1) {
+		t.Errorf("empty MinSlack = %g, want +Inf", got)
+	}
+}
+
+func TestValidateOrdering(t *testing.T) {
+	in := Instance{
+		{ID: 0, Release: 5, Proc: 1, Deadline: 10},
+		{ID: 1, Release: 3, Proc: 1, Deadline: 10},
+	}
+	if err := in.Validate(-1); err == nil {
+		t.Error("unsorted instance must fail validation")
+	}
+	in.SortByRelease()
+	if err := in.Validate(-1); err != nil {
+		t.Errorf("sorted instance failed: %v", err)
+	}
+	if in[0].ID != 1 {
+		t.Error("sort did not reorder by release")
+	}
+}
+
+func TestSortStableTiesByID(t *testing.T) {
+	in := Instance{
+		{ID: 5, Release: 1, Proc: 1, Deadline: 10},
+		{ID: 2, Release: 1, Proc: 1, Deadline: 10},
+		{ID: 9, Release: 0, Proc: 1, Deadline: 10},
+	}
+	in.SortByRelease()
+	if in[0].ID != 9 || in[1].ID != 2 || in[2].ID != 5 {
+		t.Errorf("order = %d,%d,%d; want 9,2,5", in[0].ID, in[1].ID, in[2].ID)
+	}
+}
+
+func TestRenumberClone(t *testing.T) {
+	in := Instance{{ID: 7}, {ID: 3}}
+	cp := in.Clone()
+	in.Renumber()
+	if in[0].ID != 0 || in[1].ID != 1 {
+		t.Error("Renumber failed")
+	}
+	if cp[0].ID != 7 {
+		t.Error("Clone shares backing storage")
+	}
+}
+
+func TestUnion(t *testing.T) {
+	cases := []struct {
+		in   Instance
+		want float64
+	}{
+		{nil, 0},
+		{Instance{{Release: 0, Proc: 1, Deadline: 2}}, 2},
+		{Instance{{Release: 0, Proc: 1, Deadline: 2}, {Release: 5, Proc: 1, Deadline: 7}}, 4},
+		{Instance{{Release: 0, Proc: 1, Deadline: 4}, {Release: 2, Proc: 1, Deadline: 6}}, 6},
+		{Instance{{Release: 0, Proc: 1, Deadline: 10}, {Release: 2, Proc: 1, Deadline: 3}}, 10},
+	}
+	for i, c := range cases {
+		if got := c.in.Union(); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("case %d: Union = %g, want %g", i, got, c.want)
+		}
+	}
+}
+
+// Property: Union is at most the sum of window lengths and at least the
+// longest window.
+func TestQuickUnionBounds(t *testing.T) {
+	f := func(raw []struct{ R, P, W uint16 }) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var in Instance
+		var sum, longest float64
+		for i, r := range raw {
+			rel := float64(r.R) / 100
+			p := 0.01 + float64(r.P)/1000
+			w := p + float64(r.W)/100
+			in = append(in, Job{ID: i, Release: rel, Proc: p, Deadline: rel + w})
+			sum += w
+			if w > longest {
+				longest = w
+			}
+		}
+		u := in.Union()
+		return u <= sum+1e-9 && u >= longest-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJobString(t *testing.T) {
+	j := Job{ID: 3, Release: 1, Proc: 2, Deadline: 4.5}
+	if got := j.String(); got != "J3(r=1, p=2, d=4.5)" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,141 @@
+package offline
+
+import (
+	"sort"
+
+	"loadmax/internal/flow"
+)
+
+// This file computes *fluid plans*: maximum preemptive-with-migration
+// allocations of remaining work to time, used both as an OPT relaxation
+// and as the exact executor/admission test of the migration-model
+// baseline (package baseline). In the migration model a demand set is
+// schedulable iff the fluid plan covers all remaining work: per elementary
+// interval a demand may receive at most the interval's length (no
+// self-parallelism) and the machines provide m times the length
+// (McNaughton's wrap-around rule realizes any such allocation).
+//
+// Plans are *leftmost-maximal*: intervals are added to the flow network
+// in chronological order with a max-flow run after each, so every time
+// prefix carries the maximum possible work. (Incremental augmentation
+// ends at the global maximum regardless of insertion order, so Total is
+// still the overall max.) Leftmost matters for the online executor: a
+// lazy plan that defers work would make the system turn away jobs a
+// work-conserving scheduler could accept.
+
+// Demand is a unit of remaining work with a live window.
+type Demand struct {
+	ID       int
+	Rem      float64 // remaining processing time
+	Release  float64 // earliest time the work may run (≥ "now")
+	Deadline float64
+}
+
+// Plan is a fluid allocation over elementary intervals.
+type Plan struct {
+	// Times holds the interval breakpoints; interval v spans
+	// [Times[v], Times[v+1]).
+	Times []float64
+	// Alloc[d][v] is the work of demand d assigned to interval v.
+	Alloc [][]float64
+	// Total is Σ Alloc — the maximum serviceable work.
+	Total float64
+}
+
+// Covers reports whether the plan services every demand completely
+// (within tolerance tol).
+func (p Plan) Covers(demands []Demand, tol float64) bool {
+	var want float64
+	for _, d := range demands {
+		want += d.Rem
+	}
+	return p.Total >= want-tol
+}
+
+// FluidPlan computes a leftmost-maximal fluid allocation for the demands
+// on m machines. Extra breakpoints (e.g. the executor's next event time)
+// may be supplied so that Execute can consume whole intervals up to them.
+func FluidPlan(demands []Demand, m int, extra ...float64) Plan {
+	n := len(demands)
+	if n == 0 {
+		return Plan{}
+	}
+	lo, hi := demands[0].Release, demands[0].Deadline
+	pts := make([]float64, 0, 2*n+len(extra))
+	for _, d := range demands {
+		pts = append(pts, d.Release, d.Deadline)
+		if d.Release < lo {
+			lo = d.Release
+		}
+		if d.Deadline > hi {
+			hi = d.Deadline
+		}
+	}
+	for _, e := range extra {
+		if e > lo && e < hi {
+			pts = append(pts, e)
+		}
+	}
+	sort.Float64s(pts)
+	uniq := pts[:0]
+	for i, p := range pts {
+		if i == 0 || p > uniq[len(uniq)-1] {
+			uniq = append(uniq, p)
+		}
+	}
+	nIv := len(uniq) - 1
+	plan := Plan{Times: uniq, Alloc: make([][]float64, n)}
+	for i := range plan.Alloc {
+		plan.Alloc[i] = make([]float64, nIv)
+	}
+	if nIv <= 0 {
+		return plan
+	}
+	src, sink := 0, n+nIv+1
+	g := flow.NewNetwork(n + nIv + 2)
+	for i, d := range demands {
+		g.AddEdge(src, 1+i, d.Rem)
+	}
+	type key struct{ d, v int }
+	handles := make(map[key]flow.EdgeID)
+	// Chronological incremental maximization: after each interval's edges
+	// join the network, augmenting paths saturate the earliest intervals
+	// first.
+	for v := 0; v < nIv; v++ {
+		length := uniq[v+1] - uniq[v]
+		g.AddEdge(n+1+v, sink, float64(m)*length)
+		for i, d := range demands {
+			if d.Release <= uniq[v] && d.Deadline >= uniq[v+1] {
+				handles[key{i, v}] = g.AddEdgeTracked(1+i, n+1+v, length)
+			}
+		}
+		plan.Total += g.MaxFlow(src, sink)
+	}
+	for k, h := range handles {
+		plan.Alloc[k.d][k.v] = g.FlowOn(h)
+	}
+	return plan
+}
+
+// Execute advances the plan's fluid execution from the plan's start until
+// time t (pass +Inf to finish), returning the work executed per demand.
+// Within an interval the allocation runs at constant rate, so a partial
+// interval contributes proportionally; executors that need exactness at t
+// should pass t as an extra breakpoint to FluidPlan.
+func (p Plan) Execute(until float64) []float64 {
+	done := make([]float64, len(p.Alloc))
+	for v := 0; v+1 < len(p.Times); v++ {
+		a, b := p.Times[v], p.Times[v+1]
+		if until <= a {
+			break
+		}
+		frac := 1.0
+		if until < b {
+			frac = (until - a) / (b - a)
+		}
+		for d := range p.Alloc {
+			done[d] += p.Alloc[d][v] * frac
+		}
+	}
+	return done
+}

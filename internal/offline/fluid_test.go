@@ -1,0 +1,177 @@
+package offline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFluidPlanEmpty(t *testing.T) {
+	p := FluidPlan(nil, 2)
+	if p.Total != 0 || len(p.Alloc) != 0 {
+		t.Errorf("empty plan: %+v", p)
+	}
+}
+
+func TestFluidPlanSingleDemand(t *testing.T) {
+	p := FluidPlan([]Demand{{ID: 0, Rem: 3, Release: 1, Deadline: 5}}, 1)
+	if math.Abs(p.Total-3) > 1e-9 {
+		t.Errorf("Total = %g, want 3", p.Total)
+	}
+	if !p.Covers([]Demand{{Rem: 3}}, 1e-9) {
+		t.Error("plan must cover the demand")
+	}
+}
+
+func TestFluidPlanSelfParallelismCap(t *testing.T) {
+	// One job cannot use two machines at once: 4 units in a window of 3
+	// on m=2 is infeasible for a single demand.
+	p := FluidPlan([]Demand{{ID: 0, Rem: 4, Release: 0, Deadline: 3}}, 2)
+	if math.Abs(p.Total-3) > 1e-9 {
+		t.Errorf("Total = %g, want 3 (rate cap 1)", p.Total)
+	}
+}
+
+func TestFluidPlanMcNaughtonCase(t *testing.T) {
+	// Three 2-unit demands in [0,3) on two machines: 6 units into 6
+	// machine-time, feasible only by splitting — the fluid plan covers.
+	ds := []Demand{
+		{ID: 0, Rem: 2, Release: 0, Deadline: 3},
+		{ID: 1, Rem: 2, Release: 0, Deadline: 3},
+		{ID: 2, Rem: 2, Release: 0, Deadline: 3},
+	}
+	p := FluidPlan(ds, 2)
+	if !p.Covers(ds, 1e-9) {
+		t.Errorf("Total = %g, want 6", p.Total)
+	}
+}
+
+func TestFluidPlanLeftmost(t *testing.T) {
+	// A 4-unit demand with window [0, 10] and an extra breakpoint at 4:
+	// leftmost-maximality must pack all 4 units before t=4.
+	ds := []Demand{{ID: 0, Rem: 4, Release: 0, Deadline: 10}}
+	p := FluidPlan(ds, 1, 4)
+	done := p.Execute(4)
+	if math.Abs(done[0]-4) > 1e-9 {
+		t.Errorf("executed %g by t=4, want 4 (leftmost)", done[0])
+	}
+}
+
+func TestFluidPlanLeftmostWithCompetition(t *testing.T) {
+	// Two demands, one urgent: the urgent one is fully served by its
+	// deadline AND the total prefix is maximal.
+	ds := []Demand{
+		{ID: 0, Rem: 2, Release: 0, Deadline: 2},
+		{ID: 1, Rem: 6, Release: 0, Deadline: 10},
+	}
+	p := FluidPlan(ds, 1, 2)
+	if !p.Covers(ds, 1e-9) {
+		t.Fatalf("Total = %g, want 8", p.Total)
+	}
+	done := p.Execute(2)
+	// The machine runs continuously in [0,2): exactly 2 units total, all
+	// of which must include demand 0's 2 units (deadline 2).
+	if math.Abs(done[0]+done[1]-2) > 1e-9 {
+		t.Errorf("prefix work %g, want 2 (work-conserving)", done[0]+done[1])
+	}
+	if math.Abs(done[0]-2) > 1e-9 {
+		t.Errorf("urgent demand executed %g by its deadline, want 2", done[0])
+	}
+}
+
+func TestExecutePartialInterval(t *testing.T) {
+	ds := []Demand{{ID: 0, Rem: 4, Release: 0, Deadline: 4}}
+	p := FluidPlan(ds, 1)
+	done := p.Execute(1) // quarter of the single [0,4) interval
+	if math.Abs(done[0]-1) > 1e-9 {
+		t.Errorf("executed %g by t=1, want 1 (proportional)", done[0])
+	}
+	all := p.Execute(math.Inf(1))
+	if math.Abs(all[0]-4) > 1e-9 {
+		t.Errorf("executed %g at drain, want 4", all[0])
+	}
+}
+
+// Property: the fluid plan total never exceeds Σ rem, never exceeds
+// m·(span), and respects per-demand caps.
+func TestQuickFluidPlanBounds(t *testing.T) {
+	prop := func(seed int64, mRaw, nRaw uint8) bool {
+		m := 1 + int(mRaw)%4
+		n := 1 + int(nRaw)%8
+		rng := rand.New(rand.NewSource(seed))
+		ds := make([]Demand, n)
+		var sum float64
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := range ds {
+			r := rng.Float64() * 5
+			w := 0.5 + rng.Float64()*5
+			rem := rng.Float64() * w * 1.5
+			ds[i] = Demand{ID: i, Rem: rem, Release: r, Deadline: r + w}
+			sum += rem
+			lo = math.Min(lo, r)
+			hi = math.Max(hi, r+w)
+		}
+		p := FluidPlan(ds, m)
+		if p.Total > sum+1e-9 || p.Total > float64(m)*(hi-lo)+1e-9 {
+			return false
+		}
+		// Per-demand: allocated ≤ rem and ≤ window length per interval.
+		for i, d := range ds {
+			var got float64
+			for v, a := range p.Alloc[i] {
+				if a < -1e-12 || a > p.Times[v+1]-p.Times[v]+1e-9 {
+					return false
+				}
+				got += a
+			}
+			if got > d.Rem+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: leftmost-maximality — for every extra breakpoint τ, the work
+// executed by τ equals the maximum flow of the τ-truncated problem.
+func TestQuickFluidPlanPrefixMaximal(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		m := 1 + rng.Intn(3)
+		ds := make([]Demand, n)
+		for i := range ds {
+			r := rng.Float64() * 4
+			w := 0.5 + rng.Float64()*4
+			ds[i] = Demand{ID: i, Rem: rng.Float64() * w, Release: r, Deadline: r + w}
+		}
+		tau := rng.Float64() * 8
+		p := FluidPlan(ds, m, tau)
+		var prefix float64
+		for _, d := range p.Execute(tau) {
+			prefix += d
+		}
+		// Truncated problem: clamp every deadline to tau.
+		trunc := make([]Demand, 0, n)
+		for _, d := range ds {
+			if d.Release >= tau {
+				continue
+			}
+			dd := d
+			if dd.Deadline > tau {
+				dd.Deadline = tau
+			}
+			// A demand can execute at most its truncated window.
+			trunc = append(trunc, dd)
+		}
+		want := FluidPlan(trunc, m).Total
+		return math.Abs(prefix-want) <= 1e-6*(1+want)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

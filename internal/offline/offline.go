@@ -1,0 +1,432 @@
+// Package offline computes or bounds the optimal offline load
+// OPT = max Σ p_j over feasibly schedulable subsets — the numerator of
+// every measured competitive ratio in this repository.
+//
+// Three tiers are provided:
+//
+//   - Exact: a branch-and-bound over accept/reject decisions with a
+//     complete backtracking feasibility search. Exponential; intended for
+//     instances up to roughly 14 jobs (the experiments keep exact
+//     measurements in that regime).
+//
+//   - UpperBound: min of Σ p_j, m·measure(∪[r_j,d_j)), and a fractional
+//     preemptive relaxation solved as a max-flow (jobs → time intervals →
+//     sink). Every feasible schedule induces such a flow, so the value
+//     dominates OPT. Using an upper bound for OPT only ever *overstates*
+//     measured ratios, keeping Theorem-2 validation conservative.
+//
+//   - GreedyLB: offline list scheduling with gap insertion under several
+//     job orders (EDF, release, LPT, SPT), returning the best feasible
+//     schedule found. A certified lower bound on OPT.
+package offline
+
+import (
+	"math"
+	"sort"
+
+	"loadmax/internal/flow"
+	"loadmax/internal/job"
+	"loadmax/internal/schedule"
+)
+
+// ExactLimit is the default maximum instance size for Exact; beyond it the
+// experiments fall back to bounds. (Exact remains callable on larger
+// instances; it just may take exponential time.)
+const ExactLimit = 14
+
+// Bounds holds the three OPT estimates for one instance.
+type Bounds struct {
+	// Lower is a certified achievable load (greedy schedule, or the exact
+	// optimum when computed).
+	Lower float64
+	// Upper dominates OPT (min of total load, union capacity, flow
+	// relaxation; equals the exact optimum when computed).
+	Upper float64
+	// Exact reports whether Lower == Upper == OPT.
+	Exact bool
+}
+
+// ComputeBounds returns OPT bounds, running the exact solver when the
+// instance has at most exactLimit jobs (pass 0 for the default).
+func ComputeBounds(inst job.Instance, m, exactLimit int) Bounds {
+	if exactLimit <= 0 {
+		exactLimit = ExactLimit
+	}
+	if len(inst) <= exactLimit {
+		load, _ := Exact(inst, m)
+		return Bounds{Lower: load, Upper: load, Exact: true}
+	}
+	lb, _ := GreedyLB(inst, m)
+	return Bounds{Lower: lb, Upper: UpperBound(inst, m)}
+}
+
+// ---------------------------------------------------------------------------
+// Exact branch and bound.
+
+// Exact returns the optimal offline load and a certifying schedule.
+func Exact(inst job.Instance, m int) (float64, *schedule.Schedule) {
+	if len(inst) == 0 {
+		return 0, schedule.New(m)
+	}
+	// Branch on jobs in descending processing time: big jobs first makes
+	// the load-based prune bite early.
+	jobs := inst.Clone()
+	sort.SliceStable(jobs, func(a, b int) bool { return jobs[a].Proc > jobs[b].Proc })
+
+	suffix := make([]float64, len(jobs)+1)
+	for i := len(jobs) - 1; i >= 0; i-- {
+		suffix[i] = suffix[i+1] + jobs[i].Proc
+	}
+
+	bb := &exactSearch{m: m, jobs: jobs, suffix: suffix}
+	// Seed the incumbent with the greedy lower bound so pruning starts
+	// strong.
+	if lb, lbSet := greedyBest(inst, m); lb > 0 {
+		bb.best = lb
+		bb.bestSet = lbSet
+	}
+	bb.run(0, nil, 0)
+
+	s := schedule.New(m)
+	if len(bb.bestSet) > 0 {
+		if !Feasible(bb.bestSet, m, s) {
+			// Cannot happen: bestSet was feasibility-checked when adopted.
+			panic("offline: incumbent set became infeasible")
+		}
+	}
+	return bb.best, s
+}
+
+type exactSearch struct {
+	m       int
+	jobs    job.Instance
+	suffix  []float64
+	best    float64
+	bestSet job.Instance
+}
+
+func (b *exactSearch) run(i int, chosen job.Instance, load float64) {
+	if load+b.suffix[i] <= b.best+1e-12 {
+		return // even accepting everything left cannot beat the incumbent
+	}
+	if i == len(b.jobs) {
+		// load > best is implied by the prune above; chosen is feasible by
+		// construction (checked on every accept).
+		b.best = load
+		b.bestSet = append(job.Instance(nil), chosen...)
+		return
+	}
+	// Accept branch first: descending-p order means acceptance moves the
+	// incumbent fastest. The full-capacity slice expression forces the
+	// sibling's append to copy instead of aliasing.
+	withJob := append(chosen[:len(chosen):len(chosen)], b.jobs[i])
+	if Feasible(withJob, b.m, nil) {
+		b.run(i+1, withJob, load+b.jobs[i].Proc)
+	}
+	b.run(i+1, chosen, load) // reject branch
+}
+
+// Feasible reports whether the job set is non-preemptively schedulable on
+// m machines, by complete backtracking over left-shifted schedules: at
+// each node the search branches over every (unscheduled job, distinct
+// machine-availability) pair, placing the job at max(avail, release).
+// Left-shifting every job of a feasible schedule preserves feasibility,
+// so enumerating left-shifted schedules is complete. States are memoized
+// on (placed-set, sorted availability vector).
+//
+// When out is non-nil and the set is feasible, a certifying schedule is
+// written into it.
+func Feasible(set job.Instance, m int, out *schedule.Schedule) bool {
+	if len(set) == 0 {
+		return true
+	}
+	if len(set) > 64 {
+		panic("offline: feasibility search limited to 64 jobs")
+	}
+	// Deterministic branching order: EDF, then release.
+	jobs := set.Clone()
+	sort.SliceStable(jobs, func(a, b int) bool {
+		if jobs[a].Deadline != jobs[b].Deadline {
+			return jobs[a].Deadline < jobs[b].Deadline
+		}
+		return jobs[a].Release < jobs[b].Release
+	})
+	st := &feasState{
+		m:     m,
+		jobs:  jobs,
+		avail: make([]float64, m),
+		memo:  make(map[feasKey]bool),
+	}
+	if !st.search(0) {
+		return false
+	}
+	if out != nil {
+		for _, p := range st.placed {
+			out.Add(jobs[p.jobIdx], p.machine, p.start)
+		}
+	}
+	return true
+}
+
+type placement struct {
+	jobIdx  int
+	machine int
+	start   float64
+}
+
+type feasKey struct {
+	done  uint64
+	avail [8]float64 // sorted, zero-padded; m > 8 disables memoization
+}
+
+type feasState struct {
+	m      int
+	jobs   job.Instance
+	avail  []float64
+	placed []placement
+	memo   map[feasKey]bool
+}
+
+func (f *feasState) key(done uint64) (feasKey, bool) {
+	if f.m > 8 {
+		return feasKey{}, false
+	}
+	k := feasKey{done: done}
+	copy(k.avail[:], f.avail)
+	sort.Float64s(k.avail[:f.m])
+	return k, true
+}
+
+func (f *feasState) search(done uint64) bool {
+	if popcount(done) == len(f.jobs) {
+		return true
+	}
+	key, keyOK := f.key(done)
+	if keyOK {
+		if v, seen := f.memo[key]; seen {
+			return v // only failures are ever revisited, but cache both
+		}
+	}
+	// Fail fast: availability only grows, so a job that cannot fit on the
+	// emptiest machine now never will.
+	minAvail := math.Inf(1)
+	for _, a := range f.avail {
+		if a < minAvail {
+			minAvail = a
+		}
+	}
+	for ji, jj := range f.jobs {
+		if done&(1<<uint(ji)) != 0 {
+			continue
+		}
+		if job.Greater(math.Max(minAvail, jj.Release)+jj.Proc, jj.Deadline) {
+			if keyOK {
+				f.memo[key] = false
+			}
+			return false
+		}
+	}
+	ok := false
+	for ji := range f.jobs {
+		if done&(1<<uint(ji)) != 0 {
+			continue
+		}
+		jj := f.jobs[ji]
+		tried := make(map[float64]bool, f.m)
+		for mi := 0; mi < f.m; mi++ {
+			if tried[f.avail[mi]] {
+				continue // identical machines: same avail ⇒ same subtree
+			}
+			tried[f.avail[mi]] = true
+			start := math.Max(f.avail[mi], jj.Release)
+			if job.Greater(start+jj.Proc, jj.Deadline) {
+				continue
+			}
+			prev := f.avail[mi]
+			f.avail[mi] = start + jj.Proc
+			f.placed = append(f.placed, placement{ji, mi, start})
+			if f.search(done | 1<<uint(ji)) {
+				ok = true
+				break
+			}
+			f.placed = f.placed[:len(f.placed)-1]
+			f.avail[mi] = prev
+		}
+		if ok {
+			break
+		}
+	}
+	if keyOK {
+		f.memo[key] = ok
+	}
+	return ok
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// ---------------------------------------------------------------------------
+// Upper bounds.
+
+// UpperBound returns min(Σ p_j, m·measure(∪[r_j,d_j)), flow relaxation).
+func UpperBound(inst job.Instance, m int) float64 {
+	if len(inst) == 0 {
+		return 0
+	}
+	ub := inst.TotalLoad()
+	if u := float64(m) * inst.Union(); u < ub {
+		ub = u
+	}
+	if fr := FlowRelaxation(inst, m); fr < ub {
+		ub = fr
+	}
+	return ub
+}
+
+// FlowRelaxation solves the fractional preemptive relaxation: source→job
+// (cap p_j), job→interval (cap |interval|, forbidding self-parallelism),
+// interval→sink (cap m·|interval|), over the elementary intervals between
+// consecutive release/deadline breakpoints. The max flow dominates the
+// load of every feasible non-preemptive schedule.
+func FlowRelaxation(inst job.Instance, m int) float64 {
+	n := len(inst)
+	if n == 0 {
+		return 0
+	}
+	pts := make([]float64, 0, 2*n)
+	for _, j := range inst {
+		pts = append(pts, j.Release, j.Deadline)
+	}
+	sort.Float64s(pts)
+	uniq := pts[:0]
+	for i, p := range pts {
+		if i == 0 || p > uniq[len(uniq)-1] {
+			uniq = append(uniq, p)
+		}
+	}
+	nIv := len(uniq) - 1
+	if nIv <= 0 {
+		return 0
+	}
+	// Node layout: 0 = source, 1..n = jobs, n+1..n+nIv = intervals,
+	// n+nIv+1 = sink.
+	src, sink := 0, n+nIv+1
+	g := flow.NewNetwork(n + nIv + 2)
+	for i, j := range inst {
+		g.AddEdge(src, 1+i, j.Proc)
+	}
+	for v := 0; v < nIv; v++ {
+		length := uniq[v+1] - uniq[v]
+		g.AddEdge(n+1+v, sink, float64(m)*length)
+		for i, j := range inst {
+			if job.LessEq(j.Release, uniq[v]) && job.GreaterEq(j.Deadline, uniq[v+1]) {
+				g.AddEdge(1+i, n+1+v, length)
+			}
+		}
+	}
+	return g.MaxFlow(src, sink)
+}
+
+// ---------------------------------------------------------------------------
+// Greedy lower bound.
+
+// greedyOrders enumerates the job orders GreedyLB tries.
+var greedyOrders = []struct {
+	name string
+	less func(a, b job.Job) bool
+}{
+	{"edf", func(a, b job.Job) bool { return a.Deadline < b.Deadline }},
+	{"release", func(a, b job.Job) bool {
+		if a.Release != b.Release {
+			return a.Release < b.Release
+		}
+		return a.Deadline < b.Deadline
+	}},
+	{"lpt", func(a, b job.Job) bool { return a.Proc > b.Proc }},
+	{"spt", func(a, b job.Job) bool { return a.Proc < b.Proc }},
+}
+
+// GreedyLB returns the best load over several list-scheduling orders with
+// gap insertion, together with its feasible schedule.
+func GreedyLB(inst job.Instance, m int) (float64, *schedule.Schedule) {
+	bestLoad := -1.0
+	var best *schedule.Schedule
+	for _, ord := range greedyOrders {
+		jobs := inst.Clone()
+		sort.SliceStable(jobs, func(a, b int) bool { return ord.less(jobs[a], jobs[b]) })
+		s := gapInsert(jobs, m)
+		if l := s.Load(); l > bestLoad {
+			bestLoad = l
+			best = s
+		}
+	}
+	return bestLoad, best
+}
+
+// greedyBest returns the greedy lower bound together with its job set
+// (used to seed the B&B incumbent).
+func greedyBest(inst job.Instance, m int) (float64, job.Instance) {
+	load, s := GreedyLB(inst, m)
+	var set job.Instance
+	for _, sl := range s.Slots() {
+		set = append(set, sl.Job)
+	}
+	return load, set
+}
+
+// tslot is a committed busy interval on one machine during gap insertion.
+type tslot struct{ start, end float64 }
+
+// gapInsert schedules jobs in the given order, placing each at the
+// earliest feasible start over all machines and inter-slot gaps; jobs that
+// fit nowhere are dropped.
+func gapInsert(jobs job.Instance, m int) *schedule.Schedule {
+	machines := make([][]tslot, m)
+	s := schedule.New(m)
+	for _, j := range jobs {
+		bestM, bestStart := -1, math.Inf(1)
+		for mi := 0; mi < m; mi++ {
+			start, ok := earliestFit(machines[mi], j)
+			if ok && start < bestStart {
+				bestM, bestStart = mi, start
+			}
+		}
+		if bestM < 0 {
+			continue
+		}
+		ms := machines[bestM]
+		ms = append(ms, tslot{bestStart, bestStart + j.Proc})
+		sort.Slice(ms, func(a, b int) bool { return ms[a].start < ms[b].start })
+		machines[bestM] = ms
+		s.Add(j, bestM, bestStart)
+	}
+	return s
+}
+
+// earliestFit returns the earliest start on a machine whose committed
+// slots are sorted by start time, or ok=false when the job fits nowhere.
+func earliestFit(slots []tslot, j job.Job) (float64, bool) {
+	// Candidate gaps: before the first slot, between consecutive slots,
+	// after the last one.
+	prevEnd := 0.0
+	for i := 0; i <= len(slots); i++ {
+		gapEnd := math.Inf(1)
+		if i < len(slots) {
+			gapEnd = slots[i].start
+		}
+		start := math.Max(prevEnd, j.Release)
+		if job.LessEq(start+j.Proc, math.Min(gapEnd, j.Deadline)) {
+			return start, true
+		}
+		if i < len(slots) {
+			prevEnd = slots[i].end
+		}
+	}
+	return 0, false
+}

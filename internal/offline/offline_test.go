@@ -1,0 +1,301 @@
+package offline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"loadmax/internal/job"
+	"loadmax/internal/schedule"
+)
+
+func TestExactEmpty(t *testing.T) {
+	load, s := Exact(nil, 2)
+	if load != 0 || s.Len() != 0 {
+		t.Errorf("empty instance: load %g, %d slots", load, s.Len())
+	}
+}
+
+func TestExactSingleJob(t *testing.T) {
+	inst := job.Instance{{ID: 0, Release: 0, Proc: 5, Deadline: 10}}
+	load, s := Exact(inst, 1)
+	if !job.Eq(load, 5) {
+		t.Errorf("load = %g, want 5", load)
+	}
+	if !s.Feasible() {
+		t.Error("schedule infeasible")
+	}
+}
+
+func TestExactConflictPicksLarger(t *testing.T) {
+	// Two jobs whose windows force them to fully overlap on one machine:
+	// the optimum keeps the longer.
+	inst := job.Instance{
+		{ID: 0, Release: 0, Proc: 4, Deadline: 4},
+		{ID: 1, Release: 0, Proc: 3, Deadline: 3},
+	}
+	load, _ := Exact(inst, 1)
+	if !job.Eq(load, 4) {
+		t.Errorf("load = %g, want 4 (keep the longer job)", load)
+	}
+	// With two machines both fit.
+	load2, s2 := Exact(inst, 2)
+	if !job.Eq(load2, 7) {
+		t.Errorf("m=2 load = %g, want 7", load2)
+	}
+	if !s2.Feasible() {
+		t.Error("m=2 schedule infeasible")
+	}
+}
+
+func TestExactNeedsDelayedStart(t *testing.T) {
+	// Non-delay scheduling fails here: job A (r=0) must wait for B (r=1,
+	// tight) — the left-shift enumeration must still find the plan B@1,
+	// A@2.
+	inst := job.Instance{
+		{ID: 0, Release: 0, Proc: 10, Deadline: 20},
+		{ID: 1, Release: 1, Proc: 1, Deadline: 2},
+	}
+	load, s := Exact(inst, 1)
+	if !job.Eq(load, 11) {
+		t.Errorf("load = %g, want 11 (delayed start of the long job)", load)
+	}
+	if !s.Feasible() {
+		t.Error("schedule infeasible")
+	}
+}
+
+func TestExactSequencingMatters(t *testing.T) {
+	// Three jobs on one machine feasible only in EDF order.
+	inst := job.Instance{
+		{ID: 0, Release: 0, Proc: 2, Deadline: 2},
+		{ID: 1, Release: 0, Proc: 2, Deadline: 4},
+		{ID: 2, Release: 0, Proc: 2, Deadline: 6},
+	}
+	load, s := Exact(inst, 1)
+	if !job.Eq(load, 6) {
+		t.Errorf("load = %g, want 6", load)
+	}
+	if errs := s.Verify(); len(errs) != 0 {
+		t.Errorf("violations: %v", errs)
+	}
+}
+
+func TestFeasibleKnownCases(t *testing.T) {
+	twoTight := job.Instance{
+		{ID: 0, Release: 0, Proc: 2, Deadline: 2},
+		{ID: 1, Release: 0, Proc: 2, Deadline: 2},
+	}
+	if Feasible(twoTight, 1, nil) {
+		t.Error("two fully-overlapping tight jobs cannot share one machine")
+	}
+	if !Feasible(twoTight, 2, nil) {
+		t.Error("two machines must suffice")
+	}
+}
+
+func TestFeasibleWritesSchedule(t *testing.T) {
+	inst := job.Instance{
+		{ID: 0, Release: 0, Proc: 3, Deadline: 10},
+		{ID: 1, Release: 0, Proc: 3, Deadline: 10},
+		{ID: 2, Release: 0, Proc: 3, Deadline: 10},
+	}
+	s := schedule.New(2)
+	if !Feasible(inst, 2, s) {
+		t.Fatal("instance must be feasible on 2 machines")
+	}
+	if s.Len() != 3 {
+		t.Errorf("schedule has %d slots, want 3", s.Len())
+	}
+	if !s.Feasible() {
+		t.Errorf("certifying schedule infeasible: %v", s.Verify())
+	}
+}
+
+func TestFlowRelaxationTightCase(t *testing.T) {
+	// Three unit jobs in a window of length 2 on one machine: fractional
+	// relaxation caps at 2.
+	inst := job.Instance{
+		{ID: 0, Release: 0, Proc: 1, Deadline: 2},
+		{ID: 1, Release: 0, Proc: 1, Deadline: 2},
+		{ID: 2, Release: 0, Proc: 1, Deadline: 2},
+	}
+	if got := FlowRelaxation(inst, 1); math.Abs(got-2) > 1e-9 {
+		t.Errorf("flow = %g, want 2", got)
+	}
+	if got := FlowRelaxation(inst, 3); math.Abs(got-3) > 1e-9 {
+		t.Errorf("m=3 flow = %g, want 3", got)
+	}
+}
+
+func TestUnionBound(t *testing.T) {
+	inst := job.Instance{
+		{ID: 0, Release: 0, Proc: 1, Deadline: 2},
+		{ID: 1, Release: 10, Proc: 1, Deadline: 12},
+	}
+	if got := inst.Union(); math.Abs(got-4) > 1e-9 {
+		t.Errorf("union = %g, want 4", got)
+	}
+	// Overlapping windows merge.
+	inst2 := job.Instance{
+		{ID: 0, Release: 0, Proc: 1, Deadline: 5},
+		{ID: 1, Release: 3, Proc: 1, Deadline: 8},
+	}
+	if got := inst2.Union(); math.Abs(got-8) > 1e-9 {
+		t.Errorf("union = %g, want 8", got)
+	}
+}
+
+func TestUpperBoundNeverBelowExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		inst := randInst(rng, 2+rng.Intn(9), 0.05+rng.Float64()*0.9)
+		m := 1 + rng.Intn(3)
+		ex, _ := Exact(inst, m)
+		if ub := UpperBound(inst, m); ub < ex-1e-9 {
+			t.Errorf("trial %d: UB %g < exact %g", trial, ub, ex)
+		}
+	}
+}
+
+func TestGreedyLBNeverAboveExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 30; trial++ {
+		inst := randInst(rng, 2+rng.Intn(9), 0.05+rng.Float64()*0.9)
+		m := 1 + rng.Intn(3)
+		ex, _ := Exact(inst, m)
+		lb, s := GreedyLB(inst, m)
+		if lb > ex+1e-9 {
+			t.Errorf("trial %d: LB %g > exact %g", trial, lb, ex)
+		}
+		if !s.Feasible() {
+			t.Errorf("trial %d: greedy schedule infeasible", trial)
+		}
+	}
+}
+
+func TestComputeBoundsExactRegime(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	inst := randInst(rng, 8, 0.3)
+	b := ComputeBounds(inst, 2, 0)
+	if !b.Exact || b.Lower != b.Upper {
+		t.Errorf("n=8 must be exact: %+v", b)
+	}
+	inst20 := randInst(rng, 20, 0.3)
+	b20 := ComputeBounds(inst20, 2, 0)
+	if b20.Exact {
+		t.Error("n=20 must not be exact by default")
+	}
+	if b20.Lower > b20.Upper+1e-9 {
+		t.Errorf("bounds crossed: %+v", b20)
+	}
+}
+
+func randInst(rng *rand.Rand, n int, eps float64) job.Instance {
+	inst := make(job.Instance, 0, n)
+	tm := 0.0
+	for i := 0; i < n; i++ {
+		tm += rng.Float64() * 1.5
+		p := 0.2 + rng.Float64()*6
+		inst = append(inst, job.Job{
+			ID: i, Release: tm, Proc: p,
+			Deadline: tm + (1+eps+rng.Float64()*0.5)*p,
+		})
+	}
+	return inst
+}
+
+// Property: LB ≤ Exact ≤ UB on random small instances, and the exact
+// schedule is feasible with matching load.
+func TestQuickBoundsSandwich(t *testing.T) {
+	prop := func(seed int64, nRaw, mRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(nRaw)%9
+		m := 1 + int(mRaw)%3
+		inst := randInst(rng, n, 0.1)
+		ex, s := Exact(inst, m)
+		lb, _ := GreedyLB(inst, m)
+		ub := UpperBound(inst, m)
+		if lb > ex+1e-9 || ex > ub+1e-9 {
+			return false
+		}
+		return s.Feasible() && job.Eq(s.Load(), ex)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Exact is monotone in m — more machines never decrease OPT.
+func TestQuickExactMonotoneInMachines(t *testing.T) {
+	prop := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(nRaw)%8
+		inst := randInst(rng, n, 0.2)
+		prev := -1.0
+		for m := 1; m <= 3; m++ {
+			ex, _ := Exact(inst, m)
+			if ex < prev-1e-9 {
+				return false
+			}
+			prev = ex
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: when every job has a huge window, everything is schedulable
+// and all three tiers agree on Σ p_j.
+func TestQuickLooseWindowsAllAccepted(t *testing.T) {
+	prop := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(nRaw)%10
+		inst := make(job.Instance, 0, n)
+		for i := 0; i < n; i++ {
+			p := 0.5 + rng.Float64()*3
+			inst = append(inst, job.Job{ID: i, Release: 0, Proc: p, Deadline: 1e6})
+		}
+		total := inst.TotalLoad()
+		ex, _ := Exact(inst, 1)
+		lb, _ := GreedyLB(inst, 1)
+		return job.Eq(ex, total) && job.Eq(lb, total)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFeasibleTooManyJobsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("must panic above 64 jobs")
+		}
+	}()
+	big := make(job.Instance, 65)
+	for i := range big {
+		big[i] = job.Job{ID: i, Release: 0, Proc: 1, Deadline: 1e9}
+	}
+	Feasible(big, 2, nil)
+}
+
+func BenchmarkExactN12M2(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	inst := randInst(rng, 12, 0.1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Exact(inst, 2)
+	}
+}
+
+func BenchmarkFlowRelaxationN100(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	inst := randInst(rng, 100, 0.1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FlowRelaxation(inst, 4)
+	}
+}

@@ -1,0 +1,167 @@
+package offline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"loadmax/internal/job"
+)
+
+// bruteForceOPT is an independent oracle for tiny instances: it
+// enumerates every subset, every machine assignment and every
+// per-machine execution order, left-shifting each sequence. Exponential
+// in the worst way — and therefore a trustworthy cross-check for the
+// branch-and-bound solver the whole repository leans on.
+func bruteForceOPT(inst job.Instance, m int) float64 {
+	n := len(inst)
+	if n > 6 {
+		panic("oracle: too many jobs")
+	}
+	best := 0.0
+	// Subsets.
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		var chosen job.Instance
+		var load float64
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				chosen = append(chosen, inst[i])
+				load += inst[i].Proc
+			}
+		}
+		if load <= best {
+			continue
+		}
+		if bruteFeasible(chosen, m) {
+			best = load
+		}
+	}
+	return best
+}
+
+// bruteFeasible enumerates machine assignments and orders.
+func bruteFeasible(set job.Instance, m int) bool {
+	if len(set) == 0 {
+		return true
+	}
+	assign := make([]int, len(set))
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(set) {
+			// Per machine: does some order fit? Enumerate permutations.
+			for mi := 0; mi < m; mi++ {
+				var mine job.Instance
+				for j, a := range assign {
+					if a == mi {
+						mine = append(mine, set[j])
+					}
+				}
+				if !somePermutationFits(mine) {
+					return false
+				}
+			}
+			return true
+		}
+		for mi := 0; mi < m; mi++ {
+			assign[i] = mi
+			if rec(i + 1) {
+				return true
+			}
+		}
+		return false
+	}
+	return rec(0)
+}
+
+// somePermutationFits checks all execution orders on one machine with
+// left-shifted starts.
+func somePermutationFits(set job.Instance) bool {
+	if len(set) == 0 {
+		return true
+	}
+	idx := make([]int, len(set))
+	for i := range idx {
+		idx[i] = i
+	}
+	var perm func(k int) bool
+	perm = func(k int) bool {
+		if k == len(idx) {
+			t := 0.0
+			for _, i := range idx {
+				s := math.Max(t, set[i].Release)
+				if job.Greater(s+set[i].Proc, set[i].Deadline) {
+					return false
+				}
+				t = s + set[i].Proc
+			}
+			return true
+		}
+		for i := k; i < len(idx); i++ {
+			idx[k], idx[i] = idx[i], idx[k]
+			if perm(k + 1) {
+				idx[k], idx[i] = idx[i], idx[k]
+				return true
+			}
+			idx[k], idx[i] = idx[i], idx[k]
+		}
+		return false
+	}
+	return perm(0)
+}
+
+func TestExactMatchesBruteForceOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 400; trial++ {
+		n := 1 + rng.Intn(6)
+		m := 1 + rng.Intn(3)
+		inst := make(job.Instance, 0, n)
+		tm := 0.0
+		for i := 0; i < n; i++ {
+			tm += rng.Float64() * 2
+			p := 0.2 + rng.Float64()*4
+			// Mix tight and loose windows; occasionally force conflicts
+			// by reusing the same release.
+			if rng.Float64() < 0.3 {
+				tm = 0
+			}
+			inst = append(inst, job.Job{
+				ID: i, Release: tm, Proc: p,
+				Deadline: tm + p*(1+rng.Float64()*1.2),
+			})
+		}
+		inst.SortByRelease()
+		inst.Renumber()
+		want := bruteForceOPT(inst, m)
+		got, sched := Exact(inst, m)
+		if math.Abs(got-want) > 1e-9*(1+want) {
+			t.Fatalf("trial %d (n=%d m=%d): Exact %.9g ≠ oracle %.9g\ninstance: %+v",
+				trial, n, m, got, want, inst)
+		}
+		if !sched.Feasible() {
+			t.Fatalf("trial %d: Exact schedule infeasible", trial)
+		}
+	}
+}
+
+func TestOracleSelfCheck(t *testing.T) {
+	// The oracle itself on known instances.
+	inst := job.Instance{
+		{ID: 0, Release: 0, Proc: 2, Deadline: 2},
+		{ID: 1, Release: 0, Proc: 2, Deadline: 2},
+	}
+	if got := bruteForceOPT(inst, 1); got != 2 {
+		t.Errorf("oracle m=1 = %g, want 2", got)
+	}
+	if got := bruteForceOPT(inst, 2); got != 4 {
+		t.Errorf("oracle m=2 = %g, want 4", got)
+	}
+	// Order matters: EDF-only feasible trio.
+	trio := job.Instance{
+		{ID: 0, Release: 0, Proc: 1, Deadline: 3},
+		{ID: 1, Release: 0, Proc: 1, Deadline: 1},
+		{ID: 2, Release: 0, Proc: 1, Deadline: 2},
+	}
+	if got := bruteForceOPT(trio, 1); got != 3 {
+		t.Errorf("oracle trio = %g, want 3", got)
+	}
+}

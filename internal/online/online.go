@@ -1,0 +1,107 @@
+// Package online defines the protocol between a job source (an instance
+// replay or the Section-3 adversary) and an online scheduler with
+// immediate commitment.
+//
+// Immediate commitment — the paper's strongest commitment model — means
+// that the scheduler's response to Submit is irrevocable: an accepted job
+// carries its final machine and start time, and a rejected job is lost.
+// Because the protocol forces every decision into the returned Decision
+// value at submission time, there is no API through which a scheduler
+// could revise a decision later; the verifier in package sim additionally
+// checks the committed slots against each other and the job windows.
+package online
+
+import (
+	"fmt"
+
+	"loadmax/internal/job"
+)
+
+// Decision is the scheduler's irrevocable answer to a submission.
+type Decision struct {
+	JobID    int
+	Accepted bool
+	Machine  int     // 0-based machine index; meaningful only if Accepted
+	Start    float64 // committed start time; meaningful only if Accepted
+}
+
+func (d Decision) String() string {
+	if !d.Accepted {
+		return fmt.Sprintf("J%d: reject", d.JobID)
+	}
+	return fmt.Sprintf("J%d: accept on M%d at t=%g", d.JobID, d.Machine, d.Start)
+}
+
+// Scheduler is an online algorithm with immediate commitment. Jobs are
+// submitted in non-decreasing release-date order; Submit is called exactly
+// once per job and its Decision is final.
+type Scheduler interface {
+	// Name identifies the algorithm in reports and benchmarks.
+	Name() string
+	// Machines returns m, the number of identical machines.
+	Machines() int
+	// Submit presents job j at time j.Release and returns the
+	// irrevocable decision.
+	Submit(j job.Job) Decision
+	// Reset clears all state so the scheduler can run a fresh instance.
+	Reset()
+}
+
+// Randomized is implemented by schedulers whose decisions depend on
+// internal randomness (Corollary 1). Reseed re-derives the random choices
+// from the given seed; deterministic schedulers need not implement it.
+type Randomized interface {
+	Scheduler
+	Reseed(seed int64)
+}
+
+// Factory constructs a fresh scheduler for m machines and slack eps.
+// Experiment drivers use factories so every run starts from clean state.
+type Factory func(m int, eps float64) (Scheduler, error)
+
+// Log records the full decision history of a run; it is append-only,
+// mirroring the irrevocability of the decisions themselves.
+type Log struct {
+	decisions []Decision
+	byJob     map[int]int // job ID -> index in decisions
+}
+
+// NewLog returns an empty decision log.
+func NewLog() *Log {
+	return &Log{byJob: make(map[int]int)}
+}
+
+// Record appends a decision. It returns an error if a decision for the
+// same job was already recorded — the commitment-violation signal.
+func (l *Log) Record(d Decision) error {
+	if prev, ok := l.byJob[d.JobID]; ok {
+		return fmt.Errorf("commitment violation: job %d decided twice (%v then %v)",
+			d.JobID, l.decisions[prev], d)
+	}
+	l.byJob[d.JobID] = len(l.decisions)
+	l.decisions = append(l.decisions, d)
+	return nil
+}
+
+// Decisions returns the recorded decisions in submission order.
+func (l *Log) Decisions() []Decision { return l.decisions }
+
+// Lookup returns the decision for a job ID, if any.
+func (l *Log) Lookup(id int) (Decision, bool) {
+	i, ok := l.byJob[id]
+	if !ok {
+		return Decision{}, false
+	}
+	return l.decisions[i], true
+}
+
+// Accepted returns the number of accepted jobs in the log.
+func (l *Log) Accepted() int {
+	n := 0
+	for _, d := range l.decisions {
+		if d.Accepted {
+			n++
+		}
+	}
+	return n
+}

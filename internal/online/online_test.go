@@ -1,0 +1,65 @@
+package online
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDecisionString(t *testing.T) {
+	d := Decision{JobID: 4, Accepted: false}
+	if got := d.String(); got != "J4: reject" {
+		t.Errorf("String = %q", got)
+	}
+	d = Decision{JobID: 4, Accepted: true, Machine: 2, Start: 1.5}
+	if got := d.String(); !strings.Contains(got, "M2") || !strings.Contains(got, "1.5") {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestLogRecordsInOrder(t *testing.T) {
+	l := NewLog()
+	for i := 0; i < 5; i++ {
+		if err := l.Record(Decision{JobID: i, Accepted: i%2 == 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ds := l.Decisions()
+	if len(ds) != 5 {
+		t.Fatalf("got %d decisions", len(ds))
+	}
+	for i, d := range ds {
+		if d.JobID != i {
+			t.Errorf("decision %d has job ID %d", i, d.JobID)
+		}
+	}
+	if got := l.Accepted(); got != 3 {
+		t.Errorf("Accepted = %d, want 3", got)
+	}
+}
+
+func TestLogDetectsDoubleDecision(t *testing.T) {
+	// The commitment-violation signal: deciding the same job twice.
+	l := NewLog()
+	if err := l.Record(Decision{JobID: 7, Accepted: true}); err != nil {
+		t.Fatal(err)
+	}
+	err := l.Record(Decision{JobID: 7, Accepted: false})
+	if err == nil {
+		t.Fatal("second decision for the same job must error")
+	}
+	if !strings.Contains(err.Error(), "commitment violation") {
+		t.Errorf("error %q should name the violation", err)
+	}
+}
+
+func TestLogLookup(t *testing.T) {
+	l := NewLog()
+	l.Record(Decision{JobID: 3, Accepted: true, Machine: 1, Start: 2})
+	d, ok := l.Lookup(3)
+	if !ok || d.Machine != 1 || d.Start != 2 {
+		t.Errorf("Lookup(3) = %+v, %v", d, ok)
+	}
+	if _, ok := l.Lookup(99); ok {
+		t.Error("Lookup(99) must miss")
+	}
+}

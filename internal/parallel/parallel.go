@@ -1,0 +1,80 @@
+// Package parallel provides the small fan-out utilities the experiment
+// harness uses to spread independent simulation runs across cores:
+// a bounded worker pool with first-error propagation and an ordered map
+// over an index range. Stdlib only (sync + runtime).
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// ForEach runs fn(i) for i in [0, n) on up to workers goroutines
+// (workers ≤ 0 selects GOMAXPROCS). It returns the first error in index
+// order; all iterations run regardless (simulations are cheap and
+// independent — cancelling buys nothing and complicates determinism).
+// A panicking iteration is converted into an error rather than tearing
+// down the process.
+func ForEach(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				errs[i] = protect(i, fn)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// protect invokes fn(i), converting a panic into an error.
+func protect(i int, fn func(int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("parallel: task %d panicked: %v", i, r)
+		}
+	}()
+	return fn(i)
+}
+
+// Map computes out[i] = fn(i) for i in [0, n) in parallel, preserving
+// index order. It aborts with the first error in index order.
+func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(n, workers, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

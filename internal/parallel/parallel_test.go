@@ -1,0 +1,123 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForEachRunsAll(t *testing.T) {
+	var count int64
+	if err := ForEach(100, 4, func(i int) error {
+		atomic.AddInt64(&count, 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 100 {
+		t.Errorf("ran %d of 100", count)
+	}
+}
+
+func TestForEachEmptyAndDefaults(t *testing.T) {
+	if err := ForEach(0, 4, func(int) error { return errors.New("never") }); err != nil {
+		t.Error("n=0 must be a no-op")
+	}
+	// workers ≤ 0 selects GOMAXPROCS; workers > n clamps.
+	var count int64
+	if err := ForEach(3, -1, func(int) error { atomic.AddInt64(&count, 1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 {
+		t.Errorf("ran %d of 3", count)
+	}
+}
+
+func TestForEachFirstErrorInIndexOrder(t *testing.T) {
+	wantErr := errors.New("boom-3")
+	err := ForEach(10, 8, func(i int) error {
+		if i == 7 {
+			return errors.New("boom-7")
+		}
+		if i == 3 {
+			return wantErr
+		}
+		return nil
+	})
+	if err != wantErr {
+		t.Errorf("got %v, want the lowest-index error", err)
+	}
+}
+
+func TestForEachRecoversPanics(t *testing.T) {
+	err := ForEach(5, 2, func(i int) error {
+		if i == 2 {
+			panic("kaboom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("panic must surface as an error")
+	}
+	if want := "task 2 panicked"; !contains(err.Error(), want) {
+		t.Errorf("error %q should mention %q", err, want)
+	}
+}
+
+func TestMapPreservesOrder(t *testing.T) {
+	out, err := Map(50, 8, func(i int) (string, error) {
+		return fmt.Sprintf("v%d", i), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != fmt.Sprintf("v%d", i) {
+			t.Fatalf("out[%d] = %q", i, v)
+		}
+	}
+}
+
+func TestMapError(t *testing.T) {
+	_, err := Map(10, 2, func(i int) (int, error) {
+		if i == 4 {
+			return 0, errors.New("nope")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Error("error must propagate")
+	}
+}
+
+// Property: Map equals the sequential computation for pure functions.
+func TestQuickMapMatchesSequential(t *testing.T) {
+	prop := func(nRaw, wRaw uint8) bool {
+		n := int(nRaw) % 64
+		w := 1 + int(wRaw)%8
+		out, err := Map(n, w, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			return false
+		}
+		for i, v := range out {
+			if v != i*i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,116 @@
+// Package randomized implements Corollary 1: a randomized single-machine
+// algorithm with immediate commitment and competitive ratio O(log 1/ε),
+// via the static-classification-and-select technique.
+//
+// The algorithm simulates Algorithm 1 on v virtual machines and commits,
+// on the one physical machine, exactly the jobs the simulation assigns to
+// a uniformly random virtual machine chosen up front. Each virtual
+// machine's sub-schedule is itself a feasible single-machine schedule
+// (jobs start back-to-back after outstanding load), so the committed
+// start times transfer verbatim.
+//
+// In expectation the physical machine carries load(virtual)/v, while the
+// v-machine schedule is c(ε,v)-competitive against the v-machine optimum,
+// which dominates the single-machine optimum. Choosing v = Θ(log 1/ε)
+// machines balances the two factors: E[ratio] ≤ v·c(ε,v) / … = O(log 1/ε)
+// for the oblivious adversary, beating the deterministic 2 + 1/ε for
+// small ε.
+package randomized
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"loadmax/internal/core"
+	"loadmax/internal/job"
+	"loadmax/internal/online"
+)
+
+// ClassifySelect is the Corollary-1 scheduler. It presents itself as a
+// single-machine online.Scheduler.
+type ClassifySelect struct {
+	eps     float64
+	v       int // virtual machine count
+	seed    int64
+	rng     *rand.Rand
+	chosen  int
+	virtual *core.Threshold
+}
+
+var (
+	_ online.Scheduler  = (*ClassifySelect)(nil)
+	_ online.Randomized = (*ClassifySelect)(nil)
+)
+
+// DefaultVirtualMachines returns the Θ(log 1/ε) machine count used when
+// the caller does not fix one: ⌈ln(1/ε)⌉ clamped to [1, 64].
+func DefaultVirtualMachines(eps float64) int {
+	v := int(math.Ceil(math.Log(1 / eps)))
+	if v < 1 {
+		v = 1
+	}
+	if v > 64 {
+		v = 64
+	}
+	return v
+}
+
+// New builds the randomized single-machine scheduler with v virtual
+// machines (pass 0 for the default Θ(log 1/ε) choice) and a seed for the
+// machine selection.
+func New(eps float64, v int, seed int64) (*ClassifySelect, error) {
+	if v == 0 {
+		v = DefaultVirtualMachines(eps)
+	}
+	if v < 1 {
+		return nil, fmt.Errorf("randomized: v=%d must be ≥ 1", v)
+	}
+	virt, err := core.New(v, eps)
+	if err != nil {
+		return nil, fmt.Errorf("randomized: %w", err)
+	}
+	cs := &ClassifySelect{eps: eps, v: v, seed: seed, virtual: virt}
+	cs.Reset()
+	return cs, nil
+}
+
+// Name implements online.Scheduler.
+func (cs *ClassifySelect) Name() string {
+	return fmt.Sprintf("classify-select(v=%d)", cs.v)
+}
+
+// Machines implements online.Scheduler: the physical machine count is 1.
+func (cs *ClassifySelect) Machines() int { return 1 }
+
+// VirtualMachines returns v.
+func (cs *ClassifySelect) VirtualMachines() int { return cs.v }
+
+// Chosen returns the virtual machine selected for this run.
+func (cs *ClassifySelect) Chosen() int { return cs.chosen }
+
+// Reset implements online.Scheduler: the virtual simulation restarts and
+// a fresh machine is drawn from the seeded RNG.
+func (cs *ClassifySelect) Reset() {
+	cs.rng = rand.New(rand.NewSource(cs.seed))
+	cs.chosen = cs.rng.Intn(cs.v)
+	cs.virtual.Reset()
+}
+
+// Reseed implements online.Randomized.
+func (cs *ClassifySelect) Reseed(seed int64) {
+	cs.seed = seed
+	cs.Reset()
+}
+
+// Submit implements online.Scheduler: the job is fed to the virtual
+// m-machine Algorithm 1; it is committed physically iff the simulation
+// accepted it on the chosen virtual machine, with the identical start
+// time.
+func (cs *ClassifySelect) Submit(j job.Job) online.Decision {
+	vd := cs.virtual.Submit(j)
+	if !vd.Accepted || vd.Machine != cs.chosen {
+		return online.Decision{JobID: j.ID, Accepted: false}
+	}
+	return online.Decision{JobID: j.ID, Accepted: true, Machine: 0, Start: vd.Start}
+}

@@ -1,0 +1,191 @@
+package randomized
+
+import (
+	"math"
+	"testing"
+
+	"loadmax/internal/adversary"
+	"loadmax/internal/core"
+	"loadmax/internal/job"
+	"loadmax/internal/offline"
+	"loadmax/internal/ratio"
+	"loadmax/internal/sim"
+	"loadmax/internal/stats"
+	"loadmax/internal/workload"
+)
+
+func TestDefaultVirtualMachines(t *testing.T) {
+	cases := []struct {
+		eps  float64
+		want int
+	}{
+		{0.5, 1},   // ln 2 ≈ 0.69 → 1
+		{0.1, 3},   // ln 10 ≈ 2.30 → 3
+		{0.01, 5},  // ln 100 ≈ 4.6 → 5
+		{0.001, 7}, // ln 1000 ≈ 6.9 → 7
+		{1, 1},     // clamp below
+	}
+	for _, c := range cases {
+		if got := DefaultVirtualMachines(c.eps); got != c.want {
+			t.Errorf("DefaultVirtualMachines(%g) = %d, want %d", c.eps, got, c.want)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0.1, -1, 1); err == nil {
+		t.Error("negative v must error")
+	}
+	if _, err := New(0, 3, 1); err == nil {
+		t.Error("eps=0 must error")
+	}
+	cs, err := New(0.1, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.VirtualMachines() != 3 {
+		t.Errorf("default v = %d, want 3", cs.VirtualMachines())
+	}
+	if cs.Machines() != 1 {
+		t.Errorf("physical machines = %d, want 1", cs.Machines())
+	}
+}
+
+func TestCommittedScheduleFeasibleOnOneMachine(t *testing.T) {
+	// The transferred start times must form a feasible single-machine
+	// schedule — the core soundness property of classify-and-select.
+	for seed := int64(0); seed < 20; seed++ {
+		cs, err := New(0.05, 4, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst := workload.Bimodal(workload.Spec{N: 100, Eps: 0.05, M: 1, Seed: seed})
+		res, err := sim.Run(cs, inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Violations) != 0 {
+			t.Fatalf("seed %d: violations: %v", seed, res.Violations)
+		}
+	}
+}
+
+func TestAcceptsSubsetOfVirtualMachine(t *testing.T) {
+	// Every accepted job must be one the virtual Threshold accepted on
+	// the chosen machine; we verify by running the virtual scheduler in
+	// parallel.
+	eps := 0.1
+	cs, err := New(eps, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	virt, err := core.New(3, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs.Reset()
+	virt.Reset()
+	chosen := cs.Chosen()
+	inst := workload.Poisson(workload.Spec{N: 80, Eps: eps, M: 1, Seed: 9})
+	for _, j := range inst {
+		d := cs.Submit(j)
+		vd := virt.Submit(j)
+		wantAccept := vd.Accepted && vd.Machine == chosen
+		if d.Accepted != wantAccept {
+			t.Fatalf("job %d: physical accept=%v, virtual (machine %d, accepted %v), chosen %d",
+				j.ID, d.Accepted, vd.Machine, vd.Accepted, chosen)
+		}
+		if d.Accepted && !job.Eq(d.Start, vd.Start) {
+			t.Fatalf("job %d: start %g differs from virtual %g", j.ID, d.Start, vd.Start)
+		}
+	}
+}
+
+func TestReseedChangesChoice(t *testing.T) {
+	cs, err := New(0.01, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for seed := int64(0); seed < 40; seed++ {
+		cs.Reseed(seed)
+		seen[cs.Chosen()] = true
+	}
+	if len(seen) < 3 {
+		t.Errorf("40 seeds hit only %d of 5 virtual machines", len(seen))
+	}
+}
+
+func TestExpectedLoadIsVirtualLoadOverV(t *testing.T) {
+	// Summing the committed load over ALL choices of the virtual machine
+	// equals the virtual m-machine load — the identity behind the
+	// expectation argument of Corollary 1.
+	eps, v := 0.05, 4
+	inst := workload.Uniform(workload.Spec{N: 120, Eps: eps, M: 1, Seed: 11})
+	virt, err := core.New(v, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vres, err := sim.Run(virt, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for choice := 0; choice < v; choice++ {
+		cs, err := New(eps, v, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Force the choice by reseeding until it matches (bounded: the
+		// RNG hits every residue quickly).
+		for seed := int64(0); cs.Chosen() != choice; seed++ {
+			if seed > 10000 {
+				t.Fatal("could not hit choice by reseeding")
+			}
+			cs.Reseed(seed)
+		}
+		res, err := sim.Run(cs, inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += res.Load
+	}
+	if math.Abs(total-vres.Load) > 1e-9*math.Max(1, vres.Load) {
+		t.Errorf("sum over choices %g ≠ virtual load %g", total, vres.Load)
+	}
+}
+
+func TestBeatsDeterministicOnKillerInstance(t *testing.T) {
+	// Corollary 1's point: on the instance forcing any deterministic
+	// algorithm to 2 + 1/ε, the randomized algorithm's expected ratio is
+	// far smaller for small ε.
+	eps := 0.01
+	det, err := core.New(1, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	game, err := adversary.Run(det, eps, adversary.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := game.Instance
+	opt, _ := offline.Exact(inst, 1)
+
+	var loads []float64
+	for seed := int64(0); seed < 300; seed++ {
+		cs, err := New(eps, 0, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(cs, inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loads = append(loads, res.Load)
+	}
+	expRatio := opt / stats.Mean(loads)
+	detRatio := ratio.CM1(eps) // 102
+	if expRatio > detRatio/3 {
+		t.Errorf("E[ratio] = %.2f not clearly below deterministic %.2f", expRatio, detRatio)
+	}
+}

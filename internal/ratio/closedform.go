@@ -1,0 +1,207 @@
+package ratio
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file holds the analytic expressions the paper states explicitly:
+// the m=1 ratio 2 + 1/ε (Goldwasser–Kerbikov), the piecewise closed form
+// for m=2 (Equation 1), exact terms for the last three phases
+// k ∈ {m−2, m−1, m} (the paper: "We can provide the exact terms of c(ε,m)
+// only for the last three phases"), and the m → ∞ limit ln(1/ε)
+// (Proposition 1).
+//
+// The "exact terms" arise because the equal-ratio recursion collapses to a
+// polynomial equation in c of degree m−q+1 for phase q; degrees 1–3 are
+// solvable in radicals. PhasePolynomial constructs that polynomial for any
+// phase, which is also how the closed forms here were derived.
+
+// CM1 returns c(ε,1) = 2 + 1/ε, the optimal single-machine deterministic
+// ratio of Goldwasser and Kerbikov that Algorithm 1 matches for m = 1.
+func CM1(eps float64) float64 { return 2 + 1/eps }
+
+// CM2 returns the paper's Equation (1):
+//
+//	c(ε,2) = 2·√(25/16 + 1/ε) + 1/2   for 0 < ε < 2/7
+//	c(ε,2) = 3/2 + 1/ε                for 2/7 ≤ ε ≤ 1.
+func CM2(eps float64) float64 {
+	if eps < 2.0/7.0 {
+		return 2*math.Sqrt(25.0/16.0+1/eps) + 0.5
+	}
+	return 1.5 + 1/eps
+}
+
+// CLastPhase returns the exact ratio in the last phase k = m
+// (ε ∈ (ε_{m−1,m}, 1]): with only the anchor parameter,
+// c = (1 + m·f_m)/m = 1/m + (1+ε)/ε.
+func CLastPhase(eps float64, m int) float64 {
+	return 1/float64(m) + anchor(eps)
+}
+
+// CSecondLastPhase returns the exact ratio in phase k = m−1
+// (requires m ≥ 2): the recursion collapses to the quadratic
+//
+//	(m−1)·c² + (m² − 2m − 1)·c − (m + m²·f_m) = 0,  f_m = (1+ε)/ε,
+//
+// whose positive root is the ratio. For m = 2 this is the first branch of
+// Equation (1).
+func CSecondLastPhase(eps float64, m int) float64 {
+	if m < 2 {
+		panic("ratio: CSecondLastPhase needs m ≥ 2")
+	}
+	M := float64(m)
+	fm := anchor(eps)
+	a := M - 1
+	b := M*M - 2*M - 1
+	c0 := -(M + M*M*fm)
+	disc := b*b - 4*a*c0
+	return (-b + math.Sqrt(disc)) / (2 * a)
+}
+
+// CornerSecondLast returns the exact corner ε_{m−1,m} between the last two
+// phases: setting f_{m−1} = 2 in the phase-(m−1) recursion gives
+//
+//	ε_{m−1,m} = m(m−1) / (m² + m + 1).
+//
+// For m = 2 this is the 2/7 of Equation (1).
+func CornerSecondLast(m int) float64 {
+	if m < 2 {
+		panic("ratio: CornerSecondLast needs m ≥ 2")
+	}
+	M := float64(m)
+	return M * (M - 1) / (M*M + M + 1)
+}
+
+// CThirdLastPhase returns the exact ratio in phase k = m−2 (requires
+// m ≥ 3): the recursion collapses to a cubic in c, solved here in closed
+// form (trigonometric/Cardano method). Among the cubic's real roots, the
+// ratio is the one whose forward recursion reproduces the anchor with
+// f_k ≥ 2; exactly one qualifies.
+func CThirdLastPhase(eps float64, m int) float64 {
+	if m < 3 {
+		panic("ratio: CThirdLastPhase needs m ≥ 3")
+	}
+	coeffs := PhasePolynomial(eps, m-2, m)
+	if len(coeffs) != 4 {
+		panic(fmt.Sprintf("ratio: expected cubic, got degree %d", len(coeffs)-1))
+	}
+	roots := solveCubic(coeffs[3], coeffs[2], coeffs[1], coeffs[0])
+	fm := anchor(eps)
+	best := math.NaN()
+	for _, r := range roots {
+		if r <= 0 {
+			continue
+		}
+		f := forward(r, m-2, m)
+		if math.Abs(f[len(f)-1]-fm) < 1e-6*fm && f[0] > 1 {
+			if math.IsNaN(best) || r > best {
+				best = r
+			}
+		}
+	}
+	if math.IsNaN(best) {
+		panic(fmt.Sprintf("ratio: no valid cubic root for eps=%g m=%d", eps, m))
+	}
+	return best
+}
+
+// PhasePolynomial returns the coefficients (low degree first) of the
+// polynomial P with P(c(ε,m)) = 0 under phase k:
+//
+//	P(c) = c·D_m(c) − (1 + m·f_m),
+//
+// where D_k = k and D_{q+1} = D_q·(1 + c/m) − (m+1)/m. The degree is
+// m−k+1; for the last three phases it is 1, 2 and 3, which is why those
+// phases admit solutions in radicals.
+func PhasePolynomial(eps float64, k, m int) []float64 {
+	M := float64(m)
+	fm := anchor(eps)
+	// D as a polynomial in c, low degree first.
+	d := []float64{float64(k)}
+	for q := k; q < m; q++ {
+		// d = d*(1 + c/M) − (M+1)/M
+		next := make([]float64, len(d)+1)
+		for i, co := range d {
+			next[i] += co
+			next[i+1] += co / M
+		}
+		next[0] -= (M + 1) / M
+		d = next
+	}
+	// P = c*d − (1 + M*fm)
+	p := make([]float64, len(d)+1)
+	for i, co := range d {
+		p[i+1] = co
+	}
+	p[0] -= 1 + M*fm
+	return p
+}
+
+// EvalPoly evaluates a polynomial (low degree first) at x by Horner's rule.
+func EvalPoly(coeffs []float64, x float64) float64 {
+	v := 0.0
+	for i := len(coeffs) - 1; i >= 0; i-- {
+		v = v*x + coeffs[i]
+	}
+	return v
+}
+
+// solveCubic returns the real roots of a·x³ + b·x² + c·x + d = 0 (a ≠ 0)
+// using the depressed-cubic discriminant method.
+func solveCubic(a, b, c, d float64) []float64 {
+	// Normalize to x³ + px + q after the shift x = t − b/(3a).
+	b /= a
+	c /= a
+	d /= a
+	shift := b / 3
+	p := c - b*b/3
+	q := 2*b*b*b/27 - b*c/3 + d
+	disc := q*q/4 + p*p*p/27
+	switch {
+	case disc > 0:
+		// One real root (Cardano).
+		u := math.Cbrt(-q/2 + math.Sqrt(disc))
+		v := math.Cbrt(-q/2 - math.Sqrt(disc))
+		return []float64{u + v - shift}
+	case disc == 0:
+		if q == 0 {
+			return []float64{-shift}
+		}
+		u := math.Cbrt(-q / 2)
+		return []float64{2*u - shift, -u - shift}
+	default:
+		// Three real roots (trigonometric method).
+		r := math.Sqrt(-p * p * p / 27)
+		phi := math.Acos(-q / (2 * r))
+		t := 2 * math.Cbrt(r)
+		return []float64{
+			t*math.Cos(phi/3) - shift,
+			t*math.Cos((phi+2*math.Pi)/3) - shift,
+			t*math.Cos((phi+4*math.Pi)/3) - shift,
+		}
+	}
+}
+
+// LnLimit returns ln(1/ε) — the m → ∞ limit of c(ε,m) for
+// ε ∈ (0, ε_{1,m}] established by Proposition 1.
+func LnLimit(eps float64) float64 { return math.Log(1 / eps) }
+
+// LeeBound returns 1 + m + m·ε^{−1/m}, the previously best upper bound for
+// m identical machines (Lee 2003, commitment on admission) that
+// Algorithm 1 improves on.
+func LeeBound(eps float64, m int) float64 {
+	M := float64(m)
+	return 1 + M + M*math.Pow(eps, -1/M)
+}
+
+// PreemptiveBound returns 1 + 1/ε, the competitive ratio achievable when
+// preemption (without migration) is allowed (DasGupta–Palis, Garay et al.).
+func PreemptiveBound(eps float64) float64 { return 1 + 1/eps }
+
+// MigrationBound returns (1+ε)·log((1+ε)/ε), the ratio approached by the
+// migration-capable algorithm of Schwiegelshohn & Schwiegelshohn for large
+// m.
+func MigrationBound(eps float64) float64 {
+	return (1 + eps) * math.Log((1+eps)/eps)
+}

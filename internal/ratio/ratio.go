@@ -1,0 +1,284 @@
+// Package ratio implements the competitive-ratio function c(ε,m) of the
+// paper and its parameter recursion f_q(ε,m) (Section 2, Equations 4–7).
+//
+// For slack ε ∈ (0,1] and m machines, the recursion uses m−k+1 parameters
+// f_q(ε,m), q ∈ {k,…,m}, where the phase index k ∈ {1,…,m} is determined
+// by the corner values ε_{k,m}:
+//
+//	f_m(ε,m) = (1+ε)/ε                                     (anchor, Eq. 4)
+//	c(ε,m)   = (1 + m·f_q) / (k + Σ_{h=k}^{q−1}(f_h − 1))  for all q       (Eq. 5)
+//	f_q ≥ 2  for q ∈ {k,…,m}                               (Eq. 6)
+//	f_k(ε_{k,m}, m) = 2                                    (corners, Eq. 7)
+//
+// Solving strategy: for a candidate ratio c the equal-ratio condition
+// determines all parameters forward —
+//
+//	f_k = (c·k − 1)/m,   D_{q+1} = D_q + (f_q − 1),   f_{q+1} = (c·D_{q+1} − 1)/m
+//
+// with D_k = k. Every f_q is strictly increasing in c, so
+// g(c) = f_m(c) − (1+ε)/ε is strictly increasing and bisection on c
+// converges. The corner ε_{k,m} is the root of f_k(ε) = 2 under the
+// phase-k recursion; f_k is strictly decreasing in ε, so it too is found
+// by bisection.
+package ratio
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Params holds the solved recursion for one (ε, m) pair.
+type Params struct {
+	Eps float64 // the slack ε ∈ (0, 1]
+	M   int     // number of machines
+	K   int     // phase index: ε ∈ (ε_{K−1,m}, ε_{K,m}]
+	C   float64 // competitive ratio c(ε,m) = (m·f_K + 1)/K
+
+	// F holds f_K..f_M; F[q-K] is f_q(ε,m). All entries are ≥ 2 (Eq. 6)
+	// and strictly increasing (f_q < f_{q+1}).
+	F []float64
+}
+
+// Fq returns f_q(ε,m) for q ∈ {K,…,M}.
+func (p Params) Fq(q int) float64 {
+	if q < p.K || q > p.M {
+		panic(fmt.Sprintf("ratio: f_%d undefined for phase k=%d, m=%d", q, p.K, p.M))
+	}
+	return p.F[q-p.K]
+}
+
+const (
+	bisectIters = 200
+	solveTol    = 1e-13
+)
+
+// anchor returns f_m(ε,m) = (1+ε)/ε.
+func anchor(eps float64) float64 { return (1 + eps) / eps }
+
+// forward computes f_k..f_m for a candidate ratio c under phase k, and
+// returns the slice plus the final f_m. The denominator accumulates
+// D_{q+1} = D_q + (f_q − 1) starting at D_k = k.
+func forward(c float64, k, m int) []float64 {
+	f := make([]float64, m-k+1)
+	d := float64(k)
+	for q := k; q <= m; q++ {
+		f[q-k] = (c*d - 1) / float64(m)
+		d += f[q-k] - 1
+	}
+	return f
+}
+
+// solvePhase solves the phase-k recursion for a given ε: it finds the
+// unique c consistent with the anchor f_m = (1+ε)/ε and the denominator
+// anchor D_k = k, and returns the full parameter vector.
+//
+// It uses the *backward* form of the recursion, which is globally monotone
+// in c: from f_q = (c·D_q − 1)/m and D_q = D_{q+1} − (f_q − 1),
+//
+//	D_m = (m·f_m + 1)/c,
+//	D_q = (D_{q+1} + (m+1)/m) / (1 + c/m)   for q = m−1, …, k.
+//
+// D_m is strictly decreasing in c and each backward step preserves strict
+// monotonicity (increasing in D_{q+1}, decreasing in c) while keeping all
+// D_q positive, so D_k(c) = k has a unique root found by bisection.
+//
+// The result is valid as a competitive ratio only if f_k ≥ 2 holds; the
+// caller (Compute) selects the phase that guarantees that.
+func solvePhase(eps float64, k, m int) (c float64, f []float64) {
+	fm := anchor(eps)
+	// Bracket: D_k(c) → ∞ as c → 0+ and → 0 as c → ∞.
+	lo, hi := 1e-9, 4*(float64(m)*fm+1)/float64(k)
+	for backwardDk(hi, fm, k, m) > float64(k) {
+		hi *= 2
+	}
+	for i := 0; i < bisectIters; i++ {
+		mid := 0.5 * (lo + hi)
+		if backwardDk(mid, fm, k, m) > float64(k) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo <= solveTol*hi {
+			break
+		}
+	}
+	c = 0.5 * (lo + hi)
+	return c, forward(c, k, m)
+}
+
+// backwardDk runs the backward recursion from D_m down to D_k for a
+// candidate ratio c.
+func backwardDk(c, fm float64, k, m int) float64 {
+	d := (float64(m)*fm + 1) / c
+	for q := m - 1; q >= k; q-- {
+		d = (d + (float64(m)+1)/float64(m)) / (1 + c/float64(m))
+	}
+	return d
+}
+
+// cornerCache memoizes Corners per m; corner computation needs a nested
+// bisection and is reused heavily by sweeps.
+var cornerCache sync.Map // int -> []float64
+
+// Corners returns the phase-transition slack values
+// ε_{1,m} < ε_{2,m} < … < ε_{m−1,m} (Eq. 7). Together with ε_{0,m} = 0 and
+// ε_{m,m} = 1 they partition (0,1] into the m phase intervals
+// (ε_{k−1,m}, ε_{k,m}]. For m = 1 the slice is empty (a single phase).
+func Corners(m int) []float64 {
+	if m < 1 {
+		panic("ratio: m must be ≥ 1")
+	}
+	if v, ok := cornerCache.Load(m); ok {
+		return v.([]float64)
+	}
+	out := make([]float64, m-1)
+	for k := 1; k < m; k++ {
+		out[k-1] = CornerExact(k, m)
+	}
+	cornerCache.Store(m, out)
+	return out
+}
+
+// CornerExact computes ε_{k,m} in closed form, without any root finding:
+// at the corner f_k = 2 exactly (Eq. 7), which pins the ratio to
+// c = (2m+1)/k via Eq. 5 at q = k; the remaining parameters then follow
+// from the forward recursion and the anchor yields
+//
+//	ε_{k,m} = 1 / (f_m − 1).
+//
+// This is the same mechanism that produces the paper's 2/7 for m = 2 and
+// generalizes CornerSecondLast's m(m−1)/(m²+m+1) to every phase — each
+// corner is a rational function of m, evaluated here in O(m) arithmetic.
+func CornerExact(k, m int) float64 {
+	if k < 1 || k >= m {
+		panic(fmt.Sprintf("ratio: corner ε_{%d,%d} undefined (need 1 ≤ k < m)", k, m))
+	}
+	c := (2*float64(m) + 1) / float64(k)
+	f := forward(c, k, m)
+	fm := f[len(f)-1]
+	return 1 / (fm - 1)
+}
+
+// PhaseIndex returns the phase k ∈ {1,…,m} with ε ∈ (ε_{k−1,m}, ε_{k,m}].
+//
+// The corners increase with k, so k is found by binary search against the
+// closed-form corners — O(m log m) arithmetic, no root finding, exact up
+// to floating-point rounding even at the corners themselves.
+func PhaseIndex(eps float64, m int) (int, error) {
+	if eps <= 0 || eps > 1 {
+		return 0, fmt.Errorf("ratio: slack %g outside (0,1]", eps)
+	}
+	// A few ulps of slop absorb the O(m) rounding of CornerExact, so a
+	// caller passing a corner's exact rational value (e.g. 2/7) lands in
+	// phase k, not k+1.
+	const ulps = 1e-14
+	lo, hi := 1, m // ε_{m,m} = 1, so k = m always qualifies for ε ≤ 1
+	for lo < hi {
+		k := (lo + hi) / 2 // k < m: the corner is defined
+		if eps <= CornerExact(k, m)*(1+ulps) {
+			hi = k
+		} else {
+			lo = k + 1
+		}
+	}
+	return lo, nil
+}
+
+// Compute solves the recursion for (ε, m): it determines the phase k,
+// solves for the ratio c(ε,m) and the parameters f_k..f_m, and validates
+// the structural invariants (Eq. 6 and monotonicity).
+func Compute(eps float64, m int) (Params, error) {
+	if m < 1 {
+		return Params{}, fmt.Errorf("ratio: m=%d must be ≥ 1", m)
+	}
+	k, err := PhaseIndex(eps, m)
+	if err != nil {
+		return Params{}, err
+	}
+	c, f := solvePhase(eps, k, m)
+	p := Params{Eps: eps, M: m, K: k, C: c, F: f}
+	if err := p.check(); err != nil {
+		return Params{}, err
+	}
+	return p, nil
+}
+
+// ComputeForced solves the recursion with a *forced* phase index k,
+// bypassing the corner-based phase selection and the f_k ≥ 2 validation.
+// It exists for the ablation experiments (E9), which deliberately run
+// Algorithm 1 with a mis-chosen k to show why the phase structure matters.
+// The anchor and equal-ratio conditions still hold in the result.
+func ComputeForced(eps float64, k, m int) (Params, error) {
+	if m < 1 || k < 1 || k > m {
+		return Params{}, fmt.Errorf("ratio: invalid forced phase k=%d for m=%d", k, m)
+	}
+	if eps <= 0 || eps > 1 {
+		return Params{}, fmt.Errorf("ratio: slack %g outside (0,1]", eps)
+	}
+	c, f := solvePhase(eps, k, m)
+	return Params{Eps: eps, M: m, K: k, C: c, F: f}, nil
+}
+
+// check validates the solved parameters against the paper's invariants.
+// The tolerance absorbs bisection error at phase corners where f_k = 2
+// holds with equality.
+func (p Params) check() error {
+	const tol = 1e-6
+	for i, f := range p.F {
+		if f < 2-tol {
+			return fmt.Errorf("ratio: f_%d = %.9f < 2 violates Eq. 6 (eps=%g m=%d k=%d)",
+				p.K+i, f, p.Eps, p.M, p.K)
+		}
+		if i > 0 && p.F[i] <= p.F[i-1]-tol {
+			return fmt.Errorf("ratio: f not strictly increasing at q=%d (eps=%g m=%d)",
+				p.K+i, p.Eps, p.M)
+		}
+	}
+	want := anchor(p.Eps)
+	if math.Abs(p.F[len(p.F)-1]-want) > 1e-6*want {
+		return fmt.Errorf("ratio: anchor mismatch f_m=%g want %g", p.F[len(p.F)-1], want)
+	}
+	return nil
+}
+
+// C returns the competitive ratio c(ε,m); it panics on invalid input
+// (use Compute for error handling).
+func C(eps float64, m int) float64 {
+	p, err := Compute(eps, m)
+	if err != nil {
+		panic(err)
+	}
+	return p.C
+}
+
+// RatioAt evaluates Eq. 5 for one q — useful for tests asserting that the
+// solved parameters make the ratio independent of q.
+func (p Params) RatioAt(q int) float64 {
+	den := float64(p.K)
+	for h := p.K; h < q; h++ {
+		den += p.Fq(h) - 1
+	}
+	return (1 + float64(p.M)*p.Fq(q)) / den
+}
+
+// LowerBoundValue returns the Theorem-1 lower bound (m·f_k + 1)/k, which
+// equals c(ε,m) by construction.
+func (p Params) LowerBoundValue() float64 {
+	return (float64(p.M)*p.F[0] + 1) / float64(p.K)
+}
+
+// UpperBoundValue returns the Theorem-2 guarantee for Algorithm 1:
+// (m·f_k+1)/k for k ≤ 3, plus the delayed-execution surcharge
+// (3−e)/(e−1) ≈ 0.164 for k > 3 (Lemma 11).
+func (p Params) UpperBoundValue() float64 {
+	v := p.LowerBoundValue()
+	if p.K > 3 {
+		v += DelayedExecutionSurcharge
+	}
+	return v
+}
+
+// DelayedExecutionSurcharge is (3−e)/(e−1) ≈ 0.1639534, the additive gap
+// between the lower bound and Algorithm 1's guarantee for phases k > 3.
+var DelayedExecutionSurcharge = (3 - math.E) / (math.E - 1)

@@ -1,0 +1,526 @@
+package ratio
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestAnchor(t *testing.T) {
+	cases := []struct{ eps, want float64 }{
+		{1, 2}, {0.5, 3}, {0.25, 5}, {0.1, 11}, {0.01, 101},
+	}
+	for _, c := range cases {
+		if got := anchor(c.eps); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("anchor(%g) = %g, want %g", c.eps, got, c.want)
+		}
+	}
+}
+
+func TestComputeM1MatchesGoldwasserKerbikov(t *testing.T) {
+	// For m = 1 the recursion degenerates to c = 1 + f_1 = 1 + (1+ε)/ε =
+	// 2 + 1/ε, the optimal single-machine deterministic ratio.
+	for _, eps := range []float64{0.001, 0.01, 0.1, 0.3, 0.5, 0.9, 1} {
+		p, err := Compute(eps, 1)
+		if err != nil {
+			t.Fatalf("Compute(%g, 1): %v", eps, err)
+		}
+		if p.K != 1 {
+			t.Errorf("eps=%g: k = %d, want 1", eps, p.K)
+		}
+		if want := CM1(eps); !almostEq(p.C, want, 1e-9) {
+			t.Errorf("eps=%g: c = %.12g, want %.12g", eps, p.C, want)
+		}
+	}
+}
+
+func TestComputeM2MatchesEquation1(t *testing.T) {
+	// Equation (1) of the paper, both phases.
+	for _, eps := range []float64{0.001, 0.01, 0.05, 0.1, 0.2, 0.25,
+		2.0 / 7.0, 0.3, 0.4, 0.5, 0.75, 1} {
+		p, err := Compute(eps, 2)
+		if err != nil {
+			t.Fatalf("Compute(%g, 2): %v", eps, err)
+		}
+		if want := CM2(eps); !almostEq(p.C, want, 1e-9) {
+			t.Errorf("eps=%g: c = %.12g, want Eq.(1) %.12g", eps, p.C, want)
+		}
+		// Phase intervals are (ε_{k−1,m}, ε_{k,m}]: the corner 2/7 itself
+		// belongs to phase 1 (c is continuous there, so Eq. (1)'s value
+		// agrees regardless of which branch claims it).
+		wantK := 1
+		if eps > 2.0/7.0 {
+			wantK = 2
+		}
+		if p.K != wantK {
+			t.Errorf("eps=%g: k = %d, want %d", eps, p.K, wantK)
+		}
+	}
+}
+
+func TestCornersM2(t *testing.T) {
+	c := Corners(2)
+	if len(c) != 1 {
+		t.Fatalf("Corners(2) has %d entries, want 1", len(c))
+	}
+	if !almostEq(c[0], 2.0/7.0, 1e-8) {
+		t.Errorf("eps_{1,2} = %.12g, want 2/7 = %.12g", c[0], 2.0/7.0)
+	}
+}
+
+func TestCornerSecondLastClosedForm(t *testing.T) {
+	// ε_{m−1,m} = m(m−1)/(m²+m+1), derived from f_{m−1} = 2; the numeric
+	// corner finder must agree.
+	for m := 2; m <= 6; m++ {
+		corners := Corners(m)
+		got := corners[m-2]
+		want := CornerSecondLast(m)
+		if !almostEq(got, want, 1e-8) {
+			t.Errorf("m=%d: numeric corner %.12g, closed form %.12g", m, got, want)
+		}
+	}
+}
+
+func TestCornersIncreasing(t *testing.T) {
+	for m := 2; m <= 8; m++ {
+		c := Corners(m)
+		prev := 0.0
+		for k, v := range c {
+			if v <= prev {
+				t.Errorf("m=%d: corner eps_{%d} = %g not greater than eps_{%d} = %g",
+					m, k+1, v, k, prev)
+			}
+			if v >= 1 {
+				t.Errorf("m=%d: corner eps_{%d} = %g not below 1", m, k+1, v)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestLastPhaseClosedForm(t *testing.T) {
+	// In phase k = m, c = 1/m + (1+ε)/ε.
+	for m := 1; m <= 6; m++ {
+		lo := 0.001
+		if m >= 2 {
+			lo = CornerSecondLast(m) + 1e-6
+		}
+		for _, eps := range []float64{lo, (lo + 1) / 2, 1} {
+			p, err := Compute(eps, m)
+			if err != nil {
+				t.Fatalf("Compute(%g, %d): %v", eps, m, err)
+			}
+			if m >= 2 && p.K != m {
+				t.Fatalf("m=%d eps=%g: k = %d, want %d", m, eps, p.K, m)
+			}
+			if want := CLastPhase(eps, m); !almostEq(p.C, want, 1e-9) {
+				t.Errorf("m=%d eps=%g: c = %.12g, want %.12g", m, eps, p.C, want)
+			}
+		}
+	}
+}
+
+func TestSecondLastPhaseClosedForm(t *testing.T) {
+	for m := 2; m <= 6; m++ {
+		hi := CornerSecondLast(m)
+		lo := 0.0
+		if m >= 3 {
+			lo = Corners(m)[m-3]
+		}
+		for _, frac := range []float64{0.1, 0.5, 0.9, 1.0} {
+			eps := lo + frac*(hi-lo)
+			p, err := Compute(eps, m)
+			if err != nil {
+				t.Fatalf("Compute(%g, %d): %v", eps, m, err)
+			}
+			if p.K != m-1 {
+				t.Fatalf("m=%d eps=%g: k = %d, want %d", m, eps, p.K, m-1)
+			}
+			if want := CSecondLastPhase(eps, m); !almostEq(p.C, want, 1e-9) {
+				t.Errorf("m=%d eps=%g: c = %.12g, quadratic %.12g", m, eps, p.C, want)
+			}
+		}
+	}
+}
+
+func TestThirdLastPhaseClosedForm(t *testing.T) {
+	for m := 3; m <= 6; m++ {
+		corners := Corners(m)
+		hi := corners[m-3] // ε_{m−2,m}
+		lo := 0.0
+		if m >= 4 {
+			lo = corners[m-4]
+		}
+		for _, frac := range []float64{0.2, 0.6, 1.0} {
+			eps := lo + frac*(hi-lo)
+			p, err := Compute(eps, m)
+			if err != nil {
+				t.Fatalf("Compute(%g, %d): %v", eps, m, err)
+			}
+			if p.K != m-2 {
+				t.Fatalf("m=%d eps=%g: k = %d, want %d", m, eps, p.K, m-2)
+			}
+			if want := CThirdLastPhase(eps, m); !almostEq(p.C, want, 1e-8) {
+				t.Errorf("m=%d eps=%g: c = %.12g, cubic %.12g", m, eps, p.C, want)
+			}
+		}
+	}
+}
+
+func TestRatioIndependentOfQ(t *testing.T) {
+	// Equation (5): the solved parameters make the ratio identical for
+	// every q ∈ {k,…,m}.
+	for _, m := range []int{1, 2, 3, 4, 5, 8} {
+		for _, eps := range []float64{0.005, 0.05, 0.3, 0.8} {
+			p, err := Compute(eps, m)
+			if err != nil {
+				t.Fatalf("Compute(%g, %d): %v", eps, m, err)
+			}
+			for q := p.K; q <= m; q++ {
+				if got := p.RatioAt(q); !almostEq(got, p.C, 1e-8) {
+					t.Errorf("m=%d eps=%g q=%d: RatioAt = %.12g, c = %.12g",
+						m, eps, q, got, p.C)
+				}
+			}
+		}
+	}
+}
+
+func TestParamsInvariants(t *testing.T) {
+	// Eq. 6 (f_q ≥ 2), monotone f, anchor, and the Theorem-1 identity
+	// c = (m·f_k + 1)/k.
+	for _, m := range []int{1, 2, 3, 4, 6, 10} {
+		for _, eps := range []float64{0.002, 0.02, 0.15, 0.45, 0.95, 1} {
+			p, err := Compute(eps, m)
+			if err != nil {
+				t.Fatalf("Compute(%g, %d): %v", eps, m, err)
+			}
+			for q := p.K; q <= m; q++ {
+				if p.Fq(q) < 2-1e-6 {
+					t.Errorf("m=%d eps=%g: f_%d = %g < 2", m, eps, q, p.Fq(q))
+				}
+				if q > p.K && p.Fq(q) <= p.Fq(q-1)-1e-9 {
+					t.Errorf("m=%d eps=%g: f_%d = %g not > f_%d = %g",
+						m, eps, q, p.Fq(q), q-1, p.Fq(q-1))
+				}
+			}
+			if got := anchor(eps); !almostEq(p.Fq(m), got, 1e-8) {
+				t.Errorf("m=%d eps=%g: f_m = %g, want anchor %g", m, eps, p.Fq(m), got)
+			}
+			if lb := p.LowerBoundValue(); !almostEq(lb, p.C, 1e-9) {
+				t.Errorf("m=%d eps=%g: lower bound %g ≠ c %g", m, eps, lb, p.C)
+			}
+		}
+	}
+}
+
+func TestCDecreasingInEps(t *testing.T) {
+	for _, m := range []int{1, 2, 3, 4, 6} {
+		prev := math.Inf(1)
+		for eps := 0.005; eps <= 1.0001; eps += 0.005 {
+			e := math.Min(eps, 1)
+			c := C(e, m)
+			if c > prev+1e-9 {
+				t.Fatalf("m=%d: c(%g) = %g > c(%g) = %g — not decreasing",
+					m, e, c, e-0.005, prev)
+			}
+			prev = c
+		}
+	}
+}
+
+func TestCDecreasingInM(t *testing.T) {
+	for _, eps := range []float64{0.01, 0.05, 0.2, 0.6, 1} {
+		prev := math.Inf(1)
+		for m := 1; m <= 12; m++ {
+			c := C(eps, m)
+			if c > prev+1e-9 {
+				t.Fatalf("eps=%g: c(m=%d) = %g > c(m=%d) = %g — not decreasing",
+					eps, m, c, m-1, prev)
+			}
+			prev = c
+		}
+	}
+}
+
+func TestContinuityAtCorners(t *testing.T) {
+	// The paper proves c is continuous at the corner values; approaching a
+	// corner from both sides must agree.
+	for m := 2; m <= 6; m++ {
+		for _, corner := range Corners(m) {
+			const h = 1e-9
+			below := C(corner-h, m)
+			above := C(corner+h, m)
+			if math.Abs(below-above) > 1e-4*below {
+				t.Errorf("m=%d: discontinuity at corner %g: %.9g vs %.9g",
+					m, corner, below, above)
+			}
+		}
+	}
+}
+
+func TestPhasePolynomialRoot(t *testing.T) {
+	// The solved c must be a root of the phase polynomial for every phase.
+	for _, m := range []int{2, 3, 4, 5} {
+		for _, eps := range []float64{0.003, 0.03, 0.2, 0.7} {
+			p, err := Compute(eps, m)
+			if err != nil {
+				t.Fatalf("Compute(%g, %d): %v", eps, m, err)
+			}
+			coeffs := PhasePolynomial(eps, p.K, m)
+			if got := len(coeffs) - 1; got != m-p.K+1 {
+				t.Errorf("m=%d k=%d: polynomial degree %d, want %d", m, p.K, got, m-p.K+1)
+			}
+			// Scale-aware zero test: compare against the polynomial's
+			// magnitude nearby.
+			v := EvalPoly(coeffs, p.C)
+			scale := math.Abs(EvalPoly(coeffs, p.C*1.01)) + 1
+			if math.Abs(v) > 1e-6*scale {
+				t.Errorf("m=%d eps=%g: P(c)=%g not ≈ 0 (scale %g)", m, eps, v, scale)
+			}
+		}
+	}
+}
+
+func TestSolveCubicKnownRoots(t *testing.T) {
+	// (x−1)(x−2)(x−3) = x³ −6x² +11x −6
+	roots := solveCubic(1, -6, 11, -6)
+	if len(roots) != 3 {
+		t.Fatalf("want 3 roots, got %v", roots)
+	}
+	want := map[float64]bool{1: false, 2: false, 3: false}
+	for _, r := range roots {
+		for w := range want {
+			if almostEq(r, w, 1e-9) {
+				want[w] = true
+			}
+		}
+	}
+	for w, found := range want {
+		if !found {
+			t.Errorf("root %g not found in %v", w, roots)
+		}
+	}
+	// One real root: x³ + x + 1 has root ≈ −0.6823278
+	r1 := solveCubic(1, 0, 1, 1)
+	if len(r1) != 1 || !almostEq(r1[0], -0.68232780382801933, 1e-9) {
+		t.Errorf("x³+x+1: got %v", r1)
+	}
+}
+
+func TestLnLimitTrend(t *testing.T) {
+	// Proposition 1: for fixed small ε, c(ε,m) decreases in m toward a
+	// limit whose leading term is ln(1/ε). Empirically the limit is
+	// ln(1/ε) + 2 + o(1); we assert the decreasing trend and that the
+	// excess over ln(1/ε) shrinks toward a small constant.
+	eps := 1e-3
+	prev := math.Inf(1)
+	var last float64
+	for _, m := range []int{1, 2, 4, 8, 16, 32, 64, 128, 256} {
+		c := C(eps, m)
+		if c >= prev {
+			t.Fatalf("c(%g,%d) = %g not below c at previous m = %g", eps, m, c, prev)
+		}
+		prev = c
+		last = c
+	}
+	excess := last - LnLimit(eps)
+	if excess < 0 || excess > 3 {
+		t.Errorf("excess over ln(1/eps) = %g, want within (0, 3]", excess)
+	}
+}
+
+func TestBoundOrdering(t *testing.T) {
+	// Sanity ordering of the related-work bounds the paper cites:
+	// preemptive (1+1/ε) ≤ GK single machine (2+1/ε); Lee's bound exceeds
+	// c(ε,m) ("slightly improves on"); migration bound is below c for
+	// large m and small ε (a strictly stronger machine model).
+	for _, eps := range []float64{0.01, 0.1, 0.5} {
+		if PreemptiveBound(eps) >= CM1(eps) {
+			t.Errorf("eps=%g: preemptive %g ≥ GK %g", eps, PreemptiveBound(eps), CM1(eps))
+		}
+		for _, m := range []int{2, 4, 8} {
+			if LeeBound(eps, m) <= C(eps, m) {
+				t.Errorf("eps=%g m=%d: Lee %g ≤ c %g — paper claims improvement",
+					eps, m, LeeBound(eps, m), C(eps, m))
+			}
+		}
+	}
+	// Migration is a strictly stronger machine model: its ratio
+	// (1+ε)·log((1+ε)/ε) ≈ 4.66 at ε=0.01 lies below c(0.01, 64) ≈ 6.9.
+	if MigrationBound(0.01) >= C(0.01, 64) {
+		t.Errorf("migration bound %g unexpectedly ≥ c(0.01,64) = %g",
+			MigrationBound(0.01), C(0.01, 64))
+	}
+}
+
+func TestComputeErrors(t *testing.T) {
+	if _, err := Compute(0, 3); err == nil {
+		t.Error("eps=0 must error")
+	}
+	if _, err := Compute(-0.1, 3); err == nil {
+		t.Error("negative eps must error")
+	}
+	if _, err := Compute(1.5, 3); err == nil {
+		t.Error("eps>1 must error")
+	}
+	if _, err := Compute(0.5, 0); err == nil {
+		t.Error("m=0 must error")
+	}
+}
+
+func TestFqPanicsOutOfRange(t *testing.T) {
+	p, err := Compute(0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Fq below K must panic")
+		}
+	}()
+	p.Fq(p.K - 1)
+}
+
+// Property: for random (ε, m) the solved parameters satisfy Eq. 5 for all
+// q and the anchor exactly.
+func TestQuickRecursionConsistency(t *testing.T) {
+	f := func(epsRaw uint16, mRaw uint8) bool {
+		eps := 0.001 + 0.999*float64(epsRaw)/65535
+		m := 1 + int(mRaw)%10
+		p, err := Compute(eps, m)
+		if err != nil {
+			return false
+		}
+		for q := p.K; q <= m; q++ {
+			if !almostEq(p.RatioAt(q), p.C, 1e-7) {
+				return false
+			}
+		}
+		return almostEq(p.Fq(m), anchor(eps), 1e-7)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the upper bound is the lower bound plus at most the
+// delayed-execution surcharge, and both are ≥ 1.
+func TestQuickBoundsSandwich(t *testing.T) {
+	f := func(epsRaw uint16, mRaw uint8) bool {
+		eps := 0.001 + 0.999*float64(epsRaw)/65535
+		m := 1 + int(mRaw)%16
+		p, err := Compute(eps, m)
+		if err != nil {
+			return false
+		}
+		lb, ub := p.LowerBoundValue(), p.UpperBoundValue()
+		if lb < 1 || ub < lb {
+			return false
+		}
+		return ub-lb <= DelayedExecutionSurcharge+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCornerExactMatchesRecursionRoot(t *testing.T) {
+	// At each exact corner, the phase-k recursion must solve with
+	// f_k = 2 and c = (2m+1)/k precisely.
+	for m := 2; m <= 10; m++ {
+		for k := 1; k < m; k++ {
+			eps := CornerExact(k, m)
+			if eps <= 0 || eps >= 1 {
+				t.Fatalf("corner ε_{%d,%d} = %g outside (0,1)", k, m, eps)
+			}
+			c, f := solvePhase(eps, k, m)
+			if !almostEq(f[0], 2, 1e-9) {
+				t.Errorf("ε_{%d,%d}: f_k = %.12g, want 2", k, m, f[0])
+			}
+			wantC := (2*float64(m) + 1) / float64(k)
+			if !almostEq(c, wantC, 1e-9) {
+				t.Errorf("ε_{%d,%d}: c = %.12g, want (2m+1)/k = %.12g", k, m, c, wantC)
+			}
+		}
+	}
+}
+
+func TestCornerExactKnownValues(t *testing.T) {
+	if got := CornerExact(1, 2); !almostEq(got, 2.0/7.0, 1e-15) {
+		t.Errorf("ε_{1,2} = %.17g, want exactly 2/7", got)
+	}
+	if got := CornerExact(1, 3); !almostEq(got, 0.09, 1e-15) {
+		t.Errorf("ε_{1,3} = %.17g, want exactly 9/100", got)
+	}
+	// The general second-to-last closed form agrees.
+	for m := 2; m <= 8; m++ {
+		if got, want := CornerExact(m-1, m), CornerSecondLast(m); !almostEq(got, want, 1e-14) {
+			t.Errorf("ε_{%d,%d} = %.17g, closed form %.17g", m-1, m, got, want)
+		}
+	}
+}
+
+func TestCornerExactPanics(t *testing.T) {
+	for _, bad := range [][2]int{{0, 3}, {3, 3}, {4, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("CornerExact(%d,%d) must panic", bad[0], bad[1])
+				}
+			}()
+			CornerExact(bad[0], bad[1])
+		}()
+	}
+}
+
+func TestPhaseIndexExactlyAtCorners(t *testing.T) {
+	// ε exactly at a corner belongs to phase k (intervals are
+	// (ε_{k−1}, ε_k]); just above it belongs to phase k+1.
+	for m := 2; m <= 6; m++ {
+		for k := 1; k < m; k++ {
+			corner := CornerExact(k, m)
+			got, err := PhaseIndex(corner, m)
+			if err != nil || got != k {
+				t.Errorf("PhaseIndex(ε_{%d,%d}) = %d, %v; want %d", k, m, got, err, k)
+			}
+			got, err = PhaseIndex(corner*(1+1e-9), m)
+			if err != nil || got != k+1 {
+				t.Errorf("PhaseIndex(ε_{%d,%d}+) = %d, %v; want %d", k, m, got, err, k+1)
+			}
+		}
+	}
+}
+
+func TestCornerExactRationalPins(t *testing.T) {
+	// The closed-form corners are rationals; pin a few small cases
+	// derived by carrying the forward recursion in exact arithmetic:
+	//   ε_{1,2} = 2/7          (the paper's Eq. 1 corner)
+	//   ε_{1,3} = 9/100        (c = 7:  f = 2, 13/3, 109/9)
+	//   ε_{2,3} = 6/13         (= CornerSecondLast(3))
+	//   ε_{1,4} = 64/2197      (c = 9:  f = 2, 17/4, 185/16, 2261/64; 2197 = 13³)
+	//   ε_{2,4} = 64/289       (c = 9/2: f = 2, 25/8, 353/64; 289 = 17²)
+	//   ε_{3,4} = 12/21 · …    (= CornerSecondLast(4) = 4·3/21 = 4/7)
+	cases := []struct {
+		k, m int
+		num  float64
+		den  float64
+	}{
+		{1, 2, 2, 7},
+		{1, 3, 9, 100},
+		{2, 3, 6, 13},
+		{1, 4, 64, 2197},
+		{2, 4, 64, 289},
+		{3, 4, 4, 7},
+	}
+	for _, c := range cases {
+		want := c.num / c.den
+		if got := CornerExact(c.k, c.m); !almostEq(got, want, 1e-13) {
+			t.Errorf("ε_{%d,%d} = %.17g, want %g/%g = %.17g", c.k, c.m, got, c.num, c.den, want)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := NewTable("demo", "name", "value")
+	t.Addf("alpha", 1.5)
+	t.Addf("beta", 2)
+	t.Note("a note with %d placeholders", 1)
+	return t
+}
+
+func TestWriteText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"demo", "name", "alpha", "1.5", "beta", "a note with 1 placeholders"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+	// Alignment: header and rows share column offsets.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	hdr := lines[1]
+	if !strings.HasPrefix(hdr, "name") {
+		t.Errorf("header line %q", hdr)
+	}
+}
+
+func TestWriteMarkdown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "### demo") {
+		t.Error("missing title heading")
+	}
+	if !strings.Contains(out, "| name | value |") {
+		t.Errorf("missing header row:\n%s", out)
+	}
+	if !strings.Contains(out, "| --- | --- |") {
+		t.Error("missing separator row")
+	}
+}
+
+func TestMarkdownEscapesPipes(t *testing.T) {
+	tbl := NewTable("", "c")
+	tbl.Add("a|b")
+	var buf bytes.Buffer
+	tbl.WriteMarkdown(&buf)
+	if !strings.Contains(buf.String(), `a\|b`) {
+		t.Errorf("pipe not escaped: %s", buf.String())
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tbl := NewTable("", "a", "b")
+	tbl.Add("plain", `with "quote", and comma`)
+	var buf bytes.Buffer
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\nplain,\"with \"\"quote\"\", and comma\"\n"
+	if buf.String() != want {
+		t.Errorf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestAddPanicsOnArity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("arity mismatch must panic")
+		}
+	}()
+	NewTable("", "a", "b").Add("only-one")
+}
+
+func TestAddfFormatsFloats(t *testing.T) {
+	tbl := NewTable("", "v")
+	tbl.Addf(3.14159265358979)
+	if tbl.Rows[0][0] != "3.142" {
+		t.Errorf("float formatted as %q", tbl.Rows[0][0])
+	}
+	tbl.Addf(float32(2.5))
+	if tbl.Rows[1][0] != "2.5" {
+		t.Errorf("float32 formatted as %q", tbl.Rows[1][0])
+	}
+	tbl.Addf(42)
+	if tbl.Rows[2][0] != "42" {
+		t.Errorf("int formatted as %q", tbl.Rows[2][0])
+	}
+}

@@ -1,0 +1,164 @@
+// Package schedule represents committed non-preemptive schedules on m
+// identical machines and verifies their feasibility.
+//
+// A schedule is built from the immutable (job, machine, start) commitments
+// an online scheduler emits; Verify checks the three feasibility
+// conditions — start no earlier than release, completion no later than
+// deadline, no overlap between jobs on the same machine — with the
+// tolerance-aware comparators of package job.
+package schedule
+
+import (
+	"fmt"
+	"sort"
+
+	"loadmax/internal/job"
+	"loadmax/internal/online"
+)
+
+// Slot is one committed execution: job j runs on machine Machine during
+// [Start, Start+j.Proc).
+type Slot struct {
+	Job     job.Job
+	Machine int
+	Start   float64
+}
+
+// End returns the completion time of the slot.
+func (s Slot) End() float64 { return s.Start + s.Job.Proc }
+
+// Schedule is a set of committed slots on m machines.
+type Schedule struct {
+	m     int
+	slots []Slot
+}
+
+// New returns an empty schedule on m machines.
+func New(m int) *Schedule {
+	if m < 1 {
+		panic("schedule: need at least one machine")
+	}
+	return &Schedule{m: m}
+}
+
+// Machines returns the machine count m.
+func (s *Schedule) Machines() int { return s.m }
+
+// Add commits a slot. Feasibility is not checked here (Verify does that);
+// only the machine index is validated.
+func (s *Schedule) Add(j job.Job, machine int, start float64) error {
+	if machine < 0 || machine >= s.m {
+		return fmt.Errorf("schedule: machine %d out of range [0,%d)", machine, s.m)
+	}
+	s.slots = append(s.slots, Slot{Job: j, Machine: machine, Start: start})
+	return nil
+}
+
+// Slots returns all committed slots in insertion order.
+func (s *Schedule) Slots() []Slot { return s.slots }
+
+// Len returns the number of committed slots.
+func (s *Schedule) Len() int { return len(s.slots) }
+
+// Load returns the total committed load Σ p_j — the paper's objective.
+func (s *Schedule) Load() float64 {
+	var sum float64
+	for _, sl := range s.slots {
+		sum += sl.Job.Proc
+	}
+	return sum
+}
+
+// Makespan returns the latest completion time, or 0 if empty.
+func (s *Schedule) Makespan() float64 {
+	var mk float64
+	for _, sl := range s.slots {
+		if e := sl.End(); e > mk {
+			mk = e
+		}
+	}
+	return mk
+}
+
+// MachineSlots returns the slots of one machine sorted by start time.
+func (s *Schedule) MachineSlots(machine int) []Slot {
+	var out []Slot
+	for _, sl := range s.slots {
+		if sl.Machine == machine {
+			out = append(out, sl)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Start < out[b].Start })
+	return out
+}
+
+// MachineLoadAt returns the outstanding load of a machine at time t: the
+// total remaining processing of slots not yet finished at t, plus any gap
+// the committed plan leaves before the last slot ends. Formally it is
+// max(0, horizon − t) where horizon is the completion time of the last
+// committed slot on the machine. This matches l(m_i) in Algorithm 1 for
+// schedules built by non-delay back-to-back allocation.
+func (s *Schedule) MachineLoadAt(machine int, t float64) float64 {
+	var horizon float64
+	for _, sl := range s.slots {
+		if sl.Machine == machine && sl.End() > horizon {
+			horizon = sl.End()
+		}
+	}
+	if horizon <= t {
+		return 0
+	}
+	return horizon - t
+}
+
+// Verify checks full feasibility of the schedule and returns every
+// violation found (empty means feasible).
+func (s *Schedule) Verify() []error {
+	var errs []error
+	for _, sl := range s.slots {
+		if job.Less(sl.Start, sl.Job.Release) {
+			errs = append(errs, fmt.Errorf("job %d starts at %g before release %g",
+				sl.Job.ID, sl.Start, sl.Job.Release))
+		}
+		if job.Greater(sl.End(), sl.Job.Deadline) {
+			errs = append(errs, fmt.Errorf("job %d completes at %g after deadline %g",
+				sl.Job.ID, sl.End(), sl.Job.Deadline))
+		}
+	}
+	for machine := 0; machine < s.m; machine++ {
+		ms := s.MachineSlots(machine)
+		for i := 1; i < len(ms); i++ {
+			if job.Less(ms[i].Start, ms[i-1].End()) {
+				errs = append(errs, fmt.Errorf("machine %d: job %d (start %g) overlaps job %d (end %g)",
+					machine, ms[i].Job.ID, ms[i].Start, ms[i-1].Job.ID, ms[i-1].End()))
+			}
+		}
+	}
+	return errs
+}
+
+// Feasible reports whether Verify finds no violations.
+func (s *Schedule) Feasible() bool { return len(s.Verify()) == 0 }
+
+// FromDecisions builds a schedule from an instance and the decision log of
+// an online run. Jobs whose decision is missing are treated as rejected.
+func FromDecisions(m int, inst job.Instance, decisions []online.Decision) (*Schedule, error) {
+	s := New(m)
+	byID := make(map[int]job.Job, len(inst))
+	for _, j := range inst {
+		byID[j.ID] = j
+	}
+	for _, d := range decisions {
+		if !d.Accepted {
+			continue
+		}
+		j, ok := byID[d.JobID]
+		if !ok {
+			return nil, fmt.Errorf("decision for unknown job %d", d.JobID)
+		}
+		if err := s.Add(j, d.Machine, d.Start); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}

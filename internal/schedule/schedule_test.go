@@ -1,0 +1,159 @@
+package schedule
+
+import (
+	"math"
+	"testing"
+
+	"loadmax/internal/job"
+	"loadmax/internal/online"
+)
+
+func j(id int, r, p, d float64) job.Job {
+	return job.Job{ID: id, Release: r, Proc: p, Deadline: d}
+}
+
+func TestNewPanicsOnZeroMachines(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0) must panic")
+		}
+	}()
+	New(0)
+}
+
+func TestAddAndAggregates(t *testing.T) {
+	s := New(2)
+	if err := s.Add(j(0, 0, 3, 10), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(j(1, 0, 2, 10), 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(j(2, 0, 1, 10), 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Load(); got != 6 {
+		t.Errorf("Load = %g, want 6", got)
+	}
+	if got := s.Makespan(); got != 4 {
+		t.Errorf("Makespan = %g, want 4", got)
+	}
+	if got := s.Len(); got != 3 {
+		t.Errorf("Len = %d, want 3", got)
+	}
+	ms := s.MachineSlots(0)
+	if len(ms) != 2 || ms[0].Job.ID != 0 || ms[1].Job.ID != 2 {
+		t.Errorf("MachineSlots(0) = %+v", ms)
+	}
+}
+
+func TestAddMachineOutOfRange(t *testing.T) {
+	s := New(2)
+	if err := s.Add(j(0, 0, 1, 5), 2, 0); err == nil {
+		t.Error("machine 2 of 2 must error")
+	}
+	if err := s.Add(j(0, 0, 1, 5), -1, 0); err == nil {
+		t.Error("negative machine must error")
+	}
+}
+
+func TestVerifyCatchesViolations(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(*Schedule)
+		nErr  int
+	}{
+		{"start before release", func(s *Schedule) {
+			s.Add(j(0, 5, 1, 10), 0, 4)
+		}, 1},
+		{"completion after deadline", func(s *Schedule) {
+			s.Add(j(0, 0, 5, 4), 0, 0)
+		}, 1},
+		{"overlap on machine", func(s *Schedule) {
+			s.Add(j(0, 0, 5, 100), 0, 0)
+			s.Add(j(1, 0, 5, 100), 0, 3)
+		}, 1},
+		{"ok back-to-back", func(s *Schedule) {
+			s.Add(j(0, 0, 5, 100), 0, 0)
+			s.Add(j(1, 0, 5, 100), 0, 5)
+		}, 0},
+		{"parallel machines no overlap", func(s *Schedule) {
+			s.Add(j(0, 0, 5, 100), 0, 0)
+			s.Add(j(1, 0, 5, 100), 1, 0)
+		}, 0},
+	}
+	for _, c := range cases {
+		s := New(2)
+		c.build(s)
+		errs := s.Verify()
+		if len(errs) != c.nErr {
+			t.Errorf("%s: %d violations (%v), want %d", c.name, len(errs), errs, c.nErr)
+		}
+		if s.Feasible() != (c.nErr == 0) {
+			t.Errorf("%s: Feasible inconsistent with Verify", c.name)
+		}
+	}
+}
+
+func TestVerifyToleratesEpsilonOverlap(t *testing.T) {
+	// A start within TimeEps of the previous end is back-to-back, not an
+	// overlap — the tolerance-aware comparator at work.
+	s := New(1)
+	s.Add(j(0, 0, 1, 10), 0, 0)
+	s.Add(j(1, 0, 1, 10), 0, 1-1e-13)
+	if !s.Feasible() {
+		t.Errorf("epsilon-scale overlap flagged: %v", s.Verify())
+	}
+}
+
+func TestMachineLoadAt(t *testing.T) {
+	s := New(2)
+	s.Add(j(0, 0, 4, 100), 0, 0) // horizon 4
+	s.Add(j(1, 0, 2, 100), 0, 4) // horizon 6
+	if got := s.MachineLoadAt(0, 0); got != 6 {
+		t.Errorf("load at 0 = %g, want 6", got)
+	}
+	if got := s.MachineLoadAt(0, 5); got != 1 {
+		t.Errorf("load at 5 = %g, want 1", got)
+	}
+	if got := s.MachineLoadAt(0, 7); got != 0 {
+		t.Errorf("load at 7 = %g, want 0", got)
+	}
+	if got := s.MachineLoadAt(1, 0); got != 0 {
+		t.Errorf("idle machine load = %g, want 0", got)
+	}
+}
+
+func TestFromDecisions(t *testing.T) {
+	inst := job.Instance{j(0, 0, 2, 5), j(1, 1, 3, 10), j(2, 2, 1, 4)}
+	decisions := []online.Decision{
+		{JobID: 0, Accepted: true, Machine: 0, Start: 0},
+		{JobID: 1, Accepted: true, Machine: 1, Start: 1},
+		{JobID: 2, Accepted: false},
+	}
+	s, err := FromDecisions(2, inst, decisions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 || math.Abs(s.Load()-5) > 1e-12 {
+		t.Errorf("Len=%d Load=%g", s.Len(), s.Load())
+	}
+	if !s.Feasible() {
+		t.Errorf("violations: %v", s.Verify())
+	}
+	// Unknown job ID errors.
+	if _, err := FromDecisions(2, inst, []online.Decision{{JobID: 42, Accepted: true}}); err == nil {
+		t.Error("unknown job ID must error")
+	}
+	// Bad machine index errors.
+	if _, err := FromDecisions(2, inst, []online.Decision{{JobID: 0, Accepted: true, Machine: 5}}); err == nil {
+		t.Error("bad machine must error")
+	}
+}
+
+func TestEmptySchedule(t *testing.T) {
+	s := New(3)
+	if s.Load() != 0 || s.Makespan() != 0 || !s.Feasible() {
+		t.Error("empty schedule should be trivially feasible with zero load")
+	}
+}

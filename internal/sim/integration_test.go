@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"loadmax/internal/baseline"
+	"loadmax/internal/core"
+	"loadmax/internal/job"
+	"loadmax/internal/online"
+	"loadmax/internal/randomized"
+	"loadmax/internal/workload"
+)
+
+// TestIntegrationSweep is the repository's broad cross-product check:
+// every immediate-commitment scheduler × every workload family × an
+// (ε, m) grid must produce a violation-free, deterministic run. This is
+// the test that catches cross-package drift.
+func TestIntegrationSweep(t *testing.T) {
+	type mk struct {
+		name string
+		make func(m int, eps float64) (online.Scheduler, error)
+	}
+	makers := []mk{
+		{"threshold", func(m int, eps float64) (online.Scheduler, error) { return core.New(m, eps) }},
+		{"threshold/least-loaded", func(m int, eps float64) (online.Scheduler, error) {
+			return core.New(m, eps, core.WithPolicy(core.LeastLoaded))
+		}},
+		{"threshold/first-fit", func(m int, eps float64) (online.Scheduler, error) {
+			return core.New(m, eps, core.WithPolicy(core.FirstFit))
+		}},
+		{"greedy", func(m int, eps float64) (online.Scheduler, error) { return baseline.NewGreedy(m), nil }},
+		{"greedy/best-fit", func(m int, eps float64) (online.Scheduler, error) { return baseline.NewGreedyBestFit(m), nil }},
+		{"length-class", func(m int, eps float64) (online.Scheduler, error) { return baseline.NewLengthClass(m, eps) }},
+		{"random", func(m int, eps float64) (online.Scheduler, error) { return baseline.NewRandomAdmission(m, 0.5, 1) }},
+		{"classify-select", func(m int, eps float64) (online.Scheduler, error) {
+			if m != 1 {
+				return nil, nil // single-machine algorithm
+			}
+			return randomized.New(eps, 0, 1)
+		}},
+	}
+	for _, m := range []int{1, 2, 5} {
+		for _, eps := range []float64{0.02, 0.3, 1.0} {
+			for _, fam := range workload.Families {
+				inst := fam.Gen(workload.Spec{N: 80, Eps: eps, M: m, Seed: 99})
+				for _, mk := range makers {
+					s, err := mk.make(m, eps)
+					if err != nil {
+						t.Fatalf("%s m=%d eps=%g: %v", mk.name, m, eps, err)
+					}
+					if s == nil {
+						continue
+					}
+					name := fmt.Sprintf("%s/m=%d/eps=%g/%s", mk.name, m, eps, fam.Name)
+					r1, err := Run(s, inst)
+					if err != nil {
+						t.Errorf("%s: %v", name, err)
+						continue
+					}
+					if len(r1.Violations) != 0 {
+						t.Errorf("%s: %v", name, r1.Violations)
+					}
+					r2, err := Run(s, inst)
+					if err != nil {
+						t.Errorf("%s rerun: %v", name, err)
+						continue
+					}
+					if r1.Load != r2.Load {
+						t.Errorf("%s: nondeterministic (%g vs %g)", name, r1.Load, r2.Load)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestExtremeMagnitudes stresses the tolerance-aware comparators far from
+// unit scale: microsecond-length jobs on an epoch-sized clock, and
+// gigascale processing times.
+func TestExtremeMagnitudes(t *testing.T) {
+	cases := []struct {
+		name string
+		inst job.Instance
+	}{
+		{"tiny-jobs-late-clock", job.Instance{
+			{ID: 0, Release: 1e9, Proc: 1e-6, Deadline: 1e9 + 2.5e-6},
+			{ID: 1, Release: 1e9 + 1e-6, Proc: 1e-6, Deadline: 1e9 + 4e-6},
+			{ID: 2, Release: 1e9 + 2e-6, Proc: 2e-6, Deadline: 1e9 + 1e-5},
+		}},
+		{"giga-jobs", job.Instance{
+			{ID: 0, Release: 0, Proc: 1e9, Deadline: 1.5e9},
+			{ID: 1, Release: 1e3, Proc: 2e9, Deadline: 4e9},
+			{ID: 2, Release: 1e6, Proc: 5e8, Deadline: 4e9},
+		}},
+		{"mixed-scales", job.Instance{
+			{ID: 0, Release: 0, Proc: 1e-3, Deadline: 1},
+			{ID: 1, Release: 0.5, Proc: 1e6, Deadline: 2e6},
+			{ID: 2, Release: 1, Proc: 1, Deadline: 10},
+		}},
+	}
+	for _, c := range cases {
+		for _, m := range []int{1, 2} {
+			th, err := core.New(m, 0.3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(th, c.inst)
+			if err != nil {
+				t.Errorf("%s m=%d: %v", c.name, m, err)
+				continue
+			}
+			for _, v := range res.Violations {
+				t.Errorf("%s m=%d: %s", c.name, m, v)
+			}
+			if res.Load < 0 || math.IsNaN(res.Load) || math.IsInf(res.Load, 0) {
+				t.Errorf("%s m=%d: degenerate load %g", c.name, m, res.Load)
+			}
+		}
+	}
+}
+
+// TestZeroGapBurst: many jobs at the identical release instant must be
+// handled in submission order without clock violations.
+func TestZeroGapBurst(t *testing.T) {
+	var inst job.Instance
+	for i := 0; i < 50; i++ {
+		inst = append(inst, job.Job{ID: i, Release: 10, Proc: 1 + float64(i%5), Deadline: 100})
+	}
+	th, err := core.New(4, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(th, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+	if res.Accepted == 0 {
+		t.Error("burst entirely rejected")
+	}
+}

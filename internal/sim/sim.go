@@ -1,0 +1,141 @@
+// Package sim drives online schedulers: it replays instances through the
+// online protocol, assembles the committed schedule from the decision
+// stream, verifies feasibility and immediate commitment, and gathers the
+// metrics the experiments report.
+package sim
+
+import (
+	"fmt"
+
+	"loadmax/internal/job"
+	"loadmax/internal/online"
+	"loadmax/internal/schedule"
+)
+
+// Result captures one complete online run.
+type Result struct {
+	Scheduler string
+	Machines  int
+
+	Submitted int
+	Accepted  int
+	Rejected  int
+
+	// Load is the accepted load Σ p_j·(1−U_j) — the paper's objective.
+	Load float64
+	// TotalLoad is Σ p_j over all submitted jobs (the accept-everything
+	// ceiling; an upper bound on OPT).
+	TotalLoad float64
+
+	Schedule  *schedule.Schedule
+	Decisions []online.Decision
+
+	// Violations lists feasibility or protocol breaches. A correct
+	// scheduler produces none; the verifier exists to catch broken
+	// baselines and broken test doubles.
+	Violations []string
+}
+
+// AcceptanceRate returns Accepted/Submitted (0 for an empty run).
+func (r *Result) AcceptanceRate() float64 {
+	if r.Submitted == 0 {
+		return 0
+	}
+	return float64(r.Accepted) / float64(r.Submitted)
+}
+
+// LoadFraction returns Load/TotalLoad (1 for an empty run).
+func (r *Result) LoadFraction() float64 {
+	if r.TotalLoad == 0 {
+		return 1
+	}
+	return r.Load / r.TotalLoad
+}
+
+// Run replays the instance through the scheduler in slice order (the
+// instance must be sorted by release date) and verifies the outcome. The
+// scheduler is Reset first, so a Run is always a fresh experiment.
+func Run(s online.Scheduler, inst job.Instance) (*Result, error) {
+	if err := inst.Validate(-1); err != nil {
+		return nil, fmt.Errorf("sim: invalid instance: %w", err)
+	}
+	s.Reset()
+	res := &Result{
+		Scheduler: s.Name(),
+		Machines:  s.Machines(),
+		TotalLoad: inst.TotalLoad(),
+	}
+	log := online.NewLog()
+	for _, j := range inst {
+		d := s.Submit(j)
+		if d.JobID != j.ID {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("decision for job %d returned ID %d", j.ID, d.JobID))
+			d.JobID = j.ID
+		}
+		if err := log.Record(d); err != nil {
+			res.Violations = append(res.Violations, err.Error())
+		}
+		res.Submitted++
+		if d.Accepted {
+			res.Accepted++
+			res.Load += j.Proc
+		} else {
+			res.Rejected++
+		}
+	}
+	res.Decisions = log.Decisions()
+
+	sched, err := schedule.FromDecisions(s.Machines(), inst, res.Decisions)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	res.Schedule = sched
+	for _, verr := range sched.Verify() {
+		res.Violations = append(res.Violations, verr.Error())
+	}
+	// Immediate commitment on arrival: an accepted job's committed start
+	// must not precede its submission instant (a scheduler may plan for
+	// the future, never for the past).
+	for _, d := range res.Decisions {
+		if d.Accepted {
+			var rel float64
+			for _, j := range inst {
+				if j.ID == d.JobID {
+					rel = j.Release
+					break
+				}
+			}
+			if job.Less(d.Start, rel) {
+				res.Violations = append(res.Violations,
+					fmt.Sprintf("job %d committed to start %g before its release %g",
+						d.JobID, d.Start, rel))
+			}
+		}
+	}
+	return res, nil
+}
+
+// MustRun is Run, panicking on setup errors (for benchmarks and examples
+// with known-good inputs).
+func MustRun(s online.Scheduler, inst job.Instance) *Result {
+	r, err := Run(s, inst)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Compare runs several schedulers over the same instance and returns the
+// results keyed by scheduler name, preserving input order in the slice.
+func Compare(schedulers []online.Scheduler, inst job.Instance) ([]*Result, error) {
+	out := make([]*Result, 0, len(schedulers))
+	for _, s := range schedulers {
+		r, err := Run(s, inst)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,181 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"loadmax/internal/baseline"
+	"loadmax/internal/core"
+	"loadmax/internal/job"
+	"loadmax/internal/online"
+	"loadmax/internal/workload"
+)
+
+func TestRunHappyPath(t *testing.T) {
+	inst := workload.Uniform(workload.Spec{N: 50, Eps: 0.2, M: 2, Seed: 1})
+	th, err := core.New(2, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(th, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Submitted != 50 {
+		t.Errorf("Submitted = %d, want 50", res.Submitted)
+	}
+	if res.Accepted+res.Rejected != res.Submitted {
+		t.Error("accepted + rejected ≠ submitted")
+	}
+	if len(res.Violations) != 0 {
+		t.Errorf("violations: %v", res.Violations)
+	}
+	if res.Load <= 0 || res.Load > res.TotalLoad {
+		t.Errorf("Load = %g of %g", res.Load, res.TotalLoad)
+	}
+	if res.Schedule.Len() != res.Accepted {
+		t.Errorf("schedule has %d slots, accepted %d", res.Schedule.Len(), res.Accepted)
+	}
+	if r := res.AcceptanceRate(); r < 0 || r > 1 {
+		t.Errorf("AcceptanceRate = %g", r)
+	}
+	if f := res.LoadFraction(); f < 0 || f > 1 {
+		t.Errorf("LoadFraction = %g", f)
+	}
+}
+
+func TestRunResetsScheduler(t *testing.T) {
+	inst := workload.Uniform(workload.Spec{N: 30, Eps: 0.2, M: 2, Seed: 2})
+	th, err := core.New(2, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := Run(th, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(th, inst) // same scheduler, must be identical
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Load != r2.Load || r1.Accepted != r2.Accepted {
+		t.Errorf("re-run differs: %g/%d vs %g/%d", r1.Load, r1.Accepted, r2.Load, r2.Accepted)
+	}
+}
+
+func TestRunRejectsInvalidInstance(t *testing.T) {
+	inst := job.Instance{
+		{ID: 0, Release: 5, Proc: 1, Deadline: 10},
+		{ID: 1, Release: 1, Proc: 1, Deadline: 10}, // out of order
+	}
+	th, _ := core.New(1, 0.5)
+	if _, err := Run(th, inst); err == nil {
+		t.Error("unsorted instance must error")
+	}
+}
+
+// cheater violates commitments: it accepts every job on machine 0 at its
+// release date, overlapping freely, and sometimes misreports the job ID.
+type cheater struct{ m int }
+
+func (c cheater) Name() string  { return "cheater" }
+func (c cheater) Machines() int { return c.m }
+func (c cheater) Reset()        {}
+func (c cheater) Submit(j job.Job) online.Decision {
+	id := j.ID
+	if id == 3 {
+		id = 999 // misreport
+	}
+	start := j.Release
+	if j.ID == 2 {
+		start = j.Release + 60 // pushes completion past the deadline
+	}
+	return online.Decision{JobID: id, Accepted: true, Machine: 0, Start: start}
+}
+
+func TestRunDetectsCheating(t *testing.T) {
+	inst := job.Instance{
+		{ID: 0, Release: 0, Proc: 5, Deadline: 100},
+		{ID: 1, Release: 0, Proc: 5, Deadline: 100},  // overlaps on M0
+		{ID: 2, Release: 0, Proc: 50, Deadline: 100}, // started late → misses deadline
+		{ID: 3, Release: 0, Proc: 1, Deadline: 100},  // ID misreported
+	}
+	res, err := Run(cheater{m: 2}, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) == 0 {
+		t.Fatal("cheater produced no violations")
+	}
+	var overlap, deadline, misreport bool
+	for _, v := range res.Violations {
+		switch {
+		case strings.Contains(v, "overlaps"):
+			overlap = true
+		case strings.Contains(v, "deadline"):
+			deadline = true
+		case strings.Contains(v, "returned ID"):
+			misreport = true
+		}
+	}
+	if !overlap || !deadline || !misreport {
+		t.Errorf("missing violation kinds in %v", res.Violations)
+	}
+}
+
+// pastStarter commits a start before the job's submission instant.
+type pastStarter struct{}
+
+func (pastStarter) Name() string  { return "past-starter" }
+func (pastStarter) Machines() int { return 1 }
+func (pastStarter) Reset()        {}
+func (pastStarter) Submit(j job.Job) online.Decision {
+	return online.Decision{JobID: j.ID, Accepted: true, Machine: 0, Start: j.Release - 1}
+}
+
+func TestRunDetectsPastStart(t *testing.T) {
+	inst := job.Instance{{ID: 0, Release: 5, Proc: 1, Deadline: 100}}
+	res, err := Run(pastStarter{}, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, v := range res.Violations {
+		if strings.Contains(v, "before its release") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("past start not flagged: %v", res.Violations)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	inst := workload.Poisson(workload.Spec{N: 80, Eps: 0.3, M: 3, Seed: 5})
+	th, _ := core.New(3, 0.3)
+	rs, err := Compare([]online.Scheduler{th, baseline.NewGreedy(3)}, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("got %d results", len(rs))
+	}
+	if rs[0].Scheduler != "threshold" || rs[1].Scheduler != "greedy" {
+		t.Errorf("order: %s, %s", rs[0].Scheduler, rs[1].Scheduler)
+	}
+	// Greedy accepts a superset-ish load on benign instances.
+	if rs[1].Load <= 0 {
+		t.Error("greedy accepted nothing")
+	}
+}
+
+func TestEmptyInstance(t *testing.T) {
+	th, _ := core.New(2, 0.5)
+	res, err := Run(th, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Submitted != 0 || res.LoadFraction() != 1 || res.AcceptanceRate() != 0 {
+		t.Errorf("empty run: %+v", res)
+	}
+}

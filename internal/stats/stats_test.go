@@ -1,0 +1,152 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %g, want 2.5", got)
+	}
+	if got := Mean(nil); !math.IsNaN(got) {
+		t.Errorf("Mean(nil) = %g, want NaN", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("GeoMean = %g, want 2", got)
+	}
+	if got := GeoMean([]float64{2, -1}); !math.IsNaN(got) {
+		t.Errorf("GeoMean with negative = %g, want NaN", got)
+	}
+	if got := GeoMean(nil); !math.IsNaN(got) {
+		t.Errorf("GeoMean(nil) = %g, want NaN", got)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	// Sample std of {2,4,4,4,5,5,7,9} is 2.138… with n−1.
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	want := math.Sqrt(32.0 / 7.0)
+	if got := StdDev(xs); math.Abs(got-want) > 1e-12 {
+		t.Errorf("StdDev = %g, want %g", got, want)
+	}
+	if got := StdDev([]float64{5}); got != 0 {
+		t.Errorf("StdDev single = %g, want 0", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 0}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Errorf("Min/Max = %g/%g", Min(xs), Max(xs))
+	}
+	if !math.IsNaN(Min(nil)) || !math.IsNaN(Max(nil)) {
+		t.Error("empty Min/Max should be NaN")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {100, 40}, {50, 25}, {25, 17.5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("P%g = %g, want %g", c.p, got, c.want)
+		}
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("empty percentile should be NaN")
+	}
+	// Percentile must not mutate the input.
+	ys := []float64{3, 1, 2}
+	Percentile(ys, 50)
+	if ys[0] != 3 || ys[1] != 1 || ys[2] != 2 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if s.N != 3 || s.Mean != 2 || s.Min != 1 || s.Max != 3 || s.P50 != 2 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+// Property: Min ≤ P50 ≤ Max and Min ≤ Mean ≤ Max.
+func TestQuickOrderings(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		s := Summarize(xs)
+		return s.Min <= s.P50+1e-9 && s.P50 <= s.Max+1e-9 &&
+			s.Min <= s.Mean+1e-9 && s.Mean <= s.Max+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: GeoMean ≤ Mean for positive inputs (AM–GM).
+func TestQuickAMGM(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = 1 + float64(r)
+		}
+		return GeoMean(xs) <= Mean(xs)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: percentile interpolation is monotone in p.
+func TestQuickPercentileMonotone(t *testing.T) {
+	f := func(raw []uint16, aRaw, bRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		a := float64(aRaw) / 255 * 100
+		b := float64(bRaw) / 255 * 100
+		if a > b {
+			a, b = b, a
+		}
+		return Percentile(xs, a) <= Percentile(xs, b)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercentileAgainstSort(t *testing.T) {
+	xs := []float64{9, 1, 5, 3, 7}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if got := Percentile(xs, 0); got != sorted[0] {
+		t.Errorf("P0 = %g", got)
+	}
+	if got := Percentile(xs, 100); got != sorted[len(sorted)-1] {
+		t.Errorf("P100 = %g", got)
+	}
+}

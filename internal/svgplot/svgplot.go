@@ -1,0 +1,205 @@
+// Package svgplot renders line plots and Gantt charts as standalone SVG
+// documents — the publication-grade counterpart of package textplot, used
+// by cmd/curves and cmd/lowerbound to regenerate the paper's figures as
+// files.
+package svgplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// palette cycles through line colours.
+var palette = []string{"#1f77b4", "#2ca02c", "#9467bd", "#d62728", "#ff7f0e", "#8c564b"}
+
+// Series is one named curve.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Plot is a line plot with optional log-x scale and marker points.
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // pixels; default 720
+	Height int // pixels; default 440
+	LogX   bool
+	Series []Series
+	Marks  []struct{ X, Y float64 }
+}
+
+// AddSeries appends a curve.
+func (p *Plot) AddSeries(name string, x, y []float64) {
+	p.Series = append(p.Series, Series{Name: name, X: x, Y: y})
+}
+
+// Mark appends a circle marker (the phase-transition circles of Fig. 1).
+func (p *Plot) Mark(x, y float64) {
+	p.Marks = append(p.Marks, struct{ X, Y float64 }{x, y})
+}
+
+const margin = 56.0
+
+// Render produces the SVG document.
+func (p *Plot) Render() string {
+	w, h := float64(p.Width), float64(p.Height)
+	if w <= 0 {
+		w = 720
+	}
+	if h <= 0 {
+		h = 440
+	}
+	tx := func(x float64) float64 {
+		if p.LogX {
+			return math.Log10(x)
+		}
+		return x
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range p.Series {
+		for i := range s.X {
+			xmin, xmax = math.Min(xmin, tx(s.X[i])), math.Max(xmax, tx(s.X[i]))
+			ymin, ymax = math.Min(ymin, s.Y[i]), math.Max(ymax, s.Y[i])
+		}
+	}
+	for _, m := range p.Marks {
+		xmin, xmax = math.Min(xmin, tx(m.X)), math.Max(xmax, tx(m.X))
+		ymin, ymax = math.Min(ymin, m.Y), math.Max(ymax, m.Y)
+	}
+	if math.IsInf(xmin, 1) {
+		xmin, xmax, ymin, ymax = 0, 1, 0, 1
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	px := func(x float64) float64 {
+		return margin + (tx(x)-xmin)/(xmax-xmin)*(w-2*margin)
+	}
+	py := func(y float64) float64 {
+		return h - margin - (y-ymin)/(ymax-ymin)*(h-2*margin)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%g" height="%g" viewBox="0 0 %g %g">`+"\n", w, h, w, h)
+	fmt.Fprintf(&b, `<rect width="%g" height="%g" fill="white"/>`+"\n", w, h)
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+		margin, h-margin, w-margin, h-margin)
+	fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+		margin, margin, margin, h-margin)
+	if p.Title != "" {
+		fmt.Fprintf(&b, `<text x="%g" y="24" font-family="sans-serif" font-size="16" text-anchor="middle">%s</text>`+"\n",
+			w/2, esc(p.Title))
+	}
+	// Axis labels and extremes.
+	fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		w/2, h-12, esc(p.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%g" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 16 %g)">%s</text>`+"\n",
+		h/2, h/2, esc(p.YLabel))
+	xl, xr := xmin, xmax
+	if p.LogX {
+		xl, xr = math.Pow(10, xmin), math.Pow(10, xmax)
+	}
+	fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="11">%.3g</text>`+"\n", margin, h-margin+16, xl)
+	fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="11" text-anchor="end">%.3g</text>`+"\n", w-margin, h-margin+16, xr)
+	fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="11" text-anchor="end">%.3g</text>`+"\n", margin-6, h-margin, ymin)
+	fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="11" text-anchor="end">%.3g</text>`+"\n", margin-6, margin+4, ymax)
+
+	// Curves.
+	for si, s := range p.Series {
+		color := palette[si%len(palette)]
+		var pts []string
+		for i := range s.X {
+			pts = append(pts, fmt.Sprintf("%.2f,%.2f", px(s.X[i]), py(s.Y[i])))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.8"/>`+"\n",
+			strings.Join(pts, " "), color)
+		// Legend entry.
+		ly := margin + float64(si)*18
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s" stroke-width="3"/>`+"\n",
+			w-margin-110, ly, w-margin-86, ly, color)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="12">%s</text>`+"\n",
+			w-margin-80, ly+4, esc(s.Name))
+	}
+	// Markers.
+	for _, m := range p.Marks {
+		fmt.Fprintf(&b, `<circle cx="%g" cy="%g" r="4" fill="none" stroke="black" stroke-width="1.4"/>`+"\n",
+			px(m.X), py(m.Y))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// GanttSlot is one bar of a Gantt chart.
+type GanttSlot struct {
+	Machine int
+	Start   float64
+	End     float64
+	Label   string
+}
+
+// Gantt renders per-machine timelines as SVG.
+func Gantt(title string, m int, slots []GanttSlot, width int) string {
+	w := float64(width)
+	if w <= 0 {
+		w = 720
+	}
+	rowH := 34.0
+	h := margin + float64(m)*rowH + margin
+	var tmax float64
+	for _, s := range slots {
+		tmax = math.Max(tmax, s.End)
+	}
+	if tmax == 0 {
+		tmax = 1
+	}
+	px := func(t float64) float64 { return margin + t/tmax*(w-2*margin) }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%g" height="%g" viewBox="0 0 %g %g">`+"\n", w, h, w, h)
+	fmt.Fprintf(&b, `<rect width="%g" height="%g" fill="white"/>`+"\n", w, h)
+	if title != "" {
+		fmt.Fprintf(&b, `<text x="%g" y="24" font-family="sans-serif" font-size="15" text-anchor="middle">%s</text>`+"\n",
+			w/2, esc(title))
+	}
+	for mi := 0; mi < m; mi++ {
+		y := margin + float64(mi)*rowH
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="12" text-anchor="end">M%d</text>`+"\n",
+			margin-8, y+rowH/2+4, mi)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#ddd"/>`+"\n",
+			margin, y+rowH/2, w-margin, y+rowH/2)
+	}
+	for i, s := range slots {
+		if s.Machine < 0 || s.Machine >= m {
+			continue
+		}
+		y := margin + float64(s.Machine)*rowH + 6
+		x0, x1 := px(s.Start), px(s.End)
+		if x1-x0 < 1 {
+			x1 = x0 + 1
+		}
+		color := palette[i%len(palette)]
+		fmt.Fprintf(&b, `<rect x="%g" y="%g" width="%g" height="%g" fill="%s" fill-opacity="0.75" stroke="black" stroke-width="0.6"/>`+"\n",
+			x0, y, x1-x0, rowH-12, color)
+		if s.Label != "" && x1-x0 > 24 {
+			fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+				(x0+x1)/2, y+(rowH-12)/2+4, esc(s.Label))
+		}
+	}
+	fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="11">0</text>`+"\n", margin, h-16)
+	fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="11" text-anchor="end">%.4g</text>`+"\n", w-margin, h-16, tmax)
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,67 @@
+package svgplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlotRenderWellFormed(t *testing.T) {
+	p := &Plot{Title: "c(eps,m) & <bounds>", XLabel: "eps", YLabel: "ratio", LogX: true}
+	p.AddSeries("m=1", []float64{0.01, 0.1, 1}, []float64{102, 12, 3})
+	p.AddSeries("m=2", []float64{0.01, 0.1, 1}, []float64{20.7, 7.3, 2.5})
+	p.Mark(2.0/7.0, 5)
+	out := p.Render()
+	for _, want := range []string{
+		"<svg", "</svg>", "polyline", "circle",
+		"c(eps,m) &amp; &lt;bounds&gt;", // escaping
+		"m=1", "m=2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(out, "<polyline") != 2 {
+		t.Errorf("want 2 polylines, got %d", strings.Count(out, "<polyline"))
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	p := &Plot{}
+	out := p.Render()
+	if !strings.Contains(out, "<svg") || !strings.Contains(out, "</svg>") {
+		t.Error("empty plot must still be a valid document")
+	}
+}
+
+func TestPlotConstantSeries(t *testing.T) {
+	p := &Plot{}
+	p.AddSeries("flat", []float64{1, 2}, []float64{5, 5})
+	out := p.Render()
+	if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Error("degenerate ranges leaked NaN/Inf into the SVG")
+	}
+}
+
+func TestGanttRender(t *testing.T) {
+	out := Gantt("schedule", 2, []GanttSlot{
+		{Machine: 0, Start: 0, End: 5, Label: "J0"},
+		{Machine: 1, Start: 1, End: 2, Label: "J1"},
+		{Machine: 7, Start: 0, End: 1}, // out of range: skipped
+	}, 640)
+	if strings.Count(out, "<rect") != 3 { // background + 2 bars
+		t.Errorf("want 3 rects, got %d", strings.Count(out, "<rect"))
+	}
+	if !strings.Contains(out, "J0") {
+		t.Error("wide bar lost its label")
+	}
+	if !strings.Contains(out, ">M1<") {
+		t.Error("machine row label missing")
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	out := Gantt("", 1, nil, 0)
+	if !strings.Contains(out, "</svg>") || strings.Contains(out, "NaN") {
+		t.Error("empty gantt must be a clean document")
+	}
+}

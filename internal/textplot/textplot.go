@@ -1,0 +1,219 @@
+// Package textplot renders line plots and Gantt charts as ASCII — the
+// terminal stand-in for the paper's figures (the c(ε,m) curves of Fig. 1,
+// the schedules of Fig. 3).
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Plot configures a line plot.
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // plot area columns (default 72)
+	Height int // plot area rows (default 20)
+	LogX   bool
+	Series []Series
+	// Marks are extra points rendered as 'o' (the phase-transition
+	// circles of Fig. 1).
+	Marks []struct{ X, Y float64 }
+}
+
+// AddSeries appends a curve.
+func (p *Plot) AddSeries(name string, x, y []float64) {
+	p.Series = append(p.Series, Series{Name: name, X: x, Y: y})
+}
+
+// Mark appends a marker point.
+func (p *Plot) Mark(x, y float64) {
+	p.Marks = append(p.Marks, struct{ X, Y float64 }{x, y})
+}
+
+// seriesGlyphs assigns one glyph per series.
+var seriesGlyphs = []byte{'*', '+', 'x', '#', '@', '%', '&', '~'}
+
+// Render draws the plot.
+func (p *Plot) Render() string {
+	w, h := p.Width, p.Height
+	if w <= 0 {
+		w = 72
+	}
+	if h <= 0 {
+		h = 20
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	tx := func(x float64) float64 {
+		if p.LogX {
+			return math.Log10(x)
+		}
+		return x
+	}
+	for _, s := range p.Series {
+		for i := range s.X {
+			xmin = math.Min(xmin, tx(s.X[i]))
+			xmax = math.Max(xmax, tx(s.X[i]))
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	for _, m := range p.Marks {
+		xmin = math.Min(xmin, tx(m.X))
+		xmax = math.Max(xmax, tx(m.X))
+		ymin = math.Min(ymin, m.Y)
+		ymax = math.Max(ymax, m.Y)
+	}
+	if math.IsInf(xmin, 1) {
+		return p.Title + "\n(empty plot)\n"
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	put := func(x, y float64, glyph byte) {
+		c := int(math.Round((tx(x) - xmin) / (xmax - xmin) * float64(w-1)))
+		r := int(math.Round((ymax - y) / (ymax - ymin) * float64(h-1)))
+		if c >= 0 && c < w && r >= 0 && r < h {
+			grid[r][c] = glyph
+		}
+	}
+	for si, s := range p.Series {
+		glyph := seriesGlyphs[si%len(seriesGlyphs)]
+		for i := range s.X {
+			put(s.X[i], s.Y[i], glyph)
+		}
+	}
+	for _, m := range p.Marks {
+		put(m.X, m.Y, 'o')
+	}
+
+	var b strings.Builder
+	if p.Title != "" {
+		fmt.Fprintf(&b, "%s\n", p.Title)
+	}
+	yTop, yBot := fmt.Sprintf("%.3g", ymax), fmt.Sprintf("%.3g", ymin)
+	margin := len(yTop)
+	if len(yBot) > margin {
+		margin = len(yBot)
+	}
+	for r := 0; r < h; r++ {
+		label := strings.Repeat(" ", margin)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*s", margin, yTop)
+		case h - 1:
+			label = fmt.Sprintf("%*s", margin, yBot)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", margin), strings.Repeat("-", w))
+	xl, xr := math.Pow(10, xmin), math.Pow(10, xmax)
+	if !p.LogX {
+		xl, xr = xmin, xmax
+	}
+	xAxis := fmt.Sprintf("%-*s%*s", w/2, fmt.Sprintf("%.3g", xl), w-w/2, fmt.Sprintf("%.3g", xr))
+	fmt.Fprintf(&b, "%s  %s\n", strings.Repeat(" ", margin), xAxis)
+	if p.XLabel != "" || p.YLabel != "" {
+		fmt.Fprintf(&b, "%s  x: %s   y: %s\n", strings.Repeat(" ", margin), p.XLabel, p.YLabel)
+	}
+	// Legend.
+	var leg []string
+	for si, s := range p.Series {
+		leg = append(leg, fmt.Sprintf("%c %s", seriesGlyphs[si%len(seriesGlyphs)], s.Name))
+	}
+	if len(p.Marks) > 0 {
+		leg = append(leg, "o phase transition")
+	}
+	if len(leg) > 0 {
+		fmt.Fprintf(&b, "%s  legend: %s\n", strings.Repeat(" ", margin), strings.Join(leg, " | "))
+	}
+	return b.String()
+}
+
+// GanttSlot is one bar of a Gantt chart.
+type GanttSlot struct {
+	Machine int
+	Start   float64
+	End     float64
+	Label   string
+}
+
+// Gantt renders per-machine timelines: one row per machine, bars made of
+// '█'-free ASCII ('=' bodies with '[' ']' ends), labels inlined when they
+// fit.
+func Gantt(title string, m int, slots []GanttSlot, width int) string {
+	if width <= 0 {
+		width = 78
+	}
+	var tmax float64
+	for _, s := range slots {
+		tmax = math.Max(tmax, s.End)
+	}
+	if tmax == 0 {
+		tmax = 1
+	}
+	scale := float64(width-10) / tmax
+	perMachine := make([][]GanttSlot, m)
+	for _, s := range slots {
+		if s.Machine >= 0 && s.Machine < m {
+			perMachine[s.Machine] = append(perMachine[s.Machine], s)
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	for mi := 0; mi < m; mi++ {
+		row := []byte(strings.Repeat(".", width-10))
+		sort.Slice(perMachine[mi], func(a, c int) bool {
+			return perMachine[mi][a].Start < perMachine[mi][c].Start
+		})
+		for _, s := range perMachine[mi] {
+			c0 := int(s.Start * scale)
+			if c0 >= len(row) {
+				c0 = len(row) - 1
+			}
+			c1 := int(s.End * scale)
+			if c1 <= c0 {
+				c1 = c0 + 1
+			}
+			if c1 > len(row) {
+				c1 = len(row)
+			}
+			for c := c0; c < c1 && c < len(row); c++ {
+				row[c] = '='
+			}
+			if c0 < len(row) {
+				row[c0] = '['
+			}
+			if c1-1 < len(row) && c1-1 >= 0 {
+				row[c1-1] = ']'
+			}
+			// Inline label when it fits strictly inside the bar.
+			if len(s.Label) > 0 && c1-c0 >= len(s.Label)+2 {
+				copy(row[c0+1:], s.Label)
+			}
+		}
+		fmt.Fprintf(&b, "M%-2d |%s\n", mi, string(row))
+	}
+	fmt.Fprintf(&b, "    +%s\n", strings.Repeat("-", width-10))
+	fmt.Fprintf(&b, "     0%*s\n", width-12, fmt.Sprintf("%.3g", tmax))
+	return b.String()
+}

@@ -1,0 +1,111 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasicPlot(t *testing.T) {
+	p := &Plot{Title: "t", XLabel: "x", YLabel: "y", Width: 40, Height: 10}
+	p.AddSeries("s1", []float64{1, 2, 3}, []float64{1, 4, 9})
+	out := p.Render()
+	if !strings.Contains(out, "t\n") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("missing series glyph")
+	}
+	if !strings.Contains(out, "legend: * s1") {
+		t.Errorf("missing legend:\n%s", out)
+	}
+	// Axis labels show the y range.
+	if !strings.Contains(out, "9") || !strings.Contains(out, "1") {
+		t.Error("missing y-axis extremes")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 12 {
+		t.Errorf("plot has %d lines, want ≥ 12", len(lines))
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	p := &Plot{Title: "empty"}
+	if out := p.Render(); !strings.Contains(out, "(empty plot)") {
+		t.Errorf("empty render: %q", out)
+	}
+}
+
+func TestRenderLogXAndMarks(t *testing.T) {
+	p := &Plot{LogX: true, Width: 40, Height: 8}
+	p.AddSeries("c", []float64{0.01, 0.1, 1}, []float64{3, 2, 1})
+	p.Mark(0.1, 2)
+	out := p.Render()
+	if !strings.Contains(out, "o") {
+		t.Error("mark glyph missing")
+	}
+	if !strings.Contains(out, "phase transition") {
+		t.Error("mark legend missing")
+	}
+}
+
+func TestRenderMultipleSeriesDistinctGlyphs(t *testing.T) {
+	p := &Plot{Width: 40, Height: 8}
+	p.AddSeries("a", []float64{0, 1}, []float64{0, 1})
+	p.AddSeries("b", []float64{0, 1}, []float64{1, 0})
+	out := p.Render()
+	if !strings.Contains(out, "* a") || !strings.Contains(out, "+ b") {
+		t.Errorf("legend glyphs wrong:\n%s", out)
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	// Degenerate y-range must not divide by zero.
+	p := &Plot{Width: 30, Height: 6}
+	p.AddSeries("flat", []float64{1, 2, 3}, []float64{5, 5, 5})
+	out := p.Render()
+	if !strings.Contains(out, "*") {
+		t.Errorf("flat series not rendered:\n%s", out)
+	}
+}
+
+func TestGantt(t *testing.T) {
+	slots := []GanttSlot{
+		{Machine: 0, Start: 0, End: 5, Label: "J1"},
+		{Machine: 1, Start: 2, End: 4, Label: "J2"},
+		{Machine: 0, Start: 5, End: 6, Label: "J3"},
+	}
+	out := Gantt("sched", 2, slots, 60)
+	if !strings.Contains(out, "sched") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "M0 ") || !strings.Contains(out, "M1 ") {
+		t.Errorf("missing machine rows:\n%s", out)
+	}
+	if !strings.Contains(out, "J1") {
+		t.Errorf("wide bar lost its label:\n%s", out)
+	}
+	if !strings.Contains(out, "[") || !strings.Contains(out, "]") {
+		t.Error("missing bar ends")
+	}
+}
+
+func TestGanttEmptyAndOutOfRange(t *testing.T) {
+	out := Gantt("", 2, nil, 40)
+	if !strings.Contains(out, "M0") {
+		t.Error("empty gantt must still draw machine rows")
+	}
+	// Out-of-range machines are ignored, not fatal.
+	out = Gantt("", 1, []GanttSlot{{Machine: 5, Start: 0, End: 1}}, 40)
+	if strings.Contains(out, "=") {
+		t.Error("out-of-range slot rendered")
+	}
+}
+
+func TestGanttZeroWidthBar(t *testing.T) {
+	// A zero-length slot still paints at least one cell (a single-cell
+	// bar collapses to its closing bracket).
+	out := Gantt("", 1, []GanttSlot{{Machine: 0, Start: 1, End: 1}}, 40)
+	if !strings.Contains(out, "[") && !strings.Contains(out, "]") {
+		t.Errorf("zero-width slot invisible:\n%s", out)
+	}
+}

@@ -1,0 +1,46 @@
+package workload
+
+import (
+	"math/rand"
+
+	"loadmax/internal/job"
+)
+
+// UnitJobs generates equal-length (p = 1) jobs with *zero* slack allowed:
+// the related-work regime of §1.2's second strand (Baruah et al., Chrobak
+// et al., Ding et al.), where meaningful competitive ratios exist without
+// any slack assumption precisely because all jobs have the same length.
+//
+// Deadlines are d = r + 1 + U[0, window) with window controlling urgency;
+// window = 0 makes every deadline tight (d = r + 1). The instance does
+// NOT guarantee a positive slack ε, so it is deliberately excluded from
+// Families (whose consumers assume the slack condition).
+func UnitJobs(s Spec, window float64) job.Instance {
+	s = s.normalize()
+	rng := rand.New(rand.NewSource(s.Seed))
+	gap := 1 / (s.Load * float64(s.M))
+	inst := make(job.Instance, 0, s.N)
+	t := 0.0
+	for i := 0; i < s.N; i++ {
+		t += rng.ExpFloat64() * gap
+		d := t + 1 + rng.Float64()*window
+		inst = append(inst, job.Job{Release: t, Proc: 1, Deadline: d})
+	}
+	inst.SortByRelease()
+	inst.Renumber()
+	if err := inst.Validate(-1); err != nil {
+		panic("workload: UnitJobs emitted invalid instance: " + err.Error())
+	}
+	return inst
+}
+
+// UnitTrap returns the classic ratio-2 instance for unit jobs on one
+// machine (Baruah et al.): a patient job the algorithm starts eagerly,
+// then an urgent job arriving mid-execution that only a clairvoyant
+// scheduler (running the urgent one first) can also serve.
+func UnitTrap() job.Instance {
+	return job.Instance{
+		{ID: 0, Release: 0, Proc: 1, Deadline: 2.5},   // patient
+		{ID: 1, Release: 0.5, Proc: 1, Deadline: 1.5}, // urgent, tight
+	}
+}

@@ -1,0 +1,235 @@
+// Package workload generates synthetic job instances for the experiments.
+//
+// The paper motivates the problem with IaaS cloud admission control but —
+// being a theory paper — evaluates nothing empirically; these generators
+// are the substitution documented in DESIGN.md: seeded, deterministic
+// families that exercise the same admission code path, including the
+// short-job-blocks-long-job tension the lower bound formalizes (Bimodal,
+// TightSlack, AdversarialEcho).
+//
+// Every generator guarantees the slack condition d ≥ (1+ε)·p + r for the
+// requested ε and emits jobs sorted by release date with IDs 0..n−1.
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"loadmax/internal/job"
+)
+
+// Spec parameterizes a generator.
+type Spec struct {
+	// N is the number of jobs.
+	N int
+	// Eps is the guaranteed minimum slack ε ∈ (0, 1] (generators may give
+	// individual jobs more).
+	Eps float64
+	// SlackSpread is the width of the additional uniform slack on top of
+	// ε; 0 means every job is tight. Defaults to 1 when negative.
+	SlackSpread float64
+	// Load is the target offered load per machine per unit time,
+	// controlling how contended the instance is. Defaults to 1.5
+	// (overloaded — the interesting regime for admission control) when 0.
+	Load float64
+	// M is the machine count the load target refers to. Defaults to 1.
+	M int
+	// Seed drives the deterministic RNG.
+	Seed int64
+}
+
+func (s Spec) normalize() Spec {
+	if s.SlackSpread < 0 {
+		s.SlackSpread = 1
+	}
+	if s.Load == 0 {
+		s.Load = 1.5
+	}
+	if s.M < 1 {
+		s.M = 1
+	}
+	return s
+}
+
+// slackFactor draws the deadline multiplier 1 + ε + U[0, spread].
+func slackFactor(rng *rand.Rand, s Spec) float64 {
+	return 1 + s.Eps + rng.Float64()*s.SlackSpread
+}
+
+// finalize sorts, renumbers and sanity-checks the generated instance.
+func finalize(inst job.Instance, eps float64) job.Instance {
+	inst.SortByRelease()
+	inst.Renumber()
+	if err := inst.Validate(eps); err != nil {
+		panic("workload: generator emitted invalid instance: " + err.Error())
+	}
+	return inst
+}
+
+// Uniform emits jobs with uniform lengths in [0.5, 5) and exponential
+// inter-arrival gaps tuned to the offered load.
+func Uniform(s Spec) job.Instance {
+	s = s.normalize()
+	rng := rand.New(rand.NewSource(s.Seed))
+	meanP := 2.75
+	gap := meanP / (s.Load * float64(s.M))
+	inst := make(job.Instance, 0, s.N)
+	t := 0.0
+	for i := 0; i < s.N; i++ {
+		t += rng.ExpFloat64() * gap
+		p := 0.5 + rng.Float64()*4.5
+		inst = append(inst, job.Job{Release: t, Proc: p, Deadline: t + slackFactor(rng, s)*p})
+	}
+	return finalize(inst, s.Eps)
+}
+
+// Poisson emits Poisson arrivals with exponential job lengths (mean 2) —
+// the classic queueing-theory workload.
+func Poisson(s Spec) job.Instance {
+	s = s.normalize()
+	rng := rand.New(rand.NewSource(s.Seed))
+	meanP := 2.0
+	gap := meanP / (s.Load * float64(s.M))
+	inst := make(job.Instance, 0, s.N)
+	t := 0.0
+	for i := 0; i < s.N; i++ {
+		t += rng.ExpFloat64() * gap
+		p := rng.ExpFloat64() * meanP
+		if p < 1e-3 {
+			p = 1e-3
+		}
+		inst = append(inst, job.Job{Release: t, Proc: p, Deadline: t + slackFactor(rng, s)*p})
+	}
+	return finalize(inst, s.Eps)
+}
+
+// Pareto emits heavy-tailed job lengths (Pareto α = 1.5, scale 0.5,
+// capped at 1000) — cloud-like: most jobs tiny, rare huge ones.
+func Pareto(s Spec) job.Instance {
+	s = s.normalize()
+	rng := rand.New(rand.NewSource(s.Seed))
+	const alpha, scale, cap_ = 1.5, 0.5, 1000.0
+	meanP := scale * alpha / (alpha - 1) // ≈ 1.5 ignoring the cap
+	gap := meanP / (s.Load * float64(s.M))
+	inst := make(job.Instance, 0, s.N)
+	t := 0.0
+	for i := 0; i < s.N; i++ {
+		t += rng.ExpFloat64() * gap
+		p := scale / math.Pow(rng.Float64(), 1/alpha)
+		if p > cap_ {
+			p = cap_
+		}
+		inst = append(inst, job.Job{Release: t, Proc: p, Deadline: t + slackFactor(rng, s)*p})
+	}
+	return finalize(inst, s.Eps)
+}
+
+// Bimodal mixes 90% short jobs (length 1) with 10% long jobs (length
+// 1/ε) — the exact tension of the lower bound: accepting shorts can block
+// an ε-fold larger long job.
+func Bimodal(s Spec) job.Instance {
+	s = s.normalize()
+	rng := rand.New(rand.NewSource(s.Seed))
+	long := 1 / s.Eps
+	meanP := 0.9*1 + 0.1*long
+	gap := meanP / (s.Load * float64(s.M))
+	inst := make(job.Instance, 0, s.N)
+	t := 0.0
+	for i := 0; i < s.N; i++ {
+		t += rng.ExpFloat64() * gap
+		p := 1.0
+		if rng.Float64() < 0.1 {
+			p = long
+		}
+		inst = append(inst, job.Job{Release: t, Proc: p, Deadline: t + slackFactor(rng, s)*p})
+	}
+	return finalize(inst, s.Eps)
+}
+
+// TightSlack emits jobs whose deadlines meet the slack condition with
+// equality — the hardest admissible deadlines.
+func TightSlack(s Spec) job.Instance {
+	s = s.normalize()
+	rng := rand.New(rand.NewSource(s.Seed))
+	meanP := 2.75
+	gap := meanP / (s.Load * float64(s.M))
+	inst := make(job.Instance, 0, s.N)
+	t := 0.0
+	for i := 0; i < s.N; i++ {
+		t += rng.ExpFloat64() * gap
+		p := 0.5 + rng.Float64()*4.5
+		inst = append(inst, job.Job{Release: t, Proc: p, Deadline: t + (1+s.Eps)*p})
+	}
+	return finalize(inst, s.Eps)
+}
+
+// Diurnal modulates Poisson arrivals with a day/night sine wave (period
+// 100 time units, amplitude 0.8) — the IaaS periodic-routine-tasks story
+// from the paper's introduction.
+func Diurnal(s Spec) job.Instance {
+	s = s.normalize()
+	rng := rand.New(rand.NewSource(s.Seed))
+	meanP := 2.0
+	baseGap := meanP / (s.Load * float64(s.M))
+	inst := make(job.Instance, 0, s.N)
+	t := 0.0
+	for i := 0; i < s.N; i++ {
+		rate := 1 + 0.8*math.Sin(2*math.Pi*t/100)
+		t += rng.ExpFloat64() * baseGap / math.Max(rate, 0.2)
+		p := rng.ExpFloat64() * meanP
+		if p < 1e-3 {
+			p = 1e-3
+		}
+		inst = append(inst, job.Job{Release: t, Proc: p, Deadline: t + slackFactor(rng, s)*p})
+	}
+	return finalize(inst, s.Eps)
+}
+
+// AdversarialEcho emits waves mimicking the lower-bound construction:
+// bursts of simultaneous tight unit jobs followed by one tight long job
+// of length up to 1/ε.
+func AdversarialEcho(s Spec) job.Instance {
+	s = s.normalize()
+	rng := rand.New(rand.NewSource(s.Seed))
+	inst := make(job.Instance, 0, s.N)
+	t := 0.0
+	for len(inst) < s.N {
+		burst := 1 + rng.Intn(2*s.M)
+		for b := 0; b < burst && len(inst) < s.N; b++ {
+			inst = append(inst, job.Job{Release: t, Proc: 1, Deadline: t + (1 + s.Eps)})
+		}
+		if len(inst) < s.N {
+			p := 1 + rng.Float64()*(1/s.Eps-1)
+			inst = append(inst, job.Job{Release: t, Proc: p, Deadline: t + (1+s.Eps)*p})
+		}
+		t += 1 + rng.ExpFloat64()*float64(s.M)
+	}
+	return finalize(inst, s.Eps)
+}
+
+// Family is a named generator.
+type Family struct {
+	Name string
+	Gen  func(Spec) job.Instance
+}
+
+// Families lists every generator, in report order.
+var Families = []Family{
+	{"uniform", Uniform},
+	{"poisson", Poisson},
+	{"pareto", Pareto},
+	{"bimodal", Bimodal},
+	{"tight-slack", TightSlack},
+	{"diurnal", Diurnal},
+	{"adversarial-echo", AdversarialEcho},
+}
+
+// ByName returns the family with the given name, or false.
+func ByName(name string) (Family, bool) {
+	for _, f := range Families {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Family{}, false
+}

@@ -1,0 +1,186 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllFamiliesEmitValidInstances(t *testing.T) {
+	for _, fam := range Families {
+		for _, eps := range []float64{0.01, 0.1, 0.5, 1.0} {
+			spec := Spec{N: 100, Eps: eps, M: 3, Seed: 42}
+			inst := fam.Gen(spec)
+			if len(inst) != 100 {
+				t.Errorf("%s: emitted %d jobs, want 100", fam.Name, len(inst))
+			}
+			if err := inst.Validate(eps); err != nil {
+				t.Errorf("%s eps=%g: %v", fam.Name, eps, err)
+			}
+		}
+	}
+}
+
+func TestDeterminismPerSeed(t *testing.T) {
+	for _, fam := range Families {
+		a := fam.Gen(Spec{N: 50, Eps: 0.2, M: 2, Seed: 7})
+		b := fam.Gen(Spec{N: 50, Eps: 0.2, M: 2, Seed: 7})
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("%s: job %d differs across identical seeds", fam.Name, i)
+				break
+			}
+		}
+		c := fam.Gen(Spec{N: 50, Eps: 0.2, M: 2, Seed: 8})
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Errorf("%s: different seeds produced identical instances", fam.Name)
+		}
+	}
+}
+
+func TestIDsAreDense(t *testing.T) {
+	inst := Poisson(Spec{N: 30, Eps: 0.3, Seed: 1})
+	for i, j := range inst {
+		if j.ID != i {
+			t.Fatalf("job %d has ID %d", i, j.ID)
+		}
+	}
+}
+
+func TestTightSlackIsTight(t *testing.T) {
+	inst := TightSlack(Spec{N: 50, Eps: 0.25, Seed: 3})
+	for _, j := range inst {
+		if !j.Tight(0.25) {
+			t.Errorf("job %v has slack %g, want exactly 0.25", j, j.Slack())
+		}
+	}
+}
+
+func TestBimodalHasBothModes(t *testing.T) {
+	inst := Bimodal(Spec{N: 300, Eps: 0.1, Seed: 5})
+	long := 1 / 0.1
+	var nShort, nLong int
+	for _, j := range inst {
+		switch j.Proc {
+		case 1:
+			nShort++
+		case long:
+			nLong++
+		default:
+			t.Fatalf("unexpected length %g", j.Proc)
+		}
+	}
+	if nShort == 0 || nLong == 0 {
+		t.Errorf("modes: %d short, %d long", nShort, nLong)
+	}
+	if frac := float64(nLong) / 300; frac < 0.03 || frac > 0.25 {
+		t.Errorf("long fraction %.3f far from 0.1", frac)
+	}
+}
+
+func TestParetoHeavyTail(t *testing.T) {
+	inst := Pareto(Spec{N: 2000, Eps: 0.1, Seed: 6})
+	maxP, medP := 0.0, 0.0
+	var ps []float64
+	for _, j := range inst {
+		ps = append(ps, j.Proc)
+		if j.Proc > maxP {
+			maxP = j.Proc
+		}
+	}
+	// crude median
+	medP = ps[len(ps)/2]
+	if maxP < 10*medP {
+		t.Errorf("tail not heavy: max %g vs a typical %g", maxP, medP)
+	}
+	if maxP > 1000 {
+		t.Errorf("cap violated: %g", maxP)
+	}
+}
+
+func TestAdversarialEchoStructure(t *testing.T) {
+	inst := AdversarialEcho(Spec{N: 200, Eps: 0.2, M: 4, Seed: 7})
+	var units, longs int
+	for _, j := range inst {
+		if j.Proc == 1 {
+			units++
+		} else if j.Proc > 1 {
+			longs++
+		}
+		if !j.Tight(0.2) {
+			t.Errorf("echo job %v not tight", j)
+		}
+		if j.Proc > 1/0.2+1e-9 {
+			t.Errorf("long job %g exceeds 1/eps", j.Proc)
+		}
+	}
+	if units == 0 || longs == 0 {
+		t.Errorf("structure: %d units, %d longs", units, longs)
+	}
+}
+
+func TestDiurnalRateVaries(t *testing.T) {
+	inst := Diurnal(Spec{N: 2000, Eps: 0.2, Seed: 8})
+	// Bucket arrivals by 25-unit windows over the first two periods; the
+	// busiest bucket should see clearly more arrivals than the quietest.
+	counts := map[int]int{}
+	for _, j := range inst {
+		if j.Release < 200 {
+			counts[int(j.Release/25)]++
+		}
+	}
+	lo, hi := math.MaxInt32, 0
+	for _, c := range counts {
+		if c < lo {
+			lo = c
+		}
+		if c > hi {
+			hi = c
+		}
+	}
+	if hi < 2*lo {
+		t.Errorf("diurnal modulation weak: buckets min %d, max %d", lo, hi)
+	}
+}
+
+func TestByName(t *testing.T) {
+	f, ok := ByName("pareto")
+	if !ok || f.Name != "pareto" {
+		t.Error("pareto not found")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("nope found")
+	}
+}
+
+func TestLoadScalesContention(t *testing.T) {
+	// Higher offered load compresses arrivals: the makespan window of the
+	// instance shrinks.
+	low := Poisson(Spec{N: 500, Eps: 0.2, Load: 0.5, Seed: 9})
+	high := Poisson(Spec{N: 500, Eps: 0.2, Load: 4, Seed: 9})
+	if high[len(high)-1].Release >= low[len(low)-1].Release {
+		t.Errorf("load=4 span %.1f not tighter than load=0.5 span %.1f",
+			high[len(high)-1].Release, low[len(low)-1].Release)
+	}
+}
+
+// Property: every family honours the requested minimum slack for random
+// parameters.
+func TestQuickSlackHonoured(t *testing.T) {
+	prop := func(seed int64, famRaw, epsRaw uint8) bool {
+		fam := Families[int(famRaw)%len(Families)]
+		eps := 0.02 + 0.98*float64(epsRaw)/255
+		inst := fam.Gen(Spec{N: 40, Eps: eps, M: 2, Seed: seed})
+		return inst.Validate(eps) == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,208 @@
+// Package loadmax implements the scheduling system of "Commitment and
+// Slack for Online Load Maximization" (Jamalabadi, Schwiegelshohn &
+// Schwiegelshohn, SPAA 2020): online admission control of deadline jobs
+// on m identical non-preemptive machines with immediate commitment,
+// maximizing accepted load Σ p_j under the slack guarantee
+// d_j ≥ (1+ε)·p_j + r_j.
+//
+// The package is a facade over the internal implementation:
+//
+//   - NewScheduler returns the paper's Algorithm 1 ("Threshold"), a
+//     deterministic scheduler whose competitive ratio (m·f_k+1)/k is
+//     optimal (Theorem 2 vs Theorem 1).
+//   - NewRandomizedSingleMachine returns the Corollary-1 classify-and-
+//     select algorithm: O(log 1/ε)-competitive in expectation on one
+//     machine.
+//   - Ratio / RatioParams evaluate the tight competitive-ratio function
+//     c(ε,m) and its phase parameters (Section 2 recursion).
+//   - Simulate replays an instance through any Scheduler with full
+//     feasibility and commitment verification.
+//   - Adversary plays the Section-3 lower-bound game against a scheduler.
+//   - OfflineBounds brackets the clairvoyant optimum for ratio
+//     measurements.
+//   - Generate produces the synthetic workload families used by the
+//     experiment harness.
+//
+// Quick start:
+//
+//	sched, _ := loadmax.NewScheduler(4, 0.1)
+//	dec := sched.Submit(loadmax.Job{ID: 1, Release: 0, Proc: 3, Deadline: 4})
+//	if dec.Accepted {
+//		fmt.Printf("runs on machine %d at t=%g\n", dec.Machine, dec.Start)
+//	}
+//
+// See the examples/ directory for complete programs and EXPERIMENTS.md
+// for the paper-reproduction results.
+package loadmax
+
+import (
+	"loadmax/internal/adversary"
+	"loadmax/internal/analysis"
+	"loadmax/internal/baseline"
+	"loadmax/internal/commitment"
+	"loadmax/internal/core"
+	"loadmax/internal/job"
+	"loadmax/internal/offline"
+	"loadmax/internal/online"
+	"loadmax/internal/randomized"
+	"loadmax/internal/ratio"
+	"loadmax/internal/sim"
+	"loadmax/internal/workload"
+)
+
+// Job is a deadline job (r_j, p_j, d_j). See the slack condition (3):
+// a scheduler built for slack ε assumes d ≥ (1+ε)·p + r.
+type Job = job.Job
+
+// Instance is an ordered job sequence (non-decreasing release dates).
+type Instance = job.Instance
+
+// Decision is a scheduler's irrevocable response to a submission.
+type Decision = online.Decision
+
+// Scheduler is an online algorithm with immediate commitment; submissions
+// must arrive in non-decreasing release order.
+type Scheduler = online.Scheduler
+
+// RatioParams carries the solved recursion for one (ε, m): the phase K,
+// the parameters f_K..f_M and the tight ratio C.
+type RatioParams = ratio.Params
+
+// Result is a verified simulation outcome.
+type Result = sim.Result
+
+// AdversaryOutcome is the result of one lower-bound game.
+type AdversaryOutcome = adversary.Outcome
+
+// Bounds brackets the offline optimum.
+type Bounds = offline.Bounds
+
+// WorkloadSpec parameterizes the synthetic generators.
+type WorkloadSpec = workload.Spec
+
+// Allocation policies for NewSchedulerWithPolicy (BestFit is the paper's).
+const (
+	BestFit     = core.BestFit
+	LeastLoaded = core.LeastLoaded
+	FirstFit    = core.FirstFit
+)
+
+// NewScheduler returns Algorithm 1 for m machines and slack ε ∈ (0, 1].
+func NewScheduler(m int, eps float64) (*core.Threshold, error) {
+	return core.New(m, eps)
+}
+
+// NewSchedulerWithPolicy returns Algorithm 1 with a non-default
+// allocation policy (ablation use; the guarantee is proved for BestFit).
+func NewSchedulerWithPolicy(m int, eps float64, policy core.AllocPolicy) (*core.Threshold, error) {
+	return core.New(m, eps, core.WithPolicy(policy))
+}
+
+// NewGreedy returns the greedy list-scheduling baseline (accept whenever
+// some machine can finish the job on time). Valid for any ε > 0,
+// including the ε > 1 regime of footnote 2.
+func NewGreedy(m int) Scheduler { return baseline.NewGreedy(m) }
+
+// NewDelayedCommitment returns a greedy scheduler in the δ-delayed
+// commitment model (§1): the decision for job J may wait until
+// r + δ·p but is then irrevocable. Drive it with SimulateDeferred.
+func NewDelayedCommitment(m int, delta float64) (*commitment.Delayed, error) {
+	return commitment.NewDelayed(m, delta)
+}
+
+// NewOnAdmissionCommitment returns a scheduler in the
+// commitment-on-admission model (§1): a job is committed only when a
+// machine starts it. Drive it with SimulateDeferred.
+func NewOnAdmissionCommitment(m int) (*commitment.OnAdmission, error) {
+	return commitment.NewOnAdmission(m)
+}
+
+// SimulateDeferred replays an instance through a deferred-commitment
+// scheduler, verifying feasibility and each model's decision-timing
+// contract.
+func SimulateDeferred(s commitment.Scheduler, inst Instance) (*commitment.Result, error) {
+	return commitment.Run(s, inst)
+}
+
+// NewPenalizedCommitment returns a scheduler in the commitment-with-
+// penalties model (§1): decisions are immediate but a committed,
+// unstarted job may be revoked for a fine of rho per unit of its
+// processing time. Drive it with SimulatePenalized.
+func NewPenalizedCommitment(m int, rho float64) (*commitment.Penalized, error) {
+	return commitment.NewPenalized(m, rho)
+}
+
+// SimulatePenalized replays an instance through a penalties-model
+// scheduler and verifies feasibility and the objective accounting
+// (completed load minus ρ·revoked load).
+func SimulatePenalized(p *commitment.Penalized, inst Instance) (*commitment.PenaltyResult, error) {
+	return commitment.RunPenalized(p, inst)
+}
+
+// NewRandomizedSingleMachine returns the Corollary-1 randomized
+// single-machine scheduler with Θ(log 1/ε) virtual machines.
+func NewRandomizedSingleMachine(eps float64, seed int64) (Scheduler, error) {
+	return randomized.New(eps, 0, seed)
+}
+
+// Ratio returns the tight competitive ratio c(ε,m) (Theorems 1 and 2).
+func Ratio(eps float64, m int) (float64, error) {
+	p, err := ratio.Compute(eps, m)
+	if err != nil {
+		return 0, err
+	}
+	return p.C, nil
+}
+
+// SolveRatio returns the full recursion parameters for (ε, m).
+func SolveRatio(eps float64, m int) (RatioParams, error) {
+	return ratio.Compute(eps, m)
+}
+
+// PhaseCorners returns the phase-transition slack values ε_{1,m} < … <
+// ε_{m−1,m} (the circles of Figure 1).
+func PhaseCorners(m int) []float64 { return ratio.Corners(m) }
+
+// Simulate replays the instance through the scheduler and verifies every
+// commitment.
+func Simulate(s Scheduler, inst Instance) (*Result, error) {
+	return sim.Run(s, inst)
+}
+
+// Adversary plays the Section-3 lower-bound game against the scheduler,
+// returning the realized ratio and the generated instance. beta ≤ 0
+// selects the default precision.
+func Adversary(s Scheduler, eps, beta float64) (*AdversaryOutcome, error) {
+	return adversary.Run(s, eps, adversary.Config{Beta: beta})
+}
+
+// OfflineBounds brackets the clairvoyant optimum of an instance;
+// exactLimit caps the exact solver's instance size (0 = default).
+func OfflineBounds(inst Instance, m, exactLimit int) Bounds {
+	return offline.ComputeBounds(inst, m, exactLimit)
+}
+
+// Analyze computes post-run diagnostics — machine utilization and the
+// capacity/policy rejection breakdown — from a Simulate result.
+func Analyze(inst Instance, res *Result) (*analysis.Report, error) {
+	return analysis.Analyze(inst, res)
+}
+
+// Generate produces a named synthetic workload ("uniform", "poisson",
+// "pareto", "bimodal", "tight-slack", "diurnal", "adversarial-echo").
+func Generate(family string, spec WorkloadSpec) (Instance, bool) {
+	f, ok := workload.ByName(family)
+	if !ok {
+		return nil, false
+	}
+	return f.Gen(spec), true
+}
+
+// WorkloadFamilies lists the available generator names.
+func WorkloadFamilies() []string {
+	names := make([]string, len(workload.Families))
+	for i, f := range workload.Families {
+		names[i] = f.Name
+	}
+	return names
+}

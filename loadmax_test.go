@@ -1,0 +1,229 @@
+package loadmax
+
+import (
+	"math"
+	"testing"
+)
+
+// The facade tests exercise the public API exactly as a downstream user
+// would; the heavy lifting is tested in the internal packages.
+
+func TestQuickstartFlow(t *testing.T) {
+	sched, err := NewScheduler(4, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := sched.Submit(Job{ID: 1, Release: 0, Proc: 3, Deadline: 4})
+	if !dec.Accepted {
+		t.Fatal("first job on an empty system must be accepted")
+	}
+	if dec.Start != 0 {
+		t.Errorf("start = %g, want 0", dec.Start)
+	}
+}
+
+func TestRatioFacade(t *testing.T) {
+	c, err := Ratio(0.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c-3.5) > 1e-9 { // Eq. (1): 3/2 + 1/0.5
+		t.Errorf("Ratio(0.5,2) = %g, want 3.5", c)
+	}
+	if _, err := Ratio(0, 2); err == nil {
+		t.Error("eps=0 must error")
+	}
+	p, err := SolveRatio(0.1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.K < 1 || p.K > 3 || p.C <= 1 {
+		t.Errorf("implausible params %+v", p)
+	}
+	if got := len(PhaseCorners(4)); got != 3 {
+		t.Errorf("PhaseCorners(4) has %d entries, want 3", got)
+	}
+}
+
+func TestSimulateAndBounds(t *testing.T) {
+	inst, ok := Generate("poisson", WorkloadSpec{N: 12, Eps: 0.2, M: 2, Seed: 7})
+	if !ok {
+		t.Fatal("poisson family missing")
+	}
+	sched, err := NewScheduler(2, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(sched, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+	b := OfflineBounds(inst, 2, 0)
+	if !b.Exact {
+		t.Fatal("n=12 should be solved exactly")
+	}
+	if res.Load > b.Upper+1e-9 {
+		t.Errorf("online load %g exceeds offline optimum %g", res.Load, b.Upper)
+	}
+	guar := mustRatioParams(t, 0.2, 2).UpperBoundValue()
+	if res.Load > 0 && b.Upper/res.Load > guar+1e-9 {
+		t.Errorf("measured ratio %g exceeds guarantee %g", b.Upper/res.Load, guar)
+	}
+}
+
+func mustRatioParams(t *testing.T, eps float64, m int) RatioParams {
+	t.Helper()
+	p, err := SolveRatio(eps, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestAdversaryFacade(t *testing.T) {
+	sched, err := NewScheduler(3, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Adversary(sched, 0.2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := Ratio(0.2, 3)
+	if math.Abs(out.Ratio-c) > 1e-3*c {
+		t.Errorf("adversary ratio %g, want ≈ c = %g", out.Ratio, c)
+	}
+}
+
+func TestRandomizedFacade(t *testing.T) {
+	s, err := NewRandomizedSingleMachine(0.05, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Machines() != 1 {
+		t.Errorf("physical machines = %d, want 1", s.Machines())
+	}
+	inst, _ := Generate("uniform", WorkloadSpec{N: 50, Eps: 0.05, Seed: 3})
+	res, err := Simulate(s, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+}
+
+func TestWorkloadFamiliesComplete(t *testing.T) {
+	want := []string{"uniform", "poisson", "pareto", "bimodal", "tight-slack", "diurnal", "adversarial-echo"}
+	got := WorkloadFamilies()
+	if len(got) != len(want) {
+		t.Fatalf("families = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("family[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+	if _, ok := Generate("no-such-family", WorkloadSpec{N: 1, Eps: 0.5}); ok {
+		t.Error("unknown family must return ok=false")
+	}
+}
+
+func TestCommitmentFacades(t *testing.T) {
+	inst, _ := Generate("bimodal", WorkloadSpec{N: 40, Eps: 0.1, M: 2, Seed: 9})
+
+	d, err := NewDelayedCommitment(2, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := SimulateDeferred(d, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rd.Violations) != 0 {
+		t.Fatalf("delayed violations: %v", rd.Violations)
+	}
+
+	oa, err := NewOnAdmissionCommitment(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro, err := SimulateDeferred(oa, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ro.Violations) != 0 {
+		t.Fatalf("on-admission violations: %v", ro.Violations)
+	}
+
+	p, err := NewPenalizedCommitment(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := SimulatePenalized(p, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rp.Violations) != 0 {
+		t.Fatalf("penalized violations: %v", rp.Violations)
+	}
+	if rp.Objective > rp.CompletedLoad {
+		t.Errorf("objective %g above completed load %g", rp.Objective, rp.CompletedLoad)
+	}
+}
+
+func TestSchedulerWithPolicyFacade(t *testing.T) {
+	s, err := NewSchedulerWithPolicy(3, 0.2, LeastLoaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, _ := Generate("uniform", WorkloadSpec{N: 30, Eps: 0.2, M: 3, Seed: 2})
+	res, err := Simulate(s, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+	if _, err := NewSchedulerWithPolicy(0, 0.2, FirstFit); err == nil {
+		t.Error("m=0 must error")
+	}
+}
+
+func TestGreedyFacadeEpsAbove1(t *testing.T) {
+	// Footnote 2: greedy works for ε > 1 where NewScheduler refuses.
+	if _, err := NewScheduler(2, 1.5); err == nil {
+		t.Error("Threshold must reject eps > 1")
+	}
+	g := NewGreedy(2)
+	inst, _ := Generate("uniform", WorkloadSpec{N: 30, Eps: 1.5, Seed: 5})
+	res, err := Simulate(g, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+}
+
+func TestAnalyzeFacade(t *testing.T) {
+	inst, _ := Generate("bimodal", WorkloadSpec{N: 50, Eps: 0.1, M: 2, Seed: 4})
+	sched, err := NewScheduler(2, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(sched, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Analyze(inst, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Accepted+rep.CapacityRejections+rep.PolicyRejections != len(inst) {
+		t.Error("diagnostic classes do not partition the instance")
+	}
+}
