@@ -1,0 +1,38 @@
+GO ?= go
+
+.PHONY: all build test race bench verify fmt vet experiments clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+# verify is the CI gate: formatting, static checks, a full build and the
+# race-enabled test suite (which includes the zero-alloc observability
+# guard in bench_obs_test.go).
+verify: fmt vet build race
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+experiments:
+	$(GO) run ./cmd/experiments -quick
+
+clean:
+	$(GO) clean ./...
+	rm -f *.pprof

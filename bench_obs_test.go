@@ -1,0 +1,98 @@
+package loadmax
+
+// Guards the ISSUE-1 observability contract: the decision-trace hooks in
+// core.Threshold must be free on the hot path when disabled. The
+// benchmarks quantify the enabled/disabled gap; the AllocsPerRun test
+// hard-fails the build if a disabled-hooks Submit ever allocates.
+import (
+	"testing"
+
+	"loadmax/internal/core"
+	"loadmax/internal/obs"
+	"loadmax/internal/workload"
+)
+
+func benchSubmit(b *testing.B, th *core.Threshold) {
+	b.Helper()
+	inst := workload.Poisson(workload.Spec{N: 10000, Eps: 0.1, M: 8, Seed: 42})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		th.Submit(inst[i%len(inst)])
+		if (i+1)%len(inst) == 0 {
+			b.StopTimer()
+			th.Reset()
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkSubmitTraceDisabled is the seed hot path with the (nil)
+// tracing hooks compiled in: it must report 0 allocs/op, matching
+// BenchmarkSubmit before the observability layer existed.
+func BenchmarkSubmitTraceDisabled(b *testing.B) {
+	th, err := core.New(8, 0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchSubmit(b, th)
+}
+
+// BenchmarkSubmitTraceMemory prices full tracing into a memory sink:
+// every Submit builds and copies a DecisionEvent.
+func BenchmarkSubmitTraceMemory(b *testing.B) {
+	th, err := core.New(8, 0.1, core.WithTracer(&obs.MemorySink{Cap: 1}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchSubmit(b, th)
+}
+
+// BenchmarkSubmitTraceSampled prices 1-in-1000 sampling — the
+// production-scale configuration for million-job runs.
+func BenchmarkSubmitTraceSampled(b *testing.B) {
+	th, err := core.New(8, 0.1, core.WithTracer(obs.NewSamplingSink(1000, &obs.MemorySink{Cap: 1})))
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchSubmit(b, th)
+}
+
+// TestSubmitDisabledHooksZeroAlloc asserts — not just reports — that a
+// Submit with no tracer attached performs zero heap allocations, on
+// both the accept and the threshold-reject branch.
+func TestSubmitDisabledHooksZeroAlloc(t *testing.T) {
+	inst := workload.Poisson(workload.Spec{N: 1000, Eps: 0.1, M: 8, Seed: 42})
+	th, err := core.New(8, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(2000, func() {
+		if i == len(inst) {
+			th.Reset() // allocation-free; restart the release clock
+			i = 0
+		}
+		th.Submit(inst[i])
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled-hooks Submit allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+// TestSubmitMetricsRegistryNilIsFree does the same for the nil-registry
+// path of the run-level metrics: sim-side recording must not leak
+// allocations into an unobserved hot loop. (The registry itself is only
+// touched per run, not per submission, but the nil-safety contract is
+// cheap to pin here.)
+func TestSubmitMetricsRegistryNilIsFree(t *testing.T) {
+	var reg *obs.Registry
+	allocs := testing.AllocsPerRun(1000, func() {
+		reg.Counter("x").Inc()
+		reg.Gauge("y").Set(1)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-registry metric calls allocate %.1f times, want 0", allocs)
+	}
+}

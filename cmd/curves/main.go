@@ -16,6 +16,7 @@ import (
 	"strconv"
 	"strings"
 
+	"loadmax/internal/obs"
 	"loadmax/internal/ratio"
 	"loadmax/internal/report"
 	"loadmax/internal/svgplot"
@@ -29,8 +30,24 @@ func main() {
 		minEps = flag.Float64("min-eps", 0.01, "left edge of the slack grid")
 		csv    = flag.Bool("csv", false, "emit CSV instead of plot + tables")
 		svg    = flag.String("svg", "", "also write the figure as SVG to this file")
+
+		pprofPfx = flag.String("pprof", "", "capture profiles of the recursion solves to <prefix>.cpu.pprof and <prefix>.heap.pprof")
 	)
 	flag.Parse()
+
+	if *pprofPfx != "" {
+		stop, err := obs.StartProfiling(*pprofPfx)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "curves:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(os.Stderr, "curves:", err)
+			}
+			fmt.Fprintf(os.Stderr, "[profiles written to %s.cpu.pprof and %s.heap.pprof]\n", *pprofPfx, *pprofPfx)
+		}()
+	}
 
 	var machines []int
 	for _, s := range strings.Split(*mList, ",") {

@@ -7,8 +7,13 @@
 //	loadmax -m 4 -eps 0.1 -gen bimodal -n 200 -seed 7
 //	loadmax -m 2 -eps 0.3 -in jobs.csv -gantt
 //	loadmax -m 4 -eps 0.1 -algo greedy -gen pareto -n 500
+//	loadmax -m 4 -eps 0.1 -trace trace.jsonl -metrics-out metrics.json
+//	loadmax -m 8 -eps 0.1 -n 100000 -pprof run   # run.cpu.pprof + run.heap.pprof
 //
 // Algorithms: see -algo help text (threshold is the paper's Algorithm 1).
+// Observability: -trace explains every accept/reject decision as one JSON
+// line (threshold terms, d_lim, phase, allocation — see README.md for the
+// schema); -metrics-out snapshots run-level counters and latencies.
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 
 	"loadmax/internal/analysis"
 	"loadmax/internal/cli"
+	"loadmax/internal/obs"
 	"loadmax/internal/offline"
 	"loadmax/internal/sim"
 	"loadmax/internal/textplot"
@@ -38,6 +44,11 @@ func main() {
 		gantt  = flag.Bool("gantt", false, "print the committed schedule as a Gantt chart")
 		stat   = flag.Bool("stats", false, "print run diagnostics (utilization, rejection breakdown)")
 		optN   = flag.Int("exact-limit", offline.ExactLimit, "max n for the exact offline solver")
+
+		trace    = flag.String("trace", "", "write a JSONL decision trace to this file (\"-\" = stdout; threshold schedulers only)")
+		sample   = flag.Int("trace-sample", 1, "with -trace, keep 1 in N events")
+		metOut   = flag.String("metrics-out", "", "write a JSON metrics snapshot to this file (\"-\" = stdout)")
+		pprofPfx = flag.String("pprof", "", "capture profiles to <prefix>.cpu.pprof and <prefix>.heap.pprof")
 	)
 	flag.Parse()
 
@@ -51,9 +62,48 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := sim.Run(sched, inst)
+
+	var runOpts []sim.RunOption
+	var reg *obs.Registry
+	if *metOut != "" {
+		reg = obs.NewRegistry()
+		runOpts = append(runOpts, sim.WithMetrics(reg))
+	}
+	var sink obs.Sink
+	if *trace != "" {
+		sink, err = cli.OpenTraceSink(*trace, *sample)
+		if err != nil {
+			fatal(err)
+		}
+		runOpts = append(runOpts, sim.WithTrace(sink))
+	}
+	var stopProf func() error
+	if *pprofPfx != "" {
+		stopProf, err = obs.StartProfiling(*pprofPfx)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	res, err := sim.Run(sched, inst, runOpts...)
 	if err != nil {
 		fatal(err)
+	}
+	if stopProf != nil {
+		if err := stopProf(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "[profiles written to %s.cpu.pprof and %s.heap.pprof]\n", *pprofPfx, *pprofPfx)
+	}
+	if sink != nil {
+		if err := obs.CloseSink(sink); err != nil {
+			fatal(err)
+		}
+	}
+	if reg != nil {
+		if err := cli.WriteMetricsSnapshot(*metOut, reg); err != nil {
+			fatal(err)
+		}
 	}
 
 	fmt.Printf("algorithm   : %s on %d machine(s), slack eps=%g\n", res.Scheduler, res.Machines, *eps)

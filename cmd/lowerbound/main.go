@@ -18,6 +18,7 @@ import (
 
 	"loadmax/internal/adversary"
 	"loadmax/internal/cli"
+	"loadmax/internal/obs"
 	"loadmax/internal/ratio"
 	"loadmax/internal/report"
 	"loadmax/internal/svgplot"
@@ -32,6 +33,9 @@ func main() {
 		beta = flag.Float64("beta", adversary.DefaultBeta, "Lemma-1 overlap-interval length β")
 		tree = flag.Bool("tree", false, "explore the full decision tree (Figure 2)")
 		svg  = flag.String("svg", "", "write the Fig.-3 schedules as SVG to this file prefix (<prefix>-online.svg, <prefix>-opt.svg)")
+
+		trace  = flag.String("trace", "", "write the scheduler's JSONL decision trace of the game to this file (\"-\" = stdout; threshold schedulers only)")
+		metOut = flag.String("metrics-out", "", "write a JSON snapshot of the game metrics to this file (\"-\" = stdout)")
 	)
 	flag.Parse()
 
@@ -65,9 +69,35 @@ func main() {
 		fatal(err)
 	}
 
-	out, err := adversary.Run(sched, *eps, adversary.Config{Beta: *beta})
+	cfg := adversary.Config{Beta: *beta}
+	if *metOut != "" {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	var sink obs.Sink
+	if *trace != "" {
+		if tr, ok := sched.(obs.Traceable); ok {
+			if sink, err = cli.OpenTraceSink(*trace, 1); err != nil {
+				fatal(err)
+			}
+			tr.SetTracer(sink)
+		} else {
+			fmt.Fprintf(os.Stderr, "lowerbound: -trace ignored: %s does not emit decision traces\n", sched.Name())
+		}
+	}
+
+	out, err := adversary.Run(sched, *eps, cfg)
+	if sink != nil {
+		if cerr := obs.CloseSink(sink); cerr != nil {
+			fatal(cerr)
+		}
+	}
 	if err != nil {
 		fatal(err)
+	}
+	if cfg.Metrics != nil {
+		if err := cli.WriteMetricsSnapshot(*metOut, cfg.Metrics); err != nil {
+			fatal(err)
+		}
 	}
 	if out.Unbounded {
 		fmt.Println("the scheduler rejected J_1: competitive ratio unbounded")

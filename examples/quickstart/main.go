@@ -41,14 +41,34 @@ func main() {
 	fmt.Printf("\naccepted load: %.4g of %.4g submitted\n", accepted, totalProc(jobs))
 
 	// The same decisions are irrevocable: there is no API to revisit them.
-	// Verify the committed schedule end to end with the simulator instead:
+	// Verify the committed schedule end to end with the simulator instead,
+	// and attach a decision trace so every verdict comes with its math:
 	inst := loadmax.Instance(jobs)
-	res, err := loadmax.Simulate(sched, inst) // Reset + replay + verify
+	trace := &loadmax.MemoryTrace{}
+	res, err := loadmax.Simulate(sched, inst, loadmax.WithSimTrace(trace))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("verified replay: %d accepted, load %.4g, violations: %d\n",
 		res.Accepted, res.Load, len(res.Violations))
+
+	// Each DecisionEvent explains one Submit: the admission threshold
+	// d_lim = max_h (t + l(m_h)·f_h) over the sorted machine loads
+	// (Eq. 9–10), and the verdict d ≥ d_lim. A rejection is never
+	// arbitrary — the trace shows exactly which term beat the deadline.
+	fmt.Println("\nwhy each decision went the way it did:")
+	for _, ev := range trace.Events() {
+		fmt.Printf("  t=%-4g J%d (d=%g): d_lim=%.4g", ev.T, ev.JobID, ev.Deadline, ev.DLim)
+		if ev.ArgMaxH > 0 {
+			fmt.Printf(" from h=%d (load %.4g · f=%.3g)", ev.ArgMaxH,
+				ev.Terms[ev.ArgMaxH-ev.K].Load, ev.Terms[ev.ArgMaxH-ev.K].F)
+		}
+		if ev.Accepted {
+			fmt.Printf(" ≤ d → accept on machine %d at t=%.4g\n", ev.Machine, ev.Start)
+		} else {
+			fmt.Printf(" > d → reject (%s)\n", ev.Reason)
+		}
+	}
 
 	// How good is that against a clairvoyant scheduler?
 	b := loadmax.OfflineBounds(inst, 4, 0)

@@ -34,8 +34,10 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 
 	"loadmax/internal/job"
+	"loadmax/internal/obs"
 	"loadmax/internal/online"
 	"loadmax/internal/ratio"
 	"loadmax/internal/schedule"
@@ -86,6 +88,12 @@ type Config struct {
 	// Smaller β tightens the realized ratio toward c(ε,m) at the cost of
 	// numerically closer job lengths. Default 1e-6.
 	Beta float64
+
+	// Metrics, when non-nil, receives game-level observability:
+	// submissions and acceptances per phase, phase transitions, the
+	// overlap-interval width as Lemma 1 halves it, and the realized
+	// ratio. Nil (the default) records nothing and costs nothing.
+	Metrics *obs.Registry
 }
 
 // DefaultBeta is the default overlap-interval length.
@@ -120,6 +128,8 @@ func Run(s online.Scheduler, eps float64, cfg Config) (*Outcome, error) {
 	s.Reset()
 
 	out := &Outcome{Eps: eps, M: m, Params: params}
+	reg := cfg.Metrics // nil-safe: every obs call below is a no-op when nil
+	reg.CounterVec("adversary_games_total", "scheduler").With(s.Name()).Inc()
 	nextID := 0
 	submit := func(phase, subphase, index int, j job.Job) online.Decision {
 		j.ID = nextID
@@ -128,8 +138,26 @@ func Run(s online.Scheduler, eps float64, cfg Config) (*Outcome, error) {
 		d.JobID = j.ID
 		out.Steps = append(out.Steps, Step{Phase: phase, Subphase: subphase, Index: index, Job: j, Decision: d})
 		out.Instance = append(out.Instance, j)
+		if reg != nil {
+			lbl := strconv.Itoa(phase)
+			reg.CounterVec("adversary_submissions_total", "phase").With(lbl).Inc()
+			if d.Accepted {
+				reg.CounterVec("adversary_acceptances_total", "phase").With(lbl).Inc()
+			}
+		}
 		return d
 	}
+	// finish publishes the end-of-game gauges; defer keeps it next to the
+	// several return paths below.
+	defer func() {
+		reg.Gauge("adversary_last_u").Set(float64(out.U))
+		reg.Gauge("adversary_last_h").Set(float64(out.H))
+		reg.Gauge("adversary_last_alg_load").Set(out.ALGLoad)
+		reg.Gauge("adversary_last_opt_load").Set(out.OPTLoad)
+		if !math.IsInf(out.Ratio, 1) && out.Ratio > 0 {
+			reg.Histogram("adversary_realized_ratio", obs.RatioBuckets).Observe(out.Ratio)
+		}
+	}()
 
 	// --- Phase 1: the set-up job.
 	// d_1 = f_m + 3 lets the optimum run J_1 before t when t ≥ 1 and after
@@ -142,6 +170,7 @@ func Run(s online.Scheduler, eps float64, cfg Config) (*Outcome, error) {
 		out.Unbounded = true
 		out.Ratio = math.Inf(1)
 		out.OPTLoad = 1 // the optimum runs J_1
+		reg.Counter("adversary_unbounded_total").Inc()
 		return out, nil
 	}
 	t := d1.Start
@@ -152,7 +181,9 @@ func Run(s online.Scheduler, eps float64, cfg Config) (*Outcome, error) {
 
 	// --- Phase 2: overlap-interval halving (Lemma 1).
 	// I starts as the last β of J_1's execution [t, t+1].
+	reg.CounterVec("adversary_phase_transitions_total", "to").With("2").Inc()
 	iLo, iHi := t+1-cfg.Beta, t+1
+	reg.Gauge("adversary_overlap_width").Set(iHi - iLo)
 	p2 := make([]float64, 0, m)   // p_{2,h} per subphase
 	acc2 := make([]float64, 0, m) // accepted phase-2 processing times
 	counts2 := make([]int, 0, m)  // submissions per subphase
@@ -177,6 +208,7 @@ func Run(s online.Scheduler, eps float64, cfg Config) (*Outcome, error) {
 						dec.Start, p, iLo, iHi)
 				}
 				iLo, iHi = lo, hi
+				reg.Gauge("adversary_overlap_width").Set(iHi - iLo)
 				acc2 = append(acc2, p)
 				accepted = true
 				break
@@ -210,6 +242,7 @@ func Run(s online.Scheduler, eps float64, cfg Config) (*Outcome, error) {
 	}
 
 	// --- Phase 3: geometric lengths (f_h − 1)·p_{2,u}.
+	reg.CounterVec("adversary_phase_transitions_total", "to").With("3").Inc()
 	p2u := p2[u-1]
 	acc3 := make([]float64, 0, m)
 	hEnd := 0

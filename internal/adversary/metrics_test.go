@@ -1,0 +1,78 @@
+package adversary
+
+import (
+	"testing"
+
+	"loadmax/internal/core"
+	"loadmax/internal/obs"
+)
+
+func TestRunRecordsGameMetrics(t *testing.T) {
+	const m, eps = 3, 0.27
+	th, err := core.New(m, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	out, err := Run(th, eps, Config{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := reg.Snapshot()
+
+	if got := s.Counters[`adversary_games_total{scheduler="threshold"}`]; got != 1 {
+		t.Errorf("games_total = %d, want 1", got)
+	}
+	// Submission counters must sum to the recorded steps, per phase.
+	var want = map[string]int64{}
+	for _, st := range out.Steps {
+		switch st.Phase {
+		case 1:
+			want[`adversary_submissions_total{phase="1"}`]++
+		case 2:
+			want[`adversary_submissions_total{phase="2"}`]++
+		case 3:
+			want[`adversary_submissions_total{phase="3"}`]++
+		}
+	}
+	for k, w := range want {
+		if got := s.Counters[k]; got != w {
+			t.Errorf("%s = %d, want %d", k, got, w)
+		}
+	}
+	// Threshold plays into phase 2 for every game; the transition counter
+	// must say so.
+	if got := s.Counters[`adversary_phase_transitions_total{to="2"}`]; got != 1 {
+		t.Errorf("phase-2 transitions = %d, want 1", got)
+	}
+	if out.H > 0 {
+		if got := s.Counters[`adversary_phase_transitions_total{to="3"}`]; got != 1 {
+			t.Errorf("phase-3 transitions = %d, want 1", got)
+		}
+	}
+	if got := s.Gauges["adversary_last_u"]; got != float64(out.U) {
+		t.Errorf("last_u gauge = %g, want %d", got, out.U)
+	}
+	if got := s.Gauges["adversary_last_alg_load"]; got != out.ALGLoad {
+		t.Errorf("last_alg_load gauge = %g, want %g", got, out.ALGLoad)
+	}
+	// Lemma 1 halves the overlap interval on every phase-2 acceptance;
+	// the final width gauge must be positive and below the initial β.
+	width := s.Gauges["adversary_overlap_width"]
+	if width <= 0 {
+		t.Errorf("overlap width gauge = %g, want > 0", width)
+	}
+	if got := s.Histograms["adversary_realized_ratio"]; got.Count != 1 {
+		t.Errorf("realized_ratio histogram count = %d, want 1", got.Count)
+	}
+}
+
+func TestRunWithoutMetricsStillWorks(t *testing.T) {
+	th, err := core.New(2, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(th, 0.3, Config{}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,47 @@
+package cli
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"loadmax/internal/obs"
+)
+
+// stdoutNoClose shields os.Stdout from sinks that close their writer.
+type stdoutNoClose struct{ io.Writer }
+
+// OpenTraceSink opens a JSONL decision-trace sink writing to path
+// ("-" selects stdout), sampling 1-in-sample events when sample > 1.
+// The caller must obs.CloseSink the returned sink to flush it.
+func OpenTraceSink(path string, sample int) (obs.Sink, error) {
+	var w io.Writer
+	if path == "-" {
+		w = stdoutNoClose{os.Stdout}
+	} else {
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+		w = f
+	}
+	var s obs.Sink = obs.NewJSONLSink(w)
+	if sample > 1 {
+		s = obs.NewSamplingSink(sample, s)
+	}
+	return s, nil
+}
+
+// WriteMetricsSnapshot writes the registry's JSON snapshot to path
+// ("-" selects stdout). A nil registry writes an empty snapshot.
+func WriteMetricsSnapshot(path string, reg *obs.Registry) error {
+	if path == "-" {
+		return reg.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	defer f.Close()
+	return reg.WriteJSON(f)
+}

@@ -32,6 +32,7 @@ import (
 	"math"
 
 	"loadmax/internal/job"
+	"loadmax/internal/obs"
 	"loadmax/internal/online"
 	"loadmax/internal/ratio"
 )
@@ -71,6 +72,7 @@ type config struct {
 	policy  AllocPolicy
 	forceK  int // 0 = use the paper's phase selection
 	nameTag string
+	tracer  obs.Sink
 }
 
 // WithPolicy overrides the allocation policy (default BestFit).
@@ -83,6 +85,11 @@ func WithForcedPhase(k int) Option { return func(c *config) { c.forceK = k } }
 
 // WithName appends a tag to the scheduler's reported name.
 func WithName(tag string) Option { return func(c *config) { c.nameTag = tag } }
+
+// WithTracer attaches a decision-trace sink: every Submit emits one
+// obs.DecisionEvent explaining the verdict (threshold terms, d_lim,
+// phase, allocation). Equivalent to calling SetTracer after New.
+func WithTracer(s obs.Sink) Option { return func(c *config) { c.tracer = s } }
 
 // Threshold is Algorithm 1. It satisfies online.Scheduler. The zero value
 // is not usable; construct with New.
@@ -100,6 +107,12 @@ type Threshold struct {
 	// allocation-free on the hot path.
 	order []int // machine indices sorted by decreasing load
 	loads []float64
+
+	// tracer receives one DecisionEvent per submission when non-nil.
+	// The disabled (nil) path is a single branch and never allocates —
+	// bench_obs_test.go enforces this.
+	tracer obs.Sink
+	seq    int // submissions since the last Reset, for event ordering
 }
 
 var _ online.Scheduler = (*Threshold)(nil)
@@ -146,9 +159,15 @@ func New(m int, eps float64, opts ...Option) (*Threshold, error) {
 		horizons: make([]float64, m),
 		order:    make([]int, m),
 		loads:    make([]float64, m),
+		tracer:   cfg.tracer,
 	}
 	return t, nil
 }
+
+// SetTracer implements obs.Traceable: it attaches (or, with nil,
+// detaches) the decision-trace sink. Safe to call between submissions;
+// the tracer survives Reset.
+func (t *Threshold) SetTracer(s obs.Sink) { t.tracer = s }
 
 // Name implements online.Scheduler.
 func (t *Threshold) Name() string { return t.name }
@@ -167,6 +186,7 @@ func (t *Threshold) Guarantee() float64 { return t.params.UpperBoundValue() }
 // Reset implements online.Scheduler.
 func (t *Threshold) Reset() {
 	t.now = 0
+	t.seq = 0
 	for i := range t.horizons {
 		t.horizons[i] = 0
 	}
@@ -242,9 +262,15 @@ func (t *Threshold) Submit(j job.Job) online.Decision {
 		t.now = j.Release
 	}
 	t.refreshOrder()
+	t.seq++
 
-	if job.Less(j.Deadline, t.dlim()) {
-		return online.Decision{JobID: j.ID, Accepted: false}
+	dlim := t.dlim()
+	if job.Less(j.Deadline, dlim) {
+		dec := online.Decision{JobID: j.ID, Accepted: false}
+		if t.tracer != nil {
+			t.trace(j, dlim, dec, obs.ReasonBelowThreshold)
+		}
+		return dec
 	}
 
 	machine := t.pickMachine(j)
@@ -252,11 +278,64 @@ func (t *Threshold) Submit(j job.Job) online.Decision {
 		// Claim 1: unreachable for valid slack-ε jobs. A job violating the
 		// slack condition could land here; reject it rather than corrupt
 		// the committed schedule.
-		return online.Decision{JobID: j.ID, Accepted: false}
+		dec := online.Decision{JobID: j.ID, Accepted: false}
+		if t.tracer != nil {
+			t.trace(j, dlim, dec, obs.ReasonNoCandidate)
+		}
+		return dec
 	}
 	start := t.now + t.loads[machine]
 	t.horizons[machine] = start + j.Proc
-	return online.Decision{JobID: j.ID, Accepted: true, Machine: machine, Start: start}
+	dec := online.Decision{JobID: j.ID, Accepted: true, Machine: machine, Start: start}
+	if t.tracer != nil {
+		// t.loads still holds the decision-time values: the commitment
+		// above touched only t.horizons.
+		t.trace(j, dlim, dec, obs.ReasonAccepted)
+	}
+	return dec
+}
+
+// trace assembles and emits the DecisionEvent for the submission just
+// decided. Called only when a tracer is attached, so its allocations
+// never touch the untraced hot path.
+func (t *Threshold) trace(j job.Job, dlim float64, dec online.Decision, reason string) {
+	ev := obs.DecisionEvent{
+		Seq:       t.seq - 1,
+		Scheduler: t.name,
+		T:         t.now,
+		JobID:     j.ID,
+		Release:   j.Release,
+		Proc:      j.Proc,
+		Deadline:  j.Deadline,
+		K:         t.params.K,
+		DLim:      dlim,
+		Accepted:  dec.Accepted,
+		Reason:    reason,
+		Machine:   -1,
+		Policy:    t.policy.String(),
+	}
+	if dec.Accepted {
+		ev.Machine = dec.Machine
+		ev.Start = dec.Start
+	}
+	ev.Loads = make([]float64, t.m)
+	for h := 0; h < t.m; h++ {
+		ev.Loads[h] = t.loads[t.order[h]]
+	}
+	ev.Terms = make([]obs.ThresholdTerm, 0, t.m-t.params.K+1)
+	best := t.now
+	for h := t.params.K; h <= t.m; h++ {
+		i := t.order[h-1]
+		v := t.now + t.loads[i]*t.params.Fq(h)
+		if v > best {
+			best = v
+			ev.ArgMaxH = h
+		}
+		ev.Terms = append(ev.Terms, obs.ThresholdTerm{
+			H: h, Machine: i, Load: t.loads[i], F: t.params.Fq(h), Value: v,
+		})
+	}
+	t.tracer.Emit(&ev)
 }
 
 // pickMachine returns the physical machine index chosen by the allocation

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"loadmax/internal/job"
+	"loadmax/internal/obs"
+)
+
+// TestTraceExplainsDecisions replays a handful of jobs and checks that
+// every emitted event reconstructs the Eq. (9)–(10) computation exactly:
+// sorted loads, one term per h ∈ {k,…,m}, d_lim = max(t, max term), and
+// a verdict consistent with the returned Decision.
+func TestTraceExplainsDecisions(t *testing.T) {
+	var sink obs.MemorySink
+	th, err := New(2, 0.1, WithTracer(&sink))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := []job.Job{
+		{ID: 0, Release: 0, Proc: 4, Deadline: 5},
+		{ID: 1, Release: 0, Proc: 4, Deadline: 5},
+		{ID: 2, Release: 0, Proc: 1, Deadline: 1.2}, // below d_lim by now
+		{ID: 3, Release: 1, Proc: 2, Deadline: 30},
+	}
+	var decs []bool
+	for _, j := range jobs {
+		decs = append(decs, th.Submit(j).Accepted)
+	}
+	events := sink.Events()
+	if len(events) != len(jobs) {
+		t.Fatalf("got %d events for %d submissions", len(events), len(jobs))
+	}
+	k := th.Params().K
+	for i, ev := range events {
+		if ev.Seq != i {
+			t.Errorf("event %d has seq %d", i, ev.Seq)
+		}
+		if ev.JobID != jobs[i].ID || ev.Accepted != decs[i] {
+			t.Errorf("event %d does not match decision: %+v", i, ev)
+		}
+		if ev.K != k {
+			t.Errorf("event %d phase %d, want %d", i, ev.K, k)
+		}
+		if len(ev.Loads) != th.Machines() {
+			t.Errorf("event %d has %d loads, want %d", i, len(ev.Loads), th.Machines())
+		}
+		for h := 1; h < len(ev.Loads); h++ {
+			if ev.Loads[h] > ev.Loads[h-1] {
+				t.Errorf("event %d loads not sorted decreasing: %v", i, ev.Loads)
+			}
+		}
+		if want := th.Machines() - k + 1; len(ev.Terms) != want {
+			t.Fatalf("event %d has %d terms, want %d", i, len(ev.Terms), want)
+		}
+		// Each term must be t + l(m_h)·f_h and d_lim their max (≥ t).
+		max := ev.T
+		for _, term := range ev.Terms {
+			if got := ev.T + term.Load*term.F; math.Abs(got-term.Value) > 1e-12 {
+				t.Errorf("event %d term h=%d value %g, want %g", i, term.H, term.Value, got)
+			}
+			if term.Value > max {
+				max = term.Value
+			}
+		}
+		if math.Abs(ev.DLim-max) > 1e-12 {
+			t.Errorf("event %d d_lim %g, want max term %g", i, ev.DLim, max)
+		}
+		if ev.ArgMaxH != 0 {
+			found := false
+			for _, term := range ev.Terms {
+				if term.H == ev.ArgMaxH && term.Value == ev.DLim {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("event %d argmax h=%d does not attain d_lim %g: %+v",
+					i, ev.ArgMaxH, ev.DLim, ev.Terms)
+			}
+		}
+		if ev.Accepted {
+			if ev.Reason != obs.ReasonAccepted || ev.Machine < 0 {
+				t.Errorf("accepted event %d has reason %q machine %d", i, ev.Reason, ev.Machine)
+			}
+		} else {
+			if ev.Reason != obs.ReasonBelowThreshold || ev.Machine != -1 {
+				t.Errorf("rejected event %d has reason %q machine %d", i, ev.Reason, ev.Machine)
+			}
+			// A threshold rejection means d_j < d_lim beyond tolerance.
+			if !job.Less(ev.Deadline, ev.DLim) {
+				t.Errorf("rejected event %d but d=%g ≥ d_lim=%g", i, ev.Deadline, ev.DLim)
+			}
+		}
+	}
+	// The third job was built to trip the threshold.
+	if decs[2] {
+		t.Fatalf("job 2 unexpectedly accepted; trace: %+v", events[2])
+	}
+}
+
+func TestTraceDetachAndReset(t *testing.T) {
+	var sink obs.MemorySink
+	th, err := New(2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th.Submit(job.Job{ID: 0, Release: 0, Proc: 1, Deadline: 2})
+	if sink.Len() != 0 {
+		t.Fatal("events emitted without a tracer attached")
+	}
+	th.SetTracer(&sink)
+	th.Submit(job.Job{ID: 1, Release: 0, Proc: 1, Deadline: 5})
+	if sink.Len() != 1 {
+		t.Fatalf("got %d events after attaching, want 1", sink.Len())
+	}
+	// Reset keeps the tracer and restarts the sequence.
+	th.Reset()
+	th.Submit(job.Job{ID: 2, Release: 0, Proc: 1, Deadline: 2})
+	events := sink.Events()
+	if len(events) != 2 {
+		t.Fatalf("got %d events after reset, want 2", len(events))
+	}
+	if events[1].Seq != 0 {
+		t.Errorf("post-reset event seq = %d, want 0", events[1].Seq)
+	}
+	th.SetTracer(nil)
+	th.Submit(job.Job{ID: 3, Release: 0, Proc: 1, Deadline: 5})
+	if sink.Len() != 2 {
+		t.Fatal("event emitted after detaching the tracer")
+	}
+}

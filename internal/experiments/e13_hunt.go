@@ -59,7 +59,7 @@ func E13WorstCaseHunt(opt Options) (*Result, error) {
 			instances[trial] = huntInstance(rng, n, c.eps)
 		}
 		type pair struct{ th, g float64 }
-		pairs, err := parallel.Map(trials, 0, func(i int) (pair, error) {
+		pairs, err := parallel.MapMetered(trials, 0, opt.Metrics, func(i int) (pair, error) {
 			inst := instances[i]
 			optLoad, _ := offline.Exact(inst, c.m)
 			if optLoad == 0 {

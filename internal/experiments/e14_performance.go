@@ -81,7 +81,7 @@ func E14Performance(opt Options) (*Result, error) {
 		var runErr error
 		r := measure(opt, func(iters int) {
 			for i := 0; i < iters; i++ {
-				if _, err := sim.Run(th, inst); err != nil {
+				if _, err := sim.Run(th, inst, sim.WithMetrics(opt.Metrics)); err != nil {
 					runErr = err
 					return
 				}

@@ -60,7 +60,7 @@ func E15UnitJobs(opt Options) (*Result, error) {
 	edge := math.E / (math.E - 1)
 	var maxes []float64
 	for _, m := range machines {
-		ratios, err := parallel.Map(seeds, 0, func(s int) (float64, error) {
+		ratios, err := parallel.MapMetered(seeds, 0, opt.Metrics, func(s int) (float64, error) {
 			inst := workload.UnitJobs(workload.Spec{
 				N: n, M: m, Load: 2.5, Seed: opt.Seed + int64(s)*19,
 			}, 0.6)
@@ -96,7 +96,7 @@ func E15UnitJobs(opt Options) (*Result, error) {
 		fmt.Sprintf("Urgency sweep (m=2, n=%d, %d seeds): mean greedy ratio by deadline window", n, seeds/2),
 		"window", "mean ratio", "max ratio")
 	for _, window := range []float64{0, 0.25, 0.5, 1, 2} {
-		ratios, err := parallel.Map(seeds/2, 0, func(s int) (float64, error) {
+		ratios, err := parallel.MapMetered(seeds/2, 0, opt.Metrics, func(s int) (float64, error) {
 			inst := workload.UnitJobs(workload.Spec{
 				N: n, M: 2, Load: 2.5, Seed: opt.Seed + int64(s)*23,
 			}, window)

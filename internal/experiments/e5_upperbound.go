@@ -62,7 +62,7 @@ func E5UpperBound(opt Options) (*Result, error) {
 		// own scheduler and instances, so tasks share nothing.
 		type pair struct{ small, large float64 }
 		nTasks := len(workload.Families) * seeds
-		pairs, err := parallel.Map(nTasks, 0, func(i int) (pair, error) {
+		pairs, err := parallel.MapMetered(nTasks, 0, opt.Metrics, func(i int) (pair, error) {
 			fam := workload.Families[i/seeds]
 			s := i % seeds
 			seed := opt.Seed + int64(s)*7919 + int64(len(fam.Name))*104729

@@ -82,7 +82,7 @@ func E9Ablations(opt Options) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			r, err := sim.Run(th, inst)
+			r, err := sim.Run(th, inst, sim.WithMetrics(opt.Metrics), sim.WithTrace(opt.Trace))
 			if err != nil {
 				return nil, err
 			}
@@ -116,7 +116,7 @@ func E9Ablations(opt Options) (*Result, error) {
 					if err != nil {
 						return nil, err
 					}
-					r, err := sim.Run(th, inst)
+					r, err := sim.Run(th, inst, sim.WithMetrics(opt.Metrics), sim.WithTrace(opt.Trace))
 					if err != nil {
 						return nil, err
 					}

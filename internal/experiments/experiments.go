@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"io"
 
+	"loadmax/internal/obs"
 	"loadmax/internal/report"
 )
 
@@ -35,6 +36,14 @@ type Options struct {
 	Quick bool
 	// Seed drives every randomized component; runs are reproducible.
 	Seed int64
+	// Metrics, when non-nil, collects run-level and worker-pool metrics
+	// from the drivers (surfaced by cmd/experiments -metrics-out). Nil
+	// disables collection at zero cost.
+	Metrics *obs.Registry
+	// Trace, when non-nil, receives decision traces from the E9
+	// ablation runs (surfaced by cmd/experiments -trace). Nil disables
+	// tracing.
+	Trace obs.Sink
 }
 
 // Result is one experiment's output.

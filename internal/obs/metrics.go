@@ -1,0 +1,431 @@
+// Package obs is the repository's zero-dependency observability layer:
+// a metrics registry (counters, gauges, fixed-bucket histograms and
+// labeled families of each), a structured decision-trace protocol for
+// online schedulers, and profiling helpers for the command-line tools.
+//
+// Everything is nil-safe by construction: every method on a nil
+// *Registry returns a nil metric, and every method on a nil metric is a
+// no-op. Instrumented code therefore needs no guards of its own —
+//
+//	cfg.Metrics.Counter("runs_total").Inc()
+//
+// costs a few nil checks when observability is disabled and never
+// allocates. Hot paths that build per-event payloads (the decision
+// trace) still guard with a single `if sink != nil` so the disabled
+// path stays allocation-free; bench_obs_test.go at the repository root
+// enforces that.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing int64, safe for concurrent use.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds 1. No-op on a nil receiver.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n. No-op on a nil receiver.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 for a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 that can move in both directions, safe for
+// concurrent use.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v. No-op on a nil receiver.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds v atomically. No-op on a nil receiver.
+func (g *Gauge) Add(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 for a nil receiver).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets. Bounds are upper
+// bounds in ascending order; an implicit +Inf bucket catches the rest.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1
+	sum    atomic.Uint64  // float64 bits
+	n      atomic.Int64
+}
+
+// Observe records one value. No-op on a nil receiver.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound ≥ v
+	h.counts[i].Add(1)
+	h.n.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 for a nil receiver).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.n.Load()
+}
+
+// Sum returns the sum of observed values (0 for a nil receiver).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	Count   int64     `json:"count"`
+	Sum     float64   `json:"sum"`
+	Bounds  []float64 `json:"bounds"`  // upper bounds; +Inf implicit
+	Buckets []int64   `json:"buckets"` // len(Bounds)+1 counts
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count:   h.n.Load(),
+		Sum:     math.Float64frombits(h.sum.Load()),
+		Bounds:  append([]float64(nil), h.bounds...),
+		Buckets: make([]int64, len(h.counts)),
+	}
+	for i := range h.counts {
+		s.Buckets[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// DurationBuckets is a log-spaced bucket layout (in seconds) suited to
+// the latencies this repository sees: sub-microsecond admission
+// decisions up to multi-second experiment runs.
+var DurationBuckets = ExpBuckets(1e-7, 10, 9) // 100ns … 10s
+
+// RatioBuckets covers competitive-ratio observations: c(ε,m) lives in
+// [1, 1+1/ε], so a linear layout over [1, 16] plus +Inf suffices for
+// every grid the experiments run.
+var RatioBuckets = LinearBuckets(1, 1, 16)
+
+// ExpBuckets returns n exponentially spaced upper bounds starting at
+// start with the given growth factor.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := 0; i < n; i++ {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LinearBuckets returns n linearly spaced upper bounds starting at
+// start with the given width.
+func LinearBuckets(start, width float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+// vec is the shared labeled-family machinery: a lazily populated map
+// from label value to metric.
+type vec[M any] struct {
+	mu    sync.Mutex
+	label string
+	make  func() *M
+	m     map[string]*M
+}
+
+func (v *vec[M]) with(value string) *M {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.m == nil {
+		v.m = make(map[string]*M)
+	}
+	c, ok := v.m[value]
+	if !ok {
+		c = v.make()
+		v.m[value] = c
+	}
+	return c
+}
+
+func (v *vec[M]) labels() []string {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make([]string, 0, len(v.m))
+	for k := range v.m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CounterVec is a family of counters distinguished by one label.
+type CounterVec struct{ vec[Counter] }
+
+// With returns the counter for the given label value, creating it on
+// first use. Nil-safe: a nil family returns a nil counter.
+func (v *CounterVec) With(value string) *Counter {
+	if v == nil {
+		return nil
+	}
+	return v.with(value)
+}
+
+// GaugeVec is a family of gauges distinguished by one label.
+type GaugeVec struct{ vec[Gauge] }
+
+// With returns the gauge for the given label value, creating it on
+// first use. Nil-safe: a nil family returns a nil gauge.
+func (v *GaugeVec) With(value string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	return v.with(value)
+}
+
+// HistogramVec is a family of histograms distinguished by one label;
+// all members share the bucket layout given at creation.
+type HistogramVec struct{ vec[Histogram] }
+
+// With returns the histogram for the given label value, creating it on
+// first use. Nil-safe: a nil family returns a nil histogram.
+func (v *HistogramVec) With(value string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	return v.with(value)
+}
+
+// Registry holds named metrics, created on first use. The zero value is
+// not usable; construct with NewRegistry. A nil *Registry is a valid
+// "observability off" value: every lookup returns a nil metric.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	cvecs    map[string]*CounterVec
+	gvecs    map[string]*GaugeVec
+	hvecs    map[string]*HistogramVec
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		cvecs:    make(map[string]*CounterVec),
+		gvecs:    make(map[string]*GaugeVec),
+		hvecs:    make(map[string]*HistogramVec),
+	}
+}
+
+func lookup[M any](r *Registry, m map[string]*M, name string, mk func() *M) *M {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := m[name]
+	if !ok {
+		v = mk()
+		m[name] = v
+	}
+	return v
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return lookup(r, r.counters, name, func() *Counter { return &Counter{} })
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return lookup(r, r.gauges, name, func() *Gauge { return &Gauge{} })
+}
+
+// Histogram returns the named histogram, creating it on first use with
+// the given bucket bounds (later calls reuse the first layout).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return lookup(r, r.hists, name, func() *Histogram {
+		return &Histogram{bounds: append([]float64(nil), bounds...), counts: make([]atomic.Int64, len(bounds)+1)}
+	})
+}
+
+// CounterVec returns the named counter family with the given label name.
+func (r *Registry) CounterVec(name, label string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return lookup(r, r.cvecs, name, func() *CounterVec {
+		v := &CounterVec{}
+		v.label = label
+		v.make = func() *Counter { return &Counter{} }
+		return v
+	})
+}
+
+// GaugeVec returns the named gauge family with the given label name.
+func (r *Registry) GaugeVec(name, label string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	return lookup(r, r.gvecs, name, func() *GaugeVec {
+		v := &GaugeVec{}
+		v.label = label
+		v.make = func() *Gauge { return &Gauge{} }
+		return v
+	})
+}
+
+// HistogramVec returns the named histogram family with the given label
+// name and bucket bounds.
+func (r *Registry) HistogramVec(name, label string, bounds []float64) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	b := append([]float64(nil), bounds...)
+	return lookup(r, r.hvecs, name, func() *HistogramVec {
+		v := &HistogramVec{}
+		v.label = label
+		v.make = func() *Histogram {
+			return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+		}
+		return v
+	})
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry.
+// Labeled families are flattened into `name{label="value"}` keys.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+func labeledKey(name, label, value string) string {
+	return fmt.Sprintf("%s{%s=%q}", name, label, value)
+}
+
+// Snapshot copies the current state of every metric. Nil-safe: a nil
+// registry yields an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.snapshot()
+	}
+	for name, v := range r.cvecs {
+		for _, lv := range v.labels() {
+			s.Counters[labeledKey(name, v.label, lv)] = v.With(lv).Value()
+		}
+	}
+	for name, v := range r.gvecs {
+		for _, lv := range v.labels() {
+			s.Gauges[labeledKey(name, v.label, lv)] = v.With(lv).Value()
+		}
+	}
+	for name, v := range r.hvecs {
+		for _, lv := range v.labels() {
+			s.Histograms[labeledKey(name, v.label, lv)] = v.With(lv).snapshot()
+		}
+	}
+	return s
+}
+
+// Reset drops every registered metric (names are re-created on next
+// use). Nil-safe.
+func (r *Registry) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	clear(r.counters)
+	clear(r.gauges)
+	clear(r.hists)
+	clear(r.cvecs)
+	clear(r.gvecs)
+	clear(r.hvecs)
+}
+
+// WriteJSON writes the snapshot as indented JSON — the expvar-style
+// export the -metrics-out flags use. Map keys sort deterministically.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

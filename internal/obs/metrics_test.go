@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	// Every call chain must be a safe no-op on the nil registry.
+	r.Counter("c").Inc()
+	r.Counter("c").Add(5)
+	r.Gauge("g").Set(3)
+	r.Gauge("g").Add(1)
+	r.Histogram("h", DurationBuckets).Observe(0.5)
+	r.CounterVec("cv", "l").With("x").Inc()
+	r.GaugeVec("gv", "l").With("x").Set(2)
+	r.HistogramVec("hv", "l", RatioBuckets).With("x").Observe(1.5)
+	r.Reset()
+	if v := r.Counter("c").Value(); v != 0 {
+		t.Fatalf("nil registry counter = %d, want 0", v)
+	}
+	s := r.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", s)
+	}
+}
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("jobs").Add(3)
+	r.Counter("jobs").Inc()
+	if got := r.Counter("jobs").Value(); got != 4 {
+		t.Errorf("counter = %d, want 4", got)
+	}
+	r.Gauge("rate").Set(0.5)
+	r.Gauge("rate").Add(0.25)
+	if got := r.Gauge("rate").Value(); got != 0.75 {
+		t.Errorf("gauge = %g, want 0.75", got)
+	}
+	h := r.Histogram("lat", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Errorf("hist count = %d, want 4", h.Count())
+	}
+	if h.Sum() != 105 {
+		t.Errorf("hist sum = %g, want 105", h.Sum())
+	}
+	snap := h.snapshot()
+	want := []int64{1, 1, 1, 1} // (≤1, ≤2, ≤4, +Inf)
+	for i, w := range want {
+		if snap.Buckets[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, snap.Buckets[i], w)
+		}
+	}
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	h := NewRegistry().Histogram("h", []float64{1, 10})
+	h.Observe(1)  // exactly on a bound lands in that bucket
+	h.Observe(10) // likewise
+	h.Observe(11) // overflow
+	snap := h.snapshot()
+	if snap.Buckets[0] != 1 || snap.Buckets[1] != 1 || snap.Buckets[2] != 1 {
+		t.Fatalf("buckets = %v, want [1 1 1]", snap.Buckets)
+	}
+}
+
+func TestLabeledFamiliesAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("runs", "scheduler").With("threshold").Add(2)
+	r.CounterVec("runs", "scheduler").With("greedy").Inc()
+	r.GaugeVec("rate", "scheduler").With("threshold").Set(0.9)
+	r.HistogramVec("secs", "scheduler", DurationBuckets).With("threshold").Observe(1e-6)
+
+	s := r.Snapshot()
+	if got := s.Counters[`runs{scheduler="threshold"}`]; got != 2 {
+		t.Errorf("labeled counter = %d, want 2", got)
+	}
+	if got := s.Counters[`runs{scheduler="greedy"}`]; got != 1 {
+		t.Errorf("labeled counter = %d, want 1", got)
+	}
+	if got := s.Gauges[`rate{scheduler="threshold"}`]; got != 0.9 {
+		t.Errorf("labeled gauge = %g, want 0.9", got)
+	}
+	if got := s.Histograms[`secs{scheduler="threshold"}`]; got.Count != 1 {
+		t.Errorf("labeled histogram count = %d, want 1", got.Count)
+	}
+}
+
+func TestResetDropsMetrics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(7)
+	r.Reset()
+	if got := r.Counter("c").Value(); got != 0 {
+		t.Fatalf("counter after reset = %d, want 0", got)
+	}
+}
+
+func TestWriteJSONDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b").Inc()
+	r.Counter("a").Add(2)
+	r.Gauge("g").Set(1.5)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if decoded.Counters["a"] != 2 || decoded.Counters["b"] != 1 {
+		t.Errorf("round-tripped counters = %v", decoded.Counters)
+	}
+	// encoding/json sorts map keys, so "a" must precede "b" in the text.
+	if strings.Index(buf.String(), `"a"`) > strings.Index(buf.String(), `"b"`) {
+		t.Errorf("export keys not sorted:\n%s", buf.String())
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	const workers, each = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				r.Counter("n").Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h", []float64{0.5}).Observe(1)
+				r.CounterVec("v", "l").With("x").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("n").Value(); got != workers*each {
+		t.Errorf("counter = %d, want %d", got, workers*each)
+	}
+	if got := r.Gauge("g").Value(); got != workers*each {
+		t.Errorf("gauge = %g, want %d", got, workers*each)
+	}
+	if got := r.Histogram("h", nil).Count(); got != workers*each {
+		t.Errorf("histogram count = %d, want %d", got, workers*each)
+	}
+	if got := r.CounterVec("v", "l").With("x").Value(); got != workers*each {
+		t.Errorf("vec counter = %d, want %d", got, workers*each)
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	exp := ExpBuckets(1, 10, 3)
+	if exp[0] != 1 || exp[1] != 10 || exp[2] != 100 {
+		t.Errorf("ExpBuckets = %v", exp)
+	}
+	lin := LinearBuckets(1, 0.5, 3)
+	if lin[0] != 1 || lin[1] != 1.5 || lin[2] != 2 {
+		t.Errorf("LinearBuckets = %v", lin)
+	}
+}

@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiling begins a CPU profile at <prefix>.cpu.pprof and returns
+// a stop function that ends it and writes a heap profile to
+// <prefix>.heap.pprof. It backs the -pprof flags of the command-line
+// tools:
+//
+//	stop, err := obs.StartProfiling(prefix)
+//	...
+//	defer stop()
+func StartProfiling(prefix string) (stop func() error, err error) {
+	cpuPath := prefix + ".cpu.pprof"
+	cpu, err := os.Create(cpuPath)
+	if err != nil {
+		return nil, fmt.Errorf("obs: create %s: %w", cpuPath, err)
+	}
+	if err := pprof.StartCPUProfile(cpu); err != nil {
+		cpu.Close()
+		return nil, fmt.Errorf("obs: start cpu profile: %w", err)
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		err := cpu.Close()
+		heapPath := prefix + ".heap.pprof"
+		heap, herr := os.Create(heapPath)
+		if herr != nil {
+			if err == nil {
+				err = fmt.Errorf("obs: create %s: %w", heapPath, herr)
+			}
+			return err
+		}
+		defer heap.Close()
+		runtime.GC() // capture live heap, not garbage awaiting collection
+		if herr := pprof.WriteHeapProfile(heap); herr != nil && err == nil {
+			err = fmt.Errorf("obs: write heap profile: %w", herr)
+		}
+		return err
+	}, nil
+}

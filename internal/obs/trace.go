@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Decision reasons recorded in trace events. They name the branch of
+// Algorithm 1 that produced the verdict.
+const (
+	// ReasonAccepted: d_j ≥ d_lim and a candidate machine existed.
+	ReasonAccepted = "accepted"
+	// ReasonBelowThreshold: rejected because d_j < d_lim (Eq. 10).
+	ReasonBelowThreshold = "deadline-below-threshold"
+	// ReasonNoCandidate: d_j ≥ d_lim but no machine could finish the
+	// job by its deadline — unreachable for valid slack-ε jobs
+	// (Claim 1), so its presence in a trace flags a malformed input.
+	ReasonNoCandidate = "no-candidate"
+)
+
+// ThresholdTerm is one summand of Eq. (10): the machine with the h-th
+// largest outstanding load contributes t + l(m_h)·f_h to d_lim.
+type ThresholdTerm struct {
+	H       int     `json:"h"`       // load rank, 1-based; only h ≥ k contribute
+	Machine int     `json:"machine"` // physical machine index
+	Load    float64 `json:"load"`    // l(m_h) at decision time
+	F       float64 `json:"f"`       // f_h(ε,m)
+	Value   float64 `json:"value"`   // t + Load·F
+}
+
+// DecisionEvent is one fully explained scheduling decision: everything
+// Algorithm 1 looked at when it accepted or rejected a job. Traces are
+// emitted per submission by schedulers that support tracing (core.
+// Threshold) and serialized as one JSON object per line by JSONLSink.
+type DecisionEvent struct {
+	Seq       int    `json:"seq"` // 0-based submission index since Reset
+	Scheduler string `json:"scheduler"`
+
+	// The submitted job and the clock at decision time.
+	T        float64 `json:"t"`
+	JobID    int     `json:"job"`
+	Release  float64 `json:"r"`
+	Proc     float64 `json:"p"`
+	Deadline float64 `json:"d"`
+
+	// The threshold computation (Eqs. 9–10).
+	K       int             `json:"k"`        // active phase index
+	Loads   []float64       `json:"loads"`    // outstanding loads, sorted decreasing
+	Terms   []ThresholdTerm `json:"terms"`    // h = k..m
+	ArgMaxH int             `json:"argmax_h"` // h whose term set d_lim; 0 when d_lim = t
+	DLim    float64         `json:"d_lim"`
+
+	// The verdict and, for acceptances, the commitment.
+	Accepted bool    `json:"accepted"`
+	Reason   string  `json:"reason"`
+	Machine  int     `json:"machine"` // -1 on rejection
+	Start    float64 `json:"start"`   // committed start; 0 on rejection
+	Policy   string  `json:"policy"`  // allocation policy name
+}
+
+// Sink consumes decision events. Emit may retain nothing: the event and
+// its slices are reused or garbage the moment Emit returns, so sinks
+// that buffer must copy (MemorySink does).
+type Sink interface {
+	Emit(ev *DecisionEvent)
+}
+
+// Traceable is implemented by schedulers that can emit decision events.
+// SetTracer(nil) disables tracing; implementations must keep the
+// disabled path allocation-free.
+type Traceable interface {
+	SetTracer(Sink)
+}
+
+// CloseSink flushes and closes a sink if it supports closing; it is the
+// companion of the file-backed sinks the CLI flags construct.
+func CloseSink(s Sink) error {
+	if c, ok := s.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+// MemorySink buffers events in memory (deep-copied), safe for
+// concurrent emitters. Cap ≤ 0 means unbounded; otherwise the sink
+// keeps the first Cap events and counts the rest as dropped.
+type MemorySink struct {
+	Cap int
+
+	mu      sync.Mutex
+	events  []DecisionEvent
+	dropped int
+}
+
+// Emit implements Sink.
+func (s *MemorySink) Emit(ev *DecisionEvent) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.Cap > 0 && len(s.events) >= s.Cap {
+		s.dropped++
+		return
+	}
+	cp := *ev
+	cp.Loads = append([]float64(nil), ev.Loads...)
+	cp.Terms = append([]ThresholdTerm(nil), ev.Terms...)
+	s.events = append(s.events, cp)
+}
+
+// Events returns the buffered events (the caller must not mutate them).
+func (s *MemorySink) Events() []DecisionEvent {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.events
+}
+
+// Dropped returns how many events the cap discarded.
+func (s *MemorySink) Dropped() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// Len returns the number of buffered events.
+func (s *MemorySink) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.events)
+}
+
+// JSONLSink writes one JSON object per event to an io.Writer, buffered.
+// Close flushes the buffer and closes the underlying writer if it is a
+// Closer. Emit is serialized by an internal mutex.
+type JSONLSink struct {
+	mu  sync.Mutex
+	w   io.Writer
+	buf *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLSink wraps w in a buffered JSON-lines encoder.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	buf := bufio.NewWriter(w)
+	return &JSONLSink{w: w, buf: buf, enc: json.NewEncoder(buf)}
+}
+
+// Emit implements Sink. The first write error is sticky and reported by
+// Close; later events are discarded.
+func (s *JSONLSink) Emit(ev *DecisionEvent) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	s.err = s.enc.Encode(ev)
+}
+
+// Close flushes buffered events and closes the underlying writer when
+// it supports closing. It returns the first error seen.
+func (s *JSONLSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ferr := s.buf.Flush(); s.err == nil {
+		s.err = ferr
+	}
+	if c, ok := s.w.(io.Closer); ok {
+		if cerr := c.Close(); s.err == nil {
+			s.err = cerr
+		}
+	}
+	return s.err
+}
+
+// SamplingSink forwards every N-th event (the 1st, N+1st, …) to an
+// inner sink — the cheap way to trace a million-job run. N ≤ 1 forwards
+// everything.
+type SamplingSink struct {
+	inner Sink
+	every int
+	seen  int
+	mu    sync.Mutex
+}
+
+// NewSamplingSink samples 1-in-every events into inner.
+func NewSamplingSink(every int, inner Sink) *SamplingSink {
+	if every < 1 {
+		every = 1
+	}
+	return &SamplingSink{inner: inner, every: every}
+}
+
+// Emit implements Sink.
+func (s *SamplingSink) Emit(ev *DecisionEvent) {
+	s.mu.Lock()
+	take := s.seen%s.every == 0
+	s.seen++
+	s.mu.Unlock()
+	if take {
+		s.inner.Emit(ev)
+	}
+}
+
+// Seen returns the number of events offered to the sampler.
+func (s *SamplingSink) Seen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seen
+}
+
+// Close forwards to the inner sink.
+func (s *SamplingSink) Close() error { return CloseSink(s.inner) }

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func event(seq int) *DecisionEvent {
+	return &DecisionEvent{
+		Seq: seq, Scheduler: "threshold", T: 1, JobID: seq,
+		Release: 1, Proc: 2, Deadline: 5,
+		K:     1,
+		Loads: []float64{3, 1},
+		Terms: []ThresholdTerm{
+			{H: 1, Machine: 0, Load: 3, F: 2, Value: 7},
+			{H: 2, Machine: 1, Load: 1, F: 11, Value: 12},
+		},
+		ArgMaxH: 2, DLim: 12,
+		Accepted: false, Reason: ReasonBelowThreshold, Machine: -1,
+		Policy: "best-fit",
+	}
+}
+
+func TestMemorySinkCopiesEvents(t *testing.T) {
+	var s MemorySink
+	ev := event(0)
+	s.Emit(ev)
+	// Mutating the emitted event (as a scheduler reusing buffers would)
+	// must not corrupt the stored copy.
+	ev.Loads[0] = -1
+	ev.Terms[0].Value = -1
+	ev.Seq = 99
+	got := s.Events()[0]
+	if got.Loads[0] != 3 || got.Terms[0].Value != 7 || got.Seq != 0 {
+		t.Fatalf("stored event aliases the emitted one: %+v", got)
+	}
+}
+
+func TestMemorySinkCap(t *testing.T) {
+	s := MemorySink{Cap: 2}
+	for i := 0; i < 5; i++ {
+		s.Emit(event(i))
+	}
+	if s.Len() != 2 || s.Dropped() != 3 {
+		t.Fatalf("len=%d dropped=%d, want 2/3", s.Len(), s.Dropped())
+	}
+}
+
+func TestJSONLSinkRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf)
+	s.Emit(event(0))
+	s.Emit(event(1))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var events []DecisionEvent
+	for sc.Scan() {
+		var ev DecisionEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		events = append(events, ev)
+	}
+	if len(events) != 2 {
+		t.Fatalf("decoded %d events, want 2", len(events))
+	}
+	if events[1].Seq != 1 || events[1].DLim != 12 || events[1].Reason != ReasonBelowThreshold {
+		t.Errorf("round-trip mismatch: %+v", events[1])
+	}
+	if len(events[0].Terms) != 2 || events[0].Terms[1].H != 2 {
+		t.Errorf("terms did not survive the round trip: %+v", events[0].Terms)
+	}
+}
+
+func TestSamplingSink(t *testing.T) {
+	var mem MemorySink
+	s := NewSamplingSink(3, &mem)
+	for i := 0; i < 10; i++ {
+		s.Emit(event(i))
+	}
+	if s.Seen() != 10 {
+		t.Errorf("seen = %d, want 10", s.Seen())
+	}
+	got := mem.Events()
+	if len(got) != 4 { // events 0, 3, 6, 9
+		t.Fatalf("sampled %d events, want 4", len(got))
+	}
+	for i, ev := range got {
+		if ev.Seq != i*3 {
+			t.Errorf("sample %d has seq %d, want %d", i, ev.Seq, i*3)
+		}
+	}
+}
+
+func TestCloseSinkNonCloser(t *testing.T) {
+	if err := CloseSink(&MemorySink{}); err != nil {
+		t.Fatalf("CloseSink on non-closer: %v", err)
+	}
+}

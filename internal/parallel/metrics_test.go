@@ -1,0 +1,71 @@
+package parallel
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"loadmax/internal/obs"
+)
+
+func TestForEachMeteredRecordsPoolMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	const n = 20
+	err := ForEachMetered(n, 4, reg, func(i int) error {
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("parallel_tasks_total").Value(); got != n {
+		t.Errorf("tasks_total = %d, want %d", got, n)
+	}
+	if got := reg.Gauge("parallel_workers").Value(); got != 4 {
+		t.Errorf("workers = %g, want 4", got)
+	}
+	if got := reg.Histogram("parallel_task_seconds", nil).Count(); got != n {
+		t.Errorf("task_seconds count = %d, want %d", got, n)
+	}
+	if got := reg.Histogram("parallel_queue_wait_seconds", nil).Count(); got != n {
+		t.Errorf("queue_wait count = %d, want %d", got, n)
+	}
+	util := reg.Gauge("parallel_utilization").Value()
+	if util <= 0 || util > 1.01 {
+		t.Errorf("utilization = %g, want (0, 1]", util)
+	}
+}
+
+func TestForEachMeteredPropagatesErrors(t *testing.T) {
+	reg := obs.NewRegistry()
+	boom := errors.New("boom")
+	err := ForEachMetered(10, 2, reg, func(i int) error {
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	// All iterations still ran (no cancellation), so all are counted.
+	if got := reg.Counter("parallel_tasks_total").Value(); got != 10 {
+		t.Errorf("tasks_total = %d, want 10", got)
+	}
+}
+
+func TestMapMeteredMatchesMap(t *testing.T) {
+	reg := obs.NewRegistry()
+	out, err := MapMetered(8, 3, reg, func(i int) (int, error) { return i * 2, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*2 {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*2)
+		}
+	}
+	if got := reg.Counter("parallel_tasks_total").Value(); got != 8 {
+		t.Errorf("tasks_total = %d, want 8", got)
+	}
+}

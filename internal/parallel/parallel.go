@@ -1,13 +1,18 @@
 // Package parallel provides the small fan-out utilities the experiment
 // harness uses to spread independent simulation runs across cores:
 // a bounded worker pool with first-error propagation and an ordered map
-// over an index range. Stdlib only (sync + runtime).
+// over an index range, both with optional pool observability (queue
+// wait, task duration, worker utilization). Stdlib only.
 package parallel
 
 import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"loadmax/internal/obs"
 )
 
 // ForEach runs fn(i) for i in [0, n) on up to workers goroutines
@@ -17,6 +22,21 @@ import (
 // A panicking iteration is converted into an error rather than tearing
 // down the process.
 func ForEach(n, workers int, fn func(i int) error) error {
+	return ForEachMetered(n, workers, nil, fn)
+}
+
+// ForEachMetered is ForEach with pool observability. When reg is
+// non-nil it records, per fan-out:
+//
+//	parallel_tasks_total            counter   tasks executed
+//	parallel_queue_wait_seconds     histogram time from dispatch to task start
+//	parallel_task_seconds           histogram task execution time
+//	parallel_workers                gauge     workers of the last fan-out
+//	parallel_utilization            gauge     busy-time / (workers × wall time)
+//
+// A nil registry takes a timer-free fast path identical to the
+// pre-observability ForEach.
+func ForEachMetered(n, workers int, reg *obs.Registry, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -28,21 +48,66 @@ func ForEach(n, workers int, fn func(i int) error) error {
 	}
 	errs := make([]error, n)
 	var wg sync.WaitGroup
-	next := make(chan int)
+	if reg == nil {
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					errs[i] = protect(i, fn)
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+		return firstError(errs)
+	}
+
+	tasks := reg.Counter("parallel_tasks_total")
+	queueWait := reg.Histogram("parallel_queue_wait_seconds", obs.DurationBuckets)
+	taskSecs := reg.Histogram("parallel_task_seconds", obs.DurationBuckets)
+	reg.Gauge("parallel_workers").Set(float64(workers))
+
+	type item struct {
+		i  int
+		at time.Time // dispatch instant, for queue-wait measurement
+	}
+	var busyNanos atomic.Int64
+	start := time.Now()
+	next := make(chan item)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range next {
-				errs[i] = protect(i, fn)
+			for it := range next {
+				begin := time.Now()
+				queueWait.Observe(begin.Sub(it.at).Seconds())
+				errs[it.i] = protect(it.i, fn)
+				d := time.Since(begin)
+				taskSecs.Observe(d.Seconds())
+				busyNanos.Add(int64(d))
+				tasks.Inc()
 			}
 		}()
 	}
 	for i := 0; i < n; i++ {
-		next <- i
+		next <- item{i: i, at: time.Now()}
 	}
 	close(next)
 	wg.Wait()
+	if wall := time.Since(start).Seconds(); wall > 0 {
+		busy := time.Duration(busyNanos.Load()).Seconds()
+		reg.Gauge("parallel_utilization").Set(busy / (wall * float64(workers)))
+	}
+	return firstError(errs)
+}
+
+// firstError returns the first non-nil error in index order.
+func firstError(errs []error) error {
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -64,8 +129,13 @@ func protect(i int, fn func(int) error) (err error) {
 // Map computes out[i] = fn(i) for i in [0, n) in parallel, preserving
 // index order. It aborts with the first error in index order.
 func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	return MapMetered(n, workers, nil, fn)
+}
+
+// MapMetered is Map with the pool observability of ForEachMetered.
+func MapMetered[T any](n, workers int, reg *obs.Registry, fn func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
-	err := ForEach(n, workers, func(i int) error {
+	err := ForEachMetered(n, workers, reg, func(i int) error {
 		v, err := fn(i)
 		if err != nil {
 			return err

@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"testing"
+
+	"loadmax/internal/core"
+	"loadmax/internal/obs"
+	"loadmax/internal/workload"
+)
+
+func TestRunWithMetricsAndTrace(t *testing.T) {
+	inst := workload.Poisson(workload.Spec{N: 50, Eps: 0.2, M: 2, Seed: 3})
+	th, err := core.New(2, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	var sink obs.MemorySink
+	res, err := Run(th, inst, WithMetrics(reg), WithTrace(&sink))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elapsed <= 0 {
+		t.Errorf("Elapsed = %v, want > 0", res.Elapsed)
+	}
+	// One trace event per submission.
+	if sink.Len() != res.Submitted {
+		t.Errorf("trace has %d events for %d submissions", sink.Len(), res.Submitted)
+	}
+	// The tracer is detached after the run: further submissions are silent.
+	th.Submit(inst[len(inst)-1])
+	if sink.Len() != res.Submitted {
+		t.Error("tracer still attached after Run returned")
+	}
+
+	s := reg.Snapshot()
+	name := res.Scheduler
+	key := func(metric string) string { return metric + `{scheduler="` + name + `"}` }
+	if got := s.Counters[key("sim_runs_total")]; got != 1 {
+		t.Errorf("sim_runs_total = %d, want 1", got)
+	}
+	if got := s.Counters[key("sim_jobs_submitted_total")]; got != int64(res.Submitted) {
+		t.Errorf("submitted counter = %d, want %d", got, res.Submitted)
+	}
+	if got := s.Counters[key("sim_jobs_accepted_total")]; got != int64(res.Accepted) {
+		t.Errorf("accepted counter = %d, want %d", got, res.Accepted)
+	}
+	if got := s.Gauges[key("sim_acceptance_rate")]; got != res.AcceptanceRate() {
+		t.Errorf("acceptance rate gauge = %g, want %g", got, res.AcceptanceRate())
+	}
+	if got := s.Histograms[key("sim_run_seconds")]; got.Count != 1 {
+		t.Errorf("run_seconds histogram count = %d, want 1", got.Count)
+	}
+}
+
+func TestRunWithoutOptionsUnchanged(t *testing.T) {
+	inst := workload.Poisson(workload.Spec{N: 30, Eps: 0.2, M: 2, Seed: 3})
+	th, err := core.New(2, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Run(th, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed, err := Run(th, inst, WithMetrics(obs.NewRegistry()), WithTrace(&obs.MemorySink{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Observability must not perturb the decisions.
+	if plain.Accepted != observed.Accepted || plain.Load != observed.Load {
+		t.Errorf("observed run differs: %d/%g vs %d/%g",
+			plain.Accepted, plain.Load, observed.Accepted, observed.Load)
+	}
+}

@@ -6,8 +6,10 @@ package sim
 
 import (
 	"fmt"
+	"time"
 
 	"loadmax/internal/job"
+	"loadmax/internal/obs"
 	"loadmax/internal/online"
 	"loadmax/internal/schedule"
 )
@@ -34,6 +36,10 @@ type Result struct {
 	// scheduler produces none; the verifier exists to catch broken
 	// baselines and broken test doubles.
 	Violations []string
+
+	// Elapsed is the wall time of the submission loop (excluding
+	// instance validation and post-run verification).
+	Elapsed time.Duration
 }
 
 // AcceptanceRate returns Accepted/Submitted (0 for an empty run).
@@ -52,20 +58,50 @@ func (r *Result) LoadFraction() float64 {
 	return r.Load / r.TotalLoad
 }
 
+// RunOption configures one Run — the observability hooks. Plain
+// Run(s, inst) behaves exactly as before the hooks existed.
+type RunOption func(*runConfig)
+
+type runConfig struct {
+	metrics *obs.Registry
+	trace   obs.Sink
+}
+
+// WithMetrics records run-level metrics (acceptance rate, load
+// fraction, violation counts, wall time — labeled by scheduler name)
+// into the registry. A nil registry disables recording.
+func WithMetrics(r *obs.Registry) RunOption { return func(c *runConfig) { c.metrics = r } }
+
+// WithTrace attaches a decision-trace sink to the scheduler for the
+// duration of the run, when the scheduler supports tracing
+// (obs.Traceable); other schedulers run untraced.
+func WithTrace(s obs.Sink) RunOption { return func(c *runConfig) { c.trace = s } }
+
 // Run replays the instance through the scheduler in slice order (the
 // instance must be sorted by release date) and verifies the outcome. The
 // scheduler is Reset first, so a Run is always a fresh experiment.
-func Run(s online.Scheduler, inst job.Instance) (*Result, error) {
+func Run(s online.Scheduler, inst job.Instance, opts ...RunOption) (*Result, error) {
+	var cfg runConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
 	if err := inst.Validate(-1); err != nil {
 		return nil, fmt.Errorf("sim: invalid instance: %w", err)
 	}
 	s.Reset()
+	if cfg.trace != nil {
+		if tr, ok := s.(obs.Traceable); ok {
+			tr.SetTracer(cfg.trace)
+			defer tr.SetTracer(nil)
+		}
+	}
 	res := &Result{
 		Scheduler: s.Name(),
 		Machines:  s.Machines(),
 		TotalLoad: inst.TotalLoad(),
 	}
 	log := online.NewLog()
+	start := time.Now()
 	for _, j := range inst {
 		d := s.Submit(j)
 		if d.JobID != j.ID {
@@ -84,6 +120,7 @@ func Run(s online.Scheduler, inst job.Instance) (*Result, error) {
 			res.Rejected++
 		}
 	}
+	res.Elapsed = time.Since(start)
 	res.Decisions = log.Decisions()
 
 	sched, err := schedule.FromDecisions(s.Machines(), inst, res.Decisions)
@@ -113,13 +150,34 @@ func Run(s online.Scheduler, inst job.Instance) (*Result, error) {
 			}
 		}
 	}
+	recordRunMetrics(cfg.metrics, res)
 	return res, nil
+}
+
+// recordRunMetrics publishes one run's outcome into the registry,
+// labeled by scheduler name. All obs calls are nil-safe, so a nil
+// registry costs only the branch below.
+func recordRunMetrics(reg *obs.Registry, r *Result) {
+	if reg == nil {
+		return
+	}
+	name := r.Scheduler
+	reg.CounterVec("sim_runs_total", "scheduler").With(name).Inc()
+	reg.CounterVec("sim_jobs_submitted_total", "scheduler").With(name).Add(int64(r.Submitted))
+	reg.CounterVec("sim_jobs_accepted_total", "scheduler").With(name).Add(int64(r.Accepted))
+	reg.CounterVec("sim_jobs_rejected_total", "scheduler").With(name).Add(int64(r.Rejected))
+	reg.CounterVec("sim_violations_total", "scheduler").With(name).Add(int64(len(r.Violations)))
+	reg.GaugeVec("sim_acceptance_rate", "scheduler").With(name).Set(r.AcceptanceRate())
+	reg.GaugeVec("sim_load_fraction", "scheduler").With(name).Set(r.LoadFraction())
+	reg.GaugeVec("sim_accepted_load", "scheduler").With(name).Set(r.Load)
+	reg.HistogramVec("sim_run_seconds", "scheduler", obs.DurationBuckets).
+		With(name).Observe(r.Elapsed.Seconds())
 }
 
 // MustRun is Run, panicking on setup errors (for benchmarks and examples
 // with known-good inputs).
-func MustRun(s online.Scheduler, inst job.Instance) *Result {
-	r, err := Run(s, inst)
+func MustRun(s online.Scheduler, inst job.Instance, opts ...RunOption) *Result {
+	r, err := Run(s, inst, opts...)
 	if err != nil {
 		panic(err)
 	}
@@ -128,10 +186,10 @@ func MustRun(s online.Scheduler, inst job.Instance) *Result {
 
 // Compare runs several schedulers over the same instance and returns the
 // results keyed by scheduler name, preserving input order in the slice.
-func Compare(schedulers []online.Scheduler, inst job.Instance) ([]*Result, error) {
+func Compare(schedulers []online.Scheduler, inst job.Instance, opts ...RunOption) ([]*Result, error) {
 	out := make([]*Result, 0, len(schedulers))
 	for _, s := range schedulers {
-		r, err := Run(s, inst)
+		r, err := Run(s, inst, opts...)
 		if err != nil {
 			return nil, err
 		}

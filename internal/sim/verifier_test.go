@@ -1,0 +1,167 @@
+package sim
+
+// Broken-scheduler doubles exercising every verifier path of Run: the
+// Result.Violations list is the contract that keeps experiment numbers
+// honest, so each class of infeasible or protocol-breaking behaviour
+// must surface there (or as a hard error) rather than inflate Load.
+
+import (
+	"strings"
+	"testing"
+
+	"loadmax/internal/baseline"
+	"loadmax/internal/job"
+	"loadmax/internal/obs"
+	"loadmax/internal/online"
+)
+
+// doubleBooker accepts every job on machine 0 at its release date,
+// stacking concurrent jobs on top of each other.
+type doubleBooker struct{ m int }
+
+func (d doubleBooker) Name() string  { return "double-booker" }
+func (d doubleBooker) Machines() int { return d.m }
+func (d doubleBooker) Reset()        {}
+func (d doubleBooker) Submit(j job.Job) online.Decision {
+	return online.Decision{JobID: j.ID, Accepted: true, Machine: 0, Start: j.Release}
+}
+
+func TestVerifierFlagsDoubleBooking(t *testing.T) {
+	inst := job.Instance{
+		{ID: 0, Release: 0, Proc: 4, Deadline: 100},
+		{ID: 1, Release: 0, Proc: 4, Deadline: 100},
+		{ID: 2, Release: 0, Proc: 4, Deadline: 100},
+	}
+	reg := obs.NewRegistry()
+	res, err := Run(doubleBooker{m: 3}, inst, WithMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three jobs share machine 0's [0,4) window: both adjacent pairs in
+	// start order must be flagged.
+	var overlaps int
+	for _, v := range res.Violations {
+		if strings.Contains(v, "overlaps") {
+			overlaps++
+		}
+	}
+	if overlaps != 2 {
+		t.Errorf("overlap violations = %d, want 2 (got %v)", overlaps, res.Violations)
+	}
+	// The accounting still reports what the scheduler claimed — the
+	// violations are the signal that the claim is bogus.
+	if res.Accepted != 3 || res.Load != 12 {
+		t.Errorf("Accepted=%d Load=%g, want 3/12", res.Accepted, res.Load)
+	}
+	// The run-level metrics must agree with the Violations list.
+	snap := reg.Snapshot()
+	if got := snap.Counters[`sim_violations_total{scheduler="double-booker"}`]; got != int64(len(res.Violations)) {
+		t.Errorf("sim_violations_total = %d, want %d", got, len(res.Violations))
+	}
+}
+
+// timeTraveler commits starts before the submission instant — an
+// immediate-commitment violation (a scheduler may plan for the future,
+// never for the past).
+type timeTraveler struct{}
+
+func (timeTraveler) Name() string  { return "time-traveler" }
+func (timeTraveler) Machines() int { return 1 }
+func (timeTraveler) Reset()        {}
+func (timeTraveler) Submit(j job.Job) online.Decision {
+	return online.Decision{JobID: j.ID, Accepted: true, Machine: 0, Start: j.Release - 10}
+}
+
+func TestVerifierFlagsImmediateCommitmentViolation(t *testing.T) {
+	inst := job.Instance{{ID: 0, Release: 20, Proc: 2, Deadline: 100}}
+	res, err := Run(timeTraveler{}, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both layers must fire: the schedule-level feasibility check
+	// (start before release) and the protocol-level commitment check
+	// (committed start precedes the submission instant).
+	var feasibility, commitment bool
+	for _, v := range res.Violations {
+		if strings.Contains(v, "before release") {
+			feasibility = true
+		}
+		if strings.Contains(v, "before its release") {
+			commitment = true
+		}
+	}
+	if !feasibility || !commitment {
+		t.Errorf("feasibility=%v commitment=%v in %v", feasibility, commitment, res.Violations)
+	}
+}
+
+// deadlineBuster accepts jobs too late to finish on time.
+type deadlineBuster struct{}
+
+func (deadlineBuster) Name() string  { return "deadline-buster" }
+func (deadlineBuster) Machines() int { return 1 }
+func (deadlineBuster) Reset()        {}
+func (deadlineBuster) Submit(j job.Job) online.Decision {
+	return online.Decision{JobID: j.ID, Accepted: true, Machine: 0, Start: j.Deadline - j.Proc/2}
+}
+
+func TestVerifierFlagsDeadlineMiss(t *testing.T) {
+	inst := job.Instance{{ID: 0, Release: 0, Proc: 6, Deadline: 10}}
+	res, err := Run(deadlineBuster{}, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, v := range res.Violations {
+		if strings.Contains(v, "after deadline") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("deadline miss not flagged: %v", res.Violations)
+	}
+}
+
+// rogueMachine allocates to a machine index outside [0, m). This is not
+// a mere violation — the schedule cannot even represent it, so Run
+// fails hard.
+type rogueMachine struct{}
+
+func (rogueMachine) Name() string  { return "rogue-machine" }
+func (rogueMachine) Machines() int { return 2 }
+func (rogueMachine) Reset()        {}
+func (rogueMachine) Submit(j job.Job) online.Decision {
+	return online.Decision{JobID: j.ID, Accepted: true, Machine: 2, Start: j.Release}
+}
+
+func TestVerifierRejectsOutOfRangeMachine(t *testing.T) {
+	inst := job.Instance{{ID: 0, Release: 0, Proc: 1, Deadline: 10}}
+	if _, err := Run(rogueMachine{}, inst); err == nil ||
+		!strings.Contains(err.Error(), "out of range") {
+		t.Errorf("err = %v, want out-of-range machine error", err)
+	}
+}
+
+// TestVerifierFlagsDoubleDecision drives the commitment log's
+// decided-twice path: Instance.Validate does not require unique IDs, so
+// a duplicated ID reaches the log as a second decision for the same job
+// and must be reported as a commitment violation.
+func TestVerifierFlagsDoubleDecision(t *testing.T) {
+	inst := job.Instance{
+		{ID: 7, Release: 0, Proc: 1, Deadline: 100},
+		{ID: 7, Release: 50, Proc: 1, Deadline: 100},
+	}
+	res, err := Run(baseline.NewGreedy(1), inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, v := range res.Violations {
+		if strings.Contains(v, "decided twice") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("double decision not flagged: %v", res.Violations)
+	}
+}

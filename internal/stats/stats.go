@@ -1,6 +1,16 @@
 // Package stats provides the small summary-statistics toolkit the
 // experiment harness reports with: means, deviations, percentiles,
 // geometric means and a compact Summary type.
+//
+// Degenerate-input policy: every aggregate of an empty sample is NaN —
+// there is no data, so no number is reported, and NaN propagates
+// visibly through downstream arithmetic instead of silently biasing it
+// the way a default 0 would. Single-element samples are real data:
+// Mean/Min/Max/percentiles return the element, StdDev returns 0 (a
+// sample of one has no observed spread; the n−1 estimator is formally
+// undefined there, and 0 keeps mean±std renderings readable). GeoMean
+// is additionally NaN whenever any input is ≤ 0, regardless of length.
+// Summarize applies the same rules field by field.
 package stats
 
 import (
@@ -37,10 +47,14 @@ func GeoMean(xs []float64) float64 {
 	return math.Exp(s / float64(len(xs)))
 }
 
-// StdDev returns the sample standard deviation (n−1 denominator), or 0
-// for fewer than two values.
+// StdDev returns the sample standard deviation (n−1 denominator). It
+// is NaN for empty input (no data) and 0 for a single value (no
+// observed spread) — see the package-level degenerate-input policy.
 func StdDev(xs []float64) float64 {
-	if len(xs) < 2 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	if len(xs) == 1 {
 		return 0
 	}
 	m := Mean(xs)

@@ -71,6 +71,69 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
+// TestDegenerateInputPolicy pins the package contract for empty and
+// single-element samples across every aggregate: empty → NaN
+// everywhere, single → the element itself (StdDev 0, no spread).
+func TestDegenerateInputPolicy(t *testing.T) {
+	aggregates := []struct {
+		name string
+		fn   func([]float64) float64
+	}{
+		{"Mean", Mean},
+		{"GeoMean", GeoMean},
+		{"StdDev", StdDev},
+		{"Min", Min},
+		{"Max", Max},
+		{"P50", func(xs []float64) float64 { return Percentile(xs, 50) }},
+	}
+	for _, empty := range [][]float64{nil, {}} {
+		for _, a := range aggregates {
+			if got := a.fn(empty); !math.IsNaN(got) {
+				t.Errorf("%s(empty) = %g, want NaN", a.name, got)
+			}
+		}
+	}
+	single := []struct {
+		name string
+		fn   func([]float64) float64
+		want float64
+	}{
+		{"Mean", Mean, 7},
+		{"GeoMean", GeoMean, 7},
+		{"StdDev", StdDev, 0},
+		{"Min", Min, 7},
+		{"Max", Max, 7},
+		{"P50", func(xs []float64) float64 { return Percentile(xs, 50) }, 7},
+	}
+	for _, c := range single {
+		if got := c.fn([]float64{7}); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s([7]) = %g, want %g", c.name, got, c.want)
+		}
+	}
+}
+
+// TestSummarizeDegenerate checks that Summary applies the same policy
+// field by field instead of inventing defaults.
+func TestSummarizeDegenerate(t *testing.T) {
+	e := Summarize(nil)
+	if e.N != 0 {
+		t.Errorf("empty N = %d", e.N)
+	}
+	for name, v := range map[string]float64{
+		"Mean": e.Mean, "Std": e.Std, "Min": e.Min, "Max": e.Max,
+		"P50": e.P50, "P95": e.P95, "GeoMeanSafe": e.GeoMeanSafe,
+	} {
+		if !math.IsNaN(v) {
+			t.Errorf("empty Summary.%s = %g, want NaN", name, v)
+		}
+	}
+	s := Summarize([]float64{3})
+	if s.N != 1 || s.Mean != 3 || s.Std != 0 || s.Min != 3 || s.Max != 3 ||
+		s.P50 != 3 || s.P95 != 3 || math.Abs(s.GeoMeanSafe-3) > 1e-12 {
+		t.Errorf("single Summary = %+v", s)
+	}
+}
+
 func TestSummarize(t *testing.T) {
 	s := Summarize([]float64{1, 2, 3})
 	if s.N != 3 || s.Mean != 2 || s.Min != 1 || s.Max != 3 || s.P50 != 2 {

@@ -36,12 +36,15 @@
 package loadmax
 
 import (
+	"io"
+
 	"loadmax/internal/adversary"
 	"loadmax/internal/analysis"
 	"loadmax/internal/baseline"
 	"loadmax/internal/commitment"
 	"loadmax/internal/core"
 	"loadmax/internal/job"
+	"loadmax/internal/obs"
 	"loadmax/internal/offline"
 	"loadmax/internal/online"
 	"loadmax/internal/randomized"
@@ -164,10 +167,48 @@ func SolveRatio(eps float64, m int) (RatioParams, error) {
 func PhaseCorners(m int) []float64 { return ratio.Corners(m) }
 
 // Simulate replays the instance through the scheduler and verifies every
-// commitment.
-func Simulate(s Scheduler, inst Instance) (*Result, error) {
-	return sim.Run(s, inst)
+// commitment. Optional SimOptions attach observability to the run.
+func Simulate(s Scheduler, inst Instance, opts ...SimOption) (*Result, error) {
+	return sim.Run(s, inst, opts...)
 }
+
+// --- Observability -------------------------------------------------------
+
+// DecisionEvent is one fully explained scheduling decision: the sorted
+// machine loads, every threshold term t + l(m_h)·f_h, the winning h,
+// d_lim, the active phase k, the verdict and the allocation.
+type DecisionEvent = obs.DecisionEvent
+
+// ThresholdTerm is one Eq.-(10) summand inside a DecisionEvent.
+type ThresholdTerm = obs.ThresholdTerm
+
+// TraceSink consumes decision events (see MemoryTrace, NewJSONLTrace).
+type TraceSink = obs.Sink
+
+// MemoryTrace buffers decision events in memory.
+type MemoryTrace = obs.MemorySink
+
+// Metrics is a registry of counters, gauges and histograms; pass it to
+// Simulate via WithSimMetrics and export it with its WriteJSON method.
+type Metrics = obs.Registry
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// NewJSONLTrace returns a sink writing one JSON object per decision to
+// w; call its Close method to flush.
+func NewJSONLTrace(w io.Writer) *obs.JSONLSink { return obs.NewJSONLSink(w) }
+
+// SimOption configures one Simulate call.
+type SimOption = sim.RunOption
+
+// WithSimMetrics records run-level metrics (acceptance rate, load
+// fraction, violations, wall time) into the registry.
+func WithSimMetrics(r *Metrics) SimOption { return sim.WithMetrics(r) }
+
+// WithSimTrace attaches a decision-trace sink for the duration of the
+// run (schedulers that support tracing, i.e. Threshold variants).
+func WithSimTrace(s TraceSink) SimOption { return sim.WithTrace(s) }
 
 // Adversary plays the Section-3 lower-bound game against the scheduler,
 // returning the realized ratio and the generated instance. beta ≤ 0
