@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench verify fmt vet experiments clean
+.PHONY: all build test race bench bench-submit bench-submit-smoke verify fmt vet experiments clean
 
 all: build
 
@@ -15,6 +15,19 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+# bench-submit runs the reproducible Submit-latency sweep (naive vs
+# incremental engine, m up to 4096) and writes BENCH_submit.json; see
+# EXPERIMENTS.md for the schema. -check lockstep-verifies that both
+# engines make bit-identical decisions before anything is timed.
+bench-submit:
+	$(GO) run ./cmd/bench -check -out BENCH_submit.json
+
+# bench-submit-smoke is the CI gate for the runner: small m, full
+# equivalence check, no regression threshold (it fails on build errors,
+# panics, or an engine divergence — not on noisy timings).
+bench-submit-smoke:
+	$(GO) run ./cmd/bench -quick -check -out -
 
 # verify is the CI gate: formatting, static checks, a full build and the
 # race-enabled test suite (which includes the zero-alloc observability

@@ -1,0 +1,206 @@
+// Command bench is the reproducible Submit-latency benchmark runner of
+// ISSUE 2: it sweeps the machine count m for both core engines — the
+// seed's naive engine (full re-sort + threshold rescan per submission)
+// and the default incremental engine — and emits the results as
+// BENCH_submit.json (schema documented in EXPERIMENTS.md).
+//
+// With -check, every sweep point first replays the workload through both
+// engines in lockstep and aborts on any decision divergence, so a
+// reported speedup can never come from a behavioral shortcut.
+//
+// Usage:
+//
+//	go run ./cmd/bench                       # full sweep, writes BENCH_submit.json
+//	go run ./cmd/bench -quick -check -out -  # CI smoke: small m, equivalence-checked
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"loadmax/internal/core"
+	"loadmax/internal/job"
+	"loadmax/internal/online"
+	"loadmax/internal/workload"
+)
+
+// engineResult is one engine's measurement at one sweep point.
+type engineResult struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// sweepPoint is one machine count of the sweep.
+type sweepPoint struct {
+	M                  int          `json:"m"`
+	K                  int          `json:"k"`
+	Jobs               int          `json:"jobs"`
+	Naive              engineResult `json:"naive"`
+	Incremental        engineResult `json:"incremental"`
+	Speedup            float64      `json:"speedup"`
+	EquivalenceChecked bool         `json:"equivalence_checked"`
+}
+
+// report is the full BENCH_submit.json document.
+type report struct {
+	Benchmark     string         `json:"benchmark"`
+	SchemaVersion int            `json:"schema_version"`
+	Workload      workloadParams `json:"workload"`
+	Results       []sweepPoint   `json:"results"`
+}
+
+type workloadParams struct {
+	Family string  `json:"family"`
+	N      int     `json:"n"`
+	Eps    float64 `json:"eps"`
+	Load   float64 `json:"load"`
+	Seed   int64   `json:"seed"`
+}
+
+func main() {
+	var (
+		out    = flag.String("out", "BENCH_submit.json", "output file for the JSON report ('-' = stdout only)")
+		mList  = flag.String("m", "2,8,64,512,4096", "comma-separated machine counts to sweep")
+		n      = flag.Int("n", 20000, "jobs per run")
+		family = flag.String("family", "poisson", "workload family (see -families)")
+		eps    = flag.Float64("eps", 0.1, "slack ε")
+		load   = flag.Float64("load", 1.5, "offered load per machine")
+		seed   = flag.Int64("seed", 42, "workload RNG seed")
+		quick  = flag.Bool("quick", false, "small sweep for CI smoke (m=2,8,64; n=4000)")
+		check  = flag.Bool("check", false, "lockstep-verify engine equivalence at every sweep point")
+		fams   = flag.Bool("families", false, "list workload families and exit")
+	)
+	flag.Parse()
+	if *fams {
+		for _, f := range workload.Families {
+			fmt.Println(f.Name)
+		}
+		return
+	}
+	if *quick {
+		*mList = "2,8,64"
+		if *n > 4000 {
+			*n = 4000
+		}
+	}
+	fam, ok := workload.ByName(*family)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "bench: unknown workload family %q\n", *family)
+		os.Exit(2)
+	}
+	ms, err := parseInts(*mList)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: bad -m list: %v\n", err)
+		os.Exit(2)
+	}
+
+	rep := report{
+		Benchmark:     "submit",
+		SchemaVersion: 1,
+		Workload:      workloadParams{Family: fam.Name, N: *n, Eps: *eps, Load: *load, Seed: *seed},
+	}
+	fmt.Printf("%-6s %-5s %14s %14s %9s %s\n", "m", "k", "naive ns/op", "incr ns/op", "speedup", "allocs (naive/incr)")
+	for _, m := range ms {
+		inst := fam.Gen(workload.Spec{N: *n, Eps: *eps, M: m, Load: *load, Seed: *seed})
+		naive, err := core.New(m, *eps, core.WithNaiveCore())
+		if err != nil {
+			fatal(err)
+		}
+		inc, err := core.New(m, *eps)
+		if err != nil {
+			fatal(err)
+		}
+		if *check {
+			if div := online.Lockstep(naive, inc, inst); div != nil {
+				fatal(fmt.Errorf("engines diverged at m=%d: %v", m, div))
+			}
+		}
+		pt := sweepPoint{
+			M:                  m,
+			K:                  inc.Params().K,
+			Jobs:               len(inst),
+			Naive:              measure(naive, inst),
+			Incremental:        measure(inc, inst),
+			EquivalenceChecked: *check,
+		}
+		if pt.Incremental.NsPerOp > 0 {
+			pt.Speedup = pt.Naive.NsPerOp / pt.Incremental.NsPerOp
+		}
+		rep.Results = append(rep.Results, pt)
+		fmt.Printf("%-6d %-5d %14.1f %14.1f %8.2fx %d/%d\n",
+			pt.M, pt.K, pt.Naive.NsPerOp, pt.Incremental.NsPerOp, pt.Speedup,
+			pt.Naive.AllocsPerOp, pt.Incremental.AllocsPerOp)
+	}
+
+	blob, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	blob = append(blob, '\n')
+	if *out == "-" {
+		os.Stdout.Write(blob)
+		return
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+// measure times th.Submit over the instance with testing.Benchmark,
+// resetting the scheduler (outside the timer) each time the replay
+// wraps — the same loop shape as the repository's bench_obs_test.go, so
+// the numbers are comparable.
+func measure(th *core.Threshold, inst job.Instance) engineResult {
+	r := testing.Benchmark(func(b *testing.B) {
+		th.Reset()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			th.Submit(inst[i%len(inst)])
+			if (i+1)%len(inst) == 0 {
+				b.StopTimer()
+				th.Reset()
+				b.StartTimer()
+			}
+		}
+	})
+	return engineResult{
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, err
+		}
+		if v < 1 {
+			return nil, fmt.Errorf("machine count %d must be ≥ 1", v)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"loadmax/internal/job"
+)
+
+// engine maintains the machine state Algorithm 1 consults on every
+// submission — the committed horizons and the decreasing-load machine
+// order — and answers the four per-submission queries of Threshold.Submit:
+// clock advance, the Eq. (10) threshold, candidate selection, and the
+// commitment itself.
+//
+// Two implementations exist behind this interface:
+//
+//   - naiveCore rebuilds the order from scratch on every advance —
+//     O(m) refresh + adaptive O(m)…O(m²) sort + O(m) threshold scan.
+//     It is the seed implementation, kept verbatim as the executable
+//     specification.
+//   - incCore maintains the order incrementally — O(log m + s) per
+//     commit where s is the rank displacement of the touched machine,
+//     amortized O(1) per drain, and a pruned tournament descent for the
+//     threshold. It is the default.
+//
+// The differential-equivalence harness (equivalence_test.go) replays
+// randomized and adversarial workloads through both and asserts
+// bit-identical decision and trace streams; any behavioral change to one
+// engine must be mirrored in the other.
+//
+// Protocol: Submit calls advance exactly once per submission (with a
+// non-decreasing clock), then any number of reads (dlim, pick, load,
+// machineAt), then at most one commit. Reads between advance and commit
+// observe decision-time state; commit invalidates nothing the caller
+// still holds except the order itself.
+type engine interface {
+	// reset restores the empty-schedule state at clock 0. It must not
+	// allocate, so a scheduler can be reused across benchmark runs.
+	reset()
+	// now returns the current clock (the last advance value).
+	now() float64
+	// advance moves the clock to now ≥ the previous clock and
+	// re-establishes the decreasing-load order at the new time.
+	advance(now float64)
+	// dlim evaluates Eq. (10) at the current clock and order:
+	// max(t, max_{h ∈ {k..m}} t + l(m_h)·f_h).
+	dlim() float64
+	// pick returns the physical machine the policy allocates job j to,
+	// or −1 if no machine can finish j by its deadline.
+	pick(j job.Job, policy AllocPolicy) int
+	// load returns the outstanding load of machine i at the current
+	// clock, exactly as the decision logic sees it.
+	load(i int) float64
+	// machineAt returns the machine at rank h (1-based) of the
+	// decreasing-load order: l(machineAt(1)) ≥ … ≥ l(machineAt(m)),
+	// ties broken by machine index.
+	machineAt(h int) int
+	// commit books machine i up to the given completion horizon
+	// (start + processing time of the accepted job).
+	commit(i int, horizon float64)
+	// horizonOf returns machine i's committed completion time (absolute,
+	// not load), for the public Loads accessor.
+	horizonOf(i int) float64
+}

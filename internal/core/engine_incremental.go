@@ -1,0 +1,326 @@
+package core
+
+import (
+	"loadmax/internal/job"
+	"loadmax/internal/ratio"
+)
+
+// incCore is the incremental engine: instead of rebuilding the
+// decreasing-load order and rescanning all m−k+1 threshold terms on every
+// submission (naiveCore), it maintains the order across submissions and
+// answers the Eq. (10) maximum by a pruned tournament descent.
+//
+// Representation. Loads are never materialized: a machine's load at time
+// t is horizons[i] − t, so the decreasing-load order is the decreasing-
+// *horizon* order among machines with horizons[i] > t ("active"), followed
+// by the machines with horizons[i] ≤ t ("drained", load exactly 0). The
+// clock is a lazy offset: advancing it shifts every load uniformly and
+// therefore never reorders active machines — it only pops the tail of the
+// active order (smallest horizons) into the drained set.
+//
+// The drained tie-break is the one place a sorted-by-horizon structure
+// silently diverges from the seed: naiveCore sorts equal loads by machine
+// index, and every drained machine has load exactly 0 regardless of how
+// long ago (or how recently) it drained. The drained set is therefore
+// kept sorted by machine index, not by horizon, and machines entering it
+// forget their horizon order entirely.
+//
+// Per-operation cost, with A = number of active machines and s the rank
+// displacement of the touched machine:
+//
+//	advance  O(d·log m) for d freshly drained machines — each machine
+//	         drains at most once per accept, so O(log m) amortized
+//	commit   O(log m) search + O(s) block move (s is small in practice:
+//	         best-fit raises one machine a few ranks)
+//	dlim     O(log m) typical via bound-pruned descent over the rank
+//	         tournament; O(A) worst case when the terms are near-equal
+//	         (the adversary's equilibrium), never worse than the naive
+//	         full scan
+//	pick     O(log m) for BestFit/LeastLoaded (the candidate predicate is
+//	         monotone in rank), O(m) for the FirstFit ablation policy
+//
+// All buffers are preallocated at construction; no operation allocates.
+type incCore struct {
+	m int
+	p ratio.Params
+
+	t        float64
+	horizons []float64 // per physical machine: completion time of committed work
+
+	// active holds the machines with horizons[i] > t, sorted by
+	// (horizon descending, index ascending) — equivalently by decreasing
+	// load. drained holds the rest, sorted by index ascending. Together
+	// they are the rank order: rank h is active[h-1] for h ≤ len(active)
+	// and drained[h-1-len(active)] beyond.
+	active  []int
+	drained []int
+}
+
+func newIncCore(m int, p ratio.Params) *incCore {
+	e := &incCore{
+		m:        m,
+		p:        p,
+		horizons: make([]float64, m),
+		active:   make([]int, 0, m),
+		drained:  make([]int, 0, m),
+	}
+	e.reset()
+	return e
+}
+
+func (e *incCore) reset() {
+	e.t = 0
+	for i := range e.horizons {
+		e.horizons[i] = 0
+	}
+	e.active = e.active[:0]
+	e.drained = e.drained[:0]
+	for i := 0; i < e.m; i++ {
+		e.drained = append(e.drained, i)
+	}
+}
+
+func (e *incCore) now() float64 { return e.t }
+
+// advance shifts the lazy clock offset and pops newly drained machines
+// (horizon ≤ now) off the tail of the active order into the drained set.
+// Active machines keep their relative order: a uniform load shift cannot
+// reorder them.
+func (e *incCore) advance(now float64) {
+	e.t = now
+	for n := len(e.active); n > 0; n-- {
+		i := e.active[n-1]
+		if e.horizons[i] > now {
+			e.active = e.active[:n]
+			return
+		}
+		e.insertDrained(i)
+	}
+	e.active = e.active[:0]
+}
+
+// insertDrained adds machine i to the drained set, keeping it sorted by
+// index — the load-0 tie-break of the seed order.
+func (e *incCore) insertDrained(i int) {
+	lo, hi := 0, len(e.drained)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if e.drained[mid] < i {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	e.drained = append(e.drained, 0)
+	copy(e.drained[lo+1:], e.drained[lo:])
+	e.drained[lo] = i
+}
+
+// removeDrained removes machine i from the drained set.
+func (e *incCore) removeDrained(i int) {
+	lo, hi := 0, len(e.drained)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if e.drained[mid] < i {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	copy(e.drained[lo:], e.drained[lo+1:])
+	e.drained = e.drained[:len(e.drained)-1]
+}
+
+// activePos returns the position machine i with horizon h occupies (or
+// would occupy) in the active order: the first position whose entry sorts
+// after (h descending, i ascending).
+func (e *incCore) activePos(h float64, i int) int {
+	lo, hi := 0, len(e.active)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		j := e.active[mid]
+		hj := e.horizons[j]
+		if hj > h || (hj == h && j < i) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// commit books machine i up to the new horizon and restores the order
+// with a single block move: the machine leaves its current position and
+// re-enters at its new rank; everything between shifts by one.
+func (e *incCore) commit(i int, horizon float64) {
+	if hOld := e.horizons[i]; hOld > e.t {
+		old := e.activePos(hOld, i)
+		e.horizons[i] = horizon
+		if horizon >= hOld {
+			// The normal case: the horizon grew, the machine rises (or
+			// stays). The array is sorted except that position old now
+			// carries a key that belongs at pos ≤ old, so the binary
+			// search stays well-defined: shift the block [pos, old) one
+			// slot toward the tail and drop i at pos.
+			pos := e.activePos(horizon, i)
+			copy(e.active[pos+1:old+1], e.active[pos:old])
+			e.active[pos] = i
+			return
+		}
+		// Degenerate float case (start = t + (hOld−t) rounded below
+		// hOld, tiny processing time): the horizon shrank. Remove, then
+		// reinsert wherever the new key lands.
+		copy(e.active[old:], e.active[old+1:])
+		e.active = e.active[:len(e.active)-1]
+		if horizon <= e.t {
+			// The seed computes load max(0, h−t) = 0 for this machine.
+			e.insertDrained(i)
+			return
+		}
+		pos := e.activePos(horizon, i)
+		e.active = append(e.active, 0)
+		copy(e.active[pos+1:], e.active[pos:])
+		e.active[pos] = i
+		return
+	}
+	e.removeDrained(i)
+	e.horizons[i] = horizon
+	if horizon <= e.t {
+		e.insertDrained(i)
+		return
+	}
+	pos := e.activePos(horizon, i)
+	e.active = append(e.active, 0)
+	copy(e.active[pos+1:], e.active[pos:])
+	e.active[pos] = i
+}
+
+// dlim evaluates Eq. (10). Drained machines contribute t + 0·f_h = t,
+// which can never exceed the running maximum (initialized to t), so only
+// active ranks in [k, A] are searched — by a tournament descent over the
+// implicit rank tree, pruned with the bound
+//
+//	max_{h ∈ [lo,hi]} (H_h − t)·f_h  ≤  (H_lo − t)·f_hi
+//
+// (loads decrease with rank, f increases with rank; both sides use the
+// same float expression as the terms themselves, and IEEE rounding is
+// monotone, so the bound is safe in floating point, not just in ℝ).
+func (e *incCore) dlim() float64 {
+	k := e.p.K
+	a := len(e.active)
+	if k > a {
+		return e.t
+	}
+	return e.maxTerm(k, a, e.t)
+}
+
+// termScanWidth is the rank-range width below which maxTerm switches
+// from descent to a straight scan; pruning bookkeeping beats a scan only
+// on wide ranges.
+const termScanWidth = 8
+
+// maxTerm returns max(best, max_{h ∈ [lo,hi]} t + (H_h − t)·f_h) over
+// active ranks, descending into the larger-bound half first.
+func (e *incCore) maxTerm(lo, hi int, best float64) float64 {
+	if hi-lo < termScanWidth {
+		for h := lo; h <= hi; h++ {
+			if v := e.t + (e.horizons[e.active[h-1]]-e.t)*e.p.F[h-e.p.K]; v > best {
+				best = v
+			}
+		}
+		return best
+	}
+	mid := (lo + hi) / 2
+	lb := e.t + (e.horizons[e.active[lo-1]]-e.t)*e.p.F[mid-e.p.K]
+	rb := e.t + (e.horizons[e.active[mid]]-e.t)*e.p.F[hi-e.p.K]
+	if lb >= rb {
+		if lb > best {
+			best = e.maxTerm(lo, mid, best)
+		}
+		if rb > best {
+			best = e.maxTerm(mid+1, hi, best)
+		}
+		return best
+	}
+	if rb > best {
+		best = e.maxTerm(mid+1, hi, best)
+	}
+	if lb > best {
+		best = e.maxTerm(lo, mid, best)
+	}
+	return best
+}
+
+// pick returns the machine the allocation policy selects for job j, or −1.
+// The candidate predicate — t + load + p ≤ d within tolerance — is
+// monotone along the rank order (loads only shrink), so the first
+// candidate rank is found by binary search; drained machines, all at load
+// 0 and ordered by index, follow as a block.
+func (e *incCore) pick(j job.Job, policy AllocPolicy) int {
+	a := len(e.active)
+	// First active rank (0-based position) whose machine is a candidate.
+	lo, hi := 0, a
+	for lo < hi {
+		mid := (lo + hi) / 2
+		i := e.active[mid]
+		if job.LessEq(e.t+(e.horizons[i]-e.t)+j.Proc, j.Deadline) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	drainedOK := len(e.drained) > 0 && job.LessEq(e.t+j.Proc, j.Deadline)
+	switch policy {
+	case BestFit:
+		// The first candidate in decreasing-load order.
+		if lo < a {
+			return e.active[lo]
+		}
+		if drainedOK {
+			return e.drained[0]
+		}
+	case LeastLoaded:
+		// The last candidate in decreasing-load order: the highest
+		// drained index, or failing any drained machine, the tail of the
+		// active order if it qualifies.
+		if len(e.drained) > 0 {
+			if drainedOK {
+				return e.drained[len(e.drained)-1]
+			}
+			return -1
+		}
+		if lo < a {
+			return e.active[a-1]
+		}
+	case FirstFit:
+		// Lowest machine index among candidates (ablation policy; the
+		// candidate suffix of the active order is scanned linearly).
+		best := -1
+		if drainedOK {
+			best = e.drained[0]
+		}
+		for x := lo; x < a; x++ {
+			if i := e.active[x]; best < 0 || i < best {
+				best = i
+			}
+		}
+		return best
+	}
+	return -1
+}
+
+func (e *incCore) load(i int) float64 {
+	if l := e.horizons[i] - e.t; l > 0 {
+		return l
+	}
+	return 0
+}
+
+func (e *incCore) machineAt(h int) int {
+	if h <= len(e.active) {
+		return e.active[h-1]
+	}
+	return e.drained[h-1-len(e.active)]
+}
+
+func (e *incCore) horizonOf(i int) float64 { return e.horizons[i] }

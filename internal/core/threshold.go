@@ -22,6 +22,14 @@
 // accepted job always has a candidate machine — the least-loaded machine
 // qualifies whenever d_j ≥ d_lim.
 //
+// Two interchangeable engines execute these steps: the seed's naive
+// engine, which re-sorts all m machines and rescans all m−k+1 threshold
+// terms per submission, and the default incremental engine, which
+// maintains the order across submissions and answers the threshold by a
+// pruned tournament descent (see engine.go). The differential harness in
+// equivalence_test.go proves the two produce bit-identical decision and
+// trace streams.
+//
 // The package also provides allocation-policy and phase-override variants
 // used by the ablation experiments (E9); the paper's algorithm is the
 // BestFit policy with the phase k determined by ratio.Compute.
@@ -73,6 +81,7 @@ type config struct {
 	forceK  int // 0 = use the paper's phase selection
 	nameTag string
 	tracer  obs.Sink
+	naive   bool
 }
 
 // WithPolicy overrides the allocation policy (default BestFit).
@@ -91,6 +100,13 @@ func WithName(tag string) Option { return func(c *config) { c.nameTag = tag } }
 // phase, allocation). Equivalent to calling SetTracer after New.
 func WithTracer(s obs.Sink) Option { return func(c *config) { c.tracer = s } }
 
+// WithNaiveCore selects the seed's naive engine — full re-sort and
+// threshold rescan per submission — instead of the default incremental
+// engine. Decisions are bit-identical either way (the differential
+// harness enforces this); the naive engine exists as the executable
+// specification and as the baseline of the cmd/bench sweep.
+func WithNaiveCore() Option { return func(c *config) { c.naive = true } }
+
 // Threshold is Algorithm 1. It satisfies online.Scheduler. The zero value
 // is not usable; construct with New.
 type Threshold struct {
@@ -100,13 +116,9 @@ type Threshold struct {
 	policy AllocPolicy
 	name   string
 
-	now      float64
-	horizons []float64 // per physical machine: completion time of committed work
-
-	// scratch buffers reused across submissions to keep Submit
-	// allocation-free on the hot path.
-	order []int // machine indices sorted by decreasing load
-	loads []float64
+	// eng holds the machine state (horizons, decreasing-load order) and
+	// answers the per-submission queries; see engine.go.
+	eng engine
 
 	// tracer receives one DecisionEvent per submission when non-nil.
 	// The disabled (nil) path is a single branch and never allocates —
@@ -151,15 +163,17 @@ func New(m int, eps float64, opts ...Option) (*Threshold, error) {
 		name += "/" + cfg.nameTag
 	}
 	t := &Threshold{
-		m:        m,
-		eps:      eps,
-		params:   p,
-		policy:   cfg.policy,
-		name:     name,
-		horizons: make([]float64, m),
-		order:    make([]int, m),
-		loads:    make([]float64, m),
-		tracer:   cfg.tracer,
+		m:      m,
+		eps:    eps,
+		params: p,
+		policy: cfg.policy,
+		name:   name,
+		tracer: cfg.tracer,
+	}
+	if cfg.naive {
+		t.eng = newNaiveCore(m, p)
+	} else {
+		t.eng = newIncCore(m, p)
 	}
 	return t, nil
 }
@@ -185,86 +199,57 @@ func (t *Threshold) Guarantee() float64 { return t.params.UpperBoundValue() }
 
 // Reset implements online.Scheduler.
 func (t *Threshold) Reset() {
-	t.now = 0
 	t.seq = 0
-	for i := range t.horizons {
-		t.horizons[i] = 0
-	}
+	t.eng.reset()
 }
 
 // Now returns the current simulation time (the release date of the last
 // submitted job).
-func (t *Threshold) Now() float64 { return t.now }
+func (t *Threshold) Now() float64 { return t.eng.now() }
 
 // Loads returns the current outstanding loads per physical machine
 // (unsorted), for inspection by experiments and tests.
 func (t *Threshold) Loads() []float64 {
 	out := make([]float64, t.m)
-	for i, h := range t.horizons {
-		out[i] = math.Max(0, h-t.now)
+	now := t.eng.now()
+	for i := range out {
+		out[i] = math.Max(0, t.eng.horizonOf(i)-now)
 	}
 	return out
 }
 
-// Threshold returns the current acceptance threshold d_lim at time t.now,
-// Eqs. (9)–(10). Exposed for tests and the decision-trace experiments.
+// Threshold returns the current acceptance threshold d_lim at time
+// Now(), Eqs. (9)–(10). Exposed for tests and the decision-trace
+// experiments.
 func (t *Threshold) Threshold() float64 {
 	t.refreshOrder()
 	return t.dlim()
 }
 
-// refreshOrder recomputes loads at t.now and sorts machine indices by
-// decreasing load (ties by machine index, so the order — and with it the
-// algorithm — is fully deterministic). Insertion sort keeps the hot path
-// allocation-free and is adaptive: between consecutive submissions the
-// order barely changes, so the common case is near-linear.
-func (t *Threshold) refreshOrder() {
-	for i := 0; i < t.m; i++ {
-		t.loads[i] = math.Max(0, t.horizons[i]-t.now)
-		t.order[i] = i
-	}
-	less := func(a, b int) bool {
-		la, lb := t.loads[a], t.loads[b]
-		if la != lb {
-			return la > lb
-		}
-		return a < b
-	}
-	for i := 1; i < t.m; i++ {
-		for j := i; j > 0 && less(t.order[j], t.order[j-1]); j-- {
-			t.order[j], t.order[j-1] = t.order[j-1], t.order[j]
-		}
-	}
-}
+// refreshOrder re-establishes the decreasing-load order at the current
+// clock without advancing it. Retained (as a thin wrapper over the
+// engine) for the in-package invariant tests.
+func (t *Threshold) refreshOrder() { t.eng.advance(t.eng.now()) }
 
-// dlim evaluates Eq. (10) over the current order: the maximum of
-// t + l(m_h)·f_h for h ∈ {k,…,m}, where m_h is the machine with the h-th
-// largest load.
-func (t *Threshold) dlim() float64 {
-	d := t.now
-	for h := t.params.K; h <= t.m; h++ {
-		if v := t.now + t.loads[t.order[h-1]]*t.params.Fq(h); v > d {
-			d = v
-		}
-	}
-	return d
-}
+// dlim evaluates Eq. (10) over the current order.
+func (t *Threshold) dlim() float64 { return t.eng.dlim() }
 
 // Submit implements online.Scheduler. Jobs must arrive in non-decreasing
 // release order; Submit panics otherwise, because a violated protocol
 // invalidates every competitive-ratio statement downstream.
 func (t *Threshold) Submit(j job.Job) online.Decision {
-	if job.Less(j.Release, t.now) {
+	now := t.eng.now()
+	if job.Less(j.Release, now) {
 		panic(fmt.Sprintf("core: out-of-order submission: job %d released at %g, clock at %g",
-			j.ID, j.Release, t.now))
+			j.ID, j.Release, now))
 	}
-	if j.Release > t.now {
-		t.now = j.Release
+	if j.Release > now {
+		now = j.Release
 	}
-	t.refreshOrder()
+	t.eng.advance(now)
 	t.seq++
 
-	dlim := t.dlim()
+	dlim := t.eng.dlim()
 	if job.Less(j.Deadline, dlim) {
 		dec := online.Decision{JobID: j.ID, Accepted: false}
 		if t.tracer != nil {
@@ -273,7 +258,7 @@ func (t *Threshold) Submit(j job.Job) online.Decision {
 		return dec
 	}
 
-	machine := t.pickMachine(j)
+	machine := t.eng.pick(j, t.policy)
 	if machine < 0 {
 		// Claim 1: unreachable for valid slack-ε jobs. A job violating the
 		// slack condition could land here; reject it rather than corrupt
@@ -284,14 +269,14 @@ func (t *Threshold) Submit(j job.Job) online.Decision {
 		}
 		return dec
 	}
-	start := t.now + t.loads[machine]
-	t.horizons[machine] = start + j.Proc
+	start := now + t.eng.load(machine)
 	dec := online.Decision{JobID: j.ID, Accepted: true, Machine: machine, Start: start}
 	if t.tracer != nil {
-		// t.loads still holds the decision-time values: the commitment
-		// above touched only t.horizons.
+		// Trace before committing: the event must capture the
+		// decision-time loads and order, which the commit perturbs.
 		t.trace(j, dlim, dec, obs.ReasonAccepted)
 	}
+	t.eng.commit(machine, start+j.Proc)
 	return dec
 }
 
@@ -299,10 +284,11 @@ func (t *Threshold) Submit(j job.Job) online.Decision {
 // decided. Called only when a tracer is attached, so its allocations
 // never touch the untraced hot path.
 func (t *Threshold) trace(j job.Job, dlim float64, dec online.Decision, reason string) {
+	now := t.eng.now()
 	ev := obs.DecisionEvent{
 		Seq:       t.seq - 1,
 		Scheduler: t.name,
-		T:         t.now,
+		T:         now,
 		JobID:     j.ID,
 		Release:   j.Release,
 		Proc:      j.Proc,
@@ -313,53 +299,32 @@ func (t *Threshold) trace(j job.Job, dlim float64, dec online.Decision, reason s
 		Reason:    reason,
 		Machine:   -1,
 		Policy:    t.policy.String(),
+		// ArgMaxH starts at the smallest valid rank: when no term
+		// strictly exceeds t (all candidate loads zero), d_lim = t is
+		// attained by the rank-k term t + 0·f_k, so k — not the
+		// out-of-range 0 — is the truthful argmax.
+		ArgMaxH: t.params.K,
 	}
 	if dec.Accepted {
 		ev.Machine = dec.Machine
 		ev.Start = dec.Start
 	}
 	ev.Loads = make([]float64, t.m)
-	for h := 0; h < t.m; h++ {
-		ev.Loads[h] = t.loads[t.order[h]]
+	for h := 1; h <= t.m; h++ {
+		ev.Loads[h-1] = t.eng.load(t.eng.machineAt(h))
 	}
 	ev.Terms = make([]obs.ThresholdTerm, 0, t.m-t.params.K+1)
-	best := t.now
+	best := now
 	for h := t.params.K; h <= t.m; h++ {
-		i := t.order[h-1]
-		v := t.now + t.loads[i]*t.params.Fq(h)
+		i := t.eng.machineAt(h)
+		v := now + t.eng.load(i)*t.params.Fq(h)
 		if v > best {
 			best = v
 			ev.ArgMaxH = h
 		}
 		ev.Terms = append(ev.Terms, obs.ThresholdTerm{
-			H: h, Machine: i, Load: t.loads[i], F: t.params.Fq(h), Value: v,
+			H: h, Machine: i, Load: t.eng.load(i), F: t.params.Fq(h), Value: v,
 		})
 	}
 	t.tracer.Emit(&ev)
-}
-
-// pickMachine returns the physical machine index chosen by the allocation
-// policy among candidates (machines that can complete j by its deadline),
-// or −1 if no candidate exists.
-func (t *Threshold) pickMachine(j job.Job) int {
-	best := -1
-	for h := 0; h < t.m; h++ {
-		i := t.order[h] // decreasing load
-		if !job.LessEq(t.now+t.loads[i]+j.Proc, j.Deadline) {
-			continue
-		}
-		switch t.policy {
-		case BestFit:
-			// Machines are scanned in decreasing load order; the first
-			// candidate is the most-loaded one.
-			return i
-		case LeastLoaded:
-			best = i // keep scanning; the last candidate is least loaded
-		case FirstFit:
-			if best < 0 || i < best {
-				best = i
-			}
-		}
-	}
-	return best
 }

@@ -99,6 +99,56 @@ func TestTraceExplainsDecisions(t *testing.T) {
 	}
 }
 
+// TestTraceArgMaxHValidRank pins the ISSUE-2 bugfix: ArgMaxH must always
+// be a valid rank in {k,…,m}. In the all-loads-zero corner (the very
+// first submission, or after every machine drains), no term strictly
+// exceeds t and pre-fix traces emitted the out-of-range sentinel 0; the
+// fixed trace reports K, whose term t + 0·f_k attains d_lim = t exactly.
+func TestTraceArgMaxHValidRank(t *testing.T) {
+	for _, m := range []int{1, 2, 4} {
+		var sink obs.MemorySink
+		th, err := New(m, 0.25, WithTracer(&sink))
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := th.Params().K
+		// Submission 1: every load is zero — the degenerate corner.
+		th.Submit(job.Job{ID: 0, Release: 0, Proc: 2, Deadline: 10})
+		// Submission 2: load present, threshold genuinely positive.
+		th.Submit(job.Job{ID: 1, Release: 0.5, Proc: 2, Deadline: 40})
+		// Submission 3: a long silence drains everything — degenerate again.
+		th.Submit(job.Job{ID: 2, Release: 1000, Proc: 1, Deadline: 1003})
+		events := sink.Events()
+		if len(events) != 3 {
+			t.Fatalf("m=%d: got %d events, want 3", m, len(events))
+		}
+		for i, ev := range events {
+			if ev.ArgMaxH < k || ev.ArgMaxH > m {
+				t.Errorf("m=%d event %d: ArgMaxH = %d outside valid ranks {%d..%d}",
+					m, i, ev.ArgMaxH, k, m)
+			}
+		}
+		for _, i := range []int{0, 2} {
+			ev := events[i]
+			if ev.DLim != ev.T {
+				t.Fatalf("m=%d event %d: expected degenerate d_lim = t, got %g vs t=%g",
+					m, i, ev.DLim, ev.T)
+			}
+			if ev.ArgMaxH != k {
+				t.Errorf("m=%d event %d: all-zero-loads ArgMaxH = %d, want k = %d",
+					m, i, ev.ArgMaxH, k)
+			}
+		}
+		// With k = 1 the loaded machine is itself a threshold term, so
+		// the second event must show a genuinely positive d_lim (for
+		// k ≥ 2 the single load sits on an excluded rank and d_lim = t).
+		if k == 1 && events[1].DLim <= events[1].T {
+			t.Fatalf("m=%d event 1: expected a positive threshold, got d_lim=%g t=%g",
+				m, events[1].DLim, events[1].T)
+		}
+	}
+}
+
 func TestTraceDetachAndReset(t *testing.T) {
 	var sink obs.MemorySink
 	th, err := New(2, 0.5)

@@ -46,11 +46,16 @@ type DecisionEvent struct {
 	Deadline float64 `json:"d"`
 
 	// The threshold computation (Eqs. 9–10).
-	K       int             `json:"k"`        // active phase index
-	Loads   []float64       `json:"loads"`    // outstanding loads, sorted decreasing
-	Terms   []ThresholdTerm `json:"terms"`    // h = k..m
-	ArgMaxH int             `json:"argmax_h"` // h whose term set d_lim; 0 when d_lim = t
-	DLim    float64         `json:"d_lim"`
+	K     int             `json:"k"`     // active phase index
+	Loads []float64       `json:"loads"` // outstanding loads, sorted decreasing
+	Terms []ThresholdTerm `json:"terms"` // h = k..m
+	// ArgMaxH is the smallest h ∈ {k,…,m} whose term attains d_lim.
+	// Ranks below k never appear. When no term strictly exceeds t (all
+	// candidate loads zero), d_lim = t is attained by the rank-k term
+	// t + 0·f_k, so ArgMaxH = K — never the out-of-range sentinel 0
+	// that pre-ISSUE-2 traces emitted in that corner.
+	ArgMaxH int     `json:"argmax_h"`
+	DLim    float64 `json:"d_lim"`
 
 	// The verdict and, for acceptances, the commitment.
 	Accepted bool    `json:"accepted"`

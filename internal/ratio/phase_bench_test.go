@@ -1,0 +1,82 @@
+package ratio
+
+// ISSUE-2 satellite: PhaseIndex used to call CornerExact — O(m)
+// arithmetic — on every binary-search probe, making phase selection
+// O(m log m) per Compute and a full corner sweep O(m²) in phase
+// selection alone. The fix routes the probes through the memoized
+// Corners(m) slice. phaseIndexUncached below preserves the old probe
+// sequence as the reference implementation; the test proves the cached
+// path selects the same phase everywhere (including exactly at and one
+// ulp around every corner) and the benchmarks quantify the win at
+// m ≥ 512.
+
+import (
+	"math"
+	"testing"
+)
+
+// phaseIndexUncached is the pre-fix implementation: a binary search that
+// recomputes CornerExact per probe.
+func phaseIndexUncached(eps float64, m int) int {
+	const ulps = 1e-14
+	lo, hi := 1, m
+	for lo < hi {
+		k := (lo + hi) / 2
+		if eps <= CornerExact(k, m)*(1+ulps) {
+			hi = k
+		} else {
+			lo = k + 1
+		}
+	}
+	return lo
+}
+
+func TestPhaseIndexMatchesUncachedReference(t *testing.T) {
+	for _, m := range []int{1, 2, 3, 8, 64, 512} {
+		// A log-spaced slack grid plus every corner and its neighbors.
+		var epss []float64
+		for i := 0; i <= 200; i++ {
+			epss = append(epss, math.Pow(10, -3+3*float64(i)/200))
+		}
+		for _, c := range Corners(m) {
+			epss = append(epss, c, math.Nextafter(c, 0), math.Nextafter(c, 1))
+		}
+		for _, eps := range epss {
+			if eps <= 0 || eps > 1 {
+				continue
+			}
+			got, err := PhaseIndex(eps, m)
+			if err != nil {
+				t.Fatalf("PhaseIndex(%g, %d): %v", eps, m, err)
+			}
+			if want := phaseIndexUncached(eps, m); got != want {
+				t.Fatalf("PhaseIndex(%g, %d) = %d, uncached reference = %d", eps, m, got, want)
+			}
+		}
+	}
+}
+
+func benchPhaseIndex(b *testing.B, m int, f func(float64, int)) {
+	Corners(m) // pay the one-time memoization outside the timer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eps := 0.001 + 0.999*float64(i%997)/997
+		f(eps, m)
+	}
+}
+
+func BenchmarkPhaseIndexCached_m512(b *testing.B) {
+	benchPhaseIndex(b, 512, func(eps float64, m int) { _, _ = PhaseIndex(eps, m) })
+}
+
+func BenchmarkPhaseIndexUncached_m512(b *testing.B) {
+	benchPhaseIndex(b, 512, func(eps float64, m int) { _ = phaseIndexUncached(eps, m) })
+}
+
+func BenchmarkPhaseIndexCached_m4096(b *testing.B) {
+	benchPhaseIndex(b, 4096, func(eps float64, m int) { _, _ = PhaseIndex(eps, m) })
+}
+
+func BenchmarkPhaseIndexUncached_m4096(b *testing.B) {
+	benchPhaseIndex(b, 4096, func(eps float64, m int) { _ = phaseIndexUncached(eps, m) })
+}

@@ -163,12 +163,17 @@ func CornerExact(k, m int) float64 {
 // PhaseIndex returns the phase k ∈ {1,…,m} with ε ∈ (ε_{k−1,m}, ε_{k,m}].
 //
 // The corners increase with k, so k is found by binary search against the
-// closed-form corners — O(m log m) arithmetic, no root finding, exact up
-// to floating-point rounding even at the corners themselves.
+// closed-form corners — exact up to floating-point rounding even at the
+// corners themselves. The search probes the memoized Corners(m) slice
+// rather than recomputing CornerExact (O(m) arithmetic) per probe, so a
+// call costs O(log m) after the first Corners(m) evaluation for that m —
+// previously every Compute paid O(m log m) here and a full corner sweep
+// paid O(m²) in phase selection alone.
 func PhaseIndex(eps float64, m int) (int, error) {
 	if eps <= 0 || eps > 1 {
 		return 0, fmt.Errorf("ratio: slack %g outside (0,1]", eps)
 	}
+	corners := Corners(m) // memoized per m; corners[k-1] = ε_{k,m}
 	// A few ulps of slop absorb the O(m) rounding of CornerExact, so a
 	// caller passing a corner's exact rational value (e.g. 2/7) lands in
 	// phase k, not k+1.
@@ -176,7 +181,7 @@ func PhaseIndex(eps float64, m int) (int, error) {
 	lo, hi := 1, m // ε_{m,m} = 1, so k = m always qualifies for ε ≤ 1
 	for lo < hi {
 		k := (lo + hi) / 2 // k < m: the corner is defined
-		if eps <= CornerExact(k, m)*(1+ulps) {
+		if eps <= corners[k-1]*(1+ulps) {
 			hi = k
 		} else {
 			lo = k + 1
@@ -281,4 +286,6 @@ func (p Params) UpperBoundValue() float64 {
 
 // DelayedExecutionSurcharge is (3−e)/(e−1) ≈ 0.1639534, the additive gap
 // between the lower bound and Algorithm 1's guarantee for phases k > 3.
-var DelayedExecutionSurcharge = (3 - math.E) / (math.E - 1)
+// It is a pure mathematical constant (Lemma 11), declared const so no
+// caller can corrupt every UpperBoundValue downstream.
+const DelayedExecutionSurcharge = (3 - math.E) / (math.E - 1)

@@ -1,0 +1,62 @@
+package sim_test
+
+// End-to-end leg of the ISSUE-2 differential harness: the naive and
+// incremental core engines must produce identical *verified* runs — same
+// decision streams, same accepted load, and zero feasibility violations —
+// when driven through the full sim pipeline (decide → commit → schedule
+// rebuild → verifier), not just through raw Submit calls.
+
+import (
+	"fmt"
+	"testing"
+
+	"loadmax/internal/core"
+	"loadmax/internal/online"
+	"loadmax/internal/sim"
+	"loadmax/internal/workload"
+)
+
+func TestVerifiedRunsEngineEquivalence(t *testing.T) {
+	for _, m := range []int{1, 2, 8, 64} {
+		for _, fam := range workload.Families {
+			inst := fam.Gen(workload.Spec{N: 500, Eps: 0.15, M: m, Seed: int64(m)})
+			label := fmt.Sprintf("%s m=%d", fam.Name, m)
+
+			naive, err := core.New(m, 0.15, core.WithNaiveCore())
+			if err != nil {
+				t.Fatal(err)
+			}
+			inc, err := core.New(m, 0.15)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rn, err := sim.Run(naive, inst)
+			if err != nil {
+				t.Fatalf("%s: naive run: %v", label, err)
+			}
+			ri, err := sim.Run(inc, inst)
+			if err != nil {
+				t.Fatalf("%s: incremental run: %v", label, err)
+			}
+			if len(rn.Violations) != 0 {
+				t.Fatalf("%s: naive violations: %v", label, rn.Violations)
+			}
+			if len(ri.Violations) != 0 {
+				t.Fatalf("%s: incremental violations: %v", label, ri.Violations)
+			}
+			if rn.Accepted != ri.Accepted || rn.Load != ri.Load {
+				t.Fatalf("%s: accepted/load diverged: %d/%g vs %d/%g",
+					label, rn.Accepted, rn.Load, ri.Accepted, ri.Load)
+			}
+			if len(rn.Decisions) != len(ri.Decisions) {
+				t.Fatalf("%s: decision counts differ", label)
+			}
+			for i := range rn.Decisions {
+				if !online.SameDecision(rn.Decisions[i], ri.Decisions[i]) {
+					t.Fatalf("%s: decision %d diverged: %v vs %v",
+						label, i, rn.Decisions[i], ri.Decisions[i])
+				}
+			}
+		}
+	}
+}

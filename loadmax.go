@@ -91,8 +91,19 @@ const (
 )
 
 // NewScheduler returns Algorithm 1 for m machines and slack ε ∈ (0, 1].
+// Decisions are served by the incremental O(log m)-per-Submit engine;
+// see NewSchedulerNaive for the reference engine.
 func NewScheduler(m int, eps float64) (*core.Threshold, error) {
 	return core.New(m, eps)
+}
+
+// NewSchedulerNaive returns Algorithm 1 backed by the seed's naive
+// engine, which re-sorts all m machine loads and rescans every threshold
+// term per submission. It decides bit-identically to NewScheduler — the
+// differential harness in internal/core proves it — and exists as the
+// executable specification and benchmark baseline.
+func NewSchedulerNaive(m int, eps float64) (*core.Threshold, error) {
+	return core.New(m, eps, core.WithNaiveCore())
 }
 
 // NewSchedulerWithPolicy returns Algorithm 1 with a non-default
