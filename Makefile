@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-submit bench-submit-smoke verify fmt vet experiments clean
+.PHONY: all build test race bench bench-submit bench-submit-smoke bench-serve bench-serve-smoke verify fmt vet experiments clean
 
 all: build
 
@@ -28,6 +28,19 @@ bench-submit:
 # panics, or an engine divergence — not on noisy timings).
 bench-submit-smoke:
 	$(GO) run ./cmd/bench -quick -check -out -
+
+# bench-serve runs the sharded serving-layer throughput sweep (shard
+# count × GOMAXPROCS through internal/serve) and writes BENCH_serve.json;
+# see EXPERIMENTS.md for the schema. -check proves every shard's decision
+# stream bit-identical to a sequential replay before anything is timed.
+bench-serve:
+	$(GO) run ./cmd/bench -mode serve -check -out BENCH_serve.json
+
+# bench-serve-smoke is the CI gate for the serving layer: 1–2 shards,
+# small n, equivalence check forced on. It fails on build errors, panics,
+# or a shard-stream/sequential-replay divergence — never on timing noise.
+bench-serve-smoke:
+	$(GO) run ./cmd/bench -mode serve -quick -check -out -
 
 # verify is the CI gate: formatting, static checks, a full build and the
 # race-enabled test suite (which includes the zero-alloc observability

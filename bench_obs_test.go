@@ -48,6 +48,32 @@ func BenchmarkSubmitTraceMemory(b *testing.B) {
 	benchSubmit(b, th)
 }
 
+// BenchmarkSubmitTraceMemoryRetained prices tracing into an unbounded
+// MemorySink that keeps every event — the configuration where the
+// arena-backed Loads/Terms copies (ISSUE 3) matter most. The sink is
+// Reset alongside the scheduler on each wrap so the arenas are reused
+// rather than regrown, which is exactly the steady state a long-lived
+// traced service sees.
+func BenchmarkSubmitTraceMemoryRetained(b *testing.B) {
+	sink := &obs.MemorySink{}
+	th, err := core.New(8, 0.1, core.WithTracer(sink))
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst := workload.Poisson(workload.Spec{N: 10000, Eps: 0.1, M: 8, Seed: 42})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		th.Submit(inst[i%len(inst)])
+		if (i+1)%len(inst) == 0 {
+			b.StopTimer()
+			th.Reset()
+			sink.Reset()
+			b.StartTimer()
+		}
+	}
+}
+
 // BenchmarkSubmitTraceSampled prices 1-in-1000 sampling — the
 // production-scale configuration for million-job runs.
 func BenchmarkSubmitTraceSampled(b *testing.B) {

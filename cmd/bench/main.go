@@ -1,17 +1,26 @@
-// Command bench is the reproducible Submit-latency benchmark runner of
-// ISSUE 2: it sweeps the machine count m for both core engines — the
-// seed's naive engine (full re-sort + threshold rescan per submission)
-// and the default incremental engine — and emits the results as
-// BENCH_submit.json (schema documented in EXPERIMENTS.md).
+// Command bench is the reproducible benchmark runner. It has two modes:
 //
-// With -check, every sweep point first replays the workload through both
-// engines in lockstep and aborts on any decision divergence, so a
-// reported speedup can never come from a behavioral shortcut.
+//   - submit (ISSUE 2): sweeps the machine count m for both core
+//     engines — the seed's naive engine and the default incremental
+//     engine — and emits BENCH_submit.json.
+//   - serve (ISSUE 3): sweeps shard count × GOMAXPROCS through the
+//     internal/serve sharded admission service and emits
+//     BENCH_serve.json (jobs/sec, p50/p99 submit latency, scaling
+//     efficiency vs one shard).
+//
+// Both schemas are documented in EXPERIMENTS.md.
+//
+// With -check, every sweep point is first verified before anything is
+// timed — lockstep engine equivalence in submit mode, per-shard
+// sequential-replay equivalence in serve mode — so a reported speedup
+// can never come from a behavioral shortcut.
 //
 // Usage:
 //
-//	go run ./cmd/bench                       # full sweep, writes BENCH_submit.json
-//	go run ./cmd/bench -quick -check -out -  # CI smoke: small m, equivalence-checked
+//	go run ./cmd/bench                                  # submit sweep → BENCH_submit.json
+//	go run ./cmd/bench -quick -check -out -             # CI smoke: small m, equivalence-checked
+//	go run ./cmd/bench -mode serve -check               # serve sweep → BENCH_serve.json
+//	go run ./cmd/bench -mode serve -quick -check -out - # CI smoke for the serving layer
 package main
 
 import (
@@ -65,16 +74,25 @@ type workloadParams struct {
 
 func main() {
 	var (
-		out    = flag.String("out", "BENCH_submit.json", "output file for the JSON report ('-' = stdout only)")
-		mList  = flag.String("m", "2,8,64,512,4096", "comma-separated machine counts to sweep")
+		mode   = flag.String("mode", "submit", "benchmark mode: submit (engine latency sweep) or serve (sharded service throughput)")
+		out    = flag.String("out", "", "output file for the JSON report ('-' = stdout only; default BENCH_<mode>.json)")
+		mList  = flag.String("m", "2,8,64,512,4096", "submit: comma-separated machine counts to sweep")
 		n      = flag.Int("n", 20000, "jobs per run")
 		family = flag.String("family", "poisson", "workload family (see -families)")
 		eps    = flag.Float64("eps", 0.1, "slack ε")
 		load   = flag.Float64("load", 1.5, "offered load per machine")
 		seed   = flag.Int64("seed", 42, "workload RNG seed")
-		quick  = flag.Bool("quick", false, "small sweep for CI smoke (m=2,8,64; n=4000)")
-		check  = flag.Bool("check", false, "lockstep-verify engine equivalence at every sweep point")
+		quick  = flag.Bool("quick", false, "small sweep for CI smoke")
+		check  = flag.Bool("check", false, "verify equivalence at every sweep point (lockstep engines / per-shard sequential replay)")
 		fams   = flag.Bool("families", false, "list workload families and exit")
+
+		shardsList = flag.String("shards", "1,2,4,8", "serve: comma-separated shard counts to sweep")
+		procsList  = flag.String("procs", "", "serve: comma-separated GOMAXPROCS values (default: current setting)")
+		submitters = flag.Int("submitters", 0, "serve: concurrent submitting goroutines (0 = 2×GOMAXPROCS)")
+		serveM     = flag.Int("serve-machines", 64, "serve: machines per shard")
+		queueDepth = flag.Int("queue", 1024, "serve: per-shard submission queue depth")
+		batchSize  = flag.Int("batch", 64, "serve: max submissions drained per batch")
+		policyName = flag.String("policy", "hash-by-id", "serve: routing policy (hash-by-id, length-class, round-robin)")
 	)
 	flag.Parse()
 	if *fams {
@@ -82,6 +100,29 @@ func main() {
 			fmt.Println(f.Name)
 		}
 		return
+	}
+	if *mode == "serve" {
+		if *out == "" {
+			*out = "BENCH_serve.json"
+		}
+		cfg := serveConfig{
+			out: *out, shards: *shardsList, procs: *procsList,
+			n: *n, family: *family, eps: *eps, load: *load, seed: *seed,
+			submitters: *submitters, machines: *serveM,
+			queueDepth: *queueDepth, batchSize: *batchSize,
+			policy: *policyName, quick: *quick, check: *check,
+		}
+		if err := runServe(cfg); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *mode != "submit" {
+		fmt.Fprintf(os.Stderr, "bench: unknown mode %q (want submit or serve)\n", *mode)
+		os.Exit(2)
+	}
+	if *out == "" {
+		*out = "BENCH_submit.json"
 	}
 	if *quick {
 		*mList = "2,8,64"

@@ -1,0 +1,287 @@
+package main
+
+// The serve benchmark mode (ISSUE 3): drive the internal/serve sharded
+// admission service with concurrent submitters and sweep shard count ×
+// GOMAXPROCS, reporting aggregate jobs/sec, p50/p99 submit latency and
+// scaling efficiency against the single-shard baseline.
+//
+// With -check, each sweep point first runs the workload through a
+// decision-logged service and proves every shard's stream bit-identical
+// to a sequential replay through a lone Threshold (VerifyReplay); the
+// timed pass then runs without the log so verification cost never
+// pollutes the numbers.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"loadmax/internal/job"
+	"loadmax/internal/serve"
+	"loadmax/internal/workload"
+)
+
+type serveConfig struct {
+	out        string
+	shards     string
+	procs      string
+	n          int
+	family     string
+	eps        float64
+	load       float64
+	seed       int64
+	submitters int
+	machines   int
+	queueDepth int
+	batchSize  int
+	policy     string
+	quick      bool
+	check      bool
+}
+
+// servePoint is one (shards, GOMAXPROCS) sweep point.
+type servePoint struct {
+	Shards     int `json:"shards"`
+	GoMaxProcs int `json:"gomaxprocs"`
+	Submitters int `json:"submitters"`
+	Jobs       int `json:"jobs"`
+
+	WallSeconds  float64 `json:"wall_seconds"`
+	JobsPerSec   float64 `json:"jobs_per_sec"`
+	P50SubmitNs  float64 `json:"p50_submit_ns"`
+	P99SubmitNs  float64 `json:"p99_submit_ns"`
+	Accepted     int64   `json:"accepted"`
+	AcceptedMass float64 `json:"accepted_mass"`
+
+	// SpeedupVs1Shard is jobs/sec relative to the 1-shard point of the
+	// same GOMAXPROCS group; ScalingEfficiency divides that by the
+	// shard count (1.0 = perfectly linear).
+	SpeedupVs1Shard    float64 `json:"speedup_vs_1_shard"`
+	ScalingEfficiency  float64 `json:"scaling_efficiency"`
+	EquivalenceChecked bool    `json:"equivalence_checked"`
+}
+
+// serveReport is the full BENCH_serve.json document.
+type serveReport struct {
+	Benchmark        string         `json:"benchmark"`
+	SchemaVersion    int            `json:"schema_version"`
+	NumCPU           int            `json:"num_cpu"`
+	Policy           string         `json:"policy"`
+	MachinesPerShard int            `json:"machines_per_shard"`
+	QueueDepth       int            `json:"queue_depth"`
+	BatchSize        int            `json:"batch_size"`
+	Workload         workloadParams `json:"workload"`
+	Results          []servePoint   `json:"results"`
+}
+
+func newPolicy(name string) (serve.Policy, error) {
+	switch name {
+	case "hash-by-id":
+		return serve.HashByID(), nil
+	case "length-class":
+		return serve.LengthClass(), nil
+	case "round-robin":
+		return serve.RoundRobin(), nil
+	default:
+		return nil, fmt.Errorf("unknown routing policy %q", name)
+	}
+}
+
+func runServe(cfg serveConfig) error {
+	if cfg.quick {
+		cfg.shards = "1,2"
+		if cfg.n > 8000 {
+			cfg.n = 8000
+		}
+		cfg.check = true
+	}
+	fam, ok := workload.ByName(cfg.family)
+	if !ok {
+		return fmt.Errorf("unknown workload family %q", cfg.family)
+	}
+	shardCounts, err := parseInts(cfg.shards)
+	if err != nil {
+		return fmt.Errorf("bad -shards list: %w", err)
+	}
+	procsValues := []int{runtime.GOMAXPROCS(0)}
+	if cfg.procs != "" {
+		if procsValues, err = parseInts(cfg.procs); err != nil {
+			return fmt.Errorf("bad -procs list: %w", err)
+		}
+	}
+	if _, err := newPolicy(cfg.policy); err != nil {
+		return err
+	}
+
+	inst := fam.Gen(workload.Spec{
+		N: cfg.n, Eps: cfg.eps, M: cfg.machines, Load: cfg.load, Seed: cfg.seed,
+	})
+	rep := serveReport{
+		Benchmark:        "serve",
+		SchemaVersion:    1,
+		NumCPU:           runtime.NumCPU(),
+		Policy:           cfg.policy,
+		MachinesPerShard: cfg.machines,
+		QueueDepth:       cfg.queueDepth,
+		BatchSize:        cfg.batchSize,
+		Workload: workloadParams{
+			Family: fam.Name, N: cfg.n, Eps: cfg.eps, Load: cfg.load, Seed: cfg.seed,
+		},
+	}
+
+	prevProcs := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prevProcs)
+
+	fmt.Printf("%-7s %-6s %-6s %12s %12s %12s %9s %6s\n",
+		"shards", "procs", "subm", "jobs/sec", "p50 ns", "p99 ns", "speedup", "eff")
+	for _, procs := range procsValues {
+		runtime.GOMAXPROCS(procs)
+		base := 0.0
+		for _, shards := range shardCounts {
+			pt, err := runServePoint(cfg, inst, shards, procs)
+			if err != nil {
+				return err
+			}
+			if shards == 1 {
+				base = pt.JobsPerSec
+			}
+			if base > 0 {
+				pt.SpeedupVs1Shard = pt.JobsPerSec / base
+				pt.ScalingEfficiency = pt.SpeedupVs1Shard / float64(shards)
+			}
+			rep.Results = append(rep.Results, pt)
+			fmt.Printf("%-7d %-6d %-6d %12.0f %12.0f %12.0f %8.2fx %6.2f\n",
+				pt.Shards, pt.GoMaxProcs, pt.Submitters, pt.JobsPerSec,
+				pt.P50SubmitNs, pt.P99SubmitNs, pt.SpeedupVs1Shard, pt.ScalingEfficiency)
+		}
+	}
+	runtime.GOMAXPROCS(prevProcs)
+
+	blob, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if cfg.out == "-" {
+		os.Stdout.Write(blob)
+		return nil
+	}
+	if err := os.WriteFile(cfg.out, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", cfg.out)
+	return nil
+}
+
+// runServePoint measures one sweep point. The -check pass runs first on
+// a separate decision-logged service; the timed pass runs log-free.
+func runServePoint(cfg serveConfig, inst job.Instance, shards, procs int) (servePoint, error) {
+	submitters := cfg.submitters
+	if submitters <= 0 {
+		submitters = 2 * procs
+	}
+	pt := servePoint{
+		Shards:     shards,
+		GoMaxProcs: procs,
+		Submitters: submitters,
+		Jobs:       len(inst),
+	}
+
+	if cfg.check {
+		policy, _ := newPolicy(cfg.policy)
+		svc, err := serve.New(shards, cfg.machines, cfg.eps,
+			serve.WithPolicy(policy), serve.WithQueueDepth(cfg.queueDepth),
+			serve.WithBatchSize(cfg.batchSize), serve.WithDecisionLog())
+		if err != nil {
+			return pt, err
+		}
+		if err := driveService(svc, inst, submitters, nil); err != nil {
+			return pt, err
+		}
+		if err := svc.Close(); err != nil {
+			return pt, err
+		}
+		if err := svc.VerifyReplay(); err != nil {
+			return pt, fmt.Errorf("serve equivalence at shards=%d procs=%d: %w", shards, procs, err)
+		}
+		pt.EquivalenceChecked = true
+	}
+
+	policy, _ := newPolicy(cfg.policy)
+	svc, err := serve.New(shards, cfg.machines, cfg.eps,
+		serve.WithPolicy(policy), serve.WithQueueDepth(cfg.queueDepth),
+		serve.WithBatchSize(cfg.batchSize))
+	if err != nil {
+		return pt, err
+	}
+	latencies := make([]int64, len(inst))
+	start := time.Now()
+	if err := driveService(svc, inst, submitters, latencies); err != nil {
+		return pt, err
+	}
+	wall := time.Since(start)
+	snaps := svc.Snapshot()
+	if err := svc.Close(); err != nil {
+		return pt, err
+	}
+	for _, s := range snaps {
+		pt.Accepted += s.Accepted
+	}
+	pt.AcceptedMass = svc.AcceptedMass()
+	pt.WallSeconds = wall.Seconds()
+	if pt.WallSeconds > 0 {
+		pt.JobsPerSec = float64(len(inst)) / pt.WallSeconds
+	}
+	sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
+	pt.P50SubmitNs = percentile(latencies, 0.50)
+	pt.P99SubmitNs = percentile(latencies, 0.99)
+	return pt, nil
+}
+
+// driveService fans inst over g submitter goroutines, striped by index
+// so each goroutine's subsequence stays release-ordered. When lat is
+// non-nil it receives one Submit round-trip latency (ns) per job, at
+// the job's instance index.
+func driveService(svc *serve.Service, inst job.Instance, g int, lat []int64) error {
+	var wg sync.WaitGroup
+	errs := make([]error, g)
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(inst); i += g {
+				if lat != nil {
+					t0 := time.Now()
+					if _, err := svc.Submit(inst[i]); err != nil {
+						errs[w] = err
+						return
+					}
+					lat[i] = time.Since(t0).Nanoseconds()
+				} else if _, err := svc.Submit(inst[i]); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// percentile reads the q-quantile from an ascending-sorted slice.
+func percentile(sorted []int64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return float64(sorted[idx])
+}

@@ -125,6 +125,12 @@ type Threshold struct {
 	// bench_obs_test.go enforces this.
 	tracer obs.Sink
 	seq    int // submissions since the last Reset, for event ordering
+
+	// traceLoads/traceTerms are the reusable payload buffers of trace():
+	// the Sink contract lets Emit retain nothing, so one scratch pair
+	// per scheduler replaces two fresh allocations per traced Submit.
+	traceLoads []float64
+	traceTerms []obs.ThresholdTerm
 }
 
 var _ online.Scheduler = (*Threshold)(nil)
@@ -218,6 +224,20 @@ func (t *Threshold) Loads() []float64 {
 	return out
 }
 
+// TotalLoad returns the summed outstanding load Σ_i l(m_i) at the
+// current clock. Unlike Loads it never allocates, so the serving layer
+// can publish per-batch load snapshots off the hot path for free.
+func (t *Threshold) TotalLoad() float64 {
+	now := t.eng.now()
+	var sum float64
+	for i := 0; i < t.m; i++ {
+		if h := t.eng.horizonOf(i); h > now {
+			sum += h - now
+		}
+	}
+	return sum
+}
+
 // Threshold returns the current acceptance threshold d_lim at time
 // Now(), Eqs. (9)–(10). Exposed for tests and the decision-trace
 // experiments.
@@ -309,11 +329,15 @@ func (t *Threshold) trace(j job.Job, dlim float64, dec online.Decision, reason s
 		ev.Machine = dec.Machine
 		ev.Start = dec.Start
 	}
-	ev.Loads = make([]float64, t.m)
+	if cap(t.traceLoads) < t.m {
+		t.traceLoads = make([]float64, t.m)
+		t.traceTerms = make([]obs.ThresholdTerm, 0, t.m-t.params.K+1)
+	}
+	ev.Loads = t.traceLoads[:t.m]
 	for h := 1; h <= t.m; h++ {
 		ev.Loads[h-1] = t.eng.load(t.eng.machineAt(h))
 	}
-	ev.Terms = make([]obs.ThresholdTerm, 0, t.m-t.params.K+1)
+	t.traceTerms = t.traceTerms[:0]
 	best := now
 	for h := t.params.K; h <= t.m; h++ {
 		i := t.eng.machineAt(h)
@@ -322,9 +346,10 @@ func (t *Threshold) trace(j job.Job, dlim float64, dec online.Decision, reason s
 			best = v
 			ev.ArgMaxH = h
 		}
-		ev.Terms = append(ev.Terms, obs.ThresholdTerm{
+		t.traceTerms = append(t.traceTerms, obs.ThresholdTerm{
 			H: h, Machine: i, Load: t.eng.load(i), F: t.params.Fq(h), Value: v,
 		})
 	}
+	ev.Terms = t.traceTerms
 	t.tracer.Emit(&ev)
 }

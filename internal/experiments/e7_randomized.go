@@ -7,6 +7,7 @@ import (
 	"loadmax/internal/adversary"
 	"loadmax/internal/core"
 	"loadmax/internal/offline"
+	"loadmax/internal/parallel"
 	"loadmax/internal/randomized"
 	"loadmax/internal/ratio"
 	"loadmax/internal/report"
@@ -54,20 +55,25 @@ func E7Randomized(opt Options) (*Result, error) {
 		opt1, _ := offline.Exact(inst, 1)
 
 		v := randomized.DefaultVirtualMachines(eps)
-		var loads []float64
-		for s := 0; s < runs; s++ {
+		// Independent seeds fan across cores; seed = opt.Seed + index and
+		// index-ordered collection keep the mean bit-identical to the
+		// sequential loop (inst is read-only inside the tasks).
+		loads, err := parallel.MapMetered(runs, 0, opt.Metrics, func(s int) (float64, error) {
 			cs, err := randomized.New(eps, v, opt.Seed+int64(s))
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			r, err := sim.Run(cs, inst)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			if len(r.Violations) != 0 {
-				return nil, fmt.Errorf("E7: classify-select violations: %v", r.Violations)
+				return 0, fmt.Errorf("E7: classify-select violations: %v", r.Violations)
 			}
-			loads = append(loads, r.Load)
+			return r.Load, nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		expLoad := stats.Mean(loads)
 		expRatio := math.Inf(1)
@@ -103,17 +109,19 @@ func E7Randomized(opt Options) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			var fracs []float64
-			for s := 0; s < runs/4; s++ {
+			fracs, err := parallel.MapMetered(runs/4, 0, opt.Metrics, func(s int) (float64, error) {
 				cs, err := randomized.New(eps, 0, opt.Seed+int64(s))
 				if err != nil {
-					return nil, err
+					return 0, err
 				}
 				rr, err := sim.Run(cs, inst)
 				if err != nil {
-					return nil, err
+					return 0, err
 				}
-				fracs = append(fracs, rr.LoadFraction())
+				return rr.LoadFraction(), nil
+			})
+			if err != nil {
+				return nil, err
 			}
 			t2.Addf(eps, fam, dr.LoadFraction(), stats.Mean(fracs))
 		}

@@ -91,12 +91,21 @@ func CloseSink(s Sink) error {
 // MemorySink buffers events in memory (deep-copied), safe for
 // concurrent emitters. Cap ≤ 0 means unbounded; otherwise the sink
 // keeps the first Cap events and counts the rest as dropped.
+//
+// The per-event Loads/Terms copies are carved out of two shared arenas
+// instead of being allocated individually, so buffering n events costs
+// O(log n) allocations (arena growth), not 2n. Events hand out
+// capacity-clipped windows into the arenas; a window stays valid until
+// Reset, even if later growth moves the arena (old backing arrays are
+// simply retained by the events that point into them).
 type MemorySink struct {
 	Cap int
 
-	mu      sync.Mutex
-	events  []DecisionEvent
-	dropped int
+	mu         sync.Mutex
+	events     []DecisionEvent
+	dropped    int
+	loadsArena []float64
+	termsArena []ThresholdTerm
 }
 
 // Emit implements Sink.
@@ -108,9 +117,33 @@ func (s *MemorySink) Emit(ev *DecisionEvent) {
 		return
 	}
 	cp := *ev
-	cp.Loads = append([]float64(nil), ev.Loads...)
-	cp.Terms = append([]ThresholdTerm(nil), ev.Terms...)
+	cp.Loads = arenaCopy(&s.loadsArena, ev.Loads)
+	cp.Terms = arenaCopy(&s.termsArena, ev.Terms)
 	s.events = append(s.events, cp)
+}
+
+// arenaCopy appends src to the arena and returns the freshly written
+// window, capacity-clipped so no later append can write through it.
+func arenaCopy[T any](arena *[]T, src []T) []T {
+	if len(src) == 0 {
+		return nil
+	}
+	start := len(*arena)
+	*arena = append(*arena, src...)
+	return (*arena)[start:len(*arena):len(*arena)]
+}
+
+// Reset empties the sink while keeping the event and arena capacity, so
+// a long-lived sink can be drained between runs without re-paying the
+// growth allocations. It invalidates every event previously returned by
+// Events — their Loads/Terms windows will be overwritten.
+func (s *MemorySink) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.events = s.events[:0]
+	s.dropped = 0
+	s.loadsArena = s.loadsArena[:0]
+	s.termsArena = s.termsArena[:0]
 }
 
 // Events returns the buffered events (the caller must not mutate them).

@@ -38,6 +38,51 @@ func TestMemorySinkCopiesEvents(t *testing.T) {
 	}
 }
 
+// TestMemorySinkArenaIsolation stresses the arena-backed slice copies:
+// every stored event must keep its own Loads/Terms even as the arenas
+// grow (and therefore reallocate) underneath earlier events.
+func TestMemorySinkArenaIsolation(t *testing.T) {
+	var s MemorySink
+	const n = 300
+	for i := 0; i < n; i++ {
+		ev := event(i)
+		ev.Loads = []float64{float64(i), float64(i + 1)}
+		ev.Terms[0].Value = float64(i)
+		s.Emit(ev)
+	}
+	for i, ev := range s.Events() {
+		if ev.Loads[0] != float64(i) || ev.Loads[1] != float64(i+1) {
+			t.Fatalf("event %d Loads corrupted by arena growth: %v", i, ev.Loads)
+		}
+		if ev.Terms[0].Value != float64(i) {
+			t.Fatalf("event %d Terms corrupted by arena growth: %+v", i, ev.Terms[0])
+		}
+	}
+}
+
+// TestMemorySinkResetReusesCapacity pins the ISSUE-3 allocation win: a
+// Reset sink replaying the same stream must not allocate at all once
+// the event slice and both arenas are warm.
+func TestMemorySinkResetReusesCapacity(t *testing.T) {
+	var s MemorySink
+	evs := make([]*DecisionEvent, 64)
+	for i := range evs {
+		evs[i] = event(i)
+	}
+	for _, ev := range evs { // warm the arenas
+		s.Emit(ev)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		s.Reset()
+		for _, ev := range evs {
+			s.Emit(ev)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm Reset+replay allocates %.1f times per cycle, want 0", allocs)
+	}
+}
+
 func TestMemorySinkCap(t *testing.T) {
 	s := MemorySink{Cap: 2}
 	for i := 0; i < 5; i++ {

@@ -1,0 +1,99 @@
+package ratio
+
+// ISSUE-3 satellite: Compute used to re-run the solvePhase bisection —
+// ~200 rounds of an O(m) recursion — on every call, so randomized.New
+// (one virtual Threshold per seed) and repeated experiment cells paid
+// the full solve thousands of times for the same (ε, m). Compute now
+// memoizes the solved Params. computeUncached below preserves the
+// pre-memo path as the reference; the test proves cache hits return the
+// identical solution with an isolated F slice, and the benchmarks
+// quantify the win.
+
+import (
+	"testing"
+)
+
+// computeUncached is the pre-memoization Compute: always solve.
+func computeUncached(eps float64, m int) (Params, error) {
+	k, err := PhaseIndex(eps, m)
+	if err != nil {
+		return Params{}, err
+	}
+	c, f := solvePhase(eps, k, m)
+	p := Params{Eps: eps, M: m, K: k, C: c, F: f}
+	if err := p.check(); err != nil {
+		return Params{}, err
+	}
+	return p, nil
+}
+
+func TestComputeMemoizedMatchesUncached(t *testing.T) {
+	for _, m := range []int{1, 2, 3, 8, 64, 512} {
+		for _, eps := range []float64{0.001, 0.01, 0.1, 0.25, 0.5, 1} {
+			want, err := computeUncached(eps, m)
+			if err != nil {
+				t.Fatalf("uncached(%g, %d): %v", eps, m, err)
+			}
+			for pass := 0; pass < 2; pass++ { // miss, then hit
+				got, err := Compute(eps, m)
+				if err != nil {
+					t.Fatalf("Compute(%g, %d) pass %d: %v", eps, m, pass, err)
+				}
+				if got.K != want.K || got.C != want.C || len(got.F) != len(want.F) {
+					t.Fatalf("Compute(%g, %d) pass %d = {k=%d c=%v}, uncached {k=%d c=%v}",
+						eps, m, pass, got.K, got.C, want.K, want.C)
+				}
+				for i := range got.F {
+					if got.F[i] != want.F[i] {
+						t.Fatalf("Compute(%g, %d) pass %d: F[%d]=%v, uncached %v",
+							eps, m, pass, i, got.F[i], want.F[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestComputeReturnsIsolatedF pins the copy-on-return contract: a caller
+// scribbling on the returned F must not corrupt later callers.
+func TestComputeReturnsIsolatedF(t *testing.T) {
+	a, err := Compute(0.1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f0 := a.F[0]
+	a.F[0] = -1
+	b, err := Compute(0.1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.F[0] != f0 {
+		t.Fatalf("cached F corrupted by caller mutation: got %v, want %v", b.F[0], f0)
+	}
+}
+
+func benchCompute(b *testing.B, m int, f func(float64, int) (Params, error)) {
+	// A small rotating grid of slacks — the shape construction-heavy
+	// callers produce (same few (ε, m) pairs over and over).
+	grid := []float64{0.01, 0.05, 0.1, 0.3, 0.7, 1}
+	for _, eps := range grid {
+		if _, err := Compute(eps, m); err != nil { // warm the memo
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f(grid[i%len(grid)], m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkComputeMemoized_m64(b *testing.B) { benchCompute(b, 64, Compute) }
+
+func BenchmarkComputeUncached_m64(b *testing.B) { benchCompute(b, 64, computeUncached) }
+
+func BenchmarkComputeMemoized_m512(b *testing.B) { benchCompute(b, 512, Compute) }
+
+func BenchmarkComputeUncached_m512(b *testing.B) { benchCompute(b, 512, computeUncached) }

@@ -190,12 +190,35 @@ func PhaseIndex(eps float64, m int) (int, error) {
 	return lo, nil
 }
 
+// computeKey indexes the Compute memo. Float64 keys are safe here: the
+// cache is an identity memo — two ε values hit the same entry iff they
+// are the same bits, which is exactly when Compute would have returned
+// the same Params anyway.
+type computeKey struct {
+	eps float64
+	m   int
+}
+
+// computeCache memoizes solved Params per (ε, m). solvePhase bisects
+// ~200 rounds of an O(m) recursion, and the construction-heavy callers
+// — randomized.New building v virtual schedulers per seed, experiment
+// grids re-creating schedulers per cell and trial — ask for the same
+// few pairs thousands of times. Entries are canonical; Compute returns
+// a fresh copy of F so no caller can corrupt another's parameters.
+var computeCache sync.Map // computeKey -> Params
+
 // Compute solves the recursion for (ε, m): it determines the phase k,
 // solves for the ratio c(ε,m) and the parameters f_k..f_m, and validates
-// the structural invariants (Eq. 6 and monotonicity).
+// the structural invariants (Eq. 6 and monotonicity). Solutions are
+// memoized per (ε, m); repeated calls cost one map hit and an O(m−k)
+// copy of F instead of the bisection.
 func Compute(eps float64, m int) (Params, error) {
 	if m < 1 {
 		return Params{}, fmt.Errorf("ratio: m=%d must be ≥ 1", m)
+	}
+	key := computeKey{eps, m}
+	if v, ok := computeCache.Load(key); ok {
+		return v.(Params).cloneF(), nil
 	}
 	k, err := PhaseIndex(eps, m)
 	if err != nil {
@@ -206,7 +229,14 @@ func Compute(eps float64, m int) (Params, error) {
 	if err := p.check(); err != nil {
 		return Params{}, err
 	}
-	return p, nil
+	computeCache.Store(key, p)
+	return p.cloneF(), nil
+}
+
+// cloneF returns the params with a private copy of the F slice.
+func (p Params) cloneF() Params {
+	p.F = append([]float64(nil), p.F...)
+	return p
 }
 
 // ComputeForced solves the recursion with a *forced* phase index k,

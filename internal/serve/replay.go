@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+
+	"loadmax/internal/core"
+	"loadmax/internal/job"
+	"loadmax/internal/online"
+)
+
+// DecisionRecord pairs one shard's effective submitted job — release
+// date already clamped to the shard clock — with the decision it
+// received. Effective jobs are release-ordered per shard by
+// construction, so a recorded stream is always replayable.
+type DecisionRecord struct {
+	Job      job.Job
+	Decision online.Decision
+}
+
+// shardLog accumulates one shard's decision stream. The shard goroutine
+// is the only writer; the mutex makes mid-run reads (ShardStream while
+// serving) safe too.
+type shardLog struct {
+	mu   sync.Mutex
+	recs []DecisionRecord
+}
+
+func (l *shardLog) append(j job.Job, dec online.Decision) {
+	l.mu.Lock()
+	l.recs = append(l.recs, DecisionRecord{Job: j, Decision: dec})
+	l.mu.Unlock()
+}
+
+func (l *shardLog) snapshot() []DecisionRecord {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]DecisionRecord(nil), l.recs...)
+}
+
+// ShardStream returns a copy of shard i's recorded decision stream, in
+// the order the shard decided it. It requires WithDecisionLog; without
+// it the stream is nil.
+func (s *Service) ShardStream(i int) []DecisionRecord {
+	if i < 0 || i >= len(s.shards) || s.shards[i].log == nil {
+		return nil
+	}
+	return s.shards[i].log.snapshot()
+}
+
+// VerifyReplay proves the sharded run equivalent to sequential
+// execution: each shard's recorded job stream is replayed through a
+// fresh, lone core.Threshold for the same (m, ε), and every decision
+// must match bit-identically (same verdict, machine, and committed
+// start time). Commitment-on-admission makes this the complete
+// correctness statement — a shard's decisions depend on nothing but its
+// own stream — so any divergence means the concurrent plumbing, not the
+// algorithm, corrupted a decision.
+//
+// Requires WithDecisionLog. Call after Close (or at a quiescent point);
+// it verifies the stream recorded so far.
+func (s *Service) VerifyReplay() error {
+	s.mu.RLock()
+	closed := s.closed
+	s.mu.RUnlock()
+	for i, sh := range s.shards {
+		if sh.log == nil {
+			return fmt.Errorf("serve: shard %d has no decision log (construct with WithDecisionLog)", i)
+		}
+		recs := sh.log.snapshot()
+		th, err := core.New(s.m, s.eps)
+		if err != nil {
+			return fmt.Errorf("serve: replay shard %d: %w", i, err)
+		}
+		var mass float64
+		for idx, rec := range recs {
+			dec := th.Submit(rec.Job)
+			if !online.SameDecision(dec, rec.Decision) {
+				return fmt.Errorf("serve: shard %d diverged from sequential replay at record %d (%v): served %v, replay %v",
+					i, idx, rec.Job, rec.Decision, dec)
+			}
+			if dec.Accepted {
+				mass += rec.Job.Proc
+			}
+		}
+		// The mass cross-check is only meaningful once the shard has
+		// quiesced; mid-run the snapshot may already be ahead of the
+		// stream copied above.
+		if snap := s.Snapshot()[i]; closed && snap.AcceptedMass != mass {
+			return fmt.Errorf("serve: shard %d accepted-mass snapshot %g != replayed mass %g",
+				i, snap.AcceptedMass, mass)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"math"
+	"sync/atomic"
+
+	"loadmax/internal/job"
+)
+
+// Policy routes each incoming job to one of S shards. Implementations
+// must be safe for concurrent use — Submit calls Route from arbitrary
+// goroutines — and deterministic up to their own documented state (the
+// round-robin counter), so a recorded per-shard stream can always be
+// replayed.
+type Policy interface {
+	// Name identifies the policy in reports and benchmark output.
+	Name() string
+	// Route returns the shard index in [0, shards) for the job.
+	Route(j job.Job, shards int) int
+}
+
+// HashByID returns the default routing policy: an FNV-1a hash of the
+// job ID. It spreads any ID space uniformly and keeps a job's shard
+// stable across runs, independent of submission interleaving.
+func HashByID() Policy { return hashByID{} }
+
+type hashByID struct{}
+
+func (hashByID) Name() string { return "hash-by-id" }
+
+func (hashByID) Route(j job.Job, shards int) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	x := uint64(j.ID)
+	for i := 0; i < 8; i++ {
+		h ^= x & 0xff
+		h *= prime64
+		x >>= 8
+	}
+	return int(h % uint64(shards))
+}
+
+// LengthClass returns the Corollary-1 style classification policy: jobs
+// are classified by the binary order of magnitude of their processing
+// time, and each class is pinned to one shard. Jobs of similar length
+// therefore compete only with each other — the partition underlying the
+// paper's classify-and-select construction, where each class runs its
+// own independent virtual scheduler.
+func LengthClass() Policy { return lengthClass{} }
+
+type lengthClass struct{}
+
+func (lengthClass) Name() string { return "length-class" }
+
+func (lengthClass) Route(j job.Job, shards int) int {
+	if j.Proc <= 0 || math.IsInf(j.Proc, 0) || math.IsNaN(j.Proc) {
+		return 0
+	}
+	// class(p) = ⌊log2 p⌋, via the exponent Frexp already computed.
+	_, exp := math.Frexp(j.Proc)
+	idx := exp % shards
+	if idx < 0 {
+		idx += shards
+	}
+	return idx
+}
+
+// RoundRobin returns a policy that cycles through the shards in
+// submission order. It balances perfectly by count but gives up shard
+// stability: the shard a job lands on depends on how many submissions
+// preceded it.
+func RoundRobin() Policy { return &roundRobin{} }
+
+type roundRobin struct{ n atomic.Uint64 }
+
+func (*roundRobin) Name() string { return "round-robin" }
+
+func (r *roundRobin) Route(j job.Job, shards int) int {
+	return int((r.n.Add(1) - 1) % uint64(shards))
+}

@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"math"
+	"testing"
+
+	"loadmax/internal/job"
+	"loadmax/internal/workload"
+)
+
+// TestPoliciesStayInRange fuzzes each policy over a varied workload and
+// shard counts: Route must always land in [0, shards).
+func TestPoliciesStayInRange(t *testing.T) {
+	inst := workload.Pareto(workload.Spec{N: 2000, Eps: 0.1, M: 4, Seed: 5})
+	inst = append(inst,
+		job.Job{ID: -7, Release: 0, Proc: 1e-9, Deadline: 1},
+		job.Job{ID: math.MaxInt32, Release: 0, Proc: 1e12, Deadline: 1e13},
+		job.Job{ID: 0, Release: 0, Proc: math.SmallestNonzeroFloat64, Deadline: 1},
+	)
+	for _, p := range []Policy{HashByID(), LengthClass(), RoundRobin()} {
+		for _, shards := range []int{1, 2, 3, 7, 64} {
+			for _, j := range inst {
+				if got := p.Route(j, shards); got < 0 || got >= shards {
+					t.Fatalf("%s.Route(%v, %d) = %d out of range", p.Name(), j, shards, got)
+				}
+			}
+		}
+	}
+}
+
+// TestHashAndLengthClassDeterministic pins shard stability: the same
+// job maps to the same shard regardless of call order.
+func TestHashAndLengthClassDeterministic(t *testing.T) {
+	inst := workload.Bimodal(workload.Spec{N: 500, Eps: 0.1, M: 2, Seed: 9})
+	for _, p := range []Policy{HashByID(), LengthClass()} {
+		first := make([]int, len(inst))
+		for i, j := range inst {
+			first[i] = p.Route(j, 8)
+		}
+		for i := len(inst) - 1; i >= 0; i-- {
+			if got := p.Route(inst[i], 8); got != first[i] {
+				t.Fatalf("%s not deterministic for job %d: %d then %d", p.Name(), inst[i].ID, first[i], got)
+			}
+		}
+	}
+}
+
+// TestLengthClassGroupsByMagnitude: jobs within the same binary order
+// of magnitude share a shard; far-apart lengths may not collide when
+// enough shards exist.
+func TestLengthClassGroupsByMagnitude(t *testing.T) {
+	p := LengthClass()
+	a := job.Job{ID: 1, Proc: 1.1, Deadline: 10}
+	b := job.Job{ID: 2, Proc: 1.9, Deadline: 10} // same class ⌊log2⌋
+	if p.Route(a, 16) != p.Route(b, 16) {
+		t.Fatal("jobs in the same length class routed to different shards")
+	}
+	c := job.Job{ID: 3, Proc: 1000, Deadline: 1e5}
+	if p.Route(a, 16) == p.Route(c, 16) {
+		t.Fatal("lengths 3 binary orders apart collided with 16 shards")
+	}
+}
+
+// TestRoundRobinCycles: S consecutive routes hit S distinct shards.
+func TestRoundRobinCycles(t *testing.T) {
+	p := RoundRobin()
+	seen := map[int]bool{}
+	for i := 0; i < 4; i++ {
+		seen[p.Route(job.Job{ID: 42}, 4)] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("round-robin hit %d distinct shards over one cycle, want 4", len(seen))
+	}
+}

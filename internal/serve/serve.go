@@ -1,0 +1,435 @@
+// Package serve is the sharded concurrent admission frontend over the
+// core engine: S independent shards, each a single-writer goroutine
+// owning one core.Threshold, fed through buffered submission queues that
+// drain in batches to amortize channel handoffs.
+//
+// The design leans on the paper's own structure. Commitment on admission
+// means every decision is irrevocable the moment it is made, so a
+// shard's decisions depend only on the jobs routed to it — there is no
+// cross-shard state to coordinate, exactly as Corollary 1's
+// classify-and-select partitions the stream across independent virtual
+// schedulers. A sharded service therefore behaves, per shard,
+// bit-identically to a lone Threshold replaying that shard's stream;
+// VerifyReplay proves it after any run.
+//
+// Concurrency contract:
+//
+//   - Submit is safe from any number of goroutines and blocks until the
+//     owning shard has decided (or returns ErrBackpressure/ErrClosed).
+//   - Each shard serializes its own stream: jobs are admitted in queue
+//     arrival order, with release dates clamped forward to the shard
+//     clock (a job "arrives" when its shard sees it — the serving-time
+//     analogue of the paper's release dates).
+//   - Snapshot reads shard statistics from single-writer atomics and
+//     never stops the writers.
+//   - Close drains every queue, waits for the shard goroutines to
+//     finish, and then fails further Submits with ErrClosed.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"loadmax/internal/core"
+	"loadmax/internal/job"
+	"loadmax/internal/obs"
+	"loadmax/internal/online"
+)
+
+// Backpressure selects what Submit does when a shard queue is full.
+type Backpressure int
+
+const (
+	// Block makes Submit wait for queue space (default).
+	Block Backpressure = iota
+	// Reject makes Submit fail fast with ErrBackpressure.
+	Reject
+)
+
+func (b Backpressure) String() string {
+	switch b {
+	case Block:
+		return "block"
+	case Reject:
+		return "reject"
+	default:
+		return fmt.Sprintf("Backpressure(%d)", int(b))
+	}
+}
+
+var (
+	// ErrBackpressure reports a full shard queue under the Reject policy.
+	// The job was not admitted and not recorded; the caller may retry.
+	ErrBackpressure = errors.New("serve: shard queue full")
+	// ErrClosed reports a Submit after Close.
+	ErrClosed = errors.New("serve: service closed")
+)
+
+// Option configures a Service.
+type Option func(*config)
+
+type config struct {
+	policy     Policy
+	queueDepth int
+	batchSize  int
+	bp         Backpressure
+	reg        *obs.Registry
+	log        bool
+	coreOpts   []core.Option
+	batchHook  func() // test-only: runs at the head of every batch
+}
+
+// WithPolicy sets the routing policy (default HashByID).
+func WithPolicy(p Policy) Option { return func(c *config) { c.policy = p } }
+
+// WithQueueDepth sets the per-shard submission queue capacity
+// (default 1024). Depth 0 is clamped to 1.
+func WithQueueDepth(n int) Option { return func(c *config) { c.queueDepth = n } }
+
+// WithBatchSize caps how many queued submissions a shard drains per
+// batch (default 64). Larger batches amortize channel wakeups at the
+// cost of snapshot freshness; size 0 is clamped to 1.
+func WithBatchSize(n int) Option { return func(c *config) { c.batchSize = n } }
+
+// WithBackpressure selects the full-queue behavior (default Block).
+func WithBackpressure(b Backpressure) Option { return func(c *config) { c.bp = b } }
+
+// WithMetrics instruments the service through the registry:
+//
+//	serve_shards                  gauge     shard count
+//	serve_shard_jobs_total{shard} counter   decisions per shard
+//	serve_queue_depth{shard}      gauge     queue depth at last batch
+//	serve_batch_size              histogram drained batch sizes
+//	serve_backpressure_total      counter   Reject-mode refusals
+//
+// A nil registry (the default) keeps the hot path metric-free.
+func WithMetrics(reg *obs.Registry) Option { return func(c *config) { c.reg = reg } }
+
+// WithDecisionLog records every shard's effective (clamped) job stream
+// and decisions, enabling ShardStream and VerifyReplay. Costs two
+// appends per decision; leave off for pure throughput serving.
+func WithDecisionLog() Option { return func(c *config) { c.log = true } }
+
+// WithCoreOptions forwards options to each shard's core.Threshold
+// (engine selection, forced phase — benchmark and ablation use).
+func WithCoreOptions(opts ...core.Option) Option {
+	return func(c *config) { c.coreOpts = append(c.coreOpts, opts...) }
+}
+
+// withBatchHook is the white-box test hook: f runs at the head of every
+// drained batch, letting tests stall a shard deterministically.
+func withBatchHook(f func()) Option { return func(c *config) { c.batchHook = f } }
+
+// request is one in-flight submission. Requests are pooled; done is a
+// 1-buffered channel so the shard's reply never blocks on the caller.
+type request struct {
+	job  job.Job
+	done chan online.Decision
+}
+
+// Service is the sharded admission frontend. Construct with New.
+type Service struct {
+	m      int // machines per shard
+	eps    float64
+	policy Policy
+	bp     Backpressure
+	shards []*shard
+	pool   sync.Pool
+
+	backpressure *obs.Counter
+
+	mu     sync.RWMutex // guards closed against concurrent Close
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// shard is one single-writer scheduling lane. Only its goroutine
+// touches th; everything readers see goes through atomics.
+type shard struct {
+	id       int
+	th       *core.Threshold
+	in       chan *request
+	maxBatch int
+	hook     func()
+	log      *shardLog // nil unless WithDecisionLog
+
+	submitted atomic.Int64
+	accepted  atomic.Int64
+	rejected  atomic.Int64
+	batches   atomic.Int64
+	// float64 bits of the accepted processing-time mass and of the
+	// outstanding load at the last batch boundary.
+	acceptedMassBits atomic.Uint64
+	outstandingBits  atomic.Uint64
+
+	jobsTotal  *obs.Counter
+	queueGauge *obs.Gauge
+	batchHist  *obs.Histogram
+}
+
+// New builds a Service with the given shard count, machines per shard,
+// and slack ε. Each shard owns an independent core.Threshold for (m, ε);
+// total machine capacity is therefore shards×m.
+func New(shards, m int, eps float64, opts ...Option) (*Service, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("serve: shards=%d must be ≥ 1", shards)
+	}
+	cfg := config{policy: HashByID(), queueDepth: 1024, batchSize: 64}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.queueDepth < 1 {
+		cfg.queueDepth = 1
+	}
+	if cfg.batchSize < 1 {
+		cfg.batchSize = 1
+	}
+	s := &Service{
+		m:      m,
+		eps:    eps,
+		policy: cfg.policy,
+		bp:     cfg.bp,
+	}
+	s.pool.New = func() any {
+		return &request{done: make(chan online.Decision, 1)}
+	}
+	s.backpressure = cfg.reg.Counter("serve_backpressure_total")
+	cfg.reg.Gauge("serve_shards").Set(float64(shards))
+	jobsVec := cfg.reg.CounterVec("serve_shard_jobs_total", "shard")
+	queueVec := cfg.reg.GaugeVec("serve_queue_depth", "shard")
+	batchHist := cfg.reg.Histogram("serve_batch_size", obs.ExpBuckets(1, 2, 12))
+
+	s.shards = make([]*shard, shards)
+	for i := range s.shards {
+		th, err := core.New(m, eps, cfg.coreOpts...)
+		if err != nil {
+			return nil, fmt.Errorf("serve: shard %d: %w", i, err)
+		}
+		sh := &shard{
+			id:         i,
+			th:         th,
+			in:         make(chan *request, cfg.queueDepth),
+			maxBatch:   cfg.batchSize,
+			hook:       cfg.batchHook,
+			jobsTotal:  jobsVec.With(fmt.Sprint(i)),
+			queueGauge: queueVec.With(fmt.Sprint(i)),
+			batchHist:  batchHist,
+		}
+		if cfg.log {
+			sh.log = &shardLog{}
+		}
+		s.shards[i] = sh
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			sh.run()
+		}()
+	}
+	return s, nil
+}
+
+// Shards returns the shard count.
+func (s *Service) Shards() int { return len(s.shards) }
+
+// Machines returns the machine count per shard.
+func (s *Service) Machines() int { return s.m }
+
+// Eps returns the slack ε every shard runs with.
+func (s *Service) Eps() float64 { return s.eps }
+
+// Policy returns the routing policy in use.
+func (s *Service) Policy() Policy { return s.policy }
+
+// Submit routes the job to its shard and blocks until that shard has
+// decided. It is safe from any number of goroutines. Under the Reject
+// backpressure policy a full shard queue returns ErrBackpressure
+// without admitting the job; after Close it returns ErrClosed.
+func (s *Service) Submit(j job.Job) (online.Decision, error) {
+	idx := s.policy.Route(j, len(s.shards))
+	if idx < 0 || idx >= len(s.shards) {
+		idx = ((idx % len(s.shards)) + len(s.shards)) % len(s.shards)
+	}
+	sh := s.shards[idx]
+	req := s.pool.Get().(*request)
+	req.job = j
+
+	// The read lock pins the channels open: Close flips closed and
+	// closes them only under the write lock, which waits for every
+	// in-flight send. A blocked send cannot deadlock Close — the shard
+	// goroutine keeps draining until its channel is closed, which
+	// happens only after this send completes and the lock is released.
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		s.pool.Put(req)
+		return online.Decision{}, ErrClosed
+	}
+	if s.bp == Reject {
+		select {
+		case sh.in <- req:
+		default:
+			s.mu.RUnlock()
+			s.pool.Put(req)
+			s.backpressure.Inc()
+			return online.Decision{}, ErrBackpressure
+		}
+	} else {
+		sh.in <- req
+	}
+	s.mu.RUnlock()
+
+	dec := <-req.done
+	s.pool.Put(req)
+	return dec, nil
+}
+
+// Close stops intake, drains every shard queue (every already-enqueued
+// submission still receives its decision), and waits for the shard
+// goroutines to exit. A second Close returns ErrClosed.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.closed = true
+	for _, sh := range s.shards {
+		close(sh.in)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// ShardSnapshot is a point-in-time view of one shard, read from
+// single-writer atomics without stopping the shard.
+type ShardSnapshot struct {
+	Shard      int   `json:"shard"`
+	QueueDepth int   `json:"queue_depth"`
+	Submitted  int64 `json:"submitted"`
+	Accepted   int64 `json:"accepted"`
+	Rejected   int64 `json:"rejected"`
+	Batches    int64 `json:"batches"`
+	// AcceptedMass is Σ p_j over accepted jobs — the paper's objective.
+	AcceptedMass float64 `json:"accepted_mass"`
+	// OutstandingLoad is the summed machine load at the last batch
+	// boundary (refreshed per batch, not per decision).
+	OutstandingLoad float64 `json:"outstanding_load"`
+}
+
+// Snapshot returns a consistent-enough view of every shard: each
+// shard's counters are exact as of its last completed decision, the
+// load as of its last completed batch.
+func (s *Service) Snapshot() []ShardSnapshot {
+	out := make([]ShardSnapshot, len(s.shards))
+	for i, sh := range s.shards {
+		// Load order mirrors the writer in reverse: process() publishes
+		// Submitted before the verdict counters, so reading the verdicts
+		// first guarantees Accepted+Rejected ≤ Submitted in every
+		// snapshot, even mid-batch.
+		accepted := sh.accepted.Load()
+		rejected := sh.rejected.Load()
+		out[i] = ShardSnapshot{
+			Shard:           sh.id,
+			QueueDepth:      len(sh.in),
+			Submitted:       sh.submitted.Load(),
+			Accepted:        accepted,
+			Rejected:        rejected,
+			Batches:         sh.batches.Load(),
+			AcceptedMass:    math.Float64frombits(sh.acceptedMassBits.Load()),
+			OutstandingLoad: math.Float64frombits(sh.outstandingBits.Load()),
+		}
+	}
+	return out
+}
+
+// AcceptedMass returns the service-wide accepted load Σ p_j.
+func (s *Service) AcceptedMass() float64 {
+	var sum float64
+	for _, sh := range s.shards {
+		sum += math.Float64frombits(sh.acceptedMassBits.Load())
+	}
+	return sum
+}
+
+// run is the shard goroutine: block for one request, then opportunistically
+// drain up to maxBatch-1 more, decide the whole batch, publish stats.
+func (sh *shard) run() {
+	batch := make([]*request, 0, sh.maxBatch)
+	for {
+		req, ok := <-sh.in
+		if !ok {
+			return
+		}
+		batch = append(batch[:0], req)
+		batch, ok = sh.fill(batch)
+		sh.process(batch)
+		if !ok {
+			return
+		}
+	}
+}
+
+// fill drains already-queued requests without blocking, up to the batch
+// cap. It reports false once the intake channel is closed and empty.
+func (sh *shard) fill(batch []*request) ([]*request, bool) {
+	for len(batch) < cap(batch) {
+		select {
+		case r, ok := <-sh.in:
+			if !ok {
+				return batch, false
+			}
+			batch = append(batch, r)
+		default:
+			return batch, true
+		}
+	}
+	return batch, true
+}
+
+// process decides one batch. Only the shard goroutine calls it, so the
+// non-atomic reads of its own atomics' prior values are safe.
+func (sh *shard) process(batch []*request) {
+	if sh.hook != nil {
+		sh.hook()
+	}
+	mass := math.Float64frombits(sh.acceptedMassBits.Load())
+	var accepted, rejected int64
+	for _, r := range batch {
+		j := r.job
+		// Arrival clamp: the job arrives at its shard no earlier than the
+		// shard clock. Concurrent submitters make no cross-goroutine
+		// ordering promise, so the shard — not the caller — fixes the
+		// effective release date, keeping the core's release-order
+		// protocol intact.
+		if clock := sh.th.Now(); j.Release < clock {
+			j.Release = clock
+		}
+		dec := sh.th.Submit(j)
+		if sh.log != nil {
+			sh.log.append(j, dec)
+		}
+		if dec.Accepted {
+			accepted++
+			mass += j.Proc
+		} else {
+			rejected++
+		}
+		r.done <- dec
+	}
+	// Publish submitted before the verdict counters so a concurrent
+	// Snapshot can never observe accepted+rejected > submitted.
+	sh.submitted.Add(int64(len(batch)))
+	sh.acceptedMassBits.Store(math.Float64bits(mass))
+	sh.accepted.Add(accepted)
+	sh.rejected.Add(rejected)
+	sh.batches.Add(1)
+	sh.outstandingBits.Store(math.Float64bits(sh.th.TotalLoad()))
+
+	sh.jobsTotal.Add(int64(len(batch)))
+	sh.batchHist.Observe(float64(len(batch)))
+	sh.queueGauge.Set(float64(len(sh.in)))
+}

@@ -49,6 +49,7 @@ import (
 	"loadmax/internal/online"
 	"loadmax/internal/randomized"
 	"loadmax/internal/ratio"
+	"loadmax/internal/serve"
 	"loadmax/internal/sim"
 	"loadmax/internal/workload"
 )
@@ -182,6 +183,82 @@ func PhaseCorners(m int) []float64 { return ratio.Corners(m) }
 func Simulate(s Scheduler, inst Instance, opts ...SimOption) (*Result, error) {
 	return sim.Run(s, inst, opts...)
 }
+
+// --- Serving -------------------------------------------------------------
+
+// ShardedService is the concurrent admission frontend: S shards, each a
+// single-writer goroutine owning one Threshold scheduler, fed through
+// batched submission queues. Commitment on admission makes each shard's
+// decision stream bit-identical to a sequential replay through a lone
+// scheduler (VerifyReplay proves it), so sharding scales admission
+// across cores without weakening any guarantee. Construct with
+// NewShardedService; always Close when done.
+type ShardedService = serve.Service
+
+// ServeOption configures a ShardedService.
+type ServeOption = serve.Option
+
+// ShardSnapshot is a read-side view of one shard's counters and load,
+// taken without stopping the shard (see ShardedService.Snapshot).
+type ShardSnapshot = serve.ShardSnapshot
+
+// RoutingPolicy assigns each submitted job to a shard.
+type RoutingPolicy = serve.Policy
+
+// Backpressure selects Submit's behavior on a full shard queue.
+type Backpressure = serve.Backpressure
+
+// Backpressure modes: block until queue space frees (default), or fail
+// fast with ErrBackpressure.
+const (
+	BlockOnFull  = serve.Block
+	RejectOnFull = serve.Reject
+)
+
+// Serving errors.
+var (
+	ErrBackpressure = serve.ErrBackpressure
+	ErrServeClosed  = serve.ErrClosed
+)
+
+// NewShardedService builds a sharded admission service: shards
+// independent Threshold schedulers, each for m machines and slack ε
+// (total capacity shards×m machines).
+func NewShardedService(shards, m int, eps float64, opts ...ServeOption) (*ShardedService, error) {
+	return serve.New(shards, m, eps, opts...)
+}
+
+// HashByIDRouter routes by an FNV-1a hash of the job ID (the default).
+func HashByIDRouter() RoutingPolicy { return serve.HashByID() }
+
+// LengthClassRouter routes by the job's processing-time class — the
+// Corollary-1 classification, pinning jobs of similar length to the
+// same shard.
+func LengthClassRouter() RoutingPolicy { return serve.LengthClass() }
+
+// RoundRobinRouter cycles through shards in submission order.
+func RoundRobinRouter() RoutingPolicy { return serve.RoundRobin() }
+
+// WithServePolicy sets the routing policy (default HashByIDRouter).
+func WithServePolicy(p RoutingPolicy) ServeOption { return serve.WithPolicy(p) }
+
+// WithServeQueueDepth sets the per-shard submission queue capacity.
+func WithServeQueueDepth(n int) ServeOption { return serve.WithQueueDepth(n) }
+
+// WithServeBatchSize caps how many queued submissions a shard decides
+// per drain.
+func WithServeBatchSize(n int) ServeOption { return serve.WithBatchSize(n) }
+
+// WithServeBackpressure selects the full-queue behavior.
+func WithServeBackpressure(b Backpressure) ServeOption { return serve.WithBackpressure(b) }
+
+// WithServeMetrics instruments the service through the registry (queue
+// depths, batch sizes, per-shard throughput, backpressure events).
+func WithServeMetrics(reg *Metrics) ServeOption { return serve.WithMetrics(reg) }
+
+// WithServeDecisionLog records per-shard decision streams, enabling
+// ShardedService.VerifyReplay and ShardStream.
+func WithServeDecisionLog() ServeOption { return serve.WithDecisionLog() }
 
 // --- Observability -------------------------------------------------------
 

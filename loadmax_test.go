@@ -209,6 +209,51 @@ func TestGreedyFacadeEpsAbove1(t *testing.T) {
 	}
 }
 
+func TestShardedServiceFacade(t *testing.T) {
+	svc, err := NewShardedService(4, 8, 0.1,
+		WithServePolicy(HashByIDRouter()),
+		WithServeQueueDepth(64),
+		WithServeBatchSize(8),
+		WithServeDecisionLog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, _ := Generate("poisson", WorkloadSpec{N: 400, Eps: 0.1, M: 8, Seed: 11})
+	accepted := int64(0)
+	for _, j := range inst {
+		dec, err := svc.Submit(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec.Accepted {
+			accepted++
+		}
+	}
+	snaps := svc.Snapshot()
+	if len(snaps) != 4 {
+		t.Fatalf("snapshot has %d shards, want 4", len(snaps))
+	}
+	var total int64
+	for _, s := range snaps {
+		total += s.Accepted
+	}
+	if total != accepted {
+		t.Errorf("snapshot accepted %d, caller counted %d", total, accepted)
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.VerifyReplay(); err != nil {
+		t.Fatalf("sharded decisions diverge from sequential replay: %v", err)
+	}
+	if _, err := svc.Submit(inst[0]); err != ErrServeClosed {
+		t.Errorf("Submit after Close = %v, want ErrServeClosed", err)
+	}
+	if _, err := NewShardedService(0, 8, 0.1); err == nil {
+		t.Error("0 shards must error")
+	}
+}
+
 func TestAnalyzeFacade(t *testing.T) {
 	inst, _ := Generate("bimodal", WorkloadSpec{N: 50, Eps: 0.1, M: 2, Seed: 4})
 	sched, err := NewScheduler(2, 0.1)
