@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-submit bench-submit-smoke bench-serve bench-serve-smoke verify fmt vet experiments clean
+.PHONY: all build test race bench bench-submit bench-submit-smoke bench-serve bench-serve-smoke bench-recover bench-recover-smoke crash-smoke fuzz-smoke verify fmt vet experiments clean
 
 all: build
 
@@ -41,6 +41,37 @@ bench-serve:
 # or a shard-stream/sequential-replay divergence — never on timing noise.
 bench-serve-smoke:
 	$(GO) run ./cmd/bench -mode serve -quick -check -out -
+
+# bench-recover runs the crash-recovery sweep (commitment-log length ×
+# mid-stream checkpointing through serve.Restore) and writes
+# BENCH_recover.json; see EXPERIMENTS.md §E16 for the schema. -check
+# additionally proves every restored service bit-identical to a
+# sequential replay (VerifyReplay).
+bench-recover:
+	$(GO) run ./cmd/bench -mode recover -check -out BENCH_recover.json
+
+# bench-recover-smoke is the CI gate for durability: short logs, replay
+# verification forced on. It fails on build errors, panics, or a
+# recovered-state/replay divergence — never on timing noise.
+bench-recover-smoke:
+	$(GO) run ./cmd/bench -mode recover -quick -check -out -
+
+# crash-smoke runs the deterministic crash-fault matrix under the race
+# detector: the WAL writer is killed at each of the six kill points
+# (including torn mid-fsync writes) and the recovered service must honor
+# every acknowledged decision and decide the remaining stream
+# bit-identically. Deterministic by construction — no timing dependence.
+crash-smoke:
+	$(GO) test -race -run 'TestCrash' ./internal/serve/ ./internal/wal/
+
+# fuzz-smoke gives each fuzz target a short coverage-guided run (the
+# committed seed corpora already run on every plain `go test`). Fixed
+# seeds live in f.Add and testdata/fuzz; the budget is small enough for
+# CI but has already caught real bugs (a negative-Load Spec once drove
+# release dates negative and panicked the generator finalizer).
+fuzz-smoke:
+	$(GO) test -race -run '^$$' -fuzz 'FuzzSlackBoundary' -fuzztime 10s ./internal/job/
+	$(GO) test -race -run '^$$' -fuzz 'FuzzGenerators' -fuzztime 10s ./internal/workload/
 
 # verify is the CI gate: formatting, static checks, a full build and the
 # race-enabled test suite (which includes the zero-alloc observability

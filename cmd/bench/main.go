@@ -1,4 +1,5 @@
-// Command bench is the reproducible benchmark runner. It has two modes:
+// Command bench is the reproducible benchmark runner. It has three
+// modes:
 //
 //   - submit (ISSUE 2): sweeps the machine count m for both core
 //     engines — the seed's naive engine and the default incremental
@@ -7,13 +8,17 @@
 //     internal/serve sharded admission service and emits
 //     BENCH_serve.json (jobs/sec, p50/p99 submit latency, scaling
 //     efficiency vs one shard).
+//   - recover (ISSUE 4): sweeps commitment-log length through
+//     serve.Restore — with and without a mid-stream checkpoint — and
+//     emits BENCH_recover.json (recovery wall time, records replayed
+//     per second, log bytes).
 //
-// Both schemas are documented in EXPERIMENTS.md.
+// All schemas are documented in EXPERIMENTS.md.
 //
 // With -check, every sweep point is first verified before anything is
 // timed — lockstep engine equivalence in submit mode, per-shard
-// sequential-replay equivalence in serve mode — so a reported speedup
-// can never come from a behavioral shortcut.
+// sequential-replay equivalence in serve and recover modes — so a
+// reported speedup can never come from a behavioral shortcut.
 //
 // Usage:
 //
@@ -21,6 +26,8 @@
 //	go run ./cmd/bench -quick -check -out -             # CI smoke: small m, equivalence-checked
 //	go run ./cmd/bench -mode serve -check               # serve sweep → BENCH_serve.json
 //	go run ./cmd/bench -mode serve -quick -check -out - # CI smoke for the serving layer
+//	go run ./cmd/bench -mode recover -check             # recovery sweep → BENCH_recover.json
+//	go run ./cmd/bench -mode recover -quick -check -out - # CI smoke for recovery
 package main
 
 import (
@@ -89,10 +96,13 @@ func main() {
 		shardsList = flag.String("shards", "1,2,4,8", "serve: comma-separated shard counts to sweep")
 		procsList  = flag.String("procs", "", "serve: comma-separated GOMAXPROCS values (default: current setting)")
 		submitters = flag.Int("submitters", 0, "serve: concurrent submitting goroutines (0 = 2×GOMAXPROCS)")
-		serveM     = flag.Int("serve-machines", 64, "serve: machines per shard")
+		serveM     = flag.Int("serve-machines", 64, "serve/recover: machines per shard")
 		queueDepth = flag.Int("queue", 1024, "serve: per-shard submission queue depth")
 		batchSize  = flag.Int("batch", 64, "serve: max submissions drained per batch")
 		policyName = flag.String("policy", "hash-by-id", "serve: routing policy (hash-by-id, length-class, round-robin)")
+
+		recordsList   = flag.String("records", "1000,5000,20000", "recover: comma-separated commitment-log lengths to sweep")
+		recoverShards = flag.Int("recover-shards", 2, "recover: shard count of the durable service")
 	)
 	flag.Parse()
 	if *fams {
@@ -117,8 +127,22 @@ func main() {
 		}
 		return
 	}
+	if *mode == "recover" {
+		if *out == "" {
+			*out = "BENCH_recover.json"
+		}
+		cfg := recoverConfig{
+			out: *out, records: *recordsList, shards: *recoverShards, machines: *serveM,
+			family: *family, eps: *eps, load: *load, seed: *seed,
+			quick: *quick, check: *check,
+		}
+		if err := runRecover(cfg); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *mode != "submit" {
-		fmt.Fprintf(os.Stderr, "bench: unknown mode %q (want submit or serve)\n", *mode)
+		fmt.Fprintf(os.Stderr, "bench: unknown mode %q (want submit, serve or recover)\n", *mode)
 		os.Exit(2)
 	}
 	if *out == "" {

@@ -1,0 +1,187 @@
+package main
+
+// The recover benchmark mode (ISSUE 4): measure crash-recovery cost as
+// a function of commitment-log length. For each sweep point the harness
+// builds a durable service, runs the workload through it (so the log
+// holds exactly that many decision records, optionally half-covered by
+// a checkpoint), closes it, and times serve.Restore rebuilding the
+// service — snapshot import plus verified log replay. With -check the
+// restored service must additionally pass VerifyReplay, proving the
+// recovered tail bit-identical to a sequential re-execution.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"loadmax/internal/obs"
+	"loadmax/internal/serve"
+	"loadmax/internal/workload"
+)
+
+type recoverConfig struct {
+	out      string
+	records  string // comma-separated log lengths to sweep
+	shards   int
+	machines int
+	family   string
+	eps      float64
+	load     float64
+	seed     int64
+	quick    bool
+	check    bool
+}
+
+// recoverPoint is one (records, checkpoint) sweep point.
+type recoverPoint struct {
+	Records    int  `json:"records"`
+	Checkpoint bool `json:"checkpoint"` // snapshot taken halfway through
+
+	LogBytes        int64   `json:"log_bytes"`
+	RecordsReplayed int64   `json:"records_replayed"`
+	RecoverMs       float64 `json:"recover_ms"` // best of three restores
+	ReplayPerSec    float64 `json:"replayed_records_per_sec"`
+	ReplayVerified  bool    `json:"replay_verified"`
+}
+
+// recoverReport is the full BENCH_recover.json document.
+type recoverReport struct {
+	Benchmark        string         `json:"benchmark"`
+	SchemaVersion    int            `json:"schema_version"`
+	Shards           int            `json:"shards"`
+	MachinesPerShard int            `json:"machines_per_shard"`
+	Workload         workloadParams `json:"workload"`
+	Results          []recoverPoint `json:"results"`
+}
+
+func runRecover(cfg recoverConfig) error {
+	if cfg.quick {
+		cfg.records = "500,2000"
+	}
+	lengths, err := parseInts(cfg.records)
+	if err != nil {
+		return fmt.Errorf("bad -records list: %v", err)
+	}
+	fam, ok := workload.ByName(cfg.family)
+	if !ok {
+		return fmt.Errorf("unknown workload family %q", cfg.family)
+	}
+	rep := recoverReport{
+		Benchmark:        "recover",
+		SchemaVersion:    1,
+		Shards:           cfg.shards,
+		MachinesPerShard: cfg.machines,
+		Workload:         workloadParams{Family: fam.Name, Eps: cfg.eps, Load: cfg.load, Seed: cfg.seed},
+	}
+	fmt.Printf("%-9s %-10s %12s %10s %12s %14s\n",
+		"records", "checkpoint", "log bytes", "replayed", "recover ms", "replayed/sec")
+	for _, n := range lengths {
+		for _, checkpoint := range []bool{false, true} {
+			pt, err := runRecoverPoint(cfg, fam, n, checkpoint)
+			if err != nil {
+				return err
+			}
+			rep.Results = append(rep.Results, pt)
+			fmt.Printf("%-9d %-10v %12d %10d %12.2f %14.0f\n",
+				pt.Records, pt.Checkpoint, pt.LogBytes, pt.RecordsReplayed, pt.RecoverMs, pt.ReplayPerSec)
+		}
+	}
+	blob, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if cfg.out == "-" {
+		os.Stdout.Write(blob)
+		return nil
+	}
+	if err := os.WriteFile(cfg.out, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", cfg.out)
+	return nil
+}
+
+func runRecoverPoint(cfg recoverConfig, fam workload.Family, n int, checkpoint bool) (recoverPoint, error) {
+	pt := recoverPoint{Records: n, Checkpoint: checkpoint}
+	inst := fam.Gen(workload.Spec{
+		N: n, Eps: cfg.eps, M: cfg.shards * cfg.machines, Load: cfg.load, Seed: cfg.seed,
+	})
+	dir, err := os.MkdirTemp("", "loadmax-bench-recover-*")
+	if err != nil {
+		return pt, err
+	}
+	defer os.RemoveAll(dir)
+
+	// Populate the durable state. The flush interval coalesces fsyncs so
+	// building big logs stays fast; it has no effect on what is measured
+	// (recovery reads the finished log).
+	svc, err := serve.New(cfg.shards, cfg.machines, cfg.eps,
+		serve.WithDurability(dir), serve.WithFlushInterval(200*time.Microsecond))
+	if err != nil {
+		return pt, err
+	}
+	for i, j := range inst {
+		if checkpoint && i == n/2 {
+			if err := svc.Checkpoint(); err != nil {
+				return pt, err
+			}
+		}
+		if _, err := svc.Submit(j); err != nil {
+			return pt, err
+		}
+	}
+	if err := svc.Close(); err != nil {
+		return pt, err
+	}
+	for s := 0; s < cfg.shards; s++ {
+		pt.LogBytes += fileSizeOrZero(filepath.Join(dir, fmt.Sprintf("shard-%04d", s), "wal.log"))
+	}
+
+	// Time recovery: best of three full restores. Every restore is a
+	// complete rebuild (snapshot import + verified replay); closing in
+	// between releases the log file handles.
+	best := time.Duration(1<<63 - 1)
+	for trial := 0; trial < 3; trial++ {
+		reg := obs.NewRegistry()
+		opts := []serve.Option{serve.WithMetrics(reg)}
+		if cfg.check {
+			opts = append(opts, serve.WithDecisionLog())
+		}
+		start := time.Now()
+		rec, err := serve.Restore(dir, opts...)
+		elapsed := time.Since(start)
+		if err != nil {
+			return pt, err
+		}
+		if elapsed < best {
+			best = elapsed
+		}
+		pt.RecordsReplayed = reg.Counter("serve_recovery_records_replayed").Value()
+		if cfg.check {
+			if err := rec.VerifyReplay(); err != nil {
+				rec.Close()
+				return pt, fmt.Errorf("records=%d checkpoint=%v: %w", n, checkpoint, err)
+			}
+			pt.ReplayVerified = true
+		}
+		if err := rec.Close(); err != nil {
+			return pt, err
+		}
+	}
+	pt.RecoverMs = float64(best.Nanoseconds()) / 1e6
+	if best > 0 {
+		pt.ReplayPerSec = float64(pt.RecordsReplayed) / best.Seconds()
+	}
+	return pt, nil
+}
+
+func fileSizeOrZero(path string) int64 {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0
+	}
+	return fi.Size()
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// State is a serializable checkpoint of a Threshold's dynamic state: the
+// clock and the per-machine committed horizons, plus the static (m, ε)
+// pair it belongs to so an import onto a mismatched scheduler fails loudly
+// instead of silently corrupting decisions.
+//
+// The state is deliberately minimal. The engines' order structures
+// (naiveCore's sorted scratch, incCore's active/drained arrays) are pure
+// functions of (t, horizons) under the deterministic tie-breaks both
+// engines share, so ImportState rebuilds them through the engine's own
+// commit/advance protocol rather than persisting them — a restored
+// scheduler is therefore bit-identical in every future decision to the
+// exported one, regardless of which engine either side runs.
+//
+// All fields are finite float64s, which encoding/json round-trips exactly
+// (Go emits the shortest representation that parses back to the same
+// bits), so a JSON snapshot loses no precision.
+type State struct {
+	M   int     `json:"m"`
+	Eps float64 `json:"eps"`
+	T   float64 `json:"t"`
+	Seq int     `json:"seq"`
+	// Horizons[i] is machine i's committed completion time (absolute,
+	// not outstanding load); entries ≤ T denote drained machines.
+	Horizons []float64 `json:"horizons"`
+}
+
+// ExportState captures the scheduler's dynamic state between submissions.
+// It must not be called concurrently with Submit.
+func (t *Threshold) ExportState() State {
+	hz := make([]float64, t.m)
+	for i := range hz {
+		hz[i] = t.eng.horizonOf(i)
+	}
+	return State{M: t.m, Eps: t.eps, T: t.eng.now(), Seq: t.seq, Horizons: hz}
+}
+
+// ImportState replaces the scheduler's dynamic state with a previously
+// exported checkpoint. The scheduler must have been constructed for the
+// same (m, ε); the solved ratio parameters are untouched. After a
+// successful import the scheduler decides every future submission exactly
+// as the exporting scheduler would have.
+func (t *Threshold) ImportState(s State) error {
+	if s.M != t.m {
+		return fmt.Errorf("core: state for m=%d imported into m=%d scheduler", s.M, t.m)
+	}
+	if s.Eps != t.eps {
+		return fmt.Errorf("core: state for eps=%g imported into eps=%g scheduler", s.Eps, t.eps)
+	}
+	if len(s.Horizons) != t.m {
+		return fmt.Errorf("core: state has %d horizons, want %d", len(s.Horizons), t.m)
+	}
+	if math.IsNaN(s.T) || math.IsInf(s.T, 0) || s.T < 0 {
+		return fmt.Errorf("core: state clock %g not a finite non-negative time", s.T)
+	}
+	if s.Seq < 0 {
+		return fmt.Errorf("core: state seq %d negative", s.Seq)
+	}
+	for i, h := range s.Horizons {
+		if math.IsNaN(h) || math.IsInf(h, 0) || h < 0 {
+			return fmt.Errorf("core: state horizon[%d] = %g not a finite non-negative time", i, h)
+		}
+	}
+	// Rebuild through the engine's own protocol: commit every busy
+	// machine at clock 0, then advance to the checkpoint time. Both
+	// steps are deterministic, so the rebuilt order matches the
+	// exporter's bit for bit.
+	t.eng.reset()
+	for i, h := range s.Horizons {
+		if h > 0 {
+			t.eng.commit(i, h)
+		}
+	}
+	t.eng.advance(s.T)
+	t.seq = s.Seq
+	return nil
+}

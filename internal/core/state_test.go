@@ -1,0 +1,145 @@
+package core
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"loadmax/internal/job"
+	"loadmax/internal/online"
+	"loadmax/internal/workload"
+)
+
+// TestStateRoundTripBitIdentical is the recovery contract at the core
+// level: export mid-stream, import into a fresh scheduler (for each
+// engine pairing), and the restored scheduler must decide the remaining
+// stream bit-identically to the uninterrupted original.
+func TestStateRoundTripBitIdentical(t *testing.T) {
+	const m, eps = 6, 0.15
+	inst := workload.Poisson(workload.Spec{N: 3000, Eps: eps, M: m, Load: 2, Seed: 5})
+	for cut := 1; cut < len(inst); cut = cut*3 + 17 {
+		for _, naiveRestore := range []bool{false, true} {
+			orig, err := New(m, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, j := range inst[:cut] {
+				orig.Submit(j)
+			}
+			st := orig.ExportState()
+			// JSON round-trip: the serving layer snapshots through JSON,
+			// so the equality claim must survive it.
+			blob, err := json.Marshal(st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var back State
+			if err := json.Unmarshal(blob, &back); err != nil {
+				t.Fatal(err)
+			}
+			var opts []Option
+			if naiveRestore {
+				opts = append(opts, WithNaiveCore())
+			}
+			restored, err := New(m, eps, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := restored.ImportState(back); err != nil {
+				t.Fatal(err)
+			}
+			if got, want := restored.Now(), orig.Now(); got != want {
+				t.Fatalf("cut %d: restored clock %g, want %g", cut, got, want)
+			}
+			for i, j := range inst[cut:] {
+				da, db := orig.Submit(j), restored.Submit(j)
+				if !online.SameDecision(da, db) {
+					t.Fatalf("cut %d (naive=%v): decision %d diverged: orig %v, restored %v",
+						cut, naiveRestore, i, da, db)
+				}
+			}
+		}
+	}
+}
+
+// TestStateExportIsolated pins that ExportState returns a private copy:
+// mutating the exported horizons must not touch the live scheduler.
+func TestStateExportIsolated(t *testing.T) {
+	th, err := New(3, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th.Submit(job.Job{ID: 0, Release: 0, Proc: 2, Deadline: 10})
+	st := th.ExportState()
+	st.Horizons[0] = 1e9
+	if got := th.ExportState().Horizons[0]; got == 1e9 {
+		t.Fatal("ExportState leaked internal storage")
+	}
+}
+
+// TestImportStateRejectsMismatch pins the validation paths.
+func TestImportStateRejectsMismatch(t *testing.T) {
+	th, err := New(3, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := th.ExportState()
+	cases := map[string]State{
+		"wrong m":        {M: 4, Eps: 0.2, Horizons: make([]float64, 4)},
+		"wrong eps":      {M: 3, Eps: 0.3, Horizons: make([]float64, 3)},
+		"short horizons": {M: 3, Eps: 0.2, Horizons: make([]float64, 2)},
+		"nan clock":      {M: 3, Eps: 0.2, T: nan(), Horizons: make([]float64, 3)},
+		"negative clock": {M: 3, Eps: 0.2, T: -1, Horizons: make([]float64, 3)},
+		"negative seq":   {M: 3, Eps: 0.2, Seq: -1, Horizons: make([]float64, 3)},
+		"nan horizon":    {M: 3, Eps: 0.2, Horizons: []float64{0, nan(), 0}},
+	}
+	for name, st := range cases {
+		if err := th.ImportState(st); err == nil {
+			t.Errorf("%s: ImportState accepted invalid state", name)
+		}
+	}
+	if err := th.ImportState(good); err != nil {
+		t.Fatalf("valid re-import failed: %v", err)
+	}
+}
+
+// TestImportStateRandomized fuzzes the rebuild across random mid-stream
+// cuts and seeds, comparing the restored engine's full observable state
+// (clock, loads, threshold) against the original.
+func TestImportStateRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 25; trial++ {
+		m := 1 + rng.Intn(9)
+		eps := 0.05 + rng.Float64()*0.9
+		inst := workload.Uniform(workload.Spec{N: 400, Eps: eps, M: m, Load: 1.8, Seed: rng.Int63()})
+		orig, err := New(m, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cut := rng.Intn(len(inst))
+		for _, j := range inst[:cut] {
+			orig.Submit(j)
+		}
+		restored, err := New(m, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := restored.ImportState(orig.ExportState()); err != nil {
+			t.Fatal(err)
+		}
+		if a, b := orig.Threshold(), restored.Threshold(); a != b {
+			t.Fatalf("trial %d: threshold %g != restored %g", trial, a, b)
+		}
+		la, lb := orig.Loads(), restored.Loads()
+		for i := range la {
+			if la[i] != lb[i] {
+				t.Fatalf("trial %d: load[%d] %g != restored %g", trial, i, la[i], lb[i])
+			}
+		}
+	}
+}
+
+func nan() float64 {
+	var z float64
+	return z / z
+}

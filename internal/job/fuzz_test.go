@@ -1,0 +1,59 @@
+package job
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzSlackBoundary hunts float-rounding violations of the ε-slack
+// invariant exactly where the randomized tests never land: on the
+// boundary d = r + (1+ε)·p itself. A job constructed on the boundary
+// must validate, satisfy HasSlack, and register as Tight — and those
+// verdicts must agree between Job.Validate/HasSlack and
+// Instance.Validate, which is the pair the generators and the admission
+// path rely on being consistent.
+func FuzzSlackBoundary(f *testing.F) {
+	f.Add(0.0, 1.0, 0.1)
+	f.Add(1.0, 2.75, 0.01)
+	f.Add(1e-9, 1e-9, 1.0)
+	f.Add(1e12, 3.0, 0.5)
+	f.Add(0.1, 0.1, 2.0/7.0) // a phase corner ε, exercised as a rational
+	f.Add(123.456, 789.01, 0.9999999999)
+	f.Fuzz(func(t *testing.T, release, proc, eps float64) {
+		// Constrain to the model's domain; the fuzzer's job is to explore
+		// float patterns inside it, not to rediscover the guards.
+		if !(release >= 0) || release > 1e15 {
+			t.Skip()
+		}
+		if !(proc > 0) || proc > 1e15 {
+			t.Skip()
+		}
+		if !(eps > 0) || eps > 1 {
+			t.Skip()
+		}
+		j := Job{ID: 1, Release: release, Proc: proc, Deadline: release + (1+eps)*proc}
+		if math.IsInf(j.Deadline, 0) {
+			t.Skip()
+		}
+		if err := j.Validate(); err != nil {
+			t.Fatalf("boundary job invalid: %v (r=%b p=%b eps=%b)", err, release, proc, eps)
+		}
+		if !j.HasSlack(eps) {
+			t.Fatalf("boundary job fails its own slack condition: r=%b p=%b eps=%b d=%b slack=%b",
+				release, proc, eps, j.Deadline, j.Slack())
+		}
+		if !j.Tight(eps) {
+			t.Fatalf("boundary job not Tight: r=%b p=%b eps=%b d=%b", release, proc, eps, j.Deadline)
+		}
+		// Instance.Validate must agree with the per-job verdicts.
+		if err := (Instance{j}).Validate(eps); err != nil {
+			t.Fatalf("Instance.Validate disagrees with Job checks: %v", err)
+		}
+		// One ulp of extra deadline must never *break* the condition
+		// (monotonicity of the slack check in d).
+		j.Deadline = math.Nextafter(j.Deadline, math.Inf(1))
+		if !j.HasSlack(eps) {
+			t.Fatalf("slack check not monotone in deadline at r=%b p=%b eps=%b", release, proc, eps)
+		}
+	})
+}

@@ -170,8 +170,8 @@ func CornerExact(k, m int) float64 {
 // previously every Compute paid O(m log m) here and a full corner sweep
 // paid O(m²) in phase selection alone.
 func PhaseIndex(eps float64, m int) (int, error) {
-	if eps <= 0 || eps > 1 {
-		return 0, fmt.Errorf("ratio: slack %g outside (0,1]", eps)
+	if err := checkEps(eps); err != nil {
+		return 0, err
 	}
 	corners := Corners(m) // memoized per m; corners[k-1] = ε_{k,m}
 	// A few ulps of slop absorb the O(m) rounding of CornerExact, so a
@@ -190,10 +190,19 @@ func PhaseIndex(eps float64, m int) (int, error) {
 	return lo, nil
 }
 
-// computeKey indexes the Compute memo. Float64 keys are safe here: the
-// cache is an identity memo — two ε values hit the same entry iff they
-// are the same bits, which is exactly when Compute would have returned
-// the same Params anyway.
+// checkEps rejects ε outside (0,1], written so that NaN — which fails
+// every ordered comparison — is caught too, not waved through.
+func checkEps(eps float64) error {
+	if !(eps > 0 && eps <= 1) { // NaN fails both conjuncts, so !(...) catches it
+		return fmt.Errorf("ratio: slack %g outside (0,1]", eps)
+	}
+	return nil
+}
+
+// computeKey indexes the Compute memo. Float64 keys are safe here
+// because checkEps keeps NaN out: the cache is an identity memo — two
+// finite ε values hit the same entry iff they are the same bits, which
+// is exactly when Compute would have returned the same Params anyway.
 type computeKey struct {
 	eps float64
 	m   int
@@ -215,6 +224,14 @@ var computeCache sync.Map // computeKey -> Params
 func Compute(eps float64, m int) (Params, error) {
 	if m < 1 {
 		return Params{}, fmt.Errorf("ratio: m=%d must be ≥ 1", m)
+	}
+	// Validate ε before touching the memo. NaN in particular must never
+	// reach the cache: NaN keys compare unequal to themselves, so every
+	// NaN call would miss the lookup yet Store a fresh entry — an
+	// unbounded leak — and NaN sails through every downstream range check
+	// (all comparisons are false) into cached garbage Params.
+	if err := checkEps(eps); err != nil {
+		return Params{}, err
 	}
 	key := computeKey{eps, m}
 	if v, ok := computeCache.Load(key); ok {
@@ -248,8 +265,8 @@ func ComputeForced(eps float64, k, m int) (Params, error) {
 	if m < 1 || k < 1 || k > m {
 		return Params{}, fmt.Errorf("ratio: invalid forced phase k=%d for m=%d", k, m)
 	}
-	if eps <= 0 || eps > 1 {
-		return Params{}, fmt.Errorf("ratio: slack %g outside (0,1]", eps)
+	if err := checkEps(eps); err != nil {
+		return Params{}, err
 	}
 	c, f := solvePhase(eps, k, m)
 	return Params{Eps: eps, M: m, K: k, C: c, F: f}, nil

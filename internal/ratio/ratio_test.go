@@ -524,3 +524,32 @@ func TestCornerExactRationalPins(t *testing.T) {
 		}
 	}
 }
+
+// TestComputeRejectsNonFiniteEps pins the cache-leak fix: invalid ε —
+// NaN above all, which compares unequal to itself and so would insert a
+// fresh computeCache entry on every single call — must be rejected
+// before the memo is touched, by every entry point.
+func TestComputeRejectsNonFiniteEps(t *testing.T) {
+	cacheSize := func() int {
+		n := 0
+		computeCache.Range(func(_, _ any) bool { n++; return true })
+		return n
+	}
+	before := cacheSize()
+	for _, eps := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), 0, -0.5, 1.5} {
+		for i := 0; i < 8; i++ { // repeated calls are the leak scenario
+			if _, err := Compute(eps, 4); err == nil {
+				t.Fatalf("Compute(eps=%g) accepted invalid slack", eps)
+			}
+			if _, err := ComputeForced(eps, 2, 4); err == nil {
+				t.Fatalf("ComputeForced(eps=%g) accepted invalid slack", eps)
+			}
+			if _, err := PhaseIndex(eps, 4); err == nil {
+				t.Fatalf("PhaseIndex(eps=%g) accepted invalid slack", eps)
+			}
+		}
+	}
+	if after := cacheSize(); after != before {
+		t.Fatalf("computeCache grew from %d to %d entries on invalid ε", before, after)
+	}
+}

@@ -73,6 +73,14 @@ func (s *Service) VerifyReplay() error {
 			return fmt.Errorf("serve: replay shard %d: %w", i, err)
 		}
 		var mass float64
+		// A restored shard's stream starts at its recovery checkpoint,
+		// not at genesis: start the replay scheduler from the same base.
+		if sh.base != nil {
+			if err := th.ImportState(*sh.base); err != nil {
+				return fmt.Errorf("serve: replay shard %d: %w", i, err)
+			}
+			mass = sh.baseMass
+		}
 		for idx, rec := range recs {
 			dec := th.Submit(rec.Job)
 			if !online.SameDecision(dec, rec.Decision) {

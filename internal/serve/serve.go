@@ -24,6 +24,19 @@
 //     never stops the writers.
 //   - Close drains every queue, waits for the shard goroutines to
 //     finish, and then fails further Submits with ErrClosed.
+//
+// # Durability
+//
+// WithDurability adds a per-shard write-ahead commitment log (package
+// wal): every decision — accept or reject, since rejects advance the
+// shard clock too — is appended and group-committed *before* its verdict
+// is released to the caller. Any verdict a caller has observed is
+// therefore durably recorded, and Restore rebuilds a bit-identical
+// service from the latest checkpoint plus the log tail. Checkpoint
+// snapshots each shard's core state (plus counters) and truncates its
+// log. A WAL failure poisons the affected shard: subsequent submissions
+// fail without touching the scheduler, so the log never silently falls
+// behind the in-memory state.
 package serve
 
 import (
@@ -32,11 +45,13 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"loadmax/internal/core"
 	"loadmax/internal/job"
 	"loadmax/internal/obs"
 	"loadmax/internal/online"
+	"loadmax/internal/wal"
 )
 
 // Backpressure selects what Submit does when a shard queue is full.
@@ -66,20 +81,26 @@ var (
 	ErrBackpressure = errors.New("serve: shard queue full")
 	// ErrClosed reports a Submit after Close.
 	ErrClosed = errors.New("serve: service closed")
+	// ErrNotDurable reports a durability operation (Checkpoint) on a
+	// service constructed without WithDurability.
+	ErrNotDurable = errors.New("serve: service has no durability (construct with WithDurability)")
 )
 
 // Option configures a Service.
 type Option func(*config)
 
 type config struct {
-	policy     Policy
-	queueDepth int
-	batchSize  int
-	bp         Backpressure
-	reg        *obs.Registry
-	log        bool
-	coreOpts   []core.Option
-	batchHook  func() // test-only: runs at the head of every batch
+	policy        Policy
+	queueDepth    int
+	batchSize     int
+	bp            Backpressure
+	reg           *obs.Registry
+	log           bool
+	coreOpts      []core.Option
+	batchHook     func() // test-only: runs at the head of every batch
+	durDir        string
+	flushInterval time.Duration
+	crash         *wal.CrashPlan // test-only: fault-injection schedule
 }
 
 // WithPolicy sets the routing policy (default HashByID).
@@ -123,14 +144,52 @@ func WithCoreOptions(opts ...core.Option) Option {
 // drained batch, letting tests stall a shard deterministically.
 func withBatchHook(f func()) Option { return func(c *config) { c.batchHook = f } }
 
-// request is one in-flight submission. Requests are pooled; done is a
-// 1-buffered channel so the shard's reply never blocks on the caller.
+// WithDurability makes every decision crash-durable: each shard writes a
+// write-ahead commitment log under dir and the verdict is only released
+// once its record is fsynced. dir must be fresh — a directory already
+// initialized by a previous service is refused; use Restore for that.
+// See the package comment's Durability section.
+func WithDurability(dir string) Option { return func(c *config) { c.durDir = dir } }
+
+// WithFlushInterval caps the WAL fsync rate: a commit arriving sooner
+// than d after the previous fsync waits out the remainder, during which
+// the shard queue backs up and the next commit group grows. 0 (default)
+// fsyncs every batch. Only meaningful with WithDurability.
+func WithFlushInterval(d time.Duration) Option { return func(c *config) { c.flushInterval = d } }
+
+// withCrashPlan installs a deterministic fault-injection schedule on
+// every shard's WAL and checkpoint path (test-only).
+func withCrashPlan(p *wal.CrashPlan) Option { return func(c *config) { c.crash = p } }
+
+// ctlOp distinguishes control requests from submissions on the shard
+// queue; riding the queue gives control ops the same total order as
+// decisions without any extra locking.
+type ctlOp int
+
+const (
+	ctlSubmit ctlOp = iota
+	ctlCheckpoint
+)
+
+// request is one in-flight submission or control op. Submission requests
+// are pooled; done is a 1-buffered channel so the shard's reply never
+// blocks on the caller. Under durability the shard parks the decision in
+// dec until the WAL group commits, then releases it.
 type request struct {
 	job  job.Job
-	done chan online.Decision
+	ctl  ctlOp
+	dec  online.Decision
+	done chan response
 }
 
-// Service is the sharded admission frontend. Construct with New.
+// response is a shard's reply to one request.
+type response struct {
+	dec online.Decision
+	err error
+}
+
+// Service is the sharded admission frontend. Construct with New, or
+// with Restore to resurrect a durable service after a crash.
 type Service struct {
 	m      int // machines per shard
 	eps    float64
@@ -138,8 +197,12 @@ type Service struct {
 	bp     Backpressure
 	shards []*shard
 	pool   sync.Pool
+	durDir string // "" when not durable
 
 	backpressure *obs.Counter
+	fsyncHist    *obs.Histogram
+	walRecords   *obs.Counter
+	walBytes     *obs.Counter
 
 	mu     sync.RWMutex // guards closed against concurrent Close
 	closed bool
@@ -156,6 +219,16 @@ type shard struct {
 	hook     func()
 	log      *shardLog // nil unless WithDecisionLog
 
+	// Durability (nil/zero unless WithDurability). wal and walErr are
+	// owned by the shard goroutine; base/baseMass are set once during
+	// Restore, before the goroutine starts.
+	wal      *wal.Writer
+	snapPath string
+	plan     *wal.CrashPlan
+	walErr   error       // sticky: a WAL failure poisons the shard
+	base     *core.State // checkpoint the restored scheduler started from
+	baseMass float64     // accepted mass covered by base
+
 	submitted atomic.Int64
 	accepted  atomic.Int64
 	rejected  atomic.Int64
@@ -168,18 +241,40 @@ type shard struct {
 	jobsTotal  *obs.Counter
 	queueGauge *obs.Gauge
 	batchHist  *obs.Histogram
+	walTotal   *obs.Counter
 }
 
 // New builds a Service with the given shard count, machines per shard,
 // and slack ε. Each shard owns an independent core.Threshold for (m, ε);
 // total machine capacity is therefore shards×m.
 func New(shards, m int, eps float64, opts ...Option) (*Service, error) {
-	if shards < 1 {
-		return nil, fmt.Errorf("serve: shards=%d must be ≥ 1", shards)
-	}
-	cfg := config{policy: HashByID(), queueDepth: 1024, batchSize: 64}
+	cfg := defaultConfig()
 	for _, o := range opts {
 		o(&cfg)
+	}
+	s, err := build(shards, m, eps, &cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.durDir != "" {
+		if err := s.initDurable(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	s.start()
+	return s, nil
+}
+
+func defaultConfig() config {
+	return config{policy: HashByID(), queueDepth: 1024, batchSize: 64}
+}
+
+// build constructs the service and its shards without starting the shard
+// goroutines, so New can initialize fresh durability and Restore can
+// rebuild state first.
+func build(shards, m int, eps float64, cfg *config) (*Service, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("serve: shards=%d must be ≥ 1", shards)
 	}
 	if cfg.queueDepth < 1 {
 		cfg.queueDepth = 1
@@ -192,11 +287,15 @@ func New(shards, m int, eps float64, opts ...Option) (*Service, error) {
 		eps:    eps,
 		policy: cfg.policy,
 		bp:     cfg.bp,
+		durDir: cfg.durDir,
 	}
 	s.pool.New = func() any {
-		return &request{done: make(chan online.Decision, 1)}
+		return &request{done: make(chan response, 1)}
 	}
 	s.backpressure = cfg.reg.Counter("serve_backpressure_total")
+	s.fsyncHist = cfg.reg.Histogram("serve_wal_fsync_seconds", obs.ExpBuckets(1e-6, 4, 12))
+	s.walRecords = cfg.reg.Counter("serve_wal_records_total")
+	s.walBytes = cfg.reg.Counter("serve_wal_bytes_total")
 	cfg.reg.Gauge("serve_shards").Set(float64(shards))
 	jobsVec := cfg.reg.CounterVec("serve_shard_jobs_total", "shard")
 	queueVec := cfg.reg.GaugeVec("serve_queue_depth", "shard")
@@ -217,18 +316,25 @@ func New(shards, m int, eps float64, opts ...Option) (*Service, error) {
 			jobsTotal:  jobsVec.With(fmt.Sprint(i)),
 			queueGauge: queueVec.With(fmt.Sprint(i)),
 			batchHist:  batchHist,
+			walTotal:   s.walRecords,
 		}
 		if cfg.log {
 			sh.log = &shardLog{}
 		}
 		s.shards[i] = sh
+	}
+	return s, nil
+}
+
+// start launches the shard goroutines; the service is live afterwards.
+func (s *Service) start() {
+	for _, sh := range s.shards {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
 			sh.run()
 		}()
 	}
-	return s, nil
 }
 
 // Shards returns the shard count.
@@ -246,7 +352,10 @@ func (s *Service) Policy() Policy { return s.policy }
 // Submit routes the job to its shard and blocks until that shard has
 // decided. It is safe from any number of goroutines. Under the Reject
 // backpressure policy a full shard queue returns ErrBackpressure
-// without admitting the job; after Close it returns ErrClosed.
+// without admitting the job; after Close it returns ErrClosed. Under
+// WithDurability the decision is returned only once it is fsynced to the
+// shard's commitment log, and a WAL failure returns the log error with
+// the shard poisoned against further submissions.
 func (s *Service) Submit(j job.Job) (online.Decision, error) {
 	idx := s.policy.Route(j, len(s.shards))
 	if idx < 0 || idx >= len(s.shards) {
@@ -255,6 +364,7 @@ func (s *Service) Submit(j job.Job) (online.Decision, error) {
 	sh := s.shards[idx]
 	req := s.pool.Get().(*request)
 	req.job = j
+	req.ctl = ctlSubmit
 
 	// The read lock pins the channels open: Close flips closed and
 	// closes them only under the write lock, which waits for every
@@ -281,19 +391,52 @@ func (s *Service) Submit(j job.Job) (online.Decision, error) {
 	}
 	s.mu.RUnlock()
 
-	dec := <-req.done
+	resp := <-req.done
 	s.pool.Put(req)
-	return dec, nil
+	return resp.dec, resp.err
+}
+
+// Checkpoint makes every shard write an atomic snapshot of its scheduler
+// state and counters, then truncate its commitment log — bounding both
+// log size and recovery time. It rides the shard queues, so it
+// serializes cleanly with concurrent Submits, and blocks until every
+// shard has checkpointed. It requires WithDurability; the first shard
+// error (if any) is returned.
+func (s *Service) Checkpoint() error {
+	if s.durDir == "" {
+		return ErrNotDurable
+	}
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return ErrClosed
+	}
+	// Control requests are not pooled: they are rare and carry no job.
+	reqs := make([]*request, len(s.shards))
+	for i, sh := range s.shards {
+		reqs[i] = &request{ctl: ctlCheckpoint, done: make(chan response, 1)}
+		sh.in <- reqs[i]
+	}
+	s.mu.RUnlock()
+	var first error
+	for _, req := range reqs {
+		if resp := <-req.done; resp.err != nil && first == nil {
+			first = resp.err
+		}
+	}
+	return first
 }
 
 // Close stops intake, drains every shard queue (every already-enqueued
-// submission still receives its decision), and waits for the shard
-// goroutines to exit. A second Close returns ErrClosed.
+// submission still receives its decision), waits for the shard
+// goroutines to exit, and closes the commitment logs. Close is
+// idempotent: a second call is a nil no-op, so `defer svc.Close()` after
+// an explicit Close is safe.
 func (s *Service) Close() error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return ErrClosed
+		return nil
 	}
 	s.closed = true
 	for _, sh := range s.shards {
@@ -301,7 +444,16 @@ func (s *Service) Close() error {
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
-	return nil
+	var first error
+	for _, sh := range s.shards {
+		if sh.wal == nil {
+			continue
+		}
+		if err := sh.wal.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // ShardSnapshot is a point-in-time view of one shard, read from
@@ -391,14 +543,63 @@ func (sh *shard) fill(batch []*request) ([]*request, bool) {
 }
 
 // process decides one batch. Only the shard goroutine calls it, so the
-// non-atomic reads of its own atomics' prior values are safe.
+// non-atomic reads of its own atomics' prior values are safe. Under
+// durability, replies are parked until the whole batch's WAL group
+// commits — one fsync amortized over the batch — and a control request
+// mid-batch first flushes everything decided so far.
 func (sh *shard) process(batch []*request) {
 	if sh.hook != nil {
 		sh.hook()
 	}
 	mass := math.Float64frombits(sh.acceptedMassBits.Load())
-	var accepted, rejected int64
+	var submitted, accepted, rejected int64
+
+	// publish pushes the batch-local accumulators into the shared
+	// atomics: submitted before the verdict counters, so a concurrent
+	// Snapshot can never observe accepted+rejected > submitted.
+	publish := func() {
+		sh.submitted.Add(submitted)
+		sh.acceptedMassBits.Store(math.Float64bits(mass))
+		sh.accepted.Add(accepted)
+		sh.rejected.Add(rejected)
+		submitted, accepted, rejected = 0, 0, 0
+	}
+
+	// pending holds requests whose decisions await the group commit.
+	var pending []*request
+	flush := func() {
+		if len(pending) == 0 {
+			return
+		}
+		err := sh.wal.Commit()
+		if err != nil {
+			sh.walErr = fmt.Errorf("serve: shard %d wal: %w", sh.id, err)
+		}
+		for _, r := range pending {
+			if err != nil {
+				r.done <- response{err: sh.walErr}
+			} else {
+				r.done <- response{dec: r.dec}
+			}
+		}
+		pending = pending[:0]
+	}
+
 	for _, r := range batch {
+		if r.ctl == ctlCheckpoint {
+			// The snapshot must cover every decision made so far: commit
+			// the open group and publish the accumulators first.
+			flush()
+			publish()
+			r.done <- response{err: sh.checkpoint()}
+			continue
+		}
+		if sh.walErr != nil {
+			// Poisoned: the log can no longer keep up with the scheduler,
+			// so refuse before the scheduler state advances.
+			r.done <- response{err: sh.walErr}
+			continue
+		}
 		j := r.job
 		// Arrival clamp: the job arrives at its shard no earlier than the
 		// shard clock. Concurrent submitters make no cross-goroutine
@@ -412,20 +613,28 @@ func (sh *shard) process(batch []*request) {
 		if sh.log != nil {
 			sh.log.append(j, dec)
 		}
+		submitted++
 		if dec.Accepted {
 			accepted++
 			mass += j.Proc
 		} else {
 			rejected++
 		}
-		r.done <- dec
+		if sh.wal == nil {
+			r.done <- response{dec: dec}
+			continue
+		}
+		if _, err := sh.wal.Append(j, dec); err != nil {
+			sh.walErr = fmt.Errorf("serve: shard %d wal: %w", sh.id, err)
+			r.done <- response{err: sh.walErr}
+			continue
+		}
+		sh.walTotal.Inc()
+		r.dec = dec
+		pending = append(pending, r)
 	}
-	// Publish submitted before the verdict counters so a concurrent
-	// Snapshot can never observe accepted+rejected > submitted.
-	sh.submitted.Add(int64(len(batch)))
-	sh.acceptedMassBits.Store(math.Float64bits(mass))
-	sh.accepted.Add(accepted)
-	sh.rejected.Add(rejected)
+	flush()
+	publish()
 	sh.batches.Add(1)
 	sh.outstandingBits.Store(math.Float64bits(sh.th.TotalLoad()))
 

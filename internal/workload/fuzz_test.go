@@ -1,0 +1,39 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzGenerators throws arbitrary — including hostile — Specs at every
+// workload family: any Eps (NaN, ±Inf, 0, 1e300), any spread, load and
+// seed. The contract under fuzz is the one the admission path depends
+// on: generators never panic, always emit exactly N jobs, and every
+// instance satisfies the slack condition for the *effective* (clamped)
+// ε. Before Spec.normalize guarded Eps, Bimodal's long = 1/ε turned
+// ε = 0 into an Inf-length job and a panic deep in Validate.
+func FuzzGenerators(f *testing.F) {
+	f.Add(uint8(0), 50, 0.1, 1.0, 2.0, 3, int64(1))
+	f.Add(uint8(1), 20, 0.0, 0.0, 0.0, 0, int64(42)) // Eps=0: the old panic
+	f.Add(uint8(2), 30, math.NaN(), -1.0, 1.5, 2, int64(7))
+	f.Add(uint8(3), 10, math.Inf(1), 0.5, 3.0, 1, int64(9))
+	f.Add(uint8(4), 25, 1e300, 2.0, 0.5, 4, int64(3))
+	f.Add(uint8(5), 40, -0.5, 1.0, 1.0, 2, int64(5))
+	f.Fuzz(func(t *testing.T, famIdx uint8, n int, eps, spread, load float64, m int, seed int64) {
+		if n < 0 || n > 200 {
+			t.Skip() // keep each execution cheap; hostility lives in the floats
+		}
+		if m > 1<<20 {
+			t.Skip()
+		}
+		fam := Families[int(famIdx)%len(Families)]
+		spec := Spec{N: n, Eps: eps, SlackSpread: spread, Load: load, M: m, Seed: seed}
+		inst := fam.Gen(spec) // must not panic, whatever the floats
+		if len(inst) != n {
+			t.Fatalf("%s: emitted %d jobs, want %d (spec %+v)", fam.Name, len(inst), n, spec)
+		}
+		if err := inst.Validate(spec.normalize().Eps); err != nil {
+			t.Fatalf("%s: invalid instance for effective eps: %v (spec %+v)", fam.Name, err, spec)
+		}
+	})
+}

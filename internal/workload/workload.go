@@ -23,7 +23,9 @@ type Spec struct {
 	// N is the number of jobs.
 	N int
 	// Eps is the guaranteed minimum slack ε ∈ (0, 1] (generators may give
-	// individual jobs more).
+	// individual jobs more). Non-positive, NaN, or absurdly large values
+	// are clamped to DefaultEps so no generator can divide by zero or
+	// emit infinite deadlines.
 	Eps float64
 	// SlackSpread is the width of the additional uniform slack on top of
 	// ε; 0 means every job is tight. Defaults to 1 when negative.
@@ -38,11 +40,33 @@ type Spec struct {
 	Seed int64
 }
 
+// DefaultEps replaces an unusable Spec.Eps. 0.1 sits in the paper's
+// interesting slack regime (small but not degenerate).
+const DefaultEps = 0.1
+
+// MaxEps caps Spec.Eps. The model itself only needs ε ≤ 1, but the
+// generators tolerate larger values; the cap exists because quantities
+// like Bimodal's 1/ε and deadline factors (1+ε)·p must stay finite —
+// ε = 1e300 would push deadlines to +Inf and panic finalize deep in
+// Validate.
+const MaxEps = 1e6
+
 func (s Spec) normalize() Spec {
-	if s.SlackSpread < 0 {
+	// Eps ≤ 0, NaN, or ±Inf would poison every generator arithmetic that
+	// touches it — Bimodal computes long = 1/ε before any other guard, so
+	// ε = 0 meant an Inf-length job and a panic in finalize. Clamp to the
+	// documented default instead; the condition is written so NaN (which
+	// fails every comparison) takes the clamp too.
+	if !(s.Eps > 0) || s.Eps > MaxEps {
+		s.Eps = DefaultEps
+	}
+	// The same NaN-proof shape guards the other float knobs: a negative
+	// or NaN load flips the inter-arrival gaps negative (jobs released
+	// at negative times), and a NaN spread poisons every deadline.
+	if !(s.SlackSpread >= 0) || s.SlackSpread > MaxEps {
 		s.SlackSpread = 1
 	}
-	if s.Load == 0 {
+	if !(s.Load > 0) || s.Load > MaxEps {
 		s.Load = 1.5
 	}
 	if s.M < 1 {

@@ -184,3 +184,27 @@ func TestQuickSlackHonoured(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestNormalizeClampsEps pins the Eps guard: generators must survive
+// any ε — before the clamp, Bimodal computed long = 1/ε first thing, so
+// ε = 0 emitted an Inf-length job and panicked in finalize.
+func TestNormalizeClampsEps(t *testing.T) {
+	for _, eps := range []float64{0, -1, math.NaN(), math.Inf(1), math.Inf(-1), 1e300} {
+		if got := (Spec{Eps: eps}).normalize().Eps; got != DefaultEps {
+			t.Errorf("normalize(Eps=%g).Eps = %g, want DefaultEps %g", eps, got, DefaultEps)
+		}
+		for _, fam := range Families {
+			inst := fam.Gen(Spec{N: 50, Eps: eps, M: 2, Seed: 1})
+			if len(inst) != 50 {
+				t.Fatalf("%s with eps=%g emitted %d jobs", fam.Name, eps, len(inst))
+			}
+			if err := inst.Validate(DefaultEps); err != nil {
+				t.Errorf("%s with eps=%g: %v", fam.Name, eps, err)
+			}
+		}
+	}
+	// Valid ε passes through untouched.
+	if got := (Spec{Eps: 0.37}).normalize().Eps; got != 0.37 {
+		t.Errorf("normalize clamped a valid eps to %g", got)
+	}
+}

@@ -37,6 +37,7 @@ package loadmax
 
 import (
 	"io"
+	"time"
 
 	"loadmax/internal/adversary"
 	"loadmax/internal/analysis"
@@ -219,6 +220,7 @@ const (
 var (
 	ErrBackpressure = serve.ErrBackpressure
 	ErrServeClosed  = serve.ErrClosed
+	ErrNotDurable   = serve.ErrNotDurable
 )
 
 // NewShardedService builds a sharded admission service: shards
@@ -259,6 +261,33 @@ func WithServeMetrics(reg *Metrics) ServeOption { return serve.WithMetrics(reg) 
 // WithServeDecisionLog records per-shard decision streams, enabling
 // ShardedService.VerifyReplay and ShardStream.
 func WithServeDecisionLog() ServeOption { return serve.WithDecisionLog() }
+
+// WithDurability makes every admission decision crash-durable: each
+// shard writes a write-ahead commitment log under dir and a verdict is
+// released only after its record is fsynced, so every acceptance a
+// caller has seen survives a process crash. Restore rebuilds the
+// service from the directory. dir must be fresh; an already-initialized
+// directory is refused.
+func WithDurability(dir string) ServeOption { return serve.WithDurability(dir) }
+
+// WithDurabilityFlushInterval caps the commitment-log fsync rate: a
+// commit arriving sooner than d after the previous fsync waits out the
+// remainder, growing the next commit group instead of syncing per tiny
+// batch. 0 (the default) fsyncs every batch.
+func WithDurabilityFlushInterval(d time.Duration) ServeOption {
+	return serve.WithFlushInterval(d)
+}
+
+// Restore rebuilds a durable ShardedService from its directory after a
+// crash or shutdown: each shard imports its latest checkpoint and
+// replays the commitment-log tail through the deterministic scheduler,
+// verifying every replayed decision against the logged one. The
+// restored service honors every previously returned acceptance and
+// decides future submissions exactly as the lost process would have.
+// Topology (shards, machines, ε) comes from the directory's manifest.
+func Restore(dir string, opts ...ServeOption) (*ShardedService, error) {
+	return serve.Restore(dir, opts...)
+}
 
 // --- Observability -------------------------------------------------------
 
