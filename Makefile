@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-submit bench-submit-smoke bench-serve bench-serve-smoke bench-recover bench-recover-smoke crash-smoke fuzz-smoke verify fmt vet experiments clean
+# Pinned so CI and local runs agree on the diagnostic set. 2024.1.1 is
+# the last line that supports the go.mod Go version; bump both together.
+STATICCHECK_VERSION ?= 2024.1.1
+
+.PHONY: all build test race bench bench-submit bench-submit-smoke bench-serve bench-serve-smoke bench-recover bench-recover-smoke bench-net bench-net-smoke net-smoke crash-smoke fuzz-smoke verify fmt vet staticcheck experiments clean
 
 all: build
 
@@ -56,6 +60,29 @@ bench-recover:
 bench-recover-smoke:
 	$(GO) run ./cmd/bench -mode recover -quick -check -out -
 
+# bench-net runs the network-serving sweep (client count × pipelining
+# depth against an in-process daemon on a loopback port) and writes
+# BENCH_net.json; see EXPERIMENTS.md §E17 for the schema. -check proves
+# every sweep point's networked decision stream bit-identical to a
+# sequential replay before anything is timed.
+bench-net:
+	$(GO) run ./cmd/bench -mode net -check -out BENCH_net.json
+
+# bench-net-smoke is the CI gate for the wire path: 1–2 clients, small
+# n, replay verification forced on. It fails on build errors, panics,
+# or a networked-stream/sequential-replay divergence — never on timing.
+bench-net-smoke:
+	$(GO) run ./cmd/bench -mode net -quick -check -out -
+
+# net-smoke is the daemon integration gate: the netserve suite under the
+# race detector — N concurrent pipelining clients against a live TCP
+# daemon, overload shedding, verdict timeouts, slow-client disconnects,
+# graceful drain, and the kill-and-Restore replay proof. Outcomes are
+# deterministic (gated admission, net.Pipe clients); nothing asserts on
+# wall-clock timing.
+net-smoke:
+	$(GO) test -race -count=1 -run 'TestNet' ./internal/netserve/
+
 # crash-smoke runs the deterministic crash-fault matrix under the race
 # detector: the WAL writer is killed at each of the six kill points
 # (including torn mid-fsync writes) and the recovered service must honor
@@ -76,7 +103,7 @@ fuzz-smoke:
 # verify is the CI gate: formatting, static checks, a full build and the
 # race-enabled test suite (which includes the zero-alloc observability
 # guard in bench_obs_test.go).
-verify: fmt vet build race
+verify: fmt vet staticcheck build race
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -86,6 +113,17 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck runs the pinned honnef.co linter when the binary is on
+# PATH and degrades to a notice when it is not (the repo adds no module
+# dependencies, so the tool is never fetched implicitly). CI installs
+# the pinned version explicitly.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI pins $(STATICCHECK_VERSION))"; \
+	fi
 
 experiments:
 	$(GO) run ./cmd/experiments -quick

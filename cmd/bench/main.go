@@ -1,4 +1,4 @@
-// Command bench is the reproducible benchmark runner. It has three
+// Command bench is the reproducible benchmark runner. It has four
 // modes:
 //
 //   - submit (ISSUE 2): sweeps the machine count m for both core
@@ -12,8 +12,13 @@
 //     serve.Restore — with and without a mid-stream checkpoint — and
 //     emits BENCH_recover.json (recovery wall time, records replayed
 //     per second, log bytes).
+//   - net (ISSUE 5): sweeps client count × pipelining depth against an
+//     in-process loadmax daemon on a loopback port and emits
+//     BENCH_net.json (wire jobs/sec, p50/p99 round-trip latency).
 //
-// All schemas are documented in EXPERIMENTS.md.
+// All schemas are documented in EXPERIMENTS.md. Every report carries a
+// "meta" stamp (go version, GOMAXPROCS, commit hash) so numbers stay
+// comparable across hosts and revisions.
 //
 // With -check, every sweep point is first verified before anything is
 // timed — lockstep engine equivalence in submit mode, per-shard
@@ -28,6 +33,8 @@
 //	go run ./cmd/bench -mode serve -quick -check -out - # CI smoke for the serving layer
 //	go run ./cmd/bench -mode recover -check             # recovery sweep → BENCH_recover.json
 //	go run ./cmd/bench -mode recover -quick -check -out - # CI smoke for recovery
+//	go run ./cmd/bench -mode net -check                 # network sweep → BENCH_net.json
+//	go run ./cmd/bench -mode net -quick -check -out -   # CI smoke for the wire path
 package main
 
 import (
@@ -35,6 +42,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"slices"
 	"strconv"
 	"strings"
 	"testing"
@@ -67,9 +75,14 @@ type sweepPoint struct {
 type report struct {
 	Benchmark     string         `json:"benchmark"`
 	SchemaVersion int            `json:"schema_version"`
+	Meta          runMeta        `json:"meta"`
 	Workload      workloadParams `json:"workload"`
 	Results       []sweepPoint   `json:"results"`
 }
+
+// knownModes is the authoritative -mode list; keep it in sync with the
+// dispatch in main and the doc comment above.
+var knownModes = []string{"submit", "serve", "recover", "net"}
 
 type workloadParams struct {
 	Family string  `json:"family"`
@@ -81,7 +94,7 @@ type workloadParams struct {
 
 func main() {
 	var (
-		mode   = flag.String("mode", "submit", "benchmark mode: submit (engine latency sweep) or serve (sharded service throughput)")
+		mode   = flag.String("mode", "submit", "benchmark mode: "+strings.Join(knownModes, ", "))
 		out    = flag.String("out", "", "output file for the JSON report ('-' = stdout only; default BENCH_<mode>.json)")
 		mList  = flag.String("m", "2,8,64,512,4096", "submit: comma-separated machine counts to sweep")
 		n      = flag.Int("n", 20000, "jobs per run")
@@ -103,6 +116,11 @@ func main() {
 
 		recordsList   = flag.String("records", "1000,5000,20000", "recover: comma-separated commitment-log lengths to sweep")
 		recoverShards = flag.Int("recover-shards", 2, "recover: shard count of the durable service")
+
+		clientsList  = flag.String("clients", "1,2,4,8", "net: comma-separated client counts to sweep")
+		pipelineList = flag.String("pipeline", "1,4,16", "net: comma-separated pipelining depths to sweep")
+		netShards    = flag.Int("net-shards", 4, "net: shard count of the daemon")
+		netWindow    = flag.Int("net-window", 256, "net: per-connection in-flight window")
 	)
 	flag.Parse()
 	if *fams {
@@ -110,6 +128,10 @@ func main() {
 			fmt.Println(f.Name)
 		}
 		return
+	}
+	if !slices.Contains(knownModes, *mode) {
+		fmt.Fprintf(os.Stderr, "bench: unknown -mode %q (known modes: %s)\n", *mode, strings.Join(knownModes, ", "))
+		os.Exit(2)
 	}
 	if *mode == "serve" {
 		if *out == "" {
@@ -141,9 +163,21 @@ func main() {
 		}
 		return
 	}
-	if *mode != "submit" {
-		fmt.Fprintf(os.Stderr, "bench: unknown mode %q (want submit, serve or recover)\n", *mode)
-		os.Exit(2)
+	if *mode == "net" {
+		if *out == "" {
+			*out = "BENCH_net.json"
+		}
+		cfg := netConfig{
+			out: *out, clients: *clientsList, pipeline: *pipelineList,
+			n: *n, family: *family, eps: *eps, load: *load, seed: *seed,
+			shards: *netShards, machines: *serveM,
+			queueDepth: *queueDepth, batchSize: *batchSize,
+			window: *netWindow, quick: *quick, check: *check,
+		}
+		if err := runNet(cfg); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	if *out == "" {
 		*out = "BENCH_submit.json"
@@ -168,6 +202,7 @@ func main() {
 	rep := report{
 		Benchmark:     "submit",
 		SchemaVersion: 1,
+		Meta:          collectMeta(),
 		Workload:      workloadParams{Family: fam.Name, N: *n, Eps: *eps, Load: *load, Seed: *seed},
 	}
 	fmt.Printf("%-6s %-5s %14s %14s %9s %s\n", "m", "k", "naive ns/op", "incr ns/op", "speedup", "allocs (naive/incr)")

@@ -1,0 +1,73 @@
+package main
+
+// Run metadata stamped into every BENCH_*.json report so perf
+// trajectories stay comparable across hosts and commits. Added as a
+// single new "meta" field; all pre-existing report fields are stable.
+
+import (
+	"os/exec"
+	"runtime"
+	"runtime/debug"
+	"strings"
+)
+
+// runMeta identifies the environment a benchmark report came from.
+type runMeta struct {
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	// Commit is the repository HEAD at run time ("unknown" outside a
+	// checkout), with a "-dirty" suffix when the worktree had local
+	// modifications.
+	Commit string `json:"commit"`
+}
+
+// collectMeta gathers the stamp. GOMAXPROCS is read at call time, so
+// sweeps that change it should collect the stamp first.
+func collectMeta() runMeta {
+	return runMeta{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Commit:     commitHash(),
+	}
+}
+
+// commitHash resolves the source revision: VCS stamping from the build
+// info when present (go build of a tagged main package), else git
+// directly (the `go run` path), else "unknown".
+func commitHash() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		var rev, modified string
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				modified = s.Value
+			}
+		}
+		if rev != "" {
+			if modified == "true" {
+				rev += "-dirty"
+			}
+			return rev
+		}
+	}
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	rev := strings.TrimSpace(string(out))
+	if rev == "" {
+		return "unknown"
+	}
+	if err := exec.Command("git", "diff", "--quiet", "HEAD").Run(); err != nil {
+		rev += "-dirty"
+	}
+	return rev
+}

@@ -1,0 +1,289 @@
+package main
+
+// The net benchmark mode (ISSUE 5): measure the network admission path
+// end-to-end. An in-process loadmax daemon (serve.Service fronted by
+// netserve.Server) listens on a loopback port; the sweep varies client
+// count × per-client pipelining depth and reports wire throughput and
+// round-trip verdict latency. With -check, each sweep point first runs
+// the workload through a decision-logged service and proves every
+// shard's networked decision stream bit-identical to a sequential
+// replay (VerifyReplay); the timed pass then runs log-free.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"loadmax/internal/job"
+	"loadmax/internal/netserve"
+	"loadmax/internal/obs"
+	"loadmax/internal/serve"
+	"loadmax/internal/workload"
+)
+
+type netConfig struct {
+	out        string
+	clients    string // comma-separated client counts
+	pipeline   string // comma-separated pipelining depths
+	n          int
+	family     string
+	eps        float64
+	load       float64
+	seed       int64
+	shards     int
+	machines   int
+	queueDepth int
+	batchSize  int
+	window     int
+	quick      bool
+	check      bool
+}
+
+// netPoint is one (clients, pipeline) sweep point.
+type netPoint struct {
+	Clients  int `json:"clients"`
+	Pipeline int `json:"pipeline"` // concurrent submitters per client
+	Jobs     int `json:"jobs"`
+
+	WallSeconds  float64 `json:"wall_seconds"`
+	JobsPerSec   float64 `json:"jobs_per_sec"`
+	P50SubmitNs  float64 `json:"p50_submit_ns"`
+	P99SubmitNs  float64 `json:"p99_submit_ns"`
+	Accepted     int64   `json:"accepted"`
+	AcceptedMass float64 `json:"accepted_mass"`
+	Shed         int64   `json:"shed"`
+
+	EquivalenceChecked bool `json:"equivalence_checked"`
+}
+
+// netReport is the full BENCH_net.json document.
+type netReport struct {
+	Benchmark        string         `json:"benchmark"`
+	SchemaVersion    int            `json:"schema_version"`
+	Meta             runMeta        `json:"meta"`
+	NumCPU           int            `json:"num_cpu"`
+	Shards           int            `json:"shards"`
+	MachinesPerShard int            `json:"machines_per_shard"`
+	Window           int            `json:"window"`
+	QueueDepth       int            `json:"queue_depth"`
+	BatchSize        int            `json:"batch_size"`
+	Workload         workloadParams `json:"workload"`
+	Results          []netPoint     `json:"results"`
+}
+
+func runNet(cfg netConfig) error {
+	if cfg.quick {
+		cfg.clients = "1,2"
+		cfg.pipeline = "1,4"
+		if cfg.n > 4000 {
+			cfg.n = 4000
+		}
+		cfg.check = true
+	}
+	fam, ok := workload.ByName(cfg.family)
+	if !ok {
+		return fmt.Errorf("unknown workload family %q", cfg.family)
+	}
+	clientCounts, err := parseInts(cfg.clients)
+	if err != nil {
+		return fmt.Errorf("bad -clients list: %w", err)
+	}
+	pipelines, err := parseInts(cfg.pipeline)
+	if err != nil {
+		return fmt.Errorf("bad -pipeline list: %w", err)
+	}
+	inst := fam.Gen(workload.Spec{
+		N: cfg.n, Eps: cfg.eps, M: cfg.shards * cfg.machines, Load: cfg.load, Seed: cfg.seed,
+	})
+	rep := netReport{
+		Benchmark:        "net",
+		SchemaVersion:    1,
+		Meta:             collectMeta(),
+		NumCPU:           runtime.NumCPU(),
+		Shards:           cfg.shards,
+		MachinesPerShard: cfg.machines,
+		Window:           cfg.window,
+		QueueDepth:       cfg.queueDepth,
+		BatchSize:        cfg.batchSize,
+		Workload: workloadParams{
+			Family: fam.Name, N: cfg.n, Eps: cfg.eps, Load: cfg.load, Seed: cfg.seed,
+		},
+	}
+
+	fmt.Printf("%-8s %-9s %12s %12s %12s %10s %6s\n",
+		"clients", "pipeline", "jobs/sec", "p50 ns", "p99 ns", "accepted", "shed")
+	for _, clients := range clientCounts {
+		for _, pipeline := range pipelines {
+			pt, err := runNetPoint(cfg, inst, clients, pipeline)
+			if err != nil {
+				return err
+			}
+			rep.Results = append(rep.Results, pt)
+			fmt.Printf("%-8d %-9d %12.0f %12.0f %12.0f %10d %6d\n",
+				pt.Clients, pt.Pipeline, pt.JobsPerSec,
+				pt.P50SubmitNs, pt.P99SubmitNs, pt.Accepted, pt.Shed)
+		}
+	}
+
+	blob, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if cfg.out == "-" {
+		os.Stdout.Write(blob)
+		return nil
+	}
+	if err := os.WriteFile(cfg.out, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", cfg.out)
+	return nil
+}
+
+// runNetPoint measures one sweep point against a fresh daemon on a
+// loopback port. The -check pass runs first on a decision-logged
+// service; the timed pass runs log-free so verification cost never
+// pollutes the numbers.
+func runNetPoint(cfg netConfig, inst job.Instance, clients, pipeline int) (netPoint, error) {
+	pt := netPoint{Clients: clients, Pipeline: pipeline, Jobs: len(inst)}
+
+	if cfg.check {
+		svc, srv, err := startNetDaemon(cfg, nil, serve.WithDecisionLog())
+		if err != nil {
+			return pt, err
+		}
+		if _, err := driveNet(srv.Addr().String(), inst, clients, pipeline, nil); err != nil {
+			return pt, err
+		}
+		if err := srv.Close(); err != nil {
+			return pt, err
+		}
+		if err := svc.Close(); err != nil {
+			return pt, err
+		}
+		if err := svc.VerifyReplay(); err != nil {
+			return pt, fmt.Errorf("net equivalence at clients=%d pipeline=%d: %w", clients, pipeline, err)
+		}
+		pt.EquivalenceChecked = true
+	}
+
+	reg := obs.NewRegistry()
+	svc, srv, err := startNetDaemon(cfg, reg)
+	if err != nil {
+		return pt, err
+	}
+	latencies := make([]int64, 0, len(inst))
+	start := time.Now()
+	lat, err := driveNet(srv.Addr().String(), inst, clients, pipeline, latencies)
+	if err != nil {
+		return pt, err
+	}
+	wall := time.Since(start)
+	if err := srv.Close(); err != nil {
+		return pt, err
+	}
+	snaps := svc.Snapshot()
+	pt.AcceptedMass = svc.AcceptedMass()
+	if err := svc.Close(); err != nil {
+		return pt, err
+	}
+	for _, s := range snaps {
+		pt.Accepted += s.Accepted
+	}
+	pt.Shed = reg.Counter("netserve_shed_total").Value()
+	pt.WallSeconds = wall.Seconds()
+	if pt.WallSeconds > 0 {
+		pt.JobsPerSec = float64(len(inst)) / pt.WallSeconds
+	}
+	sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
+	pt.P50SubmitNs = percentile(lat, 0.50)
+	pt.P99SubmitNs = percentile(lat, 0.99)
+	return pt, nil
+}
+
+func startNetDaemon(cfg netConfig, reg *obs.Registry, extra ...serve.Option) (*serve.Service, *netserve.Server, error) {
+	opts := append([]serve.Option{
+		serve.WithQueueDepth(cfg.queueDepth),
+		serve.WithBatchSize(cfg.batchSize),
+	}, extra...)
+	svc, err := serve.New(cfg.shards, cfg.machines, cfg.eps, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv, err := netserve.Serve(svc, "127.0.0.1:0",
+		netserve.WithWindow(cfg.window),
+		netserve.WithServerMetrics(reg))
+	if err != nil {
+		svc.Close()
+		return nil, nil, err
+	}
+	return svc, srv, nil
+}
+
+// driveNet fans inst over clients×pipeline concurrent wire streams
+// (striped by index so each stream stays release-ordered). Shed
+// verdicts are retried after a brief backoff — overload protection is
+// retryable by contract — so every job ends in a real decision. When
+// lat is non-nil it returns one round-trip latency sample per job.
+func driveNet(addr string, inst job.Instance, clients, pipeline int, lat []int64) ([]int64, error) {
+	streams := clients * pipeline
+	var latMu sync.Mutex
+	var wg sync.WaitGroup
+	errs := make([]error, streams)
+	pool := make([]*netserve.Client, clients)
+	for c := range pool {
+		cl, err := netserve.Dial(addr, netserve.WithConns(1))
+		if err != nil {
+			return lat, err
+		}
+		defer cl.Close()
+		pool[c] = cl
+	}
+	for c := 0; c < clients; c++ {
+		for p := 0; p < pipeline; p++ {
+			wg.Add(1)
+			go func(cl *netserve.Client, stream int) {
+				defer wg.Done()
+				var local []int64
+				if lat != nil {
+					local = make([]int64, 0, len(inst)/streams+1)
+				}
+				for i := stream; i < len(inst); i += streams {
+					for {
+						t0 := time.Now()
+						_, err := cl.SubmitTimeout(inst[i], 30*time.Second)
+						if err == nil {
+							if lat != nil {
+								local = append(local, time.Since(t0).Nanoseconds())
+							}
+							break
+						}
+						if err == netserve.ErrShed {
+							time.Sleep(50 * time.Microsecond)
+							continue
+						}
+						errs[stream] = fmt.Errorf("stream %d job %d: %w", stream, inst[i].ID, err)
+						return
+					}
+				}
+				if lat != nil {
+					latMu.Lock()
+					lat = append(lat, local...)
+					latMu.Unlock()
+				}
+			}(pool[c], c*pipeline+p)
+		}
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return lat, err
+		}
+	}
+	return lat, nil
+}

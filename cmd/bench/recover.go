@@ -50,6 +50,7 @@ type recoverPoint struct {
 type recoverReport struct {
 	Benchmark        string         `json:"benchmark"`
 	SchemaVersion    int            `json:"schema_version"`
+	Meta             runMeta        `json:"meta"`
 	Shards           int            `json:"shards"`
 	MachinesPerShard int            `json:"machines_per_shard"`
 	Workload         workloadParams `json:"workload"`
@@ -71,6 +72,7 @@ func runRecover(cfg recoverConfig) error {
 	rep := recoverReport{
 		Benchmark:        "recover",
 		SchemaVersion:    1,
+		Meta:             collectMeta(),
 		Shards:           cfg.shards,
 		MachinesPerShard: cfg.machines,
 		Workload:         workloadParams{Family: fam.Name, Eps: cfg.eps, Load: cfg.load, Seed: cfg.seed},

@@ -69,6 +69,7 @@ type servePoint struct {
 type serveReport struct {
 	Benchmark        string         `json:"benchmark"`
 	SchemaVersion    int            `json:"schema_version"`
+	Meta             runMeta        `json:"meta"`
 	NumCPU           int            `json:"num_cpu"`
 	Policy           string         `json:"policy"`
 	MachinesPerShard int            `json:"machines_per_shard"`
@@ -120,9 +121,11 @@ func runServe(cfg serveConfig) error {
 	inst := fam.Gen(workload.Spec{
 		N: cfg.n, Eps: cfg.eps, M: cfg.machines, Load: cfg.load, Seed: cfg.seed,
 	})
+	// Stamp before the sweep: -procs points mutate GOMAXPROCS.
 	rep := serveReport{
 		Benchmark:        "serve",
 		SchemaVersion:    1,
+		Meta:             collectMeta(),
 		NumCPU:           runtime.NumCPU(),
 		Policy:           cfg.policy,
 		MachinesPerShard: cfg.machines,

@@ -1,0 +1,171 @@
+// Command loadmaxd is the loadmax admission daemon: it fronts a sharded
+// (optionally crash-durable) serve.Service with the netserve wire
+// protocol, turning the paper's immediate-commitment model into a
+// network RPC — a client submits (r, p, d) and the reply, sent only
+// after the decision is recorded, is the irrevocable commitment.
+//
+// Usage:
+//
+//	loadmaxd -addr :7133 -shards 8 -machines 64 -eps 0.1
+//	loadmaxd -durable /var/lib/loadmax -checkpoint-interval 30s
+//	loadmaxd -addr 127.0.0.1:0 -metrics-out metrics.json
+//
+// With -durable, a directory that already holds a service is restored
+// (topology comes from its manifest and -shards/-machines/-eps are
+// ignored); a fresh directory starts a new durable service. On SIGINT/
+// SIGTERM the daemon drains connections gracefully, checkpoints durable
+// state to bound the next recovery, closes the service, and (with
+// -metrics-out) writes a final metrics snapshot.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"loadmax/internal/netserve"
+	"loadmax/internal/obs"
+	"loadmax/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":7133", "TCP listen address (\":0\" picks a free port)")
+		shards   = flag.Int("shards", 4, "shard count (ignored when restoring a durable dir)")
+		machines = flag.Int("machines", 64, "machines per shard (ignored when restoring)")
+		eps      = flag.Float64("eps", 0.1, "slack ε (ignored when restoring)")
+		policy   = flag.String("policy", "hash-by-id", "routing policy: hash-by-id, length-class, round-robin")
+		queue    = flag.Int("queue", 1024, "per-shard submission queue depth")
+		batch    = flag.Int("batch", 64, "max submissions a shard drains per batch")
+
+		durable  = flag.String("durable", "", "durability directory (empty = in-memory only)")
+		flushIv  = flag.Duration("flush-interval", 0, "WAL fsync-rate cap (0 = fsync every batch)")
+		ckptIv   = flag.Duration("checkpoint-interval", 0, "periodic checkpoint interval (0 = only at shutdown; requires -durable)")
+		window   = flag.Int("window", 256, "per-connection in-flight window")
+		inflight = flag.Int("max-inflight", 4096, "server-wide in-flight cap before shedding")
+		wtimeout = flag.Duration("write-timeout", 10*time.Second, "slow-client disconnect threshold")
+		metOut   = flag.String("metrics-out", "", "write a JSON metrics snapshot here on shutdown (\"-\" = stdout)")
+	)
+	flag.Parse()
+	if *ckptIv > 0 && *durable == "" {
+		fatal(errors.New("-checkpoint-interval requires -durable"))
+	}
+
+	reg := obs.NewRegistry()
+	svcOpts := []serve.Option{
+		serve.WithMetrics(reg),
+		serve.WithQueueDepth(*queue),
+		serve.WithBatchSize(*batch),
+	}
+	switch *policy {
+	case "hash-by-id":
+		svcOpts = append(svcOpts, serve.WithPolicy(serve.HashByID()))
+	case "length-class":
+		svcOpts = append(svcOpts, serve.WithPolicy(serve.LengthClass()))
+	case "round-robin":
+		svcOpts = append(svcOpts, serve.WithPolicy(serve.RoundRobin()))
+	default:
+		fatal(fmt.Errorf("unknown routing policy %q (want hash-by-id, length-class or round-robin)", *policy))
+	}
+	if *flushIv > 0 {
+		svcOpts = append(svcOpts, serve.WithFlushInterval(*flushIv))
+	}
+
+	svc, err := openService(*durable, *shards, *machines, *eps, svcOpts)
+	if err != nil {
+		fatal(err)
+	}
+
+	srv, err := netserve.Serve(svc, *addr,
+		netserve.WithServerMetrics(reg),
+		netserve.WithWindow(*window),
+		netserve.WithMaxInflight(*inflight),
+		netserve.WithWriteTimeout(*wtimeout))
+	if err != nil {
+		svc.Close()
+		fatal(err)
+	}
+	fmt.Printf("loadmaxd: serving %d shards × %d machines (ε=%g) on %s\n",
+		svc.Shards(), svc.Machines(), svc.Eps(), srv.Addr())
+
+	stopCkpt := make(chan struct{})
+	if *ckptIv > 0 {
+		go func() {
+			t := time.NewTicker(*ckptIv)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					if err := svc.Checkpoint(); err != nil && !errors.Is(err, serve.ErrClosed) {
+						fmt.Fprintln(os.Stderr, "loadmaxd: checkpoint:", err)
+					}
+				case <-stopCkpt:
+					return
+				}
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	fmt.Printf("loadmaxd: %v — draining\n", s)
+	close(stopCkpt)
+
+	if err := srv.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "loadmaxd: drain:", err)
+	}
+	if *durable != "" {
+		// Bound the next recovery: snapshot and truncate the logs while
+		// the service is still live (Checkpoint rides the shard queues).
+		if err := svc.Checkpoint(); err != nil {
+			fmt.Fprintln(os.Stderr, "loadmaxd: final checkpoint:", err)
+		}
+	}
+	if err := svc.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "loadmaxd: close:", err)
+	}
+	if *metOut != "" {
+		if err := writeMetrics(reg, *metOut); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// openService restores dir when it already holds a durable service,
+// starts a fresh (durable or in-memory) one otherwise.
+func openService(dir string, shards, machines int, eps float64, opts []serve.Option) (*serve.Service, error) {
+	if dir == "" {
+		return serve.New(shards, machines, eps, opts...)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "manifest.json")); err == nil {
+		fmt.Printf("loadmaxd: restoring durable service from %s\n", dir)
+		return serve.Restore(dir, opts...)
+	}
+	return serve.New(shards, machines, eps, append(opts, serve.WithDurability(dir))...)
+}
+
+func writeMetrics(reg *obs.Registry, path string) error {
+	if path == "-" {
+		return reg.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "loadmaxd:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,378 @@
+package netserve
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"loadmax/internal/job"
+	"loadmax/internal/online"
+)
+
+// Typed client errors. Algorithmic rejection is NOT an error: a job the
+// scheduler turned down returns (Decision{Accepted: false}, nil). Errors
+// mean the question never got an algorithmic answer.
+var (
+	// ErrShed reports that the server refused the request under
+	// overload (global in-flight cap, connection window, or shard-queue
+	// backpressure). Nothing was committed; the caller may retry.
+	ErrShed = errors.New("netserve: request shed (server overloaded)")
+	// ErrTimeout reports that the per-call timeout expired before a
+	// verdict arrived. The request may still be decided server-side —
+	// the caller must treat the outcome as unknown, exactly as with any
+	// RPC timeout.
+	ErrTimeout = errors.New("netserve: request timed out awaiting verdict")
+	// ErrClientClosed reports a Submit after Close.
+	ErrClientClosed = errors.New("netserve: client closed")
+)
+
+// RemoteError is a server-side failure relayed over the wire (service
+// closed, WAL poisoned). The request was not decided.
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return "netserve: server error: " + e.Msg }
+
+// TransportError is a network-layer failure: the connection died (or
+// could not be established) and the verdict, if any, was lost.
+type TransportError struct {
+	Op  string
+	Err error
+}
+
+func (e *TransportError) Error() string { return "netserve: " + e.Op + ": " + e.Err.Error() }
+func (e *TransportError) Unwrap() error { return e.Err }
+
+// DialOption configures a Client.
+type DialOption func(*dialConfig)
+
+type dialConfig struct {
+	conns       int
+	timeout     time.Duration
+	dialTimeout time.Duration
+}
+
+func defaultDialConfig() dialConfig {
+	return dialConfig{conns: 1, timeout: 30 * time.Second, dialTimeout: 10 * time.Second}
+}
+
+// WithConns sets the connection-pool size (default 1). Submissions are
+// spread round-robin; each connection multiplexes up to the server's
+// advertised window of concurrent requests.
+func WithConns(n int) DialOption { return func(c *dialConfig) { c.conns = n } }
+
+// WithTimeout sets the default per-call verdict timeout (default 30s);
+// SubmitTimeout overrides it per call.
+func WithTimeout(d time.Duration) DialOption { return func(c *dialConfig) { c.timeout = d } }
+
+// WithDialTimeout bounds connection establishment and the handshake
+// (default 10s).
+func WithDialTimeout(d time.Duration) DialOption { return func(c *dialConfig) { c.dialTimeout = d } }
+
+// Client is a pooled, pipelining connection to a loadmax daemon. It is
+// safe for concurrent use: requests are multiplexed over each
+// connection by request id, so many goroutines can have submissions in
+// flight at once (that is where the throughput comes from — one
+// round-trip per request, but many overlapping rounds).
+type Client struct {
+	cfg   dialConfig
+	conns []*clientConn
+	rr    atomic.Uint64
+
+	mu     sync.Mutex
+	closed bool
+
+	ack helloAck // topology from the first connection's handshake
+}
+
+// Dial connects to a loadmax daemon at addr and performs the protocol
+// handshake on every pooled connection.
+func Dial(addr string, opts ...DialOption) (*Client, error) {
+	cfg := defaultDialConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.conns < 1 {
+		cfg.conns = 1
+	}
+	c := &Client{cfg: cfg}
+	for i := 0; i < cfg.conns; i++ {
+		cc, ack, err := dialConn(addr, cfg)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.conns = append(c.conns, cc)
+		c.ack = ack
+	}
+	return c, nil
+}
+
+// Shards returns the serving topology's shard count, learned in the
+// handshake.
+func (c *Client) Shards() int { return int(c.ack.Shards) }
+
+// Machines returns the machines per shard, learned in the handshake.
+func (c *Client) Machines() int { return int(c.ack.Machines) }
+
+// Eps returns the slack ε the service runs with, learned in the
+// handshake.
+func (c *Client) Eps() float64 { return c.ack.Eps }
+
+// Window returns the per-connection in-flight window the server
+// enforces; the client self-limits to it.
+func (c *Client) Window() int { return int(c.ack.Window) }
+
+// Submit sends the job and blocks until its verdict arrives (or the
+// default timeout expires). See SubmitTimeout for the error contract.
+func (c *Client) Submit(j job.Job) (online.Decision, error) {
+	return c.SubmitTimeout(j, c.cfg.timeout)
+}
+
+// SubmitTimeout sends the job with a per-call verdict deadline.
+//
+//	accepted   → (Decision{Accepted: true, Machine, Start}, nil)
+//	rejected   → (Decision{Accepted: false}, nil)     // algorithmic, final
+//	overload   → ErrShed                              // retryable, never submitted
+//	timeout    → ErrTimeout                           // outcome unknown
+//	server err → *RemoteError
+//	conn err   → *TransportError
+func (c *Client) SubmitTimeout(j job.Job, timeout time.Duration) (online.Decision, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return online.Decision{}, ErrClientClosed
+	}
+	c.mu.Unlock()
+
+	cc := c.pick()
+	if cc == nil {
+		return online.Decision{}, &TransportError{Op: "submit", Err: errors.New("no live connections")}
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+
+	// Respect the server's window so a conforming client is never shed
+	// for exceeding it: acquire a slot or time out waiting for one.
+	select {
+	case cc.sem <- struct{}{}:
+	case <-timer.C:
+		return online.Decision{}, ErrTimeout
+	case <-cc.dead:
+		return online.Decision{}, cc.transportErr()
+	}
+	defer func() { <-cc.sem }()
+
+	id, ch := cc.register()
+	if err := cc.send(appendSubmit(nil, submitFrame{ID: id, Job: j})); err != nil {
+		cc.unregister(id)
+		return online.Decision{}, err
+	}
+	select {
+	case v := <-ch:
+		return mapVerdict(j, v)
+	case <-timer.C:
+		cc.unregister(id) // a late verdict for this id is discarded
+		return online.Decision{}, ErrTimeout
+	case <-cc.dead:
+		cc.unregister(id)
+		return online.Decision{}, cc.transportErr()
+	}
+}
+
+// mapVerdict translates a wire verdict into the client contract.
+func mapVerdict(j job.Job, v verdictFrame) (online.Decision, error) {
+	switch v.Status {
+	case statusAccept:
+		return online.Decision{JobID: j.ID, Accepted: true, Machine: int(v.Machine), Start: v.Start}, nil
+	case statusReject:
+		return online.Decision{JobID: j.ID}, nil
+	case statusShed:
+		return online.Decision{}, ErrShed
+	case statusError:
+		return online.Decision{}, &RemoteError{Msg: v.Msg}
+	default:
+		return online.Decision{}, &TransportError{Op: "verdict", Err: fmt.Errorf("unknown status %d", v.Status)}
+	}
+}
+
+// pick chooses a live connection round-robin; a dead connection is
+// skipped so the pool degrades instead of failing while any peer lives.
+func (c *Client) pick() *clientConn {
+	n := len(c.conns)
+	start := int(c.rr.Add(1))
+	for i := 0; i < n; i++ {
+		cc := c.conns[(start+i)%n]
+		if !cc.isDead() {
+			return cc
+		}
+	}
+	return nil
+}
+
+// Close tears down every pooled connection. In-flight submissions
+// return a *TransportError.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	var first error
+	for _, cc := range c.conns {
+		if err := cc.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// clientConn is one multiplexed connection: a single reader goroutine
+// routes verdict frames to waiting callers by request id.
+type clientConn struct {
+	nc  net.Conn
+	sem chan struct{} // server-window slots
+
+	wmu sync.Mutex
+	bw  *bufio.Writer
+
+	pmu     sync.Mutex
+	pending map[uint64]chan verdictFrame
+	nextID  uint64
+	err     error // sticky transport error
+
+	dead     chan struct{}
+	deadOnce sync.Once
+}
+
+func dialConn(addr string, cfg dialConfig) (*clientConn, helloAck, error) {
+	nc, err := net.DialTimeout("tcp", addr, cfg.dialTimeout)
+	if err != nil {
+		return nil, helloAck{}, &TransportError{Op: "dial " + addr, Err: err}
+	}
+	nc.SetDeadline(time.Now().Add(cfg.dialTimeout))
+	if _, err := nc.Write(appendHello(nil)); err != nil {
+		nc.Close()
+		return nil, helloAck{}, &TransportError{Op: "handshake", Err: err}
+	}
+	br := bufio.NewReaderSize(nc, 32<<10)
+	payload, err := readFrame(br)
+	if err != nil {
+		nc.Close()
+		return nil, helloAck{}, &TransportError{Op: "handshake", Err: err}
+	}
+	ack, err := decodeHelloAck(payload)
+	if err != nil {
+		nc.Close()
+		return nil, helloAck{}, err
+	}
+	nc.SetDeadline(time.Time{})
+	window := int(ack.Window)
+	if window < 1 {
+		window = 1
+	}
+	cc := &clientConn{
+		nc:      nc,
+		sem:     make(chan struct{}, window),
+		bw:      bufio.NewWriterSize(nc, 32<<10),
+		pending: make(map[uint64]chan verdictFrame),
+		dead:    make(chan struct{}),
+	}
+	go cc.readLoop(br)
+	return cc, ack, nil
+}
+
+// register allocates a request id and its 1-buffered reply channel.
+func (cc *clientConn) register() (uint64, chan verdictFrame) {
+	ch := make(chan verdictFrame, 1)
+	cc.pmu.Lock()
+	cc.nextID++
+	id := cc.nextID
+	cc.pending[id] = ch
+	cc.pmu.Unlock()
+	return id, ch
+}
+
+func (cc *clientConn) unregister(id uint64) {
+	cc.pmu.Lock()
+	delete(cc.pending, id)
+	cc.pmu.Unlock()
+}
+
+// send writes one frame. The flush is immediate: pipelining comes from
+// many goroutines overlapping requests, not from delaying writes.
+func (cc *clientConn) send(buf []byte) error {
+	cc.wmu.Lock()
+	defer cc.wmu.Unlock()
+	if _, err := cc.bw.Write(buf); err != nil {
+		return cc.fail("write", err)
+	}
+	if err := cc.bw.Flush(); err != nil {
+		return cc.fail("write", err)
+	}
+	return nil
+}
+
+func (cc *clientConn) readLoop(br *bufio.Reader) {
+	for {
+		payload, err := readFrame(br)
+		if err != nil {
+			cc.fail("read", err)
+			return
+		}
+		v, err := decodeVerdict(payload)
+		if err != nil {
+			cc.fail("read", err)
+			return
+		}
+		cc.pmu.Lock()
+		ch, ok := cc.pending[v.ID]
+		delete(cc.pending, v.ID)
+		cc.pmu.Unlock()
+		if ok {
+			ch <- v // 1-buffered: never blocks, late receivers already unregistered
+		}
+	}
+}
+
+// fail records the sticky transport error, wakes every waiter and kills
+// the connection.
+func (cc *clientConn) fail(op string, err error) error {
+	cc.pmu.Lock()
+	if cc.err == nil {
+		cc.err = &TransportError{Op: op, Err: err}
+	}
+	out := cc.err
+	cc.pmu.Unlock()
+	cc.deadOnce.Do(func() { close(cc.dead) })
+	cc.nc.Close()
+	return out
+}
+
+func (cc *clientConn) transportErr() error {
+	cc.pmu.Lock()
+	defer cc.pmu.Unlock()
+	if cc.err == nil {
+		return &TransportError{Op: "submit", Err: errors.New("connection closed")}
+	}
+	return cc.err
+}
+
+func (cc *clientConn) isDead() bool {
+	select {
+	case <-cc.dead:
+		return true
+	default:
+		return false
+	}
+}
+
+func (cc *clientConn) close() error {
+	cc.fail("close", errors.New("client closed"))
+	return nil
+}

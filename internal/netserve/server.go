@@ -1,0 +1,399 @@
+package netserve
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"loadmax/internal/obs"
+	"loadmax/internal/serve"
+)
+
+// ServerOption configures a Server.
+type ServerOption func(*serverConfig)
+
+type serverConfig struct {
+	window       int
+	maxInflight  int
+	writeTimeout time.Duration
+	helloTimeout time.Duration
+	reg          *obs.Registry
+	submitGate   func() // test-only: blocks each worker before Submit
+}
+
+func defaultServerConfig() serverConfig {
+	return serverConfig{
+		window:       256,
+		maxInflight:  4096,
+		writeTimeout: 10 * time.Second,
+		helloTimeout: 10 * time.Second,
+	}
+}
+
+// WithWindow sets the per-connection in-flight window (default 256): the
+// server dispatches at most this many concurrent requests per
+// connection and sheds the excess. The window is advertised in the
+// handshake, and the Client self-limits to it, so a conforming client
+// only ever sees window sheds from a misbehaving peer sharing its id
+// space. Values < 1 are clamped to 1.
+func WithWindow(n int) ServerOption { return func(c *serverConfig) { c.window = n } }
+
+// WithMaxInflight caps the server-wide number of requests inside
+// serve.Service.Submit at once (default 4096). Beyond the cap the server
+// sheds instead of queueing: shedding is overload protection, distinct
+// from both algorithmic rejection and the serve layer's backpressure,
+// and the client may retry. Values < 1 are clamped to 1.
+func WithMaxInflight(n int) ServerOption { return func(c *serverConfig) { c.maxInflight = n } }
+
+// WithWriteTimeout bounds how long a verdict write may block on a slow
+// client before the connection is cut (default 10s). A client that
+// stops reading would otherwise pin worker results in the writer
+// forever; disconnecting it frees the window and lets the client
+// re-dial when healthy.
+func WithWriteTimeout(d time.Duration) ServerOption {
+	return func(c *serverConfig) { c.writeTimeout = d }
+}
+
+// WithServerMetrics instruments the server through the registry:
+//
+//	netserve_connections            gauge     open connections
+//	netserve_inflight               gauge     requests inside Submit
+//	netserve_requests_total{verdict} counter  accept/reject/shed/error
+//	netserve_shed_total             counter   shed verdicts (either cause)
+//	netserve_slow_disconnects_total counter   write-timeout disconnects
+//	netserve_request_seconds        histogram dispatch→verdict latency
+//	netserve_rx_frames_total        counter   submit frames read
+//
+// A nil registry (the default) keeps the hot path metric-free.
+func WithServerMetrics(reg *obs.Registry) ServerOption { return func(c *serverConfig) { c.reg = reg } }
+
+// withSubmitGate is the white-box test hook: f runs in each dispatched
+// worker after the in-flight slots are taken and before Submit, letting
+// tests hold the server at a chosen occupancy deterministically.
+func withSubmitGate(f func()) ServerOption { return func(c *serverConfig) { c.submitGate = f } }
+
+// Server is the TCP admission front end over a serve.Service. Construct
+// with Serve or ServeListener; Close drains gracefully. The Server does
+// not own the Service — closing the server leaves the service (and its
+// durability state) untouched.
+type Server struct {
+	svc *serve.Service
+	ln  net.Listener
+	cfg serverConfig
+
+	inflight chan struct{} // server-wide Submit slots
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[*srvConn]struct{}
+	wg     sync.WaitGroup
+
+	connGauge     *obs.Gauge
+	inflightGauge *obs.Gauge
+	verdicts      *obs.CounterVec
+	shedTotal     *obs.Counter
+	slowCuts      *obs.Counter
+	latHist       *obs.Histogram
+	rxFrames      *obs.Counter
+}
+
+// Serve listens on addr ("host:port"; ":0" picks a free port) and
+// serves svc until Close. It returns once the listener is live.
+func Serve(svc *serve.Service, addr string, opts ...ServerOption) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netserve: listen %s: %w", addr, err)
+	}
+	return ServeListener(svc, ln, opts...)
+}
+
+// ServeListener serves svc on an existing listener — loopback tests,
+// socket activation, in-process pipes. The server owns the listener and
+// closes it on Close.
+func ServeListener(svc *serve.Service, ln net.Listener, opts ...ServerOption) (*Server, error) {
+	cfg := defaultServerConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.window < 1 {
+		cfg.window = 1
+	}
+	if cfg.maxInflight < 1 {
+		cfg.maxInflight = 1
+	}
+	s := &Server{
+		svc:      svc,
+		ln:       ln,
+		cfg:      cfg,
+		inflight: make(chan struct{}, cfg.maxInflight),
+		conns:    make(map[*srvConn]struct{}),
+
+		connGauge:     cfg.reg.Gauge("netserve_connections"),
+		inflightGauge: cfg.reg.Gauge("netserve_inflight"),
+		verdicts:      cfg.reg.CounterVec("netserve_requests_total", "verdict"),
+		shedTotal:     cfg.reg.Counter("netserve_shed_total"),
+		slowCuts:      cfg.reg.Counter("netserve_slow_disconnects_total"),
+		latHist:       cfg.reg.Histogram("netserve_request_seconds", obs.ExpBuckets(1e-6, 4, 12)),
+		rxFrames:      cfg.reg.Counter("netserve_rx_frames_total"),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listener address (useful with ":0").
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close drains the server gracefully: stop accepting, stop reading new
+// frames, let every dispatched request finish and its verdict reach the
+// wire, then close the connections. Requests written by clients but not
+// yet read are lost — the client observes a transport error, never a
+// fabricated verdict. Close is idempotent and does not touch the
+// underlying serve.Service.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	err := s.ln.Close()
+	for c := range s.conns {
+		c.stopReading()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			nc.Close()
+			return
+		}
+		c := &srvConn{s: s, nc: nc, resp: make(chan []byte, s.cfg.window+16)}
+		s.conns[c] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go c.run()
+	}
+}
+
+// srvConn is one client connection: a reader goroutine that dispatches
+// pipelined submits, worker goroutines (one per in-flight request) and
+// a writer goroutine that batches verdicts onto the wire.
+type srvConn struct {
+	s        *Server
+	nc       net.Conn
+	resp     chan []byte // encoded verdict frames
+	inflight atomic.Int64
+	workers  sync.WaitGroup
+}
+
+// stopReading unblocks the reader immediately; in-flight work still
+// completes and flushes. (An expired read deadline poisons only reads.)
+func (c *srvConn) stopReading() {
+	c.nc.SetReadDeadline(time.Now())
+}
+
+func (c *srvConn) run() {
+	s := c.s
+	s.connGauge.Add(1)
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		s.connGauge.Add(-1)
+		s.wg.Done()
+	}()
+
+	br := bufio.NewReaderSize(c.nc, 32<<10)
+	if err := c.handshake(br); err != nil {
+		c.nc.Close()
+		return
+	}
+
+	writerDone := make(chan struct{})
+	go c.writeLoop(writerDone)
+
+	c.readLoop(br)
+
+	// Drain: every dispatched worker posts its verdict, then the writer
+	// flushes what is left and exits.
+	c.workers.Wait()
+	close(c.resp)
+	<-writerDone
+	c.nc.Close()
+}
+
+// handshake performs the version exchange under a deadline, so a silent
+// or non-protocol peer cannot pin a connection slot.
+func (c *srvConn) handshake(br *bufio.Reader) error {
+	c.nc.SetReadDeadline(time.Now().Add(c.s.cfg.helloTimeout))
+	payload, err := readFrame(br)
+	if err != nil {
+		return err
+	}
+	if err := decodeHello(payload); err != nil {
+		return err
+	}
+	c.nc.SetReadDeadline(time.Time{})
+	ack := appendHelloAck(nil, helloAck{
+		Version:  ProtocolVersion,
+		Window:   uint32(c.s.cfg.window),
+		Shards:   uint32(c.s.svc.Shards()),
+		Machines: uint32(c.s.svc.Machines()),
+		Eps:      c.s.svc.Eps(),
+	})
+	c.nc.SetWriteDeadline(time.Now().Add(c.s.cfg.writeTimeout))
+	_, err = c.nc.Write(ack)
+	return err
+}
+
+// readLoop decodes pipelined submits and dispatches each to its own
+// worker. Admission control happens here, sequentially per connection,
+// which makes shedding deterministic: a request is dispatched iff a
+// connection-window slot and a server-wide in-flight slot are both free
+// at the moment its frame is read.
+func (c *srvConn) readLoop(br *bufio.Reader) {
+	s := c.s
+	for {
+		payload, err := readFrame(br)
+		if err != nil {
+			return // EOF, deadline from Close, or protocol garbage
+		}
+		if payload[0] != frameSubmit {
+			return // handshake is over; anything but a submit is a protocol error
+		}
+		f, err := decodeSubmit(payload)
+		if err != nil {
+			return
+		}
+		s.rxFrames.Inc()
+		if c.inflight.Load() >= int64(s.cfg.window) {
+			c.shed(f.ID)
+			continue
+		}
+		select {
+		case s.inflight <- struct{}{}:
+		default:
+			c.shed(f.ID)
+			continue
+		}
+		c.inflight.Add(1)
+		s.inflightGauge.Add(1)
+		c.workers.Add(1)
+		go c.serveRequest(f)
+	}
+}
+
+// shed answers a request the server refused to dispatch. The send
+// blocks if the writer is behind, which throttles a flooding client
+// instead of buffering unboundedly; the write timeout cuts the
+// connection if the client will not drain.
+func (c *srvConn) shed(id uint64) {
+	c.s.shedTotal.Inc()
+	c.s.verdicts.With("shed").Inc()
+	c.resp <- appendVerdict(nil, verdictFrame{ID: id, Status: statusShed})
+}
+
+// serveRequest runs one admission through the service and posts the
+// verdict. Submit blocks until the shard decided — and, under
+// durability, until the decision is fsynced — so a verdict on the wire
+// is always a kept promise.
+func (c *srvConn) serveRequest(f submitFrame) {
+	defer c.workers.Done()
+	s := c.s
+	if s.cfg.submitGate != nil {
+		s.cfg.submitGate()
+	}
+	start := time.Now()
+	dec, err := s.svc.Submit(f.Job)
+	s.latHist.Observe(time.Since(start).Seconds())
+	<-s.inflight
+	c.inflight.Add(-1)
+	s.inflightGauge.Add(-1)
+
+	v := verdictFrame{ID: f.ID}
+	switch {
+	case errors.Is(err, serve.ErrBackpressure):
+		// The shard queue itself is full: same overload story, same
+		// retryable verdict.
+		v.Status = statusShed
+		s.shedTotal.Inc()
+		s.verdicts.With("shed").Inc()
+	case err != nil:
+		v.Status = statusError
+		v.Msg = err.Error()
+		s.verdicts.With("error").Inc()
+	case dec.Accepted:
+		v.Status = statusAccept
+		v.Machine = int64(dec.Machine)
+		v.Start = dec.Start
+		s.verdicts.With("accept").Inc()
+	default:
+		v.Status = statusReject
+		s.verdicts.With("reject").Inc()
+	}
+	c.resp <- appendVerdict(nil, v)
+}
+
+// writeLoop batches verdicts onto the wire: it blocks for one frame,
+// then opportunistically coalesces everything already queued into the
+// buffered writer and flushes once — the mirror image of the shard
+// goroutine's batch draining. A write (or flush) that cannot complete
+// within the write timeout marks the client slow and cuts the
+// connection; pending verdicts are discarded, which is safe because the
+// decisions themselves are already recorded server-side.
+func (c *srvConn) writeLoop(done chan struct{}) {
+	defer close(done)
+	bw := bufio.NewWriterSize(c.nc, 32<<10)
+	fail := func(err error) {
+		if ne, ok := err.(net.Error); ok && ne.Timeout() {
+			c.s.slowCuts.Inc()
+		}
+		c.nc.Close() // unblocks the reader; workers still drain into resp
+		for range c.resp {
+			// Discard until the conn goroutine closes the channel.
+		}
+	}
+	for buf := range c.resp {
+		c.nc.SetWriteDeadline(time.Now().Add(c.s.cfg.writeTimeout))
+		if _, err := bw.Write(buf); err != nil {
+			fail(err)
+			return
+		}
+	coalesce:
+		for {
+			select {
+			case more, ok := <-c.resp:
+				if !ok {
+					break coalesce
+				}
+				if _, err := bw.Write(more); err != nil {
+					fail(err)
+					return
+				}
+			default:
+				break coalesce
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			fail(err)
+			return
+		}
+	}
+	bw.Flush()
+}

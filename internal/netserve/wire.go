@@ -1,0 +1,262 @@
+// Package netserve puts a network front door on the serving stack: a
+// length-prefixed binary wire protocol, a TCP server fronting
+// serve.Service, and a pipelining client. It is the layer that turns the
+// paper's immediate-commitment model into an admission RPC — a client
+// submits (r, p, d) and receives an irrevocable accept-with-placement or
+// reject over the wire.
+//
+// The network verdict is the binding commitment point: the server only
+// writes a verdict after serve.Service.Submit has returned, which under
+// WithDurability means after the decision is fsynced to the shard's
+// write-ahead commitment log. A client that has read an accept therefore
+// holds a promise that survives a server crash.
+//
+// # Wire format
+//
+// Every frame is length-prefixed and checksummed, reusing the WAL's
+// encoding discipline (little-endian fixed-width fields, raw float64
+// bits for bit-exact round-trips):
+//
+//	[4B LE payload length][4B LE CRC32-C of payload][payload]
+//
+// payload[0] is the frame type. A connection opens with a version
+// handshake — the client sends HELLO (magic, protocol version), the
+// server answers HELLO-ACK (negotiated version, per-connection in-flight
+// window, service topology) — and then carries pipelined SUBMIT frames
+// upstream and VERDICT frames downstream, matched by request id, in
+// whatever order decisions complete.
+//
+// # Verdicts are not all equal
+//
+// A VERDICT carries one of four statuses, and the distinction matters:
+//
+//   - accept / reject are *algorithmic* answers from Algorithm 1 — both
+//     irrevocable, both durable under WithDurability (rejects advance
+//     the shard clock).
+//   - shed is *overload protection*, not an algorithmic answer: the
+//     server refused to even ask the scheduler (global in-flight cap hit
+//     or the connection exceeded its window). The job was never
+//     submitted, nothing was committed, and the client may retry.
+//   - error reports a server-side failure (service closed, WAL
+//     poisoned); the request was not decided.
+//
+// The client maps these onto (Decision, error) so algorithmic rejection
+// (Accepted=false, err=nil) is never confused with transport or overload
+// failure (ErrShed, ErrTimeout, *RemoteError, *TransportError).
+package netserve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"loadmax/internal/job"
+)
+
+// ProtocolVersion is the wire protocol version this package speaks. The
+// handshake fails closed on a mismatch: a v1 endpoint never guesses at
+// v2 frames.
+const ProtocolVersion = 1
+
+// protocolMagic opens every HELLO frame ("LMX1"): a TCP client that is
+// not speaking this protocol is rejected at the first frame.
+const protocolMagic = 0x4C4D5831
+
+// Frame types (payload[0]).
+const (
+	frameHello    = 1 // client → server: magic, version
+	frameHelloAck = 2 // server → client: version, window, topology
+	frameSubmit   = 3 // client → server: request id + job
+	frameVerdict  = 4 // server → client: request id + status (+ placement | message)
+)
+
+// Verdict statuses.
+const (
+	statusAccept = 1 // algorithmic accept: machine + start committed
+	statusReject = 2 // algorithmic reject: the scheduler said no
+	statusShed   = 3 // overload: never submitted, retry later
+	statusError  = 4 // server failure: message attached
+)
+
+const (
+	wireHeaderLen = 8 // 4B length + 4B CRC32-C
+
+	helloLen    = 1 + 4 + 2                    // type, magic, version
+	helloAckLen = 1 + 2 + 4 + 4 + 4 + 8        // type, version, window, shards, machines, eps
+	submitLen   = 1 + 8 + 8 + 3*8              // type, req id, job id, r/p/d
+	verdictMin  = 1 + 8 + 1 + 8 + 8 + 2        // type, req id, status, machine, start, msg len
+	maxMsgLen   = 1 << 10                      // error messages are short by construction
+	maxPayload  = verdictMin + maxMsgLen + 128 // corrupt length fields fail fast
+)
+
+var wireCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// helloAck is the server's half of the handshake: the negotiated
+// protocol version, the per-connection in-flight window the server will
+// enforce, and the service topology so clients can introspect what they
+// are talking to.
+type helloAck struct {
+	Version  uint16
+	Window   uint32
+	Shards   uint32
+	Machines uint32
+	Eps      float64
+}
+
+// submitFrame is one admission request in flight.
+type submitFrame struct {
+	ID  uint64
+	Job job.Job
+}
+
+// verdictFrame is one admission response.
+type verdictFrame struct {
+	ID      uint64
+	Status  byte
+	Machine int64
+	Start   float64
+	Msg     string // only for statusError
+}
+
+// appendFrame wraps payload in the length+CRC header and appends the
+// whole frame to dst.
+func appendFrame(dst, payload []byte) []byte {
+	var h [wireHeaderLen]byte
+	binary.LittleEndian.PutUint32(h[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(h[4:], crc32.Checksum(payload, wireCRC))
+	dst = append(dst, h[:]...)
+	return append(dst, payload...)
+}
+
+// readFrame reads one frame and returns its verified payload. The
+// returned slice is freshly allocated and safe to retain.
+func readFrame(br *bufio.Reader) ([]byte, error) {
+	var h [wireHeaderLen]byte
+	if _, err := io.ReadFull(br, h[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(h[0:])
+	if n == 0 || n > maxPayload {
+		return nil, fmt.Errorf("netserve: frame length %d out of range", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return nil, err
+	}
+	if crc32.Checksum(payload, wireCRC) != binary.LittleEndian.Uint32(h[4:]) {
+		return nil, fmt.Errorf("netserve: frame checksum mismatch")
+	}
+	return payload, nil
+}
+
+func appendHello(dst []byte) []byte {
+	var p [helloLen]byte
+	p[0] = frameHello
+	binary.LittleEndian.PutUint32(p[1:], protocolMagic)
+	binary.LittleEndian.PutUint16(p[5:], ProtocolVersion)
+	return appendFrame(dst, p[:])
+}
+
+func decodeHello(p []byte) error {
+	if len(p) != helloLen || p[0] != frameHello {
+		return fmt.Errorf("netserve: malformed hello")
+	}
+	if m := binary.LittleEndian.Uint32(p[1:]); m != protocolMagic {
+		return fmt.Errorf("netserve: bad magic %#x (not a loadmax client?)", m)
+	}
+	if v := binary.LittleEndian.Uint16(p[5:]); v != ProtocolVersion {
+		return fmt.Errorf("netserve: protocol version %d, server speaks %d", v, ProtocolVersion)
+	}
+	return nil
+}
+
+func appendHelloAck(dst []byte, a helloAck) []byte {
+	var p [helloAckLen]byte
+	p[0] = frameHelloAck
+	binary.LittleEndian.PutUint16(p[1:], a.Version)
+	binary.LittleEndian.PutUint32(p[3:], a.Window)
+	binary.LittleEndian.PutUint32(p[7:], a.Shards)
+	binary.LittleEndian.PutUint32(p[11:], a.Machines)
+	binary.LittleEndian.PutUint64(p[15:], math.Float64bits(a.Eps))
+	return appendFrame(dst, p[:])
+}
+
+func decodeHelloAck(p []byte) (helloAck, error) {
+	if len(p) != helloAckLen || p[0] != frameHelloAck {
+		return helloAck{}, fmt.Errorf("netserve: malformed hello-ack")
+	}
+	a := helloAck{
+		Version:  binary.LittleEndian.Uint16(p[1:]),
+		Window:   binary.LittleEndian.Uint32(p[3:]),
+		Shards:   binary.LittleEndian.Uint32(p[7:]),
+		Machines: binary.LittleEndian.Uint32(p[11:]),
+		Eps:      math.Float64frombits(binary.LittleEndian.Uint64(p[15:])),
+	}
+	if a.Version != ProtocolVersion {
+		return helloAck{}, fmt.Errorf("netserve: server protocol version %d, client speaks %d", a.Version, ProtocolVersion)
+	}
+	return a, nil
+}
+
+func appendSubmit(dst []byte, f submitFrame) []byte {
+	var p [submitLen]byte
+	p[0] = frameSubmit
+	binary.LittleEndian.PutUint64(p[1:], f.ID)
+	binary.LittleEndian.PutUint64(p[9:], uint64(int64(f.Job.ID)))
+	binary.LittleEndian.PutUint64(p[17:], math.Float64bits(f.Job.Release))
+	binary.LittleEndian.PutUint64(p[25:], math.Float64bits(f.Job.Proc))
+	binary.LittleEndian.PutUint64(p[33:], math.Float64bits(f.Job.Deadline))
+	return appendFrame(dst, p[:])
+}
+
+func decodeSubmit(p []byte) (submitFrame, error) {
+	if len(p) != submitLen || p[0] != frameSubmit {
+		return submitFrame{}, fmt.Errorf("netserve: malformed submit frame")
+	}
+	var f submitFrame
+	f.ID = binary.LittleEndian.Uint64(p[1:])
+	f.Job.ID = int(int64(binary.LittleEndian.Uint64(p[9:])))
+	f.Job.Release = math.Float64frombits(binary.LittleEndian.Uint64(p[17:]))
+	f.Job.Proc = math.Float64frombits(binary.LittleEndian.Uint64(p[25:]))
+	f.Job.Deadline = math.Float64frombits(binary.LittleEndian.Uint64(p[33:]))
+	return f, nil
+}
+
+func appendVerdict(dst []byte, f verdictFrame) []byte {
+	msg := f.Msg
+	if len(msg) > maxMsgLen {
+		msg = msg[:maxMsgLen]
+	}
+	p := make([]byte, verdictMin, verdictMin+len(msg))
+	p[0] = frameVerdict
+	binary.LittleEndian.PutUint64(p[1:], f.ID)
+	p[9] = f.Status
+	binary.LittleEndian.PutUint64(p[10:], uint64(f.Machine))
+	binary.LittleEndian.PutUint64(p[18:], math.Float64bits(f.Start))
+	binary.LittleEndian.PutUint16(p[26:], uint16(len(msg)))
+	p = append(p, msg...)
+	return appendFrame(dst, p)
+}
+
+func decodeVerdict(p []byte) (verdictFrame, error) {
+	if len(p) < verdictMin || p[0] != frameVerdict {
+		return verdictFrame{}, fmt.Errorf("netserve: malformed verdict frame")
+	}
+	var f verdictFrame
+	f.ID = binary.LittleEndian.Uint64(p[1:])
+	f.Status = p[9]
+	f.Machine = int64(binary.LittleEndian.Uint64(p[10:]))
+	f.Start = math.Float64frombits(binary.LittleEndian.Uint64(p[18:]))
+	n := int(binary.LittleEndian.Uint16(p[26:]))
+	if len(p) != verdictMin+n {
+		return verdictFrame{}, fmt.Errorf("netserve: verdict message length %d does not match frame", n)
+	}
+	f.Msg = string(p[verdictMin:])
+	if f.Status < statusAccept || f.Status > statusError {
+		return verdictFrame{}, fmt.Errorf("netserve: unknown verdict status %d", f.Status)
+	}
+	return f, nil
+}

@@ -1,0 +1,127 @@
+package netserve
+
+import (
+	"bufio"
+	"bytes"
+	"math"
+	"testing"
+
+	"loadmax/internal/job"
+)
+
+// TestWireRoundTrip proves every frame type decodes back bit-identically
+// — including floats that have no short decimal form, the reason the
+// wire uses raw float64 bits like the WAL does.
+func TestWireRoundTrip(t *testing.T) {
+	awkward := math.Nextafter(1.0/3.0, 1) // no exact decimal representation
+
+	var buf []byte
+	buf = appendHello(buf)
+	buf = appendHelloAck(buf, helloAck{Version: ProtocolVersion, Window: 128, Shards: 7, Machines: 64, Eps: awkward})
+	sub := submitFrame{ID: 42, Job: job.Job{ID: 9, Release: awkward, Proc: math.Pi, Deadline: 4.75}}
+	buf = appendSubmit(buf, sub)
+	ver := verdictFrame{ID: 42, Status: statusAccept, Machine: 3, Start: awkward * 2}
+	buf = appendVerdict(buf, ver)
+	errVer := verdictFrame{ID: 43, Status: statusError, Msg: "wal poisoned"}
+	buf = appendVerdict(buf, errVer)
+
+	br := bufio.NewReader(bytes.NewReader(buf))
+
+	p, err := readFrame(br)
+	if err != nil || decodeHello(p) != nil {
+		t.Fatalf("hello round-trip: %v / %v", err, decodeHello(p))
+	}
+	p, err = readFrame(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ack, err := decodeHelloAck(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Window != 128 || ack.Shards != 7 || ack.Machines != 64 || ack.Eps != awkward {
+		t.Fatalf("hello-ack mangled: %+v", ack)
+	}
+	p, err = readFrame(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotSub, err := decodeSubmit(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotSub != sub {
+		t.Fatalf("submit mangled: %+v != %+v", gotSub, sub)
+	}
+	p, err = readFrame(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotVer, err := decodeVerdict(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotVer != ver {
+		t.Fatalf("verdict mangled: %+v != %+v", gotVer, ver)
+	}
+	p, err = readFrame(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotErr, err := decodeVerdict(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotErr != errVer {
+		t.Fatalf("error verdict mangled: %+v != %+v", gotErr, errVer)
+	}
+}
+
+// TestWireRejectsCorruption flips one byte of a valid frame and expects
+// the CRC to catch it.
+func TestWireRejectsCorruption(t *testing.T) {
+	buf := appendSubmit(nil, submitFrame{ID: 1, Job: job.Job{ID: 1, Release: 0, Proc: 1, Deadline: 2}})
+	for i := wireHeaderLen; i < len(buf); i++ {
+		mut := append([]byte(nil), buf...)
+		mut[i] ^= 0x40
+		if _, err := readFrame(bufio.NewReader(bytes.NewReader(mut))); err == nil {
+			t.Fatalf("corrupt byte %d went undetected", i)
+		}
+	}
+}
+
+// TestWireRejectsBadHello covers the handshake failure modes: wrong
+// magic and wrong version must both fail closed.
+func TestWireRejectsBadHello(t *testing.T) {
+	good := appendHello(nil)
+	payload := append([]byte(nil), good[wireHeaderLen:]...)
+
+	wrongMagic := append([]byte(nil), payload...)
+	wrongMagic[1] ^= 0xFF
+	if err := decodeHello(wrongMagic); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	wrongVersion := append([]byte(nil), payload...)
+	wrongVersion[5]++
+	if err := decodeHello(wrongVersion); err == nil {
+		t.Fatal("future protocol version accepted")
+	}
+	if _, err := decodeHelloAck(payload); err == nil {
+		t.Fatal("hello decoded as hello-ack")
+	}
+}
+
+// TestWireVerdictStatuses rejects statuses outside the defined range so
+// a corrupted-but-CRC-colliding frame cannot smuggle a fake verdict.
+func TestWireVerdictStatuses(t *testing.T) {
+	buf := appendVerdict(nil, verdictFrame{ID: 1, Status: statusReject})
+	payload := append([]byte(nil), buf[wireHeaderLen:]...)
+	payload[9] = 0
+	if _, err := decodeVerdict(payload); err == nil {
+		t.Fatal("status 0 accepted")
+	}
+	payload[9] = statusError + 1
+	if _, err := decodeVerdict(payload); err == nil {
+		t.Fatal("out-of-range status accepted")
+	}
+}

@@ -1,0 +1,205 @@
+package serve
+
+// Shutdown-race coverage (ISSUE 5 satellite): Checkpoint and Close
+// running concurrently with a Submit burst must never race, panic, or
+// corrupt durable state — only return clean ErrClosed once the service
+// is down. These tests earn their keep under -race (make race / CI):
+// every cross-goroutine handoff in the shard writer, the WAL group
+// commit, and the checkpoint path is exercised while the service is
+// being torn down.
+
+import (
+	"errors"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"loadmax/internal/job"
+	"loadmax/internal/workload"
+)
+
+func raceInstance(t *testing.T, n, m int, eps float64, seed int64) job.Instance {
+	t.Helper()
+	fam, ok := workload.ByName("poisson")
+	if !ok {
+		t.Fatal("poisson family missing")
+	}
+	return fam.Gen(workload.Spec{N: n, Eps: eps, M: m, Load: 2.0, Seed: seed})
+}
+
+// TestShutdownRaceDurable storms a durable service with concurrent
+// submitters and checkpointers, closes it mid-burst, and then proves
+// the directory it leaves behind restores to a consistent service.
+func TestShutdownRaceDurable(t *testing.T) {
+	const shards, m = 2, 8
+	const eps = 0.25
+	dir := filepath.Join(t.TempDir(), "durable")
+	svc, err := New(shards, m, eps, WithDurability(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := raceInstance(t, 3000, shards*m, eps, 5)
+
+	var wg sync.WaitGroup
+	var decided atomic.Int64
+	const submitters = 8
+	for w := 0; w < submitters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(inst); i += submitters {
+				_, err := svc.Submit(inst[i])
+				switch {
+				case err == nil:
+					decided.Add(1)
+				case errors.Is(err, ErrClosed):
+					return // shutdown won the race: acceptable
+				default:
+					t.Errorf("submit %d: unexpected error %v", inst[i].ID, err)
+					return
+				}
+			}
+		}(w)
+	}
+	// Checkpointers ride the same shard queues as the submit burst.
+	stopCkpt := make(chan struct{})
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stopCkpt:
+					return
+				default:
+				}
+				if err := svc.Checkpoint(); err != nil && !errors.Is(err, ErrClosed) {
+					t.Errorf("checkpoint: unexpected error %v", err)
+					return
+				}
+			}
+		}()
+	}
+	// Close lands mid-burst, concurrent with both submits and
+	// checkpoints.
+	time.Sleep(2 * time.Millisecond)
+	if err := svc.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	close(stopCkpt)
+	wg.Wait()
+
+	if _, err := svc.Submit(inst[0]); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close: got %v, want ErrClosed", err)
+	}
+	if err := svc.Checkpoint(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("checkpoint after close: got %v, want ErrClosed", err)
+	}
+
+	// Whatever instant Close hit, the directory must restore cleanly
+	// and hold exactly the decisions that were acknowledged.
+	rec, err := Restore(dir)
+	if err != nil {
+		t.Fatalf("restore after racy shutdown: %v", err)
+	}
+	defer rec.Close()
+	var recovered int64
+	for _, s := range rec.Snapshot() {
+		recovered += s.Submitted
+	}
+	if recovered < decided.Load() {
+		t.Fatalf("restored service holds %d decisions, but %d were acknowledged", recovered, decided.Load())
+	}
+}
+
+// TestShutdownRaceNonDurable is the in-memory variant: Checkpoint must
+// consistently return ErrNotDurable (never ErrClosed racing ahead of
+// it, never a panic) while Submit and Close fight.
+func TestShutdownRaceNonDurable(t *testing.T) {
+	const shards, m = 2, 8
+	const eps = 0.25
+	svc, err := New(shards, m, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := raceInstance(t, 2000, shards*m, eps, 9)
+
+	var wg sync.WaitGroup
+	const submitters = 6
+	for w := 0; w < submitters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(inst); i += submitters {
+				if _, err := svc.Submit(inst[i]); err != nil && !errors.Is(err, ErrClosed) {
+					t.Errorf("submit %d: unexpected error %v", inst[i].ID, err)
+					return
+				}
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := svc.Checkpoint(); !errors.Is(err, ErrNotDurable) {
+				t.Errorf("checkpoint on non-durable service: got %v, want ErrNotDurable", err)
+				return
+			}
+		}
+	}()
+	time.Sleep(time.Millisecond)
+	if err := svc.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestShutdownRaceConcurrentClose hammers Close itself: many goroutines
+// closing at once (with submits still in flight) must all return nil —
+// Close is idempotent and safe for concurrent use.
+func TestShutdownRaceConcurrentClose(t *testing.T) {
+	const shards, m = 2, 8
+	const eps = 0.25
+	svc, err := New(shards, m, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := raceInstance(t, 1000, shards*m, eps, 13)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(inst); i += 4 {
+				if _, err := svc.Submit(inst[i]); err != nil {
+					if errors.Is(err, ErrClosed) {
+						return
+					}
+					t.Errorf("submit: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := svc.Close(); err != nil {
+				t.Errorf("concurrent close: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -45,6 +45,7 @@ import (
 	"loadmax/internal/commitment"
 	"loadmax/internal/core"
 	"loadmax/internal/job"
+	"loadmax/internal/netserve"
 	"loadmax/internal/obs"
 	"loadmax/internal/offline"
 	"loadmax/internal/online"
@@ -288,6 +289,69 @@ func WithDurabilityFlushInterval(d time.Duration) ServeOption {
 func Restore(dir string, opts ...ServeOption) (*ShardedService, error) {
 	return serve.Restore(dir, opts...)
 }
+
+// --- Network serving -----------------------------------------------------
+
+// Client is a pooled, pipelining connection to a loadmax daemon
+// (cmd/loadmaxd, or any netserve server). It is safe for concurrent
+// use; requests are multiplexed by id over each pooled connection.
+// Algorithmic rejection is NOT an error — a rejected job returns
+// (Decision{Accepted: false}, nil); errors (ErrShed, ErrNetTimeout,
+// *netserve.RemoteError, *netserve.TransportError) mean the job was
+// never decided.
+type Client = netserve.Client
+
+// DialOption configures Dial.
+type DialOption = netserve.DialOption
+
+// NetServer is the TCP admission front end over a ShardedService.
+type NetServer = netserve.Server
+
+// NetServerOption configures ServeNetwork.
+type NetServerOption = netserve.ServerOption
+
+// Network-serving errors. ErrShed reports overload protection — the
+// server refused to consult the scheduler and the caller may retry,
+// which is deliberately distinct from an algorithmic rejection.
+// ErrNetTimeout reports an expired per-call verdict deadline (outcome
+// unknown).
+var (
+	ErrShed       = netserve.ErrShed
+	ErrNetTimeout = netserve.ErrTimeout
+)
+
+// Dial connects to a loadmax daemon. The handshake carries the service
+// topology, readable via the Client's Shards/Machines/Eps methods.
+func Dial(addr string, opts ...DialOption) (*Client, error) {
+	return netserve.Dial(addr, opts...)
+}
+
+// WithDialConns sets the client connection-pool size (default 1).
+func WithDialConns(n int) DialOption { return netserve.WithConns(n) }
+
+// WithDialTimeout sets the default per-call verdict timeout; the
+// Client's SubmitTimeout overrides it per call.
+func WithDialTimeout(d time.Duration) DialOption { return netserve.WithTimeout(d) }
+
+// ServeNetwork exposes a ShardedService over TCP with the netserve wire
+// protocol — the network front door cmd/loadmaxd wraps. The returned
+// server does not own the service; close the server first, then the
+// service.
+func ServeNetwork(svc *ShardedService, addr string, opts ...NetServerOption) (*NetServer, error) {
+	return netserve.Serve(svc, addr, opts...)
+}
+
+// WithNetWindow sets the per-connection in-flight window the server
+// enforces (advertised to clients in the handshake).
+func WithNetWindow(n int) NetServerOption { return netserve.WithWindow(n) }
+
+// WithNetMaxInflight caps server-wide concurrent submissions; beyond it
+// requests are shed with ErrShed instead of queued.
+func WithNetMaxInflight(n int) NetServerOption { return netserve.WithMaxInflight(n) }
+
+// WithNetMetrics instruments the server (connections, per-verdict
+// counters, request-latency histogram, shed and slow-client counts).
+func WithNetMetrics(reg *Metrics) NetServerOption { return netserve.WithServerMetrics(reg) }
 
 // --- Observability -------------------------------------------------------
 
