@@ -4,7 +4,7 @@ GO ?= go
 # the last line that supports the go.mod Go version; bump both together.
 STATICCHECK_VERSION ?= 2024.1.1
 
-.PHONY: all build test race bench bench-submit bench-submit-smoke bench-serve bench-serve-smoke bench-recover bench-recover-smoke bench-net bench-net-smoke net-smoke crash-smoke fuzz-smoke verify fmt vet staticcheck experiments clean
+.PHONY: all build test race bench bench-submit bench-submit-smoke bench-serve bench-serve-smoke bench-recover bench-recover-smoke bench-net bench-net-smoke bench-trace bench-trace-smoke net-smoke obs-smoke crash-smoke fuzz-smoke verify fmt vet staticcheck experiments clean
 
 all: build
 
@@ -73,6 +73,29 @@ bench-net:
 # or a networked-stream/sequential-replay divergence — never on timing.
 bench-net-smoke:
 	$(GO) run ./cmd/bench -mode net -quick -check -out -
+
+# bench-trace measures request-lifecycle tracing overhead on the
+# daemon's Submit surface (netserve RPC over loopback, headline) and on
+# the raw in-process Submit path (engine section), and writes
+# BENCH_trace.json; see EXPERIMENTS.md §E18 for the schema. -check
+# proves both traced configurations replay bit-identically first.
+bench-trace:
+	$(GO) run ./cmd/bench -mode trace -check -out BENCH_trace.json
+
+# bench-trace-smoke is the CI gate for tracing: small n, one round,
+# replay verification forced on for both the in-process and networked
+# traced paths. It fails on build errors, panics, or a traced-stream
+# divergence — never on overhead numbers, which are timing.
+bench-trace-smoke:
+	$(GO) run ./cmd/bench -mode trace -quick -check -out -
+
+# obs-smoke is the ops-plane gate: build loadmaxd + loadmaxctl, start a
+# traced daemon with the admin listener, scrape /metrics and /statusz
+# through the CLI, assert the required series and status fields are
+# present, then SIGTERM and require a clean drain. Structural asserts
+# only — no timing.
+obs-smoke:
+	sh scripts/obs_smoke.sh
 
 # net-smoke is the daemon integration gate: the netserve suite under the
 # race detector — N concurrent pipelining clients against a live TCP

@@ -1,4 +1,4 @@
-// Command bench is the reproducible benchmark runner. It has four
+// Command bench is the reproducible benchmark runner. It has five
 // modes:
 //
 //   - submit (ISSUE 2): sweeps the machine count m for both core
@@ -15,6 +15,11 @@
 //   - net (ISSUE 5): sweeps client count × pipelining depth against an
 //     in-process loadmax daemon on a loopback port and emits
 //     BENCH_net.json (wire jobs/sec, p50/p99 round-trip latency).
+//   - trace (ISSUE 6): runs the same workload untraced and span-traced
+//     over two Submit paths — the loopback netserve RPC (headline) and
+//     the raw in-process service (adversarial microbenchmark) — and
+//     emits BENCH_trace.json (throughputs, tracing overhead %,
+//     per-stage latency percentiles).
 //
 // All schemas are documented in EXPERIMENTS.md. Every report carries a
 // "meta" stamp (go version, GOMAXPROCS, commit hash) so numbers stay
@@ -35,6 +40,8 @@
 //	go run ./cmd/bench -mode recover -quick -check -out - # CI smoke for recovery
 //	go run ./cmd/bench -mode net -check                 # network sweep → BENCH_net.json
 //	go run ./cmd/bench -mode net -quick -check -out -   # CI smoke for the wire path
+//	go run ./cmd/bench -mode trace -check               # tracing overhead → BENCH_trace.json
+//	go run ./cmd/bench -mode trace -quick -out -        # CI smoke for span tracing
 package main
 
 import (
@@ -49,6 +56,8 @@ import (
 
 	"loadmax/internal/core"
 	"loadmax/internal/job"
+	"loadmax/internal/obs"
+	"loadmax/internal/obs/expo"
 	"loadmax/internal/online"
 	"loadmax/internal/workload"
 )
@@ -82,7 +91,7 @@ type report struct {
 
 // knownModes is the authoritative -mode list; keep it in sync with the
 // dispatch in main and the doc comment above.
-var knownModes = []string{"submit", "serve", "recover", "net"}
+var knownModes = []string{"submit", "serve", "recover", "net", "trace"}
 
 type workloadParams struct {
 	Family string  `json:"family"`
@@ -121,6 +130,14 @@ func main() {
 		pipelineList = flag.String("pipeline", "1,4,16", "net: comma-separated pipelining depths to sweep")
 		netShards    = flag.Int("net-shards", 4, "net: shard count of the daemon")
 		netWindow    = flag.Int("net-window", 256, "net: per-connection in-flight window")
+
+		traceShards   = flag.Int("trace-shards", 4, "trace: shard count of both services")
+		traceRepeat   = flag.Int("trace-repeat", 5, "trace: instance repetitions per timed round")
+		traceRounds   = flag.Int("trace-rounds", 3, "trace: timed rounds per configuration (best-of)")
+		traceClients  = flag.Int("trace-clients", 2, "trace: wire clients driving the RPC passes")
+		tracePipeline = flag.Int("trace-pipeline", 4, "trace: concurrent submitters per wire client")
+
+		adminAddr = flag.String("admin", "", "admin HTTP listen address (/statusz, /healthz, /debug/pprof) while the benchmark runs (empty = disabled)")
 	)
 	flag.Parse()
 	if *fams {
@@ -128,6 +145,23 @@ func main() {
 			fmt.Println(f.Name)
 		}
 		return
+	}
+	if *adminAddr != "" {
+		// An ops plane on the runner itself: long sweeps become
+		// observable (live pprof profiles, process status) without
+		// instrumenting each mode. Sweep-point registries stay private to
+		// keep per-point numbers isolated.
+		admin := expo.NewAdmin(obs.NewRegistry(),
+			expo.WithServerName("bench"),
+			expo.WithBuild(expo.CollectBuild()))
+		admin.RegisterStatus("bench", func() any {
+			return map[string]any{"mode": *mode, "args": os.Args[1:]}
+		})
+		if err := admin.ListenAndServe(*adminAddr); err != nil {
+			fatal(err)
+		}
+		defer admin.Close()
+		fmt.Printf("bench: admin plane on http://%s (/statusz /healthz /debug/pprof)\n", admin.Addr())
 	}
 	if !slices.Contains(knownModes, *mode) {
 		fmt.Fprintf(os.Stderr, "bench: unknown -mode %q (known modes: %s)\n", *mode, strings.Join(knownModes, ", "))
@@ -175,6 +209,26 @@ func main() {
 			window: *netWindow, quick: *quick, check: *check,
 		}
 		if err := runNet(cfg); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *mode == "trace" {
+		if *out == "" {
+			*out = "BENCH_trace.json"
+		}
+		cfg := traceConfig{
+			out: *out, n: *n, family: *family, eps: *eps, load: *load, seed: *seed,
+			shards: *traceShards, machines: *serveM,
+			queueDepth: *queueDepth, batchSize: *batchSize,
+			submitters: *submitters, repeat: *traceRepeat, rounds: *traceRounds,
+			clients: *traceClients, pipeline: *tracePipeline, window: *netWindow,
+			quick: *quick, check: *check,
+		}
+		if cfg.submitters <= 0 {
+			cfg.submitters = 8
+		}
+		if err := runTrace(cfg); err != nil {
 			fatal(err)
 		}
 		return

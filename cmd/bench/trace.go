@@ -1,0 +1,489 @@
+package main
+
+// The trace benchmark mode (ISSUE 6): measure what request-lifecycle
+// tracing costs on the Submit path.
+//
+// The headline number is the daemon's Submit surface — the netserve RPC
+// over loopback, which is the path the spans actually instrument (frame
+// decode, shard queue, engine decide, reply write). Two identically
+// configured daemons serve the same workload: one untraced, one with
+// the full production tracing shape (server spans + serve spans sharing
+// one recorder, span ring on). The report carries both throughputs and
+// the overhead percentage.
+//
+// An `engine` section reports the same comparison for the raw
+// in-process serve.Service.Submit path — a deliberately adversarial
+// microbenchmark where the baseline is sub-microsecond, so the fixed
+// per-request tracing cost (two clock reads plus histogram/ring
+// aggregation) shows up undiluted. It is included so the per-request
+// cost is visible, not hidden behind the wire path's syscalls.
+//
+// With -check, both traced configurations first run decision-logged and
+// prove every shard's stream bit-identical to a sequential replay
+// (VerifyReplay) — the acceptance claim that span capture does not
+// perturb decisions.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"loadmax/internal/job"
+	"loadmax/internal/netserve"
+	"loadmax/internal/obs"
+	"loadmax/internal/serve"
+	"loadmax/internal/workload"
+)
+
+type traceConfig struct {
+	out        string
+	n          int
+	family     string
+	eps        float64
+	load       float64
+	seed       int64
+	shards     int
+	machines   int
+	queueDepth int
+	batchSize  int
+	submitters int
+	clients    int
+	pipeline   int
+	window     int
+	repeat     int
+	rounds     int
+	quick      bool
+	check      bool
+}
+
+// tracePass is one timed configuration (tracing off or on).
+type tracePass struct {
+	Jobs        int     `json:"jobs"`
+	WallSeconds float64 `json:"wall_seconds"`
+	JobsPerSec  float64 `json:"jobs_per_sec"`
+}
+
+// stageStat summarizes one lifecycle stage of the traced pass, read
+// from its span_stage_seconds histogram (percentiles are bucket upper
+// bounds, i.e. conservative).
+type stageStat struct {
+	Stage string  `json:"stage"`
+	Count int64   `json:"count"`
+	P50Ns float64 `json:"p50_ns"`
+	P99Ns float64 `json:"p99_ns"`
+}
+
+// traceSection is one off-vs-on comparison over a named submit path.
+type traceSection struct {
+	Path        string    `json:"path"`
+	Off         tracePass `json:"tracing_off"`
+	On          tracePass `json:"tracing_on"`
+	OverheadPct float64   `json:"overhead_pct"`
+}
+
+// traceReport is the full BENCH_trace.json document. The top-level
+// Off/On/OverheadPct mirror the RPC section: the daemon's Submit
+// surface is the headline.
+type traceReport struct {
+	Benchmark          string         `json:"benchmark"`
+	SchemaVersion      int            `json:"schema_version"`
+	Meta               runMeta        `json:"meta"`
+	NumCPU             int            `json:"num_cpu"`
+	Shards             int            `json:"shards"`
+	MachinesPerShard   int            `json:"machines_per_shard"`
+	Clients            int            `json:"clients"`
+	Pipeline           int            `json:"pipeline"`
+	Submitters         int            `json:"submitters"`
+	Repeat             int            `json:"repeat"`
+	Rounds             int            `json:"rounds"`
+	Workload           workloadParams `json:"workload"`
+	SubmitPath         string         `json:"submit_path"`
+	Off                tracePass      `json:"tracing_off"`
+	On                 tracePass      `json:"tracing_on"`
+	OverheadPct        float64        `json:"overhead_pct"`
+	Engine             traceSection   `json:"engine"`
+	Stages             []stageStat    `json:"stages"`
+	EquivalenceChecked bool           `json:"equivalence_checked"`
+}
+
+const (
+	rpcPathDesc    = "netserve RPC over loopback (loadmaxd's Submit surface)"
+	enginePathDesc = "in-process serve.Service.Submit (sub-microsecond baseline; tracing cost undiluted)"
+)
+
+func runTrace(cfg traceConfig) error {
+	if cfg.quick {
+		if cfg.n > 8000 {
+			cfg.n = 8000
+		}
+		cfg.repeat = 2
+		cfg.rounds = 1
+		cfg.check = true
+	}
+	fam, ok := workload.ByName(cfg.family)
+	if !ok {
+		return fmt.Errorf("unknown workload family %q", cfg.family)
+	}
+	inst := fam.Gen(workload.Spec{
+		N: cfg.n, Eps: cfg.eps, M: cfg.shards * cfg.machines, Load: cfg.load, Seed: cfg.seed,
+	})
+	rep := traceReport{
+		Benchmark:        "trace",
+		SchemaVersion:    1,
+		Meta:             collectMeta(),
+		NumCPU:           runtime.NumCPU(),
+		Shards:           cfg.shards,
+		MachinesPerShard: cfg.machines,
+		Clients:          cfg.clients,
+		Pipeline:         cfg.pipeline,
+		Submitters:       cfg.submitters,
+		Repeat:           cfg.repeat,
+		Rounds:           cfg.rounds,
+		SubmitPath:       rpcPathDesc,
+		Engine:           traceSection{Path: enginePathDesc},
+		Workload: workloadParams{
+			Family: fam.Name, N: cfg.n, Eps: cfg.eps, Load: cfg.load, Seed: cfg.seed,
+		},
+	}
+
+	if cfg.check {
+		if err := traceCheckEngine(cfg, inst); err != nil {
+			return err
+		}
+		fmt.Println("check: traced in-process run replays bit-identically — ok")
+		if err := traceCheckRPC(cfg, inst); err != nil {
+			return err
+		}
+		fmt.Println("check: traced networked run replays bit-identically — ok")
+		rep.EquivalenceChecked = true
+	}
+
+	// Best-of-rounds for each configuration: the two passes contend with
+	// nothing but themselves, so the fastest round is the least-noisy
+	// estimate of each path's capacity.
+	var stages []stageStat
+	for round := 0; round < cfg.rounds; round++ {
+		off, _, err := traceRoundRPC(cfg, inst, false)
+		if err != nil {
+			return err
+		}
+		if off.JobsPerSec > rep.Off.JobsPerSec {
+			rep.Off = off
+		}
+		on, st, err := traceRoundRPC(cfg, inst, true)
+		if err != nil {
+			return err
+		}
+		if on.JobsPerSec > rep.On.JobsPerSec {
+			rep.On = on
+			stages = st
+		}
+
+		engOff, _, err := traceRoundEngine(cfg, inst, false)
+		if err != nil {
+			return err
+		}
+		if engOff.JobsPerSec > rep.Engine.Off.JobsPerSec {
+			rep.Engine.Off = engOff
+		}
+		engOn, _, err := traceRoundEngine(cfg, inst, true)
+		if err != nil {
+			return err
+		}
+		if engOn.JobsPerSec > rep.Engine.On.JobsPerSec {
+			rep.Engine.On = engOn
+		}
+	}
+	rep.Stages = stages
+	rep.OverheadPct = overheadPct(rep.Off, rep.On)
+	rep.Engine.OverheadPct = overheadPct(rep.Engine.Off, rep.Engine.On)
+
+	fmt.Printf("%-28s %14s %14s %10s\n", "path", "off jobs/sec", "on jobs/sec", "overhead")
+	fmt.Printf("%-28s %14.0f %14.0f %9.2f%%\n", "rpc (headline)",
+		rep.Off.JobsPerSec, rep.On.JobsPerSec, rep.OverheadPct)
+	fmt.Printf("%-28s %14.0f %14.0f %9.2f%%\n", "engine (in-process)",
+		rep.Engine.Off.JobsPerSec, rep.Engine.On.JobsPerSec, rep.Engine.OverheadPct)
+	for _, st := range rep.Stages {
+		fmt.Printf("  stage %-11s count=%-8d p50=%-10v p99=%v\n",
+			st.Stage, st.Count, time.Duration(int64(st.P50Ns)), time.Duration(int64(st.P99Ns)))
+	}
+
+	blob, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if cfg.out == "-" {
+		os.Stdout.Write(blob)
+		return nil
+	}
+	if err := os.WriteFile(cfg.out, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", cfg.out)
+	return nil
+}
+
+func overheadPct(off, on tracePass) float64 {
+	if off.JobsPerSec <= 0 {
+		return 0
+	}
+	return 100 * (off.JobsPerSec - on.JobsPerSec) / off.JobsPerSec
+}
+
+// traceRecorder builds the production tracing shape: span ring on (the
+// /spanz default), slow log silenced so the console stays clean at
+// benchmark rates.
+func traceRecorder(reg *obs.Registry) *obs.SpanRecorder {
+	return obs.NewSpanRecorder(reg, obs.WithSpanRing(512), obs.WithSlowLog(nil))
+}
+
+// traceCheckEngine proves decision bit-identity with in-process tracing
+// enabled: a decision-logged AND span-traced service run concurrently
+// must replay exactly per shard.
+func traceCheckEngine(cfg traceConfig, inst job.Instance) error {
+	reg := obs.NewRegistry()
+	rec := obs.NewSpanRecorder(reg, obs.WithSlowLog(nil))
+	svc, err := serve.New(cfg.shards, cfg.machines, cfg.eps,
+		serve.WithQueueDepth(cfg.queueDepth), serve.WithBatchSize(cfg.batchSize),
+		serve.WithDecisionLog(), serve.WithSpans(rec))
+	if err != nil {
+		return err
+	}
+	if err := driveServiceSpans(svc, rec, inst, cfg.submitters, 1); err != nil {
+		return err
+	}
+	if err := svc.Close(); err != nil {
+		return err
+	}
+	if err := svc.VerifyReplay(); err != nil {
+		return fmt.Errorf("trace equivalence (engine): %w", err)
+	}
+	if got := rec.Finished(); got != uint64(len(inst)) {
+		return fmt.Errorf("trace check: %d spans finished, want %d", got, len(inst))
+	}
+	return nil
+}
+
+// traceCheckRPC proves the same over the wire: a fully traced networked
+// daemon (server + serve spans on one recorder) with a decision log
+// must still replay exactly per shard.
+func traceCheckRPC(cfg traceConfig, inst job.Instance) error {
+	reg := obs.NewRegistry()
+	rec := obs.NewSpanRecorder(reg, obs.WithSlowLog(nil))
+	svc, srv, err := startTraceDaemon(cfg, rec, serve.WithDecisionLog())
+	if err != nil {
+		return err
+	}
+	if _, err := driveNet(srv.Addr().String(), inst, cfg.clients, cfg.pipeline, nil); err != nil {
+		return err
+	}
+	if err := srv.Close(); err != nil {
+		return err
+	}
+	if err := svc.Close(); err != nil {
+		return err
+	}
+	if err := svc.VerifyReplay(); err != nil {
+		return fmt.Errorf("trace equivalence (rpc): %w", err)
+	}
+	if got := rec.Finished(); got != uint64(len(inst)) {
+		return fmt.Errorf("trace check (rpc): %d spans finished, want %d", got, len(inst))
+	}
+	return nil
+}
+
+// startTraceDaemon builds a loopback daemon; a non-nil rec arms the full
+// server-side tracing shape on both layers.
+func startTraceDaemon(cfg traceConfig, rec *obs.SpanRecorder, extra ...serve.Option) (*serve.Service, *netserve.Server, error) {
+	svcOpts := append([]serve.Option{
+		serve.WithQueueDepth(cfg.queueDepth),
+		serve.WithBatchSize(cfg.batchSize),
+	}, extra...)
+	srvOpts := []netserve.ServerOption{netserve.WithWindow(cfg.window)}
+	if rec != nil {
+		svcOpts = append(svcOpts, serve.WithSpans(rec))
+		srvOpts = append(srvOpts, netserve.WithServerSpans(rec))
+	}
+	svc, err := serve.New(cfg.shards, cfg.machines, cfg.eps, svcOpts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv, err := netserve.Serve(svc, "127.0.0.1:0", srvOpts...)
+	if err != nil {
+		svc.Close()
+		return nil, nil, err
+	}
+	return svc, srv, nil
+}
+
+// traceRoundRPC times one pass of the workload (repeated cfg.repeat
+// times) through a fresh loopback daemon, traced or not.
+func traceRoundRPC(cfg traceConfig, inst job.Instance, traced bool) (tracePass, []stageStat, error) {
+	pass := tracePass{Jobs: len(inst) * cfg.repeat}
+	var reg *obs.Registry
+	var rec *obs.SpanRecorder
+	if traced {
+		reg = obs.NewRegistry()
+		rec = traceRecorder(reg)
+	}
+	svc, srv, err := startTraceDaemon(cfg, rec)
+	if err != nil {
+		return pass, nil, err
+	}
+	start := time.Now()
+	for r := 0; r < cfg.repeat; r++ {
+		if _, err := driveNet(srv.Addr().String(), inst, cfg.clients, cfg.pipeline, nil); err != nil {
+			srv.Close()
+			svc.Close()
+			return pass, nil, err
+		}
+	}
+	wall := time.Since(start)
+	if err := srv.Close(); err != nil {
+		return pass, nil, err
+	}
+	if err := svc.Close(); err != nil {
+		return pass, nil, err
+	}
+	pass.WallSeconds = wall.Seconds()
+	if pass.WallSeconds > 0 {
+		pass.JobsPerSec = float64(pass.Jobs) / pass.WallSeconds
+	}
+	if !traced {
+		return pass, nil, nil
+	}
+	return pass, stageStats(reg), nil
+}
+
+// traceRoundEngine times one pass of the workload (repeated cfg.repeat
+// times) through a fresh in-process service, traced or not.
+func traceRoundEngine(cfg traceConfig, inst job.Instance, traced bool) (tracePass, []stageStat, error) {
+	pass := tracePass{Jobs: len(inst) * cfg.repeat}
+	opts := []serve.Option{
+		serve.WithQueueDepth(cfg.queueDepth), serve.WithBatchSize(cfg.batchSize),
+	}
+	var reg *obs.Registry
+	var rec *obs.SpanRecorder
+	if traced {
+		reg = obs.NewRegistry()
+		rec = traceRecorder(reg)
+		opts = append(opts, serve.WithSpans(rec))
+	}
+	svc, err := serve.New(cfg.shards, cfg.machines, cfg.eps, opts...)
+	if err != nil {
+		return pass, nil, err
+	}
+	start := time.Now()
+	if traced {
+		err = driveServiceSpans(svc, rec, inst, cfg.submitters, cfg.repeat)
+	} else {
+		err = driveServiceRepeat(svc, inst, cfg.submitters, cfg.repeat)
+	}
+	wall := time.Since(start)
+	if err != nil {
+		svc.Close()
+		return pass, nil, err
+	}
+	if err := svc.Close(); err != nil {
+		return pass, nil, err
+	}
+	pass.WallSeconds = wall.Seconds()
+	if pass.WallSeconds > 0 {
+		pass.JobsPerSec = float64(pass.Jobs) / pass.WallSeconds
+	}
+	if !traced {
+		return pass, nil, nil
+	}
+	return pass, stageStats(reg), nil
+}
+
+// driveServiceRepeat fans repeat passes of inst over g goroutines,
+// striped by index like driveService.
+func driveServiceRepeat(svc *serve.Service, inst job.Instance, g, repeat int) error {
+	for r := 0; r < repeat; r++ {
+		if err := driveService(svc, inst, g, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// driveServiceSpans is driveServiceRepeat with tracing: each goroutine
+// reuses one stack Span per submission and finishes it into rec — the
+// same shape an instrumented daemon uses, so the measured overhead is
+// the production overhead.
+func driveServiceSpans(svc *serve.Service, rec *obs.SpanRecorder, inst job.Instance, g, repeat int) error {
+	for r := 0; r < repeat; r++ {
+		var wg sync.WaitGroup
+		errs := make([]error, g)
+		for w := 0; w < g; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				var sp obs.Span
+				for i := w; i < len(inst); i += g {
+					sp.Reset()
+					sp.JobID = int64(inst[i].ID)
+					sp.Start = rec.Now()
+					if _, err := svc.SubmitSpan(inst[i], &sp); err != nil {
+						errs[w] = err
+						return
+					}
+					rec.Finish(&sp)
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// stageStats reads per-stage counts and percentile bounds from the
+// recorder's registry histograms.
+func stageStats(reg *obs.Registry) []stageStat {
+	snap := reg.Snapshot()
+	var out []stageStat
+	for st := obs.Stage(0); st < obs.NumStages; st++ {
+		h, ok := snap.Histograms[fmt.Sprintf("span_stage_seconds{stage=%q}", st.String())]
+		if !ok || h.Count == 0 {
+			continue
+		}
+		out = append(out, stageStat{
+			Stage: st.String(),
+			Count: h.Count,
+			P50Ns: histQuantileNs(h, 0.50),
+			P99Ns: histQuantileNs(h, 0.99),
+		})
+	}
+	return out
+}
+
+// histQuantileNs returns the upper bound (ns) of the bucket containing
+// the q-quantile — a conservative percentile estimate.
+func histQuantileNs(h obs.HistogramSnapshot, q float64) float64 {
+	target := int64(q * float64(h.Count))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, bound := range h.Bounds {
+		cum += h.Buckets[i]
+		if cum >= target {
+			return bound * 1e9
+		}
+	}
+	// Overflow bucket: no finite bound; report the largest finite one.
+	if len(h.Bounds) > 0 {
+		return h.Bounds[len(h.Bounds)-1] * 1e9
+	}
+	return 0
+}

@@ -1,0 +1,191 @@
+// Command loadmaxctl queries a live loadmaxd's admin plane (-admin on
+// the daemon).
+//
+// Usage:
+//
+//	loadmaxctl [-admin host:port] [-timeout d] <command>
+//
+//	status            pretty-print /statusz (process, build, shard state)
+//	metrics [-grep s] dump /metrics (Prometheus text), optionally filtered
+//	slow              table of slow-request spans from /spanz?slow=1
+//	spans             table of recent request spans from /spanz
+//	health            hit /healthz; exit 0 healthy, 1 draining/down
+//
+// Examples:
+//
+//	loadmaxctl -admin 127.0.0.1:7134 status
+//	loadmaxctl -admin 127.0.0.1:7134 metrics -grep span_stage
+//	loadmaxctl -admin 127.0.0.1:7134 slow
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+func main() {
+	admin := flag.String("admin", "127.0.0.1:7134", "loadmaxd admin address")
+	timeout := flag.Duration("timeout", 5*time.Second, "request timeout")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: loadmaxctl [-admin host:port] [-timeout d] status|metrics|slow|spans|health")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() < 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	c := &client{base: "http://" + *admin, http: &http.Client{Timeout: *timeout}}
+
+	var err error
+	switch cmd := flag.Arg(0); cmd {
+	case "status":
+		err = c.status()
+	case "metrics":
+		grep := ""
+		fs := flag.NewFlagSet("metrics", flag.ExitOnError)
+		fs.StringVar(&grep, "grep", "", "only print lines containing this substring")
+		fs.Parse(flag.Args()[1:])
+		err = c.metrics(grep)
+	case "slow":
+		err = c.spans(true)
+	case "spans":
+		err = c.spans(false)
+	case "health":
+		err = c.health()
+	default:
+		fmt.Fprintf(os.Stderr, "loadmaxctl: unknown command %q\n", cmd)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadmaxctl:", err)
+		os.Exit(1)
+	}
+}
+
+type client struct {
+	base string
+	http *http.Client
+}
+
+func (c *client) get(path string) ([]byte, int, error) {
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	return body, resp.StatusCode, err
+}
+
+func (c *client) status() error {
+	body, code, err := c.get("/statusz")
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK {
+		return fmt.Errorf("statusz: HTTP %d: %s", code, strings.TrimSpace(string(body)))
+	}
+	os.Stdout.Write(body)
+	return nil
+}
+
+func (c *client) metrics(grep string) error {
+	body, code, err := c.get("/metrics")
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK {
+		return fmt.Errorf("metrics: HTTP %d", code)
+	}
+	if grep == "" {
+		os.Stdout.Write(body)
+		return nil
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.Contains(line, grep) {
+			fmt.Println(line)
+		}
+	}
+	return nil
+}
+
+// spanView mirrors obs.SpanView's JSON; kept local so the CLI depends
+// only on the wire contract, not the internal package.
+type spanView struct {
+	JobID   int64            `json:"job"`
+	Shard   int32            `json:"shard"`
+	Verdict string           `json:"verdict"`
+	TotalNs int64            `json:"total_ns"`
+	Stages  map[string]int64 `json:"stages_ns"`
+}
+
+func (c *client) spans(slowOnly bool) error {
+	path := "/spanz"
+	if slowOnly {
+		path += "?slow=1"
+	}
+	body, code, err := c.get(path)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK {
+		return fmt.Errorf("spanz: HTTP %d", code)
+	}
+	var out struct {
+		Recent []spanView `json:"recent"`
+		Slow   []spanView `json:"slow"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		return fmt.Errorf("spanz: %w", err)
+	}
+	spans := out.Slow
+	kind := "slow"
+	if !slowOnly {
+		spans = out.Recent
+		kind = "recent"
+	}
+	if len(spans) == 0 {
+		fmt.Printf("no %s spans (daemon running with -spans?)\n", kind)
+		return nil
+	}
+	printSpanTable(spans)
+	return nil
+}
+
+func printSpanTable(spans []spanView) {
+	fmt.Printf("%10s %5s %-7s %12s  %s\n", "JOB", "SHARD", "VERDICT", "TOTAL", "STAGES")
+	for _, sp := range spans {
+		names := make([]string, 0, len(sp.Stages))
+		for name := range sp.Stages {
+			names = append(names, name)
+		}
+		sort.Slice(names, func(a, b int) bool { return sp.Stages[names[a]] > sp.Stages[names[b]] })
+		parts := make([]string, len(names))
+		for i, name := range names {
+			parts[i] = fmt.Sprintf("%s=%v", name, time.Duration(sp.Stages[name]))
+		}
+		fmt.Printf("%10d %5d %-7s %12v  %s\n",
+			sp.JobID, sp.Shard, sp.Verdict, time.Duration(sp.TotalNs), strings.Join(parts, " "))
+	}
+}
+
+func (c *client) health() error {
+	body, code, err := c.get("/healthz")
+	if err != nil {
+		return err
+	}
+	fmt.Print(string(body))
+	if code != http.StatusOK {
+		os.Exit(1)
+	}
+	return nil
+}

@@ -8,7 +8,7 @@
 //
 //	loadmaxd -addr :7133 -shards 8 -machines 64 -eps 0.1
 //	loadmaxd -durable /var/lib/loadmax -checkpoint-interval 30s
-//	loadmaxd -addr 127.0.0.1:0 -metrics-out metrics.json
+//	loadmaxd -addr 127.0.0.1:0 -admin 127.0.0.1:7134 -spans
 //
 // With -durable, a directory that already holds a service is restored
 // (topology comes from its manifest and -shards/-machines/-eps are
@@ -16,6 +16,11 @@
 // SIGTERM the daemon drains connections gracefully, checkpoints durable
 // state to bound the next recovery, closes the service, and (with
 // -metrics-out) writes a final metrics snapshot.
+//
+// With -admin, an ops-plane HTTP listener serves /metrics (Prometheus
+// text exposition), /statusz (JSON process + shard status), /healthz
+// (drain-aware), /spanz (recent + slow request timelines; needs -spans)
+// and /debug/pprof/. cmd/loadmaxctl is the matching CLI.
 package main
 
 import (
@@ -25,11 +30,13 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
 	"syscall"
 	"time"
 
 	"loadmax/internal/netserve"
 	"loadmax/internal/obs"
+	"loadmax/internal/obs/expo"
 	"loadmax/internal/serve"
 )
 
@@ -50,6 +57,12 @@ func main() {
 		inflight = flag.Int("max-inflight", 4096, "server-wide in-flight cap before shedding")
 		wtimeout = flag.Duration("write-timeout", 10*time.Second, "slow-client disconnect threshold")
 		metOut   = flag.String("metrics-out", "", "write a JSON metrics snapshot here on shutdown (\"-\" = stdout)")
+
+		adminAddr = flag.String("admin", "", "admin HTTP listen address for /metrics, /statusz, /healthz, /spanz, /debug/pprof (empty = disabled)")
+		spans     = flag.Bool("spans", false, "trace request lifecycles into per-stage histograms and the /spanz ring")
+		slowThr   = flag.Duration("slow-threshold", time.Second, "log requests slower than this with their stage breakdown (0 = disabled; requires -spans)")
+		spanRing  = flag.Int("span-ring", 512, "finished-span ring capacity for /spanz (requires -spans)")
+		heartbeat = flag.Duration("heartbeat", time.Minute, "periodic one-line stats log interval (0 = disabled)")
 	)
 	flag.Parse()
 	if *ckptIv > 0 && *durable == "" {
@@ -57,10 +70,19 @@ func main() {
 	}
 
 	reg := obs.NewRegistry()
+	var rec *obs.SpanRecorder
+	if *spans {
+		rec = obs.NewSpanRecorder(reg,
+			obs.WithSpanRing(*spanRing),
+			obs.WithSlowThreshold(*slowThr))
+	}
 	svcOpts := []serve.Option{
 		serve.WithMetrics(reg),
 		serve.WithQueueDepth(*queue),
 		serve.WithBatchSize(*batch),
+	}
+	if rec != nil {
+		svcOpts = append(svcOpts, serve.WithSpans(rec))
 	}
 	switch *policy {
 	case "hash-by-id":
@@ -81,17 +103,49 @@ func main() {
 		fatal(err)
 	}
 
-	srv, err := netserve.Serve(svc, *addr,
+	srvOpts := []netserve.ServerOption{
 		netserve.WithServerMetrics(reg),
 		netserve.WithWindow(*window),
 		netserve.WithMaxInflight(*inflight),
-		netserve.WithWriteTimeout(*wtimeout))
+		netserve.WithWriteTimeout(*wtimeout),
+	}
+	if rec != nil {
+		srvOpts = append(srvOpts, netserve.WithServerSpans(rec))
+	}
+	srv, err := netserve.Serve(svc, *addr, srvOpts...)
 	if err != nil {
 		svc.Close()
 		fatal(err)
 	}
-	fmt.Printf("loadmaxd: serving %d shards × %d machines (ε=%g) on %s\n",
-		svc.Shards(), svc.Machines(), svc.Eps(), srv.Addr())
+
+	build := expo.CollectBuild()
+	banner(build, svc, srv, *durable, *adminAddr, rec)
+
+	var admin *expo.Admin
+	if *adminAddr != "" {
+		admin = expo.NewAdmin(reg,
+			expo.WithServerName("loadmaxd"),
+			expo.WithBuild(build),
+			expo.WithSpans(rec))
+		admin.RegisterStatus("service", func() any {
+			return map[string]any{
+				"addr":          srv.Addr().String(),
+				"shards":        svc.Shards(),
+				"machines":      svc.Machines(),
+				"eps":           svc.Eps(),
+				"policy":        svc.Policy().Name(),
+				"durable_dir":   *durable,
+				"accepted_mass": svc.AcceptedMass(),
+				"shard_status":  svc.Snapshot(),
+			}
+		})
+		if err := admin.ListenAndServe(*adminAddr); err != nil {
+			srv.Close()
+			svc.Close()
+			fatal(err)
+		}
+		fmt.Printf("loadmaxd: admin plane on http://%s (/metrics /statusz /healthz /spanz /debug/pprof)\n", admin.Addr())
+	}
 
 	stopCkpt := make(chan struct{})
 	if *ckptIv > 0 {
@@ -110,11 +164,20 @@ func main() {
 			}
 		}()
 	}
+	if *heartbeat > 0 {
+		go heartbeatLoop(svc, reg, rec, *heartbeat, stopCkpt)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	s := <-sig
 	fmt.Printf("loadmaxd: %v — draining\n", s)
+	if admin != nil {
+		// Flip /healthz first so load balancers stop routing while the
+		// drain completes; the admin plane itself stays up for post-drain
+		// inspection until exit.
+		admin.SetDraining(true)
+	}
 	close(stopCkpt)
 
 	if err := srv.Close(); err != nil {
@@ -130,9 +193,73 @@ func main() {
 	if err := svc.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "loadmaxd: close:", err)
 	}
+	if admin != nil {
+		admin.Close()
+	}
 	if *metOut != "" {
 		if err := writeMetrics(reg, *metOut); err != nil {
 			fatal(err)
+		}
+	}
+}
+
+// banner logs the startup identity line: what is running, where, and
+// with what resources — the first thing an operator greps for.
+func banner(build expo.Build, svc *serve.Service, srv *netserve.Server, durable, adminAddr string, rec *obs.SpanRecorder) {
+	commit := build.Commit
+	if len(commit) > 12 {
+		commit = commit[:12]
+	}
+	if build.Dirty {
+		commit += "-dirty"
+	}
+	fmt.Printf("loadmaxd: starting %s commit=%s pid=%d gomaxprocs=%d\n",
+		build.GoVersion, commit, os.Getpid(), runtime.GOMAXPROCS(0))
+	dur := "in-memory"
+	if durable != "" {
+		dur = "durable dir " + durable
+	}
+	tracing := "off"
+	if rec != nil {
+		tracing = fmt.Sprintf("on (slow threshold %v)", rec.SlowThreshold())
+	}
+	fmt.Printf("loadmaxd: serving %d shards × %d machines (ε=%g, policy=%s) on %s — %s, tracing %s\n",
+		svc.Shards(), svc.Machines(), svc.Eps(), svc.Policy().Name(), srv.Addr(), dur, tracing)
+}
+
+// heartbeatLoop logs a one-line service digest every interval: totals,
+// accepted mass, deepest queue, connection/in-flight gauges and the
+// submit rate since the previous beat.
+func heartbeatLoop(svc *serve.Service, reg *obs.Registry, rec *obs.SpanRecorder, interval time.Duration, stop <-chan struct{}) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	var lastSubmitted int64
+	lastBeat := time.Now()
+	for {
+		select {
+		case <-t.C:
+			var submitted, accepted, rejected, maxDepth int64
+			for _, sh := range svc.Snapshot() {
+				submitted += sh.Submitted
+				accepted += sh.Accepted
+				rejected += sh.Rejected
+				if d := int64(sh.QueueDepth); d > maxDepth {
+					maxDepth = d
+				}
+			}
+			now := time.Now()
+			rate := float64(submitted-lastSubmitted) / now.Sub(lastBeat).Seconds()
+			lastSubmitted, lastBeat = submitted, now
+			snap := reg.Snapshot()
+			line := fmt.Sprintf("loadmaxd: submitted=%d accepted=%d rejected=%d mass=%.1f rate=%.0f/s maxq=%d conns=%.0f inflight=%.0f",
+				submitted, accepted, rejected, svc.AcceptedMass(), rate, maxDepth,
+				snap.Gauges["netserve_connections"], snap.Gauges["netserve_inflight"])
+			if rec != nil {
+				line += fmt.Sprintf(" slow=%d", rec.SlowCount())
+			}
+			fmt.Println(line)
+		case <-stop:
+			return
 		}
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"loadmax/internal/job"
+	"loadmax/internal/obs"
 	"loadmax/internal/online"
 )
 
@@ -53,6 +54,7 @@ type dialConfig struct {
 	conns       int
 	timeout     time.Duration
 	dialTimeout time.Duration
+	spans       *obs.SpanRecorder
 }
 
 func defaultDialConfig() dialConfig {
@@ -71,6 +73,15 @@ func WithTimeout(d time.Duration) DialOption { return func(c *dialConfig) { c.ti
 // WithDialTimeout bounds connection establishment and the handshake
 // (default 10s).
 func WithDialTimeout(d time.Duration) DialOption { return func(c *dialConfig) { c.dialTimeout = d } }
+
+// WithClientSpans attaches a span recorder: every decided Submit's
+// send→verdict round trip is observed into the recorder's "client"
+// stage histogram. This is the client's own clock — it measures what
+// callers experience, including the network, and is never merged with
+// server-side spans.
+func WithClientSpans(rec *obs.SpanRecorder) DialOption {
+	return func(c *dialConfig) { c.spans = rec }
+}
 
 // Client is a pooled, pipelining connection to a loadmax daemon. It is
 // safe for concurrent use: requests are multiplexed over each
@@ -166,6 +177,7 @@ func (c *Client) SubmitTimeout(j job.Job, timeout time.Duration) (online.Decisio
 	}
 	defer func() { <-cc.sem }()
 
+	sendNs := c.cfg.spans.Now()
 	id, ch := cc.register()
 	if err := cc.send(appendSubmit(nil, submitFrame{ID: id, Job: j})); err != nil {
 		cc.unregister(id)
@@ -173,6 +185,7 @@ func (c *Client) SubmitTimeout(j job.Job, timeout time.Duration) (online.Decisio
 	}
 	select {
 	case v := <-ch:
+		c.cfg.spans.Observe(obs.StageClient, c.cfg.spans.Now()-sendNs)
 		return mapVerdict(j, v)
 	case <-timer.C:
 		cc.unregister(id) // a late verdict for this id is discarded

@@ -22,6 +22,7 @@ type serverConfig struct {
 	writeTimeout time.Duration
 	helloTimeout time.Duration
 	reg          *obs.Registry
+	spans        *obs.SpanRecorder
 	submitGate   func() // test-only: blocks each worker before Submit
 }
 
@@ -70,6 +71,16 @@ func WithWriteTimeout(d time.Duration) ServerOption {
 //
 // A nil registry (the default) keeps the hot path metric-free.
 func WithServerMetrics(reg *obs.Registry) ServerOption { return func(c *serverConfig) { c.reg = reg } }
+
+// WithServerSpans attaches a span recorder: every dispatched request
+// gets a lifecycle span covering frame decode, shard queue wait, engine
+// decide, WAL commit (via the service, which must share the recorder
+// through serve.WithSpans), and the reply write, finished when its
+// verdict hits the wire. Shed frames are answered before dispatch and
+// carry no span. A nil recorder (the default) keeps the path span-free.
+func WithServerSpans(rec *obs.SpanRecorder) ServerOption {
+	return func(c *serverConfig) { c.spans = rec }
+}
 
 // withSubmitGate is the white-box test hook: f runs in each dispatched
 // worker after the in-flight slots are taken and before Submit, letting
@@ -137,7 +148,7 @@ func ServeListener(svc *serve.Service, ln net.Listener, opts ...ServerOption) (*
 		verdicts:      cfg.reg.CounterVec("netserve_requests_total", "verdict"),
 		shedTotal:     cfg.reg.Counter("netserve_shed_total"),
 		slowCuts:      cfg.reg.Counter("netserve_slow_disconnects_total"),
-		latHist:       cfg.reg.Histogram("netserve_request_seconds", obs.ExpBuckets(1e-6, 4, 12)),
+		latHist:       cfg.reg.Histogram("netserve_request_seconds", obs.ExpBucketsRange(1e-6, 4, 12)),
 		rxFrames:      cfg.reg.Counter("netserve_rx_frames_total"),
 	}
 	s.wg.Add(1)
@@ -183,12 +194,22 @@ func (s *Server) acceptLoop() {
 			nc.Close()
 			return
 		}
-		c := &srvConn{s: s, nc: nc, resp: make(chan []byte, s.cfg.window+16)}
+		c := &srvConn{s: s, nc: nc, resp: make(chan respEntry, s.cfg.window+16)}
 		s.conns[c] = struct{}{}
 		s.wg.Add(1)
 		s.mu.Unlock()
 		go c.run()
 	}
+}
+
+// respEntry is one verdict bound for the wire: the encoded frame plus,
+// under tracing, the request's span and the recorder-clock mark at which
+// the verdict was queued (the reply-write stage runs from that mark to
+// the flush that puts the frame on the wire).
+type respEntry struct {
+	buf []byte
+	sp  *obs.Span
+	ns  int64
 }
 
 // srvConn is one client connection: a reader goroutine that dispatches
@@ -197,7 +218,7 @@ func (s *Server) acceptLoop() {
 type srvConn struct {
 	s        *Server
 	nc       net.Conn
-	resp     chan []byte // encoded verdict frames
+	resp     chan respEntry // encoded verdict frames
 	inflight atomic.Int64
 	workers  sync.WaitGroup
 }
@@ -269,11 +290,13 @@ func (c *srvConn) handshake(br *bufio.Reader) error {
 // at the moment its frame is read.
 func (c *srvConn) readLoop(br *bufio.Reader) {
 	s := c.s
+	rec := s.cfg.spans
 	for {
 		payload, err := readFrame(br)
 		if err != nil {
 			return // EOF, deadline from Close, or protocol garbage
 		}
+		readNs := rec.Now() // span clock mark; 0 when tracing is off
 		if payload[0] != frameSubmit {
 			return // handshake is over; anything but a submit is a protocol error
 		}
@@ -295,7 +318,14 @@ func (c *srvConn) readLoop(br *bufio.Reader) {
 		c.inflight.Add(1)
 		s.inflightGauge.Add(1)
 		c.workers.Add(1)
-		go c.serveRequest(f)
+		// The span is allocated only for dispatched requests and only
+		// under tracing; its decode stage covers frame parse + admission.
+		var sp *obs.Span
+		if rec != nil {
+			sp = &obs.Span{JobID: int64(f.Job.ID), Start: readNs}
+			sp.Stages[obs.StageDecode] = rec.Now() - readNs
+		}
+		go c.serveRequest(f, sp)
 	}
 }
 
@@ -306,21 +336,21 @@ func (c *srvConn) readLoop(br *bufio.Reader) {
 func (c *srvConn) shed(id uint64) {
 	c.s.shedTotal.Inc()
 	c.s.verdicts.With("shed").Inc()
-	c.resp <- appendVerdict(nil, verdictFrame{ID: id, Status: statusShed})
+	c.resp <- respEntry{buf: appendVerdict(nil, verdictFrame{ID: id, Status: statusShed})}
 }
 
 // serveRequest runs one admission through the service and posts the
 // verdict. Submit blocks until the shard decided — and, under
 // durability, until the decision is fsynced — so a verdict on the wire
 // is always a kept promise.
-func (c *srvConn) serveRequest(f submitFrame) {
+func (c *srvConn) serveRequest(f submitFrame, sp *obs.Span) {
 	defer c.workers.Done()
 	s := c.s
 	if s.cfg.submitGate != nil {
 		s.cfg.submitGate()
 	}
 	start := time.Now()
-	dec, err := s.svc.Submit(f.Job)
+	dec, err := s.svc.SubmitSpan(f.Job, sp)
 	s.latHist.Observe(time.Since(start).Seconds())
 	<-s.inflight
 	c.inflight.Add(-1)
@@ -334,10 +364,16 @@ func (c *srvConn) serveRequest(f submitFrame) {
 		v.Status = statusShed
 		s.shedTotal.Inc()
 		s.verdicts.With("shed").Inc()
+		if sp != nil {
+			sp.Verdict = obs.VerdictShed
+		}
 	case err != nil:
 		v.Status = statusError
 		v.Msg = err.Error()
 		s.verdicts.With("error").Inc()
+		if sp != nil {
+			sp.Verdict = obs.VerdictError
+		}
 	case dec.Accepted:
 		v.Status = statusAccept
 		v.Machine = int64(dec.Machine)
@@ -347,7 +383,7 @@ func (c *srvConn) serveRequest(f submitFrame) {
 		v.Status = statusReject
 		s.verdicts.With("reject").Inc()
 	}
-	c.resp <- appendVerdict(nil, v)
+	c.resp <- respEntry{buf: appendVerdict(nil, v), sp: sp, ns: s.cfg.spans.Now()}
 }
 
 // writeLoop batches verdicts onto the wire: it blocks for one frame,
@@ -359,6 +395,7 @@ func (c *srvConn) serveRequest(f submitFrame) {
 // decisions themselves are already recorded server-side.
 func (c *srvConn) writeLoop(done chan struct{}) {
 	defer close(done)
+	rec := c.s.cfg.spans
 	bw := bufio.NewWriterSize(c.nc, 32<<10)
 	fail := func(err error) {
 		if ne, ok := err.(net.Error); ok && ne.Timeout() {
@@ -369,11 +406,19 @@ func (c *srvConn) writeLoop(done chan struct{}) {
 			// Discard until the conn goroutine closes the channel.
 		}
 	}
-	for buf := range c.resp {
+	// pending collects the spans of the frames coalesced into the current
+	// flush; they finish together once the flush lands on the wire.
+	// Spans of frames lost to a write failure are dropped, matching the
+	// verdicts themselves.
+	var pending []respEntry
+	for e := range c.resp {
 		c.nc.SetWriteDeadline(time.Now().Add(c.s.cfg.writeTimeout))
-		if _, err := bw.Write(buf); err != nil {
+		if _, err := bw.Write(e.buf); err != nil {
 			fail(err)
 			return
+		}
+		if e.sp != nil {
+			pending = append(pending, e)
 		}
 	coalesce:
 		for {
@@ -382,9 +427,12 @@ func (c *srvConn) writeLoop(done chan struct{}) {
 				if !ok {
 					break coalesce
 				}
-				if _, err := bw.Write(more); err != nil {
+				if _, err := bw.Write(more.buf); err != nil {
 					fail(err)
 					return
+				}
+				if more.sp != nil {
+					pending = append(pending, more)
 				}
 			default:
 				break coalesce
@@ -393,6 +441,14 @@ func (c *srvConn) writeLoop(done chan struct{}) {
 		if err := bw.Flush(); err != nil {
 			fail(err)
 			return
+		}
+		if len(pending) > 0 {
+			flushedNs := rec.Now()
+			for _, p := range pending {
+				p.sp.Stages[obs.StageReply] = flushedNs - p.ns
+				rec.Finish(p.sp)
+			}
+			pending = pending[:0]
 		}
 	}
 	bw.Flush()

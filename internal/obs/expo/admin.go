@@ -1,0 +1,227 @@
+package expo
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"loadmax/internal/obs"
+)
+
+// Build identifies the running binary on /statusz.
+type Build struct {
+	GoVersion string `json:"go_version"`
+	Commit    string `json:"commit"`
+	Dirty     bool   `json:"dirty"`
+}
+
+// CollectBuild reads the binary's VCS stamp from the embedded build
+// info. Commit is "unknown" for unstamped builds (go test binaries,
+// plain `go run` of a non-main package).
+func CollectBuild() Build {
+	b := Build{GoVersion: runtime.Version(), Commit: "unknown"}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			b.Commit = s.Value
+		case "vcs.modified":
+			b.Dirty = s.Value == "true"
+		}
+	}
+	return b
+}
+
+// AdminOption configures an Admin plane.
+type AdminOption func(*Admin)
+
+// WithSpans attaches a span recorder: /spanz serves its rings and
+// /statusz reports finished/slow counts.
+func WithSpans(rec *obs.SpanRecorder) AdminOption {
+	return func(a *Admin) { a.spans = rec }
+}
+
+// WithBuild overrides the build info reported on /statusz (daemons
+// stamp it once at startup so every status request shares the answer).
+func WithBuild(b Build) AdminOption {
+	return func(a *Admin) { a.build = b }
+}
+
+// WithServerName sets the "server" field on /statusz (e.g. "loadmaxd").
+func WithServerName(name string) AdminOption {
+	return func(a *Admin) { a.server = name }
+}
+
+// Admin is the ops-plane HTTP surface: /metrics (Prometheus text),
+// /statusz (JSON process + component status), /healthz (drain-aware),
+// /spanz (recent + slow span timelines), and /debug/pprof/. It is a
+// read-only observer — handlers only take registry and ring snapshots,
+// never locks on the serving path.
+type Admin struct {
+	reg      *obs.Registry
+	spans    *obs.SpanRecorder
+	build    Build
+	server   string
+	start    time.Time
+	draining atomic.Bool
+
+	mu     sync.Mutex
+	status map[string]func() any
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// NewAdmin builds an admin plane over reg.
+func NewAdmin(reg *obs.Registry, opts ...AdminOption) *Admin {
+	a := &Admin{
+		reg:    reg,
+		build:  CollectBuild(),
+		server: "loadmax",
+		start:  time.Now(),
+		status: map[string]func() any{},
+	}
+	for _, o := range opts {
+		o(a)
+	}
+	return a
+}
+
+// RegisterStatus adds a named section to /statusz; fn is called per
+// request and its result JSON-encoded under that name.
+func (a *Admin) RegisterStatus(name string, fn func() any) {
+	a.mu.Lock()
+	a.status[name] = fn
+	a.mu.Unlock()
+}
+
+// SetDraining flips the /healthz answer: a draining process reports 503
+// so load balancers stop routing to it while in-flight work completes.
+func (a *Admin) SetDraining(v bool) { a.draining.Store(v) }
+
+// Handler returns the admin mux (exposed separately so tests can drive
+// it through httptest without a listener).
+func (a *Admin) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", a.handleMetrics)
+	mux.HandleFunc("/statusz", a.handleStatusz)
+	mux.HandleFunc("/healthz", a.handleHealthz)
+	mux.HandleFunc("/spanz", a.handleSpanz)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ListenAndServe binds addr and serves the admin plane in a background
+// goroutine, returning once the listener is live (so callers can log
+// the resolved port and ctl clients can connect immediately).
+func (a *Admin) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	a.ln = ln
+	a.srv = &http.Server{Handler: a.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go a.srv.Serve(ln) //nolint:errcheck // ErrServerClosed on shutdown
+	return nil
+}
+
+// Addr returns the bound listener address ("" before ListenAndServe).
+func (a *Admin) Addr() string {
+	if a.ln == nil {
+		return ""
+	}
+	return a.ln.Addr().String()
+}
+
+// Close stops the admin listener. Safe to call without ListenAndServe.
+func (a *Admin) Close() error {
+	if a.srv == nil {
+		return nil
+	}
+	return a.srv.Close()
+}
+
+func (a *Admin) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = WriteMetrics(w, a.reg.Snapshot())
+}
+
+func (a *Admin) handleStatusz(w http.ResponseWriter, _ *http.Request) {
+	out := map[string]any{
+		"server":         a.server,
+		"build":          a.build,
+		"pid":            os.Getpid(),
+		"gomaxprocs":     runtime.GOMAXPROCS(0),
+		"num_cpu":        runtime.NumCPU(),
+		"goroutines":     runtime.NumGoroutine(),
+		"start_time":     a.start.UTC().Format(time.RFC3339),
+		"uptime_seconds": time.Since(a.start).Seconds(),
+		"draining":       a.draining.Load(),
+	}
+	if a.spans != nil {
+		out["spans"] = map[string]any{
+			"finished":          a.spans.Finished(),
+			"slow":              a.spans.SlowCount(),
+			"slow_threshold_ns": a.spans.SlowThreshold().Nanoseconds(),
+		}
+	}
+	a.mu.Lock()
+	fns := make(map[string]func() any, len(a.status))
+	for name, fn := range a.status {
+		fns[name] = fn
+	}
+	a.mu.Unlock()
+	for name, fn := range fns {
+		out[name] = fn()
+	}
+	writeJSON(w, out)
+}
+
+func (a *Admin) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if a.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (a *Admin) handleSpanz(w http.ResponseWriter, r *http.Request) {
+	slowOnly := r.URL.Query().Get("slow") == "1"
+	out := map[string]any{}
+	if !slowOnly {
+		out["recent"] = spanViews(a.spans.Recent())
+	}
+	out["slow"] = spanViews(a.spans.Slow())
+	writeJSON(w, out)
+}
+
+func spanViews(spans []obs.Span) []obs.SpanView {
+	out := make([]obs.SpanView, len(spans))
+	for i := range spans {
+		out[i] = spans[i].View()
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

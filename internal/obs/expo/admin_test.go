@@ -1,0 +1,149 @@
+package expo
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"loadmax/internal/obs"
+)
+
+func adminFixture(t *testing.T) (*Admin, *obs.SpanRecorder) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	reg.Counter("requests_total").Add(7)
+	rec := obs.NewSpanRecorder(reg, obs.WithSpanRing(8),
+		obs.WithSlowThreshold(time.Microsecond), obs.WithSlowLog(nil))
+	fast := obs.Span{JobID: 1, Verdict: obs.VerdictAccept}
+	fast.Stages[obs.StageDecide] = 300
+	rec.Finish(&fast)
+	slow := obs.Span{JobID: 2, Shard: 1, Verdict: obs.VerdictReject}
+	slow.Stages[obs.StageQueue] = 5e6
+	rec.Finish(&slow)
+	a := NewAdmin(reg, WithSpans(rec), WithServerName("testd"),
+		WithBuild(Build{GoVersion: "gotest", Commit: "abc123"}))
+	a.RegisterStatus("service", func() any { return map[string]int{"shards": 4} })
+	return a, rec
+}
+
+func get(t *testing.T, h http.Handler, path string) (*httptest.ResponseRecorder, string) {
+	t.Helper()
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("GET", path, nil))
+	body, _ := io.ReadAll(w.Result().Body)
+	return w, string(body)
+}
+
+func TestAdminMetricsEndpoint(t *testing.T) {
+	a, _ := adminFixture(t)
+	w, body := get(t, a.Handler(), "/metrics")
+	if w.Code != 200 {
+		t.Fatalf("status = %d", w.Code)
+	}
+	if ct := w.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("content type = %q", ct)
+	}
+	for _, want := range []string{
+		"requests_total 7",
+		"span_finished_total 2",
+		`span_stage_seconds_bucket{stage="decide",le="+Inf"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+func TestAdminStatusz(t *testing.T) {
+	a, _ := adminFixture(t)
+	_, body := get(t, a.Handler(), "/statusz")
+	var st map[string]any
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("statusz not JSON: %v\n%s", err, body)
+	}
+	if st["server"] != "testd" {
+		t.Errorf("server = %v", st["server"])
+	}
+	if b := st["build"].(map[string]any); b["commit"] != "abc123" {
+		t.Errorf("build = %v", b)
+	}
+	if sp := st["spans"].(map[string]any); sp["finished"].(float64) != 2 || sp["slow"].(float64) != 1 {
+		t.Errorf("spans = %v", sp)
+	}
+	if svc := st["service"].(map[string]any); svc["shards"].(float64) != 4 {
+		t.Errorf("service section = %v", st["service"])
+	}
+	if _, ok := st["uptime_seconds"]; !ok {
+		t.Error("statusz missing uptime_seconds")
+	}
+}
+
+func TestAdminHealthzDrain(t *testing.T) {
+	a, _ := adminFixture(t)
+	h := a.Handler()
+	if w, body := get(t, h, "/healthz"); w.Code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("healthy: code=%d body=%q", w.Code, body)
+	}
+	a.SetDraining(true)
+	if w, body := get(t, h, "/healthz"); w.Code != 503 || !strings.Contains(body, "draining") {
+		t.Fatalf("draining: code=%d body=%q", w.Code, body)
+	}
+	a.SetDraining(false)
+	if w, _ := get(t, h, "/healthz"); w.Code != 200 {
+		t.Fatalf("recovered: code=%d", w.Code)
+	}
+}
+
+func TestAdminSpanz(t *testing.T) {
+	a, _ := adminFixture(t)
+	_, body := get(t, a.Handler(), "/spanz")
+	var out struct {
+		Recent []obs.SpanView `json:"recent"`
+		Slow   []obs.SpanView `json:"slow"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatalf("spanz not JSON: %v\n%s", err, body)
+	}
+	if len(out.Recent) != 2 || len(out.Slow) != 1 {
+		t.Fatalf("recent=%d slow=%d", len(out.Recent), len(out.Slow))
+	}
+	if out.Slow[0].JobID != 2 || out.Slow[0].Stages["queue_wait"] != 5e6 {
+		t.Errorf("slow span = %+v", out.Slow[0])
+	}
+	_, slowBody := get(t, a.Handler(), "/spanz?slow=1")
+	if strings.Contains(slowBody, `"recent"`) {
+		t.Error("slow=1 still includes recent ring")
+	}
+}
+
+func TestAdminPprofWired(t *testing.T) {
+	a, _ := adminFixture(t)
+	w, body := get(t, a.Handler(), "/debug/pprof/")
+	if w.Code != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index: code=%d", w.Code)
+	}
+}
+
+func TestAdminListenAndServe(t *testing.T) {
+	a, _ := adminFixture(t)
+	if err := a.ListenAndServe("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	addr := a.Addr()
+	if addr == "" {
+		t.Fatal("no bound address")
+	}
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz over TCP = %d", resp.StatusCode)
+	}
+}

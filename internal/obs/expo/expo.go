@@ -1,0 +1,258 @@
+// Package expo is the live ops plane over internal/obs: it renders a
+// metrics Registry in the Prometheus text exposition format and serves
+// it — together with a JSON status page, a drain-aware health check,
+// the span ring and the pprof handlers — on an admin HTTP listener
+// (`loadmaxd -admin`, `bench -admin`, queried by cmd/loadmaxctl).
+//
+// The package stays inside the repository's zero-dependency rule: the
+// exposition writer is hand-rolled against the documented text format
+// (version 0.0.4) and everything else is net/http from the standard
+// library. Exposition is pull-only and snapshot-based — a scrape locks
+// the registry exactly once (Registry.Snapshot) and never stalls the
+// serving hot path.
+package expo
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"loadmax/internal/obs"
+)
+
+// WriteMetrics renders every metric in the registry in the Prometheus
+// text exposition format (version 0.0.4): counters and gauges as single
+// samples, histograms as cumulative `_bucket{le=...}` series plus
+// `_sum`/`_count`, with one-label families flattened onto each sample.
+// Output is deterministic: families sort by name, series by label value.
+func WriteMetrics(w io.Writer, snap obs.Snapshot) error {
+	bw := bufio.NewWriter(w)
+	writeScalarFamilies(bw, "counter", counterSamples(snap))
+	writeScalarFamilies(bw, "gauge", gaugeSamples(snap))
+	writeHistogramFamilies(bw, snap.Histograms)
+	return bw.Flush()
+}
+
+// sample is one rendered series: the family name, an optional single
+// label pair, and the formatted value.
+type sample struct {
+	name, label, value string
+	text               string
+}
+
+func counterSamples(snap obs.Snapshot) []sample {
+	out := make([]sample, 0, len(snap.Counters))
+	for k, v := range snap.Counters {
+		name, label, value := splitKey(k)
+		out = append(out, sample{name, label, value, strconv.FormatInt(v, 10)})
+	}
+	return out
+}
+
+func gaugeSamples(snap obs.Snapshot) []sample {
+	out := make([]sample, 0, len(snap.Gauges))
+	for k, v := range snap.Gauges {
+		name, label, value := splitKey(k)
+		out = append(out, sample{name, label, value, formatFloat(v)})
+	}
+	return out
+}
+
+func writeScalarFamilies(bw *bufio.Writer, kind string, samples []sample) {
+	sort.Slice(samples, func(a, b int) bool {
+		if samples[a].name != samples[b].name {
+			return samples[a].name < samples[b].name
+		}
+		return samples[a].value < samples[b].value
+	})
+	prev := ""
+	for _, s := range samples {
+		name := sanitizeName(s.name)
+		if name != prev {
+			fmt.Fprintf(bw, "# TYPE %s %s\n", name, kind)
+			prev = name
+		}
+		bw.WriteString(name)
+		writeLabels(bw, s.label, s.value, "", 0)
+		bw.WriteByte(' ')
+		bw.WriteString(s.text)
+		bw.WriteByte('\n')
+	}
+}
+
+func writeHistogramFamilies(bw *bufio.Writer, hists map[string]obs.HistogramSnapshot) {
+	type hsample struct {
+		name, label, value string
+		h                  obs.HistogramSnapshot
+	}
+	samples := make([]hsample, 0, len(hists))
+	for k, h := range hists {
+		name, label, value := splitKey(k)
+		samples = append(samples, hsample{name, label, value, h})
+	}
+	sort.Slice(samples, func(a, b int) bool {
+		if samples[a].name != samples[b].name {
+			return samples[a].name < samples[b].name
+		}
+		return samples[a].value < samples[b].value
+	})
+	prev := ""
+	for _, s := range samples {
+		name := sanitizeName(s.name)
+		if name != prev {
+			fmt.Fprintf(bw, "# TYPE %s histogram\n", name)
+			prev = name
+		}
+		var cum int64
+		for i, bound := range s.h.Bounds {
+			cum += s.h.Buckets[i]
+			bw.WriteString(name)
+			bw.WriteString("_bucket")
+			writeLabels(bw, s.label, s.value, "le", bound)
+			fmt.Fprintf(bw, " %d\n", cum)
+		}
+		cum += s.h.Buckets[len(s.h.Bounds)]
+		bw.WriteString(name)
+		bw.WriteString("_bucket")
+		writeLabels(bw, s.label, s.value, "le", math.Inf(1))
+		fmt.Fprintf(bw, " %d\n", cum)
+		fmt.Fprintf(bw, "%s_sum", name)
+		writeLabels(bw, s.label, s.value, "", 0)
+		fmt.Fprintf(bw, " %s\n", formatFloat(s.h.Sum))
+		fmt.Fprintf(bw, "%s_count", name)
+		writeLabels(bw, s.label, s.value, "", 0)
+		fmt.Fprintf(bw, " %d\n", s.h.Count)
+	}
+}
+
+// writeLabels emits `{label="value",le="bound"}` with whichever parts are
+// present (leName empty means no le label; label empty means no pair).
+func writeLabels(bw *bufio.Writer, label, value, leName string, le float64) {
+	if label == "" && leName == "" {
+		return
+	}
+	bw.WriteByte('{')
+	if label != "" {
+		bw.WriteString(sanitizeName(label))
+		bw.WriteString(`="`)
+		bw.WriteString(escapeLabel(value))
+		bw.WriteByte('"')
+		if leName != "" {
+			bw.WriteByte(',')
+		}
+	}
+	if leName != "" {
+		bw.WriteString(leName)
+		bw.WriteString(`="`)
+		if math.IsInf(le, 1) {
+			bw.WriteString("+Inf")
+		} else {
+			bw.WriteString(formatFloat(le))
+		}
+		bw.WriteByte('"')
+	}
+	bw.WriteByte('}')
+}
+
+// splitKey parses the registry's flattened `name{label="value"}` keys
+// (obs.Snapshot writes label values with %q, so strconv.Unquote inverts
+// the encoding exactly). A key without braces is an unlabeled metric.
+func splitKey(k string) (name, label, value string) {
+	i := strings.IndexByte(k, '{')
+	if i < 0 || !strings.HasSuffix(k, "}") {
+		return k, "", ""
+	}
+	name = k[:i]
+	rest := k[i+1 : len(k)-1]
+	j := strings.IndexByte(rest, '=')
+	if j < 0 {
+		return k, "", ""
+	}
+	v, err := strconv.Unquote(rest[j+1:])
+	if err != nil {
+		return k, "", ""
+	}
+	return name, rest[:j], v
+}
+
+// sanitizeName maps a metric or label name onto the Prometheus charset
+// [a-zA-Z_:][a-zA-Z0-9_:]*; anything else becomes '_'. Registry names in
+// this repository already conform — this is a guard, not a feature.
+func sanitizeName(s string) string {
+	ok := true
+	for i := 0; i < len(s); i++ {
+		if !nameByteOK(s[i], i == 0) {
+			ok = false
+			break
+		}
+	}
+	if ok && s != "" {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		if nameByteOK(s[i], i == 0) {
+			b.WriteByte(s[i])
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+func nameByteOK(c byte, first bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		return true
+	case c >= '0' && c <= '9':
+		return !first
+	default:
+		return false
+	}
+}
+
+// escapeLabel escapes a label value per the exposition format: backslash,
+// double quote, and newline.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+// formatFloat renders a float the way Prometheus clients do: shortest
+// representation that round-trips, NaN/±Inf spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}

@@ -1,0 +1,211 @@
+package expo
+
+import (
+	"bufio"
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"loadmax/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds a registry exercising every exposition feature:
+// plain and labeled counters/gauges, label values needing escaping, and
+// plain + labeled histograms with under/in/overflow observations.
+func goldenRegistry() *obs.Registry {
+	reg := obs.NewRegistry()
+	reg.Counter("requests_total").Add(42)
+	verdicts := reg.CounterVec("verdicts_total", "verdict")
+	verdicts.With("accept").Add(10)
+	verdicts.With("reject").Add(3)
+	reg.Gauge("queue_depth").Set(3.5)
+	reg.GaugeVec("label_escape", "path").With("a\\b\"c\nd").Set(1)
+	lat := reg.Histogram("latency_seconds", []float64{0.001, 0.01, 0.1})
+	lat.Observe(0.0005)
+	lat.Observe(0.005)
+	lat.Observe(0.5)
+	stage := reg.HistogramVec("stage_seconds", "stage", []float64{0.01, 1})
+	stage.With("decide").Observe(0.02)
+	stage.With("wal").Observe(2)
+	return reg
+}
+
+func TestWriteMetricsGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMetrics(&buf, goldenRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "metrics.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition output diverged from golden file.\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestWriteMetricsShape independently verifies the structural rules the
+// golden file encodes: escaping, deterministic ordering, and cumulative
+// histogram _bucket/_sum/_count shape.
+func TestWriteMetricsShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMetrics(&buf, goldenRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	for _, want := range []string{
+		"# TYPE requests_total counter\nrequests_total 42\n",
+		`verdicts_total{verdict="accept"} 10`,
+		`verdicts_total{verdict="reject"} 3`,
+		`label_escape{path="a\\b\"c\nd"} 1`,
+		"queue_depth 3.5",
+		`latency_seconds_bucket{le="0.001"} 1`,
+		`latency_seconds_bucket{le="0.01"} 2`,
+		`latency_seconds_bucket{le="0.1"} 2`,
+		`latency_seconds_bucket{le="+Inf"} 3`,
+		"latency_seconds_count 3",
+		`stage_seconds_bucket{stage="decide",le="0.01"} 0`,
+		`stage_seconds_bucket{stage="decide",le="+Inf"} 1`,
+		`stage_seconds_bucket{stage="wal",le="1"} 0`,
+		`stage_seconds_bucket{stage="wal",le="+Inf"} 1`,
+		`stage_seconds_sum{stage="wal"} 2`,
+		`stage_seconds_count{stage="decide"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+
+	// Label series of one family must sort by label value, and every
+	// family gets exactly one # TYPE line.
+	if strings.Index(out, `verdict="accept"`) > strings.Index(out, `verdict="reject"`) {
+		t.Error("verdict series not sorted by label value")
+	}
+	if got := strings.Count(out, "# TYPE verdicts_total counter"); got != 1 {
+		t.Errorf("verdicts_total TYPE lines = %d, want 1", got)
+	}
+	if got := strings.Count(out, "# TYPE stage_seconds histogram"); got != 1 {
+		t.Errorf("stage_seconds TYPE lines = %d, want 1", got)
+	}
+
+	// _bucket series must be cumulative and end equal to _count.
+	assertCumulative(t, out, "latency_seconds", 3)
+	assertCumulative(t, out, "stage_seconds", 1)
+}
+
+// assertCumulative walks family_bucket lines in order and checks the
+// counts never decrease and the +Inf bucket equals want.
+func assertCumulative(t *testing.T, out, family string, want int64) {
+	t.Helper()
+	sc := bufio.NewScanner(strings.NewReader(out))
+	prev := map[string]int64{} // label-part → last cumulative count
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, family+"_bucket{") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		n, err := strconv.ParseInt(line[sp+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("bad bucket line %q: %v", line, err)
+		}
+		series := line[:strings.Index(line, `le="`)]
+		if n < prev[series] {
+			t.Errorf("bucket counts decrease in %q: %d then %d", series, prev[series], n)
+		}
+		prev[series] = n
+		if strings.Contains(line, `le="+Inf"`) && n != want {
+			t.Errorf("+Inf bucket of %q = %d, want %d", series, n, want)
+		}
+	}
+}
+
+func TestSplitKey(t *testing.T) {
+	cases := []struct {
+		key, name, label, value string
+	}{
+		{"plain_total", "plain_total", "", ""},
+		{`fam{shard="3"}`, "fam", "shard", "3"},
+		{`fam{path="a\\b\"c\nd"}`, "fam", "path", "a\\b\"c\nd"},
+	}
+	for _, c := range cases {
+		name, label, value := splitKey(c.key)
+		if name != c.name || label != c.label || value != c.value {
+			t.Errorf("splitKey(%q) = %q %q %q", c.key, name, label, value)
+		}
+	}
+	// Round-trip through the registry's own key encoding.
+	key := fmt.Sprintf("m{%s=%q}", "l", "x\"y\\z")
+	if _, _, v := splitKey(key); v != "x\"y\\z" {
+		t.Errorf("round trip = %q", v)
+	}
+}
+
+func TestSanitizeName(t *testing.T) {
+	for in, want := range map[string]string{
+		"serve_batch_size": "serve_batch_size",
+		"bad-name.9":       "bad_name_9",
+		"9leading":         "_leading",
+		"":                 "_",
+	} {
+		if got := sanitizeName(in); got != want {
+			t.Errorf("sanitizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestScrapeUnderLoad renders /metrics-style snapshots concurrently with
+// heavy registry mutation — the race detector is the assertion.
+func TestScrapeUnderLoad(t *testing.T) {
+	reg := obs.NewRegistry()
+	hist := reg.Histogram("load_seconds", obs.ExpBucketsRange(1e-6, 1, 10))
+	vec := reg.CounterVec("load_total", "worker")
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			w := vec.With(strconv.Itoa(g))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				w.Inc()
+				hist.Observe(float64(i%100) / 1e5)
+				reg.Gauge("load_depth").Set(float64(i))
+			}
+		}(g)
+	}
+	for i := 0; i < 50; i++ {
+		var buf bytes.Buffer
+		if err := WriteMetrics(&buf, reg.Snapshot()); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(buf.String(), "# TYPE load_seconds histogram") {
+			t.Fatal("scrape missing histogram family")
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

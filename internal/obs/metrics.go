@@ -167,6 +167,26 @@ func ExpBuckets(start, factor float64, n int) []float64 {
 	return out
 }
 
+// ExpBucketsRange returns n exponentially spaced upper bounds running
+// from lo to hi inclusive — the helper latency histograms want: name the
+// floor and ceiling you care about and the growth factor falls out,
+// instead of hand-tuning (start, factor, n) triples per call site.
+// Requires 0 < lo < hi; n < 2 degenerates to []float64{lo}.
+func ExpBucketsRange(lo, hi float64, n int) []float64 {
+	if n < 2 || lo <= 0 || hi <= lo {
+		return []float64{lo}
+	}
+	factor := math.Pow(hi/lo, 1/float64(n-1))
+	out := make([]float64, n)
+	v := lo
+	for i := 0; i < n-1; i++ {
+		out[i] = v
+		v *= factor
+	}
+	out[n-1] = hi // land exactly on the ceiling despite rounding drift
+	return out
+}
+
 // LinearBuckets returns n linearly spaced upper bounds starting at
 // start with the given width.
 func LinearBuckets(start, width float64, n int) []float64 {

@@ -1,0 +1,368 @@
+package obs
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+)
+
+// Request-lifecycle spans: one Span per admission request, recording how
+// long the request spent in each stage of the serving stack (frame
+// decode, shard queue, engine decision, WAL fsync wait, reply write —
+// plus the client-observed round trip on the client side). Spans are the
+// per-request complement of the per-decision trace (DecisionEvent): the
+// trace explains *what* was decided, the span explains *where the time
+// went*.
+//
+// Everything follows the package's nil-safety contract: a nil
+// *SpanRecorder is the "tracing off" value, every method on it is a
+// no-op, and instrumented code that guards span construction with a
+// single `if rec != nil` stays allocation-free when disabled
+// (bench_obs_test.go and internal/serve's span tests enforce it).
+
+// Stage identifies one leg of a request's path through the serving
+// stack. Stages are recorded independently; a span only carries the
+// stages its request actually visited (a non-durable service never fills
+// StageWAL, a direct in-process Submit never fills StageDecode).
+type Stage uint8
+
+const (
+	// StageClient is the client-observed send→verdict round trip,
+	// recorded by an instrumented netserve.Client. It lives on the
+	// client's clock and is never merged into server-side spans.
+	StageClient Stage = iota
+	// StageDecode covers the server's frame decode plus dispatch
+	// admission: from the submit frame leaving the read buffer to the
+	// request being handed to a worker.
+	StageDecode
+	// StageQueue is the shard queue wait: Submit enqueue → the shard
+	// goroutine picking the request out of its batch.
+	StageQueue
+	// StageDecide is the engine decision itself (core.Threshold.Submit).
+	StageDecide
+	// StageWAL covers durability: WAL record encode + append + the wait
+	// for the group-commit fsync that releases the verdict.
+	StageWAL
+	// StageReply is the verdict write: reply enqueued to the connection
+	// writer → flushed onto the wire.
+	StageReply
+
+	// NumStages bounds the Stage enum; Span.Stages is indexed by Stage.
+	NumStages
+)
+
+var stageNames = [NumStages]string{
+	"client", "decode", "queue_wait", "decide", "wal", "reply_write",
+}
+
+// String returns the stable stage label used in metrics and JSON.
+func (st Stage) String() string {
+	if int(st) < len(stageNames) {
+		return stageNames[st]
+	}
+	return fmt.Sprintf("stage(%d)", int(st))
+}
+
+// Span verdicts. Accept/reject are the algorithmic answers; shed and
+// error mirror the netserve verdict statuses for requests that never
+// reached (or failed inside) the scheduler.
+const (
+	VerdictAccept = "accept"
+	VerdictReject = "reject"
+	VerdictShed   = "shed"
+	VerdictError  = "error"
+)
+
+// Span is one request's stage timeline. Times are nanoseconds on the
+// owning recorder's monotonic clock (Recorder.Now); Stages holds the
+// duration spent in each stage, zero for stages not visited. A Span is
+// plain data: build it on the stack or in a pooled request, hand it to
+// each layer to fill its stages, and Finish it exactly once.
+type Span struct {
+	JobID   int64
+	Shard   int32
+	Verdict string
+	Start   int64 // recorder-clock ns at which the request was first seen
+	Stages  [NumStages]int64
+}
+
+// Total returns the summed stage time in nanoseconds. Stages on the
+// serving path are disjoint by construction, so the sum is the
+// instrumented portion of the request's latency.
+func (sp *Span) Total() int64 {
+	var t int64
+	for _, ns := range sp.Stages {
+		t += ns
+	}
+	return t
+}
+
+// Reset clears the span for reuse (pooled requests, benchmark loops).
+func (sp *Span) Reset() {
+	*sp = Span{}
+}
+
+// SpanView is the JSON shape of a finished span (the /spanz endpoint and
+// loadmaxctl slow). Stage durations are flattened to a name→ns map with
+// unvisited stages omitted.
+type SpanView struct {
+	JobID   int64            `json:"job"`
+	Shard   int32            `json:"shard"`
+	Verdict string           `json:"verdict"`
+	StartNs int64            `json:"start_ns"`
+	TotalNs int64            `json:"total_ns"`
+	Stages  map[string]int64 `json:"stages_ns"`
+}
+
+// View converts the span to its JSON shape.
+func (sp *Span) View() SpanView {
+	v := SpanView{
+		JobID:   sp.JobID,
+		Shard:   sp.Shard,
+		Verdict: sp.Verdict,
+		StartNs: sp.Start,
+		TotalNs: sp.Total(),
+		Stages:  make(map[string]int64, NumStages),
+	}
+	for st, ns := range sp.Stages {
+		if ns != 0 {
+			v.Stages[Stage(st).String()] = ns
+		}
+	}
+	return v
+}
+
+// SpanOption configures a SpanRecorder.
+type SpanOption func(*spanConfig)
+
+type spanConfig struct {
+	ring    int
+	slow    time.Duration
+	slowLog func(format string, args ...any)
+	buckets []float64
+}
+
+// WithSpanRing sets how many finished spans the recorder retains in its
+// ring buffer (default 512; ≤ 0 disables retention). The same capacity
+// applies to the separate slow-span ring.
+func WithSpanRing(n int) SpanOption { return func(c *spanConfig) { c.ring = n } }
+
+// WithSlowThreshold sets the slow-request threshold: a finished span
+// whose Total exceeds d is copied into the slow ring and logged with its
+// full stage breakdown. 0 (the default) disables slow tracking.
+func WithSlowThreshold(d time.Duration) SpanOption { return func(c *spanConfig) { c.slow = d } }
+
+// WithSlowLog replaces the slow-request logger (default log.Printf).
+// Pass nil to keep the slow ring but silence the log line.
+func WithSlowLog(logf func(format string, args ...any)) SpanOption {
+	return func(c *spanConfig) { c.slowLog = logf }
+}
+
+// WithSpanBuckets overrides the stage-histogram bucket bounds (seconds).
+func WithSpanBuckets(bounds []float64) SpanOption {
+	return func(c *spanConfig) { c.buckets = bounds }
+}
+
+// SpanRecorder aggregates finished spans: per-stage latency histograms
+// (span_stage_seconds{stage=...} plus span_total_seconds in the given
+// registry), a ring buffer of recent complete timelines, and a slow-
+// request ring + log. All methods are safe for concurrent use and
+// no-ops on a nil receiver.
+type SpanRecorder struct {
+	epoch time.Time
+
+	stageHists [NumStages]*Histogram
+	totalHist  *Histogram
+	finished   *Counter
+	slowTotal  *Counter
+
+	slowNs  int64
+	slowLog func(format string, args ...any)
+
+	mu       sync.Mutex
+	ring     []Span
+	ringNext int
+	ringN    uint64
+	slow     []Span
+	slowNext int
+	slowN    uint64
+}
+
+// NewSpanRecorder builds a recorder registering its histograms and
+// counters in reg (nil reg keeps the aggregates but exports nothing).
+func NewSpanRecorder(reg *Registry, opts ...SpanOption) *SpanRecorder {
+	cfg := spanConfig{ring: 512, slowLog: log.Printf}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.buckets == nil {
+		// 100ns … ~10s: admission decisions are sub-µs, fsync waits and
+		// slow clients reach seconds.
+		cfg.buckets = ExpBucketsRange(1e-7, 10, 17)
+	}
+	r := &SpanRecorder{
+		epoch:     time.Now(),
+		totalHist: reg.Histogram("span_total_seconds", cfg.buckets),
+		finished:  reg.Counter("span_finished_total"),
+		slowTotal: reg.Counter("span_slow_total"),
+		slowNs:    cfg.slow.Nanoseconds(),
+		slowLog:   cfg.slowLog,
+	}
+	hv := reg.HistogramVec("span_stage_seconds", "stage", cfg.buckets)
+	for st := Stage(0); st < NumStages; st++ {
+		r.stageHists[st] = hv.With(st.String())
+	}
+	if cfg.ring > 0 {
+		r.ring = make([]Span, 0, cfg.ring)
+		r.slow = make([]Span, 0, cfg.ring)
+	}
+	return r
+}
+
+// Now returns nanoseconds on the recorder's monotonic clock (ns since
+// construction). 0 on a nil receiver, so disabled call sites can take
+// timestamps unconditionally without branching.
+func (r *SpanRecorder) Now() int64 {
+	if r == nil {
+		return 0
+	}
+	return time.Since(r.epoch).Nanoseconds()
+}
+
+// Observe records a single stage duration without a full span — the
+// client-side round-trip path. No-op on a nil receiver.
+func (r *SpanRecorder) Observe(st Stage, ns int64) {
+	if r == nil || st >= NumStages {
+		return
+	}
+	r.stageHists[st].Observe(float64(ns) / 1e9)
+}
+
+// Finish completes a span: every visited stage is observed into its
+// histogram, the span is copied into the ring, and — past the slow
+// threshold — into the slow ring and log. The caller may reuse sp
+// immediately after Finish returns. No-op on a nil receiver.
+func (r *SpanRecorder) Finish(sp *Span) {
+	if r == nil {
+		return
+	}
+	var total int64
+	for st, ns := range sp.Stages {
+		if ns != 0 {
+			total += ns
+			r.stageHists[st].Observe(float64(ns) / 1e9)
+		}
+	}
+	r.totalHist.Observe(float64(total) / 1e9)
+	r.finished.Inc()
+	isSlow := r.slowNs > 0 && total > r.slowNs
+	if isSlow {
+		r.slowTotal.Inc()
+	}
+	r.mu.Lock()
+	r.ringN++
+	if r.ring != nil {
+		r.ringNext = ringPut(&r.ring, r.ringNext, sp)
+	}
+	if isSlow {
+		r.slowN++
+		if r.slow != nil {
+			r.slowNext = ringPut(&r.slow, r.slowNext, sp)
+		}
+	}
+	r.mu.Unlock()
+	if isSlow && r.slowLog != nil {
+		r.slowLog("obs: slow request job=%d shard=%d verdict=%s total=%v %s",
+			sp.JobID, sp.Shard, sp.Verdict, time.Duration(total), stageBreakdown(sp))
+	}
+}
+
+// ringPut appends into a fixed-capacity ring backed by a slice: grow to
+// capacity first, then overwrite the oldest entry at cursor next.
+func ringPut(buf *[]Span, next int, sp *Span) int {
+	b := *buf
+	if len(b) < cap(b) {
+		*buf = append(b, *sp)
+		return next
+	}
+	b[next] = *sp
+	return (next + 1) % len(b)
+}
+
+// stageBreakdown renders the visited stages as "decode=1µs queue=2ms …".
+func stageBreakdown(sp *Span) string {
+	out := make([]byte, 0, 96)
+	for st, ns := range sp.Stages {
+		if ns == 0 {
+			continue
+		}
+		if len(out) > 0 {
+			out = append(out, ' ')
+		}
+		out = append(out, Stage(st).String()...)
+		out = append(out, '=')
+		out = append(out, time.Duration(ns).String()...)
+	}
+	return string(out)
+}
+
+// ringSnapshot copies a ring out oldest-first.
+func ringSnapshot(buf []Span, next int) []Span {
+	out := make([]Span, 0, len(buf))
+	if len(buf) == cap(buf) && cap(buf) > 0 {
+		out = append(out, buf[next:]...)
+		out = append(out, buf[:next]...)
+		return out
+	}
+	return append(out, buf...)
+}
+
+// Recent returns the retained finished spans, oldest first. Nil-safe.
+func (r *SpanRecorder) Recent() []Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return ringSnapshot(r.ring, r.ringNext)
+}
+
+// Slow returns the retained slow spans, oldest first. Nil-safe.
+func (r *SpanRecorder) Slow() []Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return ringSnapshot(r.slow, r.slowNext)
+}
+
+// Finished returns how many spans have been finished. Nil-safe.
+func (r *SpanRecorder) Finished() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ringN
+}
+
+// SlowCount returns how many finished spans exceeded the slow
+// threshold. Nil-safe.
+func (r *SpanRecorder) SlowCount() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.slowN
+}
+
+// SlowThreshold returns the configured slow threshold (0 = disabled).
+func (r *SpanRecorder) SlowThreshold() time.Duration {
+	if r == nil {
+		return 0
+	}
+	return time.Duration(r.slowNs)
+}

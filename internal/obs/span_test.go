@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpanStageNames(t *testing.T) {
+	seen := map[string]bool{}
+	for st := Stage(0); st < NumStages; st++ {
+		name := st.String()
+		if name == "" || strings.Contains(name, "stage(") {
+			t.Fatalf("stage %d has no name", st)
+		}
+		if seen[name] {
+			t.Fatalf("duplicate stage name %q", name)
+		}
+		seen[name] = true
+	}
+	if got := Stage(200).String(); got != "stage(200)" {
+		t.Errorf("out-of-range stage name = %q", got)
+	}
+}
+
+func TestSpanRecorderFinish(t *testing.T) {
+	reg := NewRegistry()
+	rec := NewSpanRecorder(reg, WithSpanRing(4), WithSlowThreshold(time.Millisecond), WithSlowLog(nil))
+	fast := Span{JobID: 1, Verdict: VerdictAccept}
+	fast.Stages[StageDecide] = 500 // 500ns
+	rec.Finish(&fast)
+	slow := Span{JobID: 2, Shard: 1, Verdict: VerdictReject}
+	slow.Stages[StageQueue] = 2e6 // 2ms
+	slow.Stages[StageWAL] = 1e6
+	rec.Finish(&slow)
+
+	if got := rec.Finished(); got != 2 {
+		t.Fatalf("Finished = %d, want 2", got)
+	}
+	if got := rec.SlowCount(); got != 1 {
+		t.Fatalf("SlowCount = %d, want 1", got)
+	}
+	recent := rec.Recent()
+	if len(recent) != 2 || recent[0].JobID != 1 || recent[1].JobID != 2 {
+		t.Fatalf("Recent = %+v", recent)
+	}
+	slows := rec.Slow()
+	if len(slows) != 1 || slows[0].JobID != 2 {
+		t.Fatalf("Slow = %+v", slows)
+	}
+	if got := slows[0].Total(); got != 3e6 {
+		t.Fatalf("slow Total = %d, want 3e6", got)
+	}
+	if got := reg.Counter("span_finished_total").Value(); got != 2 {
+		t.Errorf("span_finished_total = %d", got)
+	}
+	if got := reg.Counter("span_slow_total").Value(); got != 1 {
+		t.Errorf("span_slow_total = %d", got)
+	}
+	snap := reg.Snapshot()
+	if h, ok := snap.Histograms[`span_stage_seconds{stage="decide"}`]; !ok || h.Count != 1 {
+		t.Errorf("decide stage histogram = %+v ok=%v", h, ok)
+	}
+	if h, ok := snap.Histograms["span_total_seconds"]; !ok || h.Count != 2 {
+		t.Errorf("span_total_seconds = %+v ok=%v", h, ok)
+	}
+}
+
+func TestSpanRingWraps(t *testing.T) {
+	rec := NewSpanRecorder(nil, WithSpanRing(3))
+	for i := 1; i <= 5; i++ {
+		sp := Span{JobID: int64(i)}
+		sp.Stages[StageDecide] = int64(i)
+		rec.Finish(&sp)
+	}
+	got := rec.Recent()
+	if len(got) != 3 || got[0].JobID != 3 || got[2].JobID != 5 {
+		t.Fatalf("ring after wrap = %+v, want jobs 3..5 oldest-first", got)
+	}
+	if rec.Finished() != 5 {
+		t.Fatalf("Finished = %d", rec.Finished())
+	}
+}
+
+func TestSlowLogLine(t *testing.T) {
+	var lines []string
+	rec := NewSpanRecorder(nil, WithSlowThreshold(time.Microsecond),
+		WithSlowLog(func(format string, args ...any) {
+			lines = append(lines, fmt.Sprintf(format, args...))
+		}))
+	sp := Span{JobID: 7, Shard: 2, Verdict: VerdictAccept}
+	sp.Stages[StageDecode] = 1500
+	sp.Stages[StageQueue] = 2_000_000
+	rec.Finish(&sp)
+	if len(lines) != 1 {
+		t.Fatalf("slow log lines = %d, want 1", len(lines))
+	}
+	for _, want := range []string{"job=7", "shard=2", "verdict=accept", "decode=1.5µs", "queue_wait=2ms"} {
+		if !strings.Contains(lines[0], want) {
+			t.Errorf("slow log %q missing %q", lines[0], want)
+		}
+	}
+}
+
+func TestSpanView(t *testing.T) {
+	sp := Span{JobID: 9, Shard: 1, Verdict: VerdictReject, Start: 100}
+	sp.Stages[StageDecide] = 250
+	v := sp.View()
+	if v.TotalNs != 250 || v.Stages["decide"] != 250 {
+		t.Fatalf("View = %+v", v)
+	}
+	if _, ok := v.Stages["wal"]; ok {
+		t.Fatalf("View carries unvisited stage: %+v", v.Stages)
+	}
+}
+
+// TestSpanDisabledZeroAlloc extends the repository's zero-alloc guard to
+// the span path: every call an instrumented layer makes when tracing is
+// off — Now, Observe, Finish on the nil recorder — must not allocate.
+func TestSpanDisabledZeroAlloc(t *testing.T) {
+	var rec *SpanRecorder
+	var sp Span
+	allocs := testing.AllocsPerRun(2000, func() {
+		t0 := rec.Now()
+		rec.Observe(StageClient, rec.Now()-t0)
+		rec.Finish(&sp)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled span path allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+// TestSpanFinishReuseNoRetention: Finish copies; the caller's span can be
+// reused without corrupting retained history.
+func TestSpanFinishReuseNoRetention(t *testing.T) {
+	rec := NewSpanRecorder(nil, WithSpanRing(8))
+	sp := Span{JobID: 1}
+	sp.Stages[StageDecide] = 10
+	rec.Finish(&sp)
+	sp.Reset()
+	sp.JobID = 2
+	sp.Stages[StageDecide] = 20
+	rec.Finish(&sp)
+	got := rec.Recent()
+	if len(got) != 2 || got[0].JobID != 1 || got[0].Stages[StageDecide] != 10 {
+		t.Fatalf("retained spans corrupted by reuse: %+v", got)
+	}
+}
+
+func TestExpBucketsRange(t *testing.T) {
+	b := ExpBucketsRange(1e-6, 4, 12)
+	if len(b) != 12 || b[0] != 1e-6 || b[11] != 4 {
+		t.Fatalf("ExpBucketsRange endpoints: %v", b)
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("bounds not increasing at %d: %v", i, b)
+		}
+	}
+	if got := ExpBucketsRange(5, 1, 4); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("degenerate range = %v", got)
+	}
+	if got := ExpBucketsRange(2, 100, 1); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("n=1 = %v", got)
+	}
+}

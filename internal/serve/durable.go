@@ -297,5 +297,6 @@ func (s *Service) recoverShard(sh *shard, cfg *config) (replayed int64, err erro
 		return 0, fmt.Errorf("serve: shard %d: %w", sh.id, err)
 	}
 	sh.wal = w
+	sh.walSeq.Store(maxSeq)
 	return replayed, nil
 }

@@ -95,6 +95,7 @@ type config struct {
 	batchSize     int
 	bp            Backpressure
 	reg           *obs.Registry
+	spans         *obs.SpanRecorder
 	log           bool
 	coreOpts      []core.Option
 	batchHook     func() // test-only: runs at the head of every batch
@@ -128,6 +129,14 @@ func WithBackpressure(b Backpressure) Option { return func(c *config) { c.bp = b
 //
 // A nil registry (the default) keeps the hot path metric-free.
 func WithMetrics(reg *obs.Registry) Option { return func(c *config) { c.reg = reg } }
+
+// WithSpans attaches a span recorder: SubmitSpan-carried spans get their
+// queue-wait, decide, and (under durability) WAL stages filled by the
+// shard goroutine. Span capture reads the recorder clock and writes into
+// the caller's Span struct only — it never touches the scheduler, so
+// decisions stay bit-identical to an untraced run (VerifyReplay holds
+// with tracing on). A nil recorder (the default) keeps Submit span-free.
+func WithSpans(rec *obs.SpanRecorder) Option { return func(c *config) { c.spans = rec } }
 
 // WithDecisionLog records every shard's effective (clamped) job stream
 // and decisions, enabling ShardStream and VerifyReplay. Costs two
@@ -180,6 +189,13 @@ type request struct {
 	ctl  ctlOp
 	dec  online.Decision
 	done chan response
+
+	// Span capture (nil sp unless the service has a recorder AND the
+	// caller passed a span). enqNs/walNs are recorder-clock marks set at
+	// enqueue and post-decide; sp MUST be cleared before pooling.
+	sp    *obs.Span
+	enqNs int64
+	walNs int64
 }
 
 // response is a shard's reply to one request.
@@ -198,6 +214,7 @@ type Service struct {
 	shards []*shard
 	pool   sync.Pool
 	durDir string // "" when not durable
+	spans  *obs.SpanRecorder
 
 	backpressure *obs.Counter
 	fsyncHist    *obs.Histogram
@@ -228,6 +245,9 @@ type shard struct {
 	walErr   error       // sticky: a WAL failure poisons the shard
 	base     *core.State // checkpoint the restored scheduler started from
 	baseMass float64     // accepted mass covered by base
+	spans    *obs.SpanRecorder
+
+	walSeq atomic.Int64 // last appended WAL sequence (durable shards)
 
 	submitted atomic.Int64
 	accepted  atomic.Int64
@@ -288,18 +308,19 @@ func build(shards, m int, eps float64, cfg *config) (*Service, error) {
 		policy: cfg.policy,
 		bp:     cfg.bp,
 		durDir: cfg.durDir,
+		spans:  cfg.spans,
 	}
 	s.pool.New = func() any {
 		return &request{done: make(chan response, 1)}
 	}
 	s.backpressure = cfg.reg.Counter("serve_backpressure_total")
-	s.fsyncHist = cfg.reg.Histogram("serve_wal_fsync_seconds", obs.ExpBuckets(1e-6, 4, 12))
+	s.fsyncHist = cfg.reg.Histogram("serve_wal_fsync_seconds", obs.ExpBucketsRange(1e-6, 4, 12))
 	s.walRecords = cfg.reg.Counter("serve_wal_records_total")
 	s.walBytes = cfg.reg.Counter("serve_wal_bytes_total")
 	cfg.reg.Gauge("serve_shards").Set(float64(shards))
 	jobsVec := cfg.reg.CounterVec("serve_shard_jobs_total", "shard")
 	queueVec := cfg.reg.GaugeVec("serve_queue_depth", "shard")
-	batchHist := cfg.reg.Histogram("serve_batch_size", obs.ExpBuckets(1, 2, 12))
+	batchHist := cfg.reg.Histogram("serve_batch_size", obs.ExpBucketsRange(1, 2048, 12))
 
 	s.shards = make([]*shard, shards)
 	for i := range s.shards {
@@ -317,6 +338,7 @@ func build(shards, m int, eps float64, cfg *config) (*Service, error) {
 			queueGauge: queueVec.With(fmt.Sprint(i)),
 			batchHist:  batchHist,
 			walTotal:   s.walRecords,
+			spans:      cfg.spans,
 		}
 		if cfg.log {
 			sh.log = &shardLog{}
@@ -357,6 +379,17 @@ func (s *Service) Policy() Policy { return s.policy }
 // shard's commitment log, and a WAL failure returns the log error with
 // the shard poisoned against further submissions.
 func (s *Service) Submit(j job.Job) (online.Decision, error) {
+	return s.SubmitSpan(j, nil)
+}
+
+// SubmitSpan is Submit with request-lifecycle tracing: when the service
+// was built WithSpans and sp is non-nil, the owning shard fills sp's
+// queue-wait, decide, and WAL stages and its Shard/Verdict fields. The
+// span is the caller's — SubmitSpan does not Finish it, so the caller
+// can add its own stages (reply write, client round trip) before handing
+// it to the recorder. With a nil span (or no recorder) it is exactly
+// Submit.
+func (s *Service) SubmitSpan(j job.Job, sp *obs.Span) (online.Decision, error) {
 	idx := s.policy.Route(j, len(s.shards))
 	if idx < 0 || idx >= len(s.shards) {
 		idx = ((idx % len(s.shards)) + len(s.shards)) % len(s.shards)
@@ -365,6 +398,15 @@ func (s *Service) Submit(j job.Job) (online.Decision, error) {
 	req := s.pool.Get().(*request)
 	req.job = j
 	req.ctl = ctlSubmit
+	if s.spans != nil && sp != nil {
+		req.sp = sp
+		// The enqueue mark is derived, not read: Start plus the stages
+		// already recorded (frame decode on the network path) is "now" to
+		// within the cost of this call, so the hand-off into the shard
+		// queue — dispatch included — lands in queue_wait without a clock
+		// read per traced submission.
+		req.enqNs = sp.Start + sp.Total()
+	}
 
 	// The read lock pins the channels open: Close flips closed and
 	// closes them only under the write lock, which waits for every
@@ -374,6 +416,7 @@ func (s *Service) Submit(j job.Job) (online.Decision, error) {
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
+		req.sp = nil
 		s.pool.Put(req)
 		return online.Decision{}, ErrClosed
 	}
@@ -382,6 +425,7 @@ func (s *Service) Submit(j job.Job) (online.Decision, error) {
 		case sh.in <- req:
 		default:
 			s.mu.RUnlock()
+			req.sp = nil
 			s.pool.Put(req)
 			s.backpressure.Inc()
 			return online.Decision{}, ErrBackpressure
@@ -392,6 +436,7 @@ func (s *Service) Submit(j job.Job) (online.Decision, error) {
 	s.mu.RUnlock()
 
 	resp := <-req.done
+	req.sp = nil // never pool a span pointer: the span belongs to the caller
 	s.pool.Put(req)
 	return resp.dec, resp.err
 }
@@ -470,6 +515,9 @@ type ShardSnapshot struct {
 	// OutstandingLoad is the summed machine load at the last batch
 	// boundary (refreshed per batch, not per decision).
 	OutstandingLoad float64 `json:"outstanding_load"`
+	// WalSeq is the last appended WAL sequence number; 0 on a
+	// non-durable shard (or before its first durable decision).
+	WalSeq int64 `json:"wal_seq,omitempty"`
 }
 
 // Snapshot returns a consistent-enough view of every shard: each
@@ -493,6 +541,7 @@ func (s *Service) Snapshot() []ShardSnapshot {
 			Batches:         sh.batches.Load(),
 			AcceptedMass:    math.Float64frombits(sh.acceptedMassBits.Load()),
 			OutstandingLoad: math.Float64frombits(sh.outstandingBits.Load()),
+			WalSeq:          sh.walSeq.Load(),
 		}
 	}
 	return out
@@ -575,7 +624,16 @@ func (sh *shard) process(batch []*request) {
 		if err != nil {
 			sh.walErr = fmt.Errorf("serve: shard %d wal: %w", sh.id, err)
 		}
+		// One clock read covers the whole commit group: every parked
+		// request's WAL stage ends at the same fsync.
+		var committedNs int64
+		if sh.spans != nil {
+			committedNs = sh.spans.Now()
+		}
 		for _, r := range pending {
+			if r.sp != nil {
+				r.sp.Stages[obs.StageWAL] = committedNs - r.walNs
+			}
 			if err != nil {
 				r.done <- response{err: sh.walErr}
 			} else {
@@ -585,6 +643,13 @@ func (sh *shard) process(batch []*request) {
 		pending = pending[:0]
 	}
 
+	// lastNs is a running clock mark threaded through consecutive traced
+	// requests: request i's decide end is request i+1's dequeue point (the
+	// shard is single-threaded, so the time in between IS queue wait).
+	// One clock read per request instead of two; 0 forces a fresh read
+	// after anything untimed happened in between (checkpoint fsync, WAL
+	// append, an untraced request).
+	var lastNs int64
 	for _, r := range batch {
 		if r.ctl == ctlCheckpoint {
 			// The snapshot must cover every decision made so far: commit
@@ -592,15 +657,24 @@ func (sh *shard) process(batch []*request) {
 			flush()
 			publish()
 			r.done <- response{err: sh.checkpoint()}
+			lastNs = 0
 			continue
 		}
 		if sh.walErr != nil {
 			// Poisoned: the log can no longer keep up with the scheduler,
 			// so refuse before the scheduler state advances.
 			r.done <- response{err: sh.walErr}
+			lastNs = 0
 			continue
 		}
 		j := r.job
+		if r.sp != nil {
+			if lastNs == 0 {
+				lastNs = sh.spans.Now()
+			}
+			r.sp.Shard = int32(sh.id)
+			r.sp.Stages[obs.StageQueue] = lastNs - r.enqNs
+		}
 		// Arrival clamp: the job arrives at its shard no earlier than the
 		// shard clock. Concurrent submitters make no cross-goroutine
 		// ordering promise, so the shard — not the caller — fixes the
@@ -610,6 +684,19 @@ func (sh *shard) process(batch []*request) {
 			j.Release = clock
 		}
 		dec := sh.th.Submit(j)
+		if r.sp != nil {
+			decidedNs := sh.spans.Now()
+			r.sp.Stages[obs.StageDecide] = decidedNs - lastNs
+			if dec.Accepted {
+				r.sp.Verdict = obs.VerdictAccept
+			} else {
+				r.sp.Verdict = obs.VerdictReject
+			}
+			r.walNs = decidedNs
+			lastNs = decidedNs
+		} else {
+			lastNs = 0
+		}
 		if sh.log != nil {
 			sh.log.append(j, dec)
 		}
@@ -624,14 +711,17 @@ func (sh *shard) process(batch []*request) {
 			r.done <- response{dec: dec}
 			continue
 		}
-		if _, err := sh.wal.Append(j, dec); err != nil {
+		seq, err := sh.wal.Append(j, dec)
+		if err != nil {
 			sh.walErr = fmt.Errorf("serve: shard %d wal: %w", sh.id, err)
 			r.done <- response{err: sh.walErr}
 			continue
 		}
+		sh.walSeq.Store(seq)
 		sh.walTotal.Inc()
 		r.dec = dec
 		pending = append(pending, r)
+		lastNs = 0 // the append was untimed; don't fold it into the next decide
 	}
 	flush()
 	publish()

@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"loadmax/internal/job"
+	"loadmax/internal/obs"
+	"loadmax/internal/workload"
+)
+
+// submitAllSpans is submitAll with tracing: each goroutine reuses one
+// Span across its submissions (the production pattern for pooled
+// callers) and hands every finished span to rec.
+func submitAllSpans(t *testing.T, svc *Service, rec *obs.SpanRecorder, inst job.Instance, g int) {
+	t.Helper()
+	var wg sync.WaitGroup
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var sp obs.Span
+			for i := w; i < len(inst); i += g {
+				sp.Reset()
+				sp.JobID = int64(inst[i].ID)
+				sp.Start = rec.Now()
+				if _, err := svc.SubmitSpan(inst[i], &sp); err != nil {
+					t.Errorf("submitter %d: %v", w, err)
+					return
+				}
+				rec.Finish(&sp)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestSubmitSpanReplayEquivalence is the acceptance proof that tracing
+// does not perturb decisions: a fully traced concurrent run must still
+// replay bit-identically per shard, while every span comes back with
+// shard attribution, a verdict, and queue/decide stages filled.
+func TestSubmitSpanReplayEquivalence(t *testing.T) {
+	reg := obs.NewRegistry()
+	rec := obs.NewSpanRecorder(reg, obs.WithSpanRing(64), obs.WithSlowLog(nil))
+	inst := workload.Poisson(workload.Spec{N: 3000, Eps: 0.1, M: 4, Load: 2, Seed: 11})
+	svc, err := New(4, 4, 0.1, WithDecisionLog(), WithSpans(rec),
+		WithQueueDepth(64), WithBatchSize(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	submitAllSpans(t, svc, rec, inst, 8)
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.VerifyReplay(); err != nil {
+		t.Fatalf("traced stream diverged from sequential replay: %v", err)
+	}
+	if got := rec.Finished(); got != uint64(len(inst)) {
+		t.Fatalf("finished spans = %d, want %d", got, len(inst))
+	}
+	snap := reg.Snapshot()
+	for _, stage := range []string{"queue_wait", "decide"} {
+		h := snap.Histograms[`span_stage_seconds{stage="`+stage+`"}`]
+		if h.Count != int64(len(inst)) {
+			t.Errorf("stage %s observed %d times, want %d", stage, h.Count, len(inst))
+		}
+	}
+	var accepts, rejects int
+	for _, sp := range rec.Recent() {
+		switch sp.Verdict {
+		case obs.VerdictAccept:
+			accepts++
+		case obs.VerdictReject:
+			rejects++
+		default:
+			t.Fatalf("span for job %d has verdict %q", sp.JobID, sp.Verdict)
+		}
+		if sp.Stages[obs.StageDecide] <= 0 || sp.Stages[obs.StageQueue] <= 0 {
+			t.Fatalf("span for job %d missing serve stages: %+v", sp.JobID, sp.Stages)
+		}
+		if sp.Shard < 0 || int(sp.Shard) >= svc.Shards() {
+			t.Fatalf("span for job %d has shard %d", sp.JobID, sp.Shard)
+		}
+	}
+	if accepts == 0 || rejects == 0 {
+		t.Fatalf("ring should hold both verdicts, got accept=%d reject=%d", accepts, rejects)
+	}
+}
+
+// TestDurableSpanWALStage: under durability a traced span carries the
+// WAL stage (append + group-commit fsync wait) and the shard snapshot
+// exposes the last appended WAL sequence.
+func TestDurableSpanWALStage(t *testing.T) {
+	reg := obs.NewRegistry()
+	rec := obs.NewSpanRecorder(reg, obs.WithSlowLog(nil))
+	svc, err := New(2, 2, 0.2, WithDurability(t.TempDir()), WithSpans(rec), WithMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := workload.Poisson(workload.Spec{N: 200, Eps: 0.2, M: 4, Load: 1.5, Seed: 3})
+	submitAllSpans(t, svc, rec, inst, 4)
+	for _, sp := range rec.Recent() {
+		if sp.Stages[obs.StageWAL] <= 0 {
+			t.Fatalf("durable span for job %d has no WAL stage: %+v", sp.JobID, sp.Stages)
+		}
+	}
+	var maxSeq int64
+	for _, snap := range svc.Snapshot() {
+		if snap.WalSeq > maxSeq {
+			maxSeq = snap.WalSeq
+		}
+	}
+	if maxSeq <= 0 {
+		t.Fatalf("durable snapshot reports no WAL sequence: %+v", svc.Snapshot())
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSlowSubmitLands: a traced request slower than the threshold shows
+// up in the slow ring with its stage breakdown.
+func TestSlowSubmitLands(t *testing.T) {
+	reg := obs.NewRegistry()
+	rec := obs.NewSpanRecorder(reg, obs.WithSlowThreshold(time.Nanosecond), obs.WithSlowLog(nil))
+	svc, err := New(1, 2, 0.2, WithSpans(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sp obs.Span
+	sp.JobID = 1
+	if _, err := svc.SubmitSpan(job.Job{ID: 1, Proc: 1, Deadline: 10}, &sp); err != nil {
+		t.Fatal(err)
+	}
+	rec.Finish(&sp)
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.SlowCount(); got != 1 {
+		t.Fatalf("SlowCount = %d, want 1", got)
+	}
+	if slows := rec.Slow(); len(slows) != 1 || slows[0].Stages[obs.StageDecide] <= 0 {
+		t.Fatalf("slow ring = %+v", slows)
+	}
+}
+
+// TestSubmitUntracedStaysLean: with no recorder configured, a
+// steady-state Submit must not allocate — the span fields ride the
+// pooled request for free. Allows sub-1 averages to tolerate unrelated
+// runtime allocations from the concurrently running shard goroutine.
+func TestSubmitUntracedStaysLean(t *testing.T) {
+	svc, err := New(1, 2, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	j := job.Job{ID: 1, Proc: 0.001, Deadline: 1e12}
+	// Warm the request pool and the shard batch slice.
+	for i := 0; i < 100; i++ {
+		if _, err := svc.Submit(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		if _, err := svc.Submit(j); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs >= 1 {
+		t.Fatalf("untraced Submit allocates %.2f times per op, want 0", allocs)
+	}
+}

@@ -380,6 +380,51 @@ func NewMetrics() *Metrics { return obs.NewRegistry() }
 // w; call its Close method to flush.
 func NewJSONLTrace(w io.Writer) *obs.JSONLSink { return obs.NewJSONLSink(w) }
 
+// Span is one request's lifecycle timeline: nanoseconds spent in each
+// stage of the serving stack (frame decode, shard queue wait, engine
+// decide, WAL fsync wait, reply write), plus the verdict. Build one per
+// request, pass it to ShardedService.SubmitSpan, and hand it to the
+// recorder's Finish.
+type Span = obs.Span
+
+// SpanRecorder aggregates finished Spans into per-stage latency
+// histograms, a recent-span ring, and a slow-request ring + log. A nil
+// recorder disables tracing everywhere it is accepted.
+type SpanRecorder = obs.SpanRecorder
+
+// SpanOption configures NewSpanRecorder.
+type SpanOption = obs.SpanOption
+
+// NewSpanRecorder builds a span recorder exporting its aggregates
+// through the registry (span_stage_seconds{stage=...},
+// span_total_seconds, span_finished_total, span_slow_total).
+func NewSpanRecorder(reg *Metrics, opts ...SpanOption) *SpanRecorder {
+	return obs.NewSpanRecorder(reg, opts...)
+}
+
+// WithSpanRing sets how many finished spans the recorder retains for
+// inspection (default 512; ≤ 0 disables retention).
+func WithSpanRing(n int) SpanOption { return obs.WithSpanRing(n) }
+
+// WithSpanSlowThreshold logs (and ring-retains) any request whose total
+// stage time exceeds d, with its full stage breakdown.
+func WithSpanSlowThreshold(d time.Duration) SpanOption { return obs.WithSlowThreshold(d) }
+
+// WithServeSpans traces every SubmitSpan-carried request through the
+// sharded service: queue-wait and decide (and WAL, when durable) stages
+// are recorded without perturbing decisions — VerifyReplay holds with
+// tracing on.
+func WithServeSpans(rec *SpanRecorder) ServeOption { return serve.WithSpans(rec) }
+
+// WithNetSpans traces every dispatched network request end to end
+// (decode through reply write) into the same recorder the backing
+// service uses; pass the identical recorder to WithServeSpans.
+func WithNetSpans(rec *SpanRecorder) NetServerOption { return netserve.WithServerSpans(rec) }
+
+// WithDialSpans records the client-observed send→verdict round trip of
+// every call into rec's "client" stage histogram.
+func WithDialSpans(rec *SpanRecorder) DialOption { return netserve.WithClientSpans(rec) }
+
 // SimOption configures one Simulate call.
 type SimOption = sim.RunOption
 
