@@ -4,7 +4,7 @@ GO ?= go
 # the last line that supports the go.mod Go version; bump both together.
 STATICCHECK_VERSION ?= 2024.1.1
 
-.PHONY: all build test race bench bench-submit bench-submit-smoke bench-serve bench-serve-smoke bench-recover bench-recover-smoke bench-net bench-net-smoke bench-trace bench-trace-smoke net-smoke obs-smoke crash-smoke fuzz-smoke verify fmt vet staticcheck experiments clean
+.PHONY: all build test race bench bench-submit bench-submit-smoke bench-serve bench-serve-smoke bench-recover bench-recover-smoke bench-net bench-net-smoke bench-batch bench-batch-smoke bench-trace bench-trace-smoke net-smoke obs-smoke crash-smoke fuzz-smoke verify fmt vet staticcheck experiments clean
 
 all: build
 
@@ -73,6 +73,21 @@ bench-net:
 # or a networked-stream/sequential-replay divergence — never on timing.
 bench-net-smoke:
 	$(GO) run ./cmd/bench -mode net -quick -check -out -
+
+# bench-batch runs the batched-admission sweep (client count × jobs per
+# submit-batch frame, against the per-job baseline at the same client
+# count) and writes BENCH_batch.json; see EXPERIMENTS.md §E19 for the
+# schema. -check proves every batched sweep point — span tracing on —
+# bit-identical to a sequential replay before anything is timed.
+bench-batch:
+	$(GO) run ./cmd/bench -mode batch -check -out BENCH_batch.json
+
+# bench-batch-smoke is the CI gate for the batched path: 1–2 clients,
+# two batch sizes, small n, replay verification forced on. It fails on
+# build errors, panics, or a batched-stream/sequential-replay
+# divergence — never on throughput numbers, which are timing.
+bench-batch-smoke:
+	$(GO) run ./cmd/bench -mode batch -quick -check -out -
 
 # bench-trace measures request-lifecycle tracing overhead on the
 # daemon's Submit surface (netserve RPC over loopback, headline) and on

@@ -1,0 +1,356 @@
+package main
+
+// The batch benchmark mode (ISSUE 7): measure the batched admission
+// path end-to-end and pin its speedup against the per-job wire
+// baseline. The sweep varies client count × batch size; for every
+// client count it first measures a per-job baseline (the BENCH_net
+// drive loop: pipelined singles), then drives the same workload through
+// Client.SubmitBatch. With -check, each sweep point first runs batched
+// AND span-traced through a decision-logged daemon and proves every
+// shard's decision stream bit-identical to a sequential replay
+// (VerifyReplay); the timed pass then runs log-free, so the headline
+// speedup can never come from a behavioral shortcut.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"loadmax/internal/job"
+	"loadmax/internal/netserve"
+	"loadmax/internal/obs"
+	"loadmax/internal/serve"
+	"loadmax/internal/workload"
+)
+
+type batchConfig struct {
+	out        string
+	clients    string // comma-separated client counts
+	sizes      string // comma-separated batch sizes
+	pipeline   int    // per-client pipelining depth of the per-job baseline
+	n          int
+	family     string
+	eps        float64
+	load       float64
+	seed       int64
+	shards     int
+	machines   int
+	queueDepth int
+	batchSize  int
+	window     int
+	quick      bool
+	check      bool
+}
+
+// batchBaseline is the per-job reference at one client count.
+type batchBaseline struct {
+	Clients    int     `json:"clients"`
+	Pipeline   int     `json:"pipeline"`
+	Jobs       int     `json:"jobs"`
+	WallSecs   float64 `json:"wall_seconds"`
+	JobsPerSec float64 `json:"jobs_per_sec"`
+}
+
+// batchPoint is one (clients, batch size) sweep point.
+type batchPoint struct {
+	Clients   int `json:"clients"`
+	BatchJobs int `json:"batch_jobs"` // jobs per submit-batch frame
+	Jobs      int `json:"jobs"`
+
+	WallSeconds  float64 `json:"wall_seconds"`
+	JobsPerSec   float64 `json:"jobs_per_sec"`
+	P50BatchNs   float64 `json:"p50_batch_ns"` // round trip per batch frame
+	P99BatchNs   float64 `json:"p99_batch_ns"`
+	Accepted     int64   `json:"accepted"`
+	AcceptedMass float64 `json:"accepted_mass"`
+	Shed         int64   `json:"shed"`
+
+	// SpeedupVsPerJob is this point's jobs/sec over the per-job baseline
+	// at the same client count.
+	SpeedupVsPerJob    float64 `json:"speedup_vs_per_job"`
+	EquivalenceChecked bool    `json:"equivalence_checked"`
+}
+
+// batchReport is the full BENCH_batch.json document.
+type batchReport struct {
+	Benchmark        string          `json:"benchmark"`
+	SchemaVersion    int             `json:"schema_version"`
+	Meta             runMeta         `json:"meta"`
+	NumCPU           int             `json:"num_cpu"`
+	Shards           int             `json:"shards"`
+	MachinesPerShard int             `json:"machines_per_shard"`
+	Window           int             `json:"window"`
+	QueueDepth       int             `json:"queue_depth"`
+	BatchSize        int             `json:"batch_size"` // serve-side drain batch
+	Workload         workloadParams  `json:"workload"`
+	Baselines        []batchBaseline `json:"baselines"`
+	Results          []batchPoint    `json:"results"`
+
+	// Speedup is the headline: best batched jobs/sec over best per-job
+	// jobs/sec across the sweep.
+	BestPerJobJobsPerSec float64 `json:"best_per_job_jobs_per_sec"`
+	BestBatchJobsPerSec  float64 `json:"best_batch_jobs_per_sec"`
+	Speedup              float64 `json:"speedup"`
+}
+
+func runBatch(cfg batchConfig) error {
+	if cfg.quick {
+		cfg.clients = "1,2"
+		cfg.sizes = "16,64"
+		if cfg.n > 4000 {
+			cfg.n = 4000
+		}
+		cfg.check = true
+	}
+	fam, ok := workload.ByName(cfg.family)
+	if !ok {
+		return fmt.Errorf("unknown workload family %q", cfg.family)
+	}
+	clientCounts, err := parseInts(cfg.clients)
+	if err != nil {
+		return fmt.Errorf("bad -clients list: %w", err)
+	}
+	sizes, err := parseInts(cfg.sizes)
+	if err != nil {
+		return fmt.Errorf("bad -batch-jobs list: %w", err)
+	}
+	for _, b := range sizes {
+		if b > netserve.MaxBatchJobs {
+			return fmt.Errorf("batch size %d exceeds the wire cap %d", b, netserve.MaxBatchJobs)
+		}
+	}
+	inst := fam.Gen(workload.Spec{
+		N: cfg.n, Eps: cfg.eps, M: cfg.shards * cfg.machines, Load: cfg.load, Seed: cfg.seed,
+	})
+	rep := batchReport{
+		Benchmark:        "batch",
+		SchemaVersion:    1,
+		Meta:             collectMeta(),
+		NumCPU:           runtime.NumCPU(),
+		Shards:           cfg.shards,
+		MachinesPerShard: cfg.machines,
+		Window:           cfg.window,
+		QueueDepth:       cfg.queueDepth,
+		BatchSize:        cfg.batchSize,
+		Workload: workloadParams{
+			Family: fam.Name, N: cfg.n, Eps: cfg.eps, Load: cfg.load, Seed: cfg.seed,
+		},
+	}
+	ncfg := netConfig{
+		n: cfg.n, family: cfg.family, eps: cfg.eps, load: cfg.load, seed: cfg.seed,
+		shards: cfg.shards, machines: cfg.machines,
+		queueDepth: cfg.queueDepth, batchSize: cfg.batchSize, window: cfg.window,
+	}
+
+	fmt.Printf("%-8s %-10s %12s %12s %12s %10s %9s\n",
+		"clients", "batch", "jobs/sec", "p50 ns", "p99 ns", "accepted", "speedup")
+	for _, clients := range clientCounts {
+		base, err := runBatchBaseline(ncfg, inst, clients, cfg.pipeline)
+		if err != nil {
+			return err
+		}
+		rep.Baselines = append(rep.Baselines, base)
+		if base.JobsPerSec > rep.BestPerJobJobsPerSec {
+			rep.BestPerJobJobsPerSec = base.JobsPerSec
+		}
+		fmt.Printf("%-8d %-10s %12.0f %12s %12s %10s %9s\n",
+			clients, "per-job", base.JobsPerSec, "-", "-", "-", "1.00x")
+		for _, size := range sizes {
+			pt, err := runBatchPoint(cfg, ncfg, inst, clients, size)
+			if err != nil {
+				return err
+			}
+			if base.JobsPerSec > 0 {
+				pt.SpeedupVsPerJob = pt.JobsPerSec / base.JobsPerSec
+			}
+			if pt.JobsPerSec > rep.BestBatchJobsPerSec {
+				rep.BestBatchJobsPerSec = pt.JobsPerSec
+			}
+			rep.Results = append(rep.Results, pt)
+			fmt.Printf("%-8d %-10d %12.0f %12.0f %12.0f %10d %8.2fx\n",
+				pt.Clients, pt.BatchJobs, pt.JobsPerSec,
+				pt.P50BatchNs, pt.P99BatchNs, pt.Accepted, pt.SpeedupVsPerJob)
+		}
+	}
+	if rep.BestPerJobJobsPerSec > 0 {
+		rep.Speedup = rep.BestBatchJobsPerSec / rep.BestPerJobJobsPerSec
+	}
+	fmt.Printf("best per-job %.0f jobs/sec, best batched %.0f jobs/sec: %.2fx\n",
+		rep.BestPerJobJobsPerSec, rep.BestBatchJobsPerSec, rep.Speedup)
+
+	blob, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if cfg.out == "-" {
+		os.Stdout.Write(blob)
+		return nil
+	}
+	if err := os.WriteFile(cfg.out, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", cfg.out)
+	return nil
+}
+
+// runBatchBaseline measures the per-job reference: the same drive loop
+// BENCH_net uses (pipelined singles), on a fresh daemon.
+func runBatchBaseline(ncfg netConfig, inst job.Instance, clients, pipeline int) (batchBaseline, error) {
+	base := batchBaseline{Clients: clients, Pipeline: pipeline, Jobs: len(inst)}
+	svc, srv, err := startNetDaemon(ncfg, nil)
+	if err != nil {
+		return base, err
+	}
+	start := time.Now()
+	if _, err := driveNet(srv.Addr().String(), inst, clients, pipeline, nil); err != nil {
+		return base, err
+	}
+	base.WallSecs = time.Since(start).Seconds()
+	if err := srv.Close(); err != nil {
+		return base, err
+	}
+	if err := svc.Close(); err != nil {
+		return base, err
+	}
+	if base.WallSecs > 0 {
+		base.JobsPerSec = float64(len(inst)) / base.WallSecs
+	}
+	return base, nil
+}
+
+// runBatchPoint measures one (clients, batch size) point against a
+// fresh daemon. The -check pass runs first — batched AND span-traced on
+// a decision-logged service, then VerifyReplay — so equivalence is
+// proven on the exact path being timed; the timed pass runs log-free.
+func runBatchPoint(cfg batchConfig, ncfg netConfig, inst job.Instance, clients, size int) (batchPoint, error) {
+	pt := batchPoint{Clients: clients, BatchJobs: size, Jobs: len(inst)}
+
+	if cfg.check {
+		rec := obs.NewSpanRecorder(obs.NewRegistry(), obs.WithSlowLog(nil))
+		svc, srv, err := startNetDaemon(ncfg, nil, serve.WithDecisionLog(), serve.WithSpans(rec))
+		if err != nil {
+			return pt, err
+		}
+		if _, err := driveBatch(srv.Addr().String(), inst, clients, size, nil); err != nil {
+			return pt, err
+		}
+		if err := srv.Close(); err != nil {
+			return pt, err
+		}
+		if err := svc.Close(); err != nil {
+			return pt, err
+		}
+		if err := svc.VerifyReplay(); err != nil {
+			return pt, fmt.Errorf("batch equivalence at clients=%d batch=%d: %w", clients, size, err)
+		}
+		pt.EquivalenceChecked = true
+	}
+
+	reg := obs.NewRegistry()
+	svc, srv, err := startNetDaemon(ncfg, reg)
+	if err != nil {
+		return pt, err
+	}
+	start := time.Now()
+	lat, err := driveBatch(srv.Addr().String(), inst, clients, size, make([]int64, 0, len(inst)/size+1))
+	if err != nil {
+		return pt, err
+	}
+	wall := time.Since(start)
+	if err := srv.Close(); err != nil {
+		return pt, err
+	}
+	snaps := svc.Snapshot()
+	pt.AcceptedMass = svc.AcceptedMass()
+	if err := svc.Close(); err != nil {
+		return pt, err
+	}
+	for _, s := range snaps {
+		pt.Accepted += s.Accepted
+	}
+	pt.Shed = reg.Counter("netserve_shed_total").Value()
+	pt.WallSeconds = wall.Seconds()
+	if pt.WallSeconds > 0 {
+		pt.JobsPerSec = float64(len(inst)) / pt.WallSeconds
+	}
+	sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
+	pt.P50BatchNs = percentile(lat, 0.50)
+	pt.P99BatchNs = percentile(lat, 0.99)
+	return pt, nil
+}
+
+// driveBatch fans inst over clients concurrent batched streams (striped
+// by index so each stream stays release-ordered) and submits each
+// stripe in batch frames of size jobs. Shed jobs — the server refusing
+// a whole frame or a shard queue bouncing a sub-batch — are retried
+// after a brief backoff, so every job ends in a real decision. When lat
+// is non-nil it returns one round-trip sample per batch frame.
+func driveBatch(addr string, inst job.Instance, clients, size int, lat []int64) ([]int64, error) {
+	var latMu sync.Mutex
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(stream int) {
+			defer wg.Done()
+			cl, err := netserve.Dial(addr, netserve.WithConns(1))
+			if err != nil {
+				errs[stream] = err
+				return
+			}
+			defer cl.Close()
+			var stripe []job.Job
+			for i := stream; i < len(inst); i += clients {
+				stripe = append(stripe, inst[i])
+			}
+			var local []int64
+			for off := 0; off < len(stripe); off += size {
+				chunk := stripe[off:min(off+size, len(stripe))]
+				for len(chunk) > 0 {
+					t0 := time.Now()
+					res, err := cl.SubmitBatch(chunk)
+					if err != nil {
+						errs[stream] = fmt.Errorf("stream %d: %w", stream, err)
+						return
+					}
+					if lat != nil {
+						local = append(local, time.Since(t0).Nanoseconds())
+					}
+					// Retry only the shed jobs, preserving their order.
+					var again []job.Job
+					for k, r := range res {
+						switch {
+						case r.Err == nil:
+						case r.Err == netserve.ErrShed:
+							again = append(again, chunk[k])
+						default:
+							errs[stream] = fmt.Errorf("stream %d job %d: %w", stream, chunk[k].ID, r.Err)
+							return
+						}
+					}
+					chunk = again
+					if len(chunk) > 0 {
+						time.Sleep(50 * time.Microsecond)
+					}
+				}
+			}
+			if lat != nil {
+				latMu.Lock()
+				lat = append(lat, local...)
+				latMu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return lat, err
+		}
+	}
+	return lat, nil
+}

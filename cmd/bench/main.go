@@ -15,6 +15,11 @@
 //   - net (ISSUE 5): sweeps client count × pipelining depth against an
 //     in-process loadmax daemon on a loopback port and emits
 //     BENCH_net.json (wire jobs/sec, p50/p99 round-trip latency).
+//   - batch (ISSUE 7): sweeps client count × batch size through the
+//     batched wire path (Client.SubmitBatch → frameSubmitBatch → grouped
+//     shard handoff → one verdict-batch) against the per-job baseline at
+//     the same client count, and emits BENCH_batch.json (jobs/sec,
+//     p50/p99 per-batch round trip, speedup vs per-job).
 //   - trace (ISSUE 6): runs the same workload untraced and span-traced
 //     over two Submit paths — the loopback netserve RPC (headline) and
 //     the raw in-process service (adversarial microbenchmark) — and
@@ -40,6 +45,8 @@
 //	go run ./cmd/bench -mode recover -quick -check -out - # CI smoke for recovery
 //	go run ./cmd/bench -mode net -check                 # network sweep → BENCH_net.json
 //	go run ./cmd/bench -mode net -quick -check -out -   # CI smoke for the wire path
+//	go run ./cmd/bench -mode batch -check               # batched sweep → BENCH_batch.json
+//	go run ./cmd/bench -mode batch -quick -check -out - # CI smoke for the batched path
 //	go run ./cmd/bench -mode trace -check               # tracing overhead → BENCH_trace.json
 //	go run ./cmd/bench -mode trace -quick -out -        # CI smoke for span tracing
 package main
@@ -91,7 +98,7 @@ type report struct {
 
 // knownModes is the authoritative -mode list; keep it in sync with the
 // dispatch in main and the doc comment above.
-var knownModes = []string{"submit", "serve", "recover", "net", "trace"}
+var knownModes = []string{"submit", "serve", "recover", "net", "batch", "trace"}
 
 type workloadParams struct {
 	Family string  `json:"family"`
@@ -128,8 +135,11 @@ func main() {
 
 		clientsList  = flag.String("clients", "1,2,4,8", "net: comma-separated client counts to sweep")
 		pipelineList = flag.String("pipeline", "1,4,16", "net: comma-separated pipelining depths to sweep")
-		netShards    = flag.Int("net-shards", 4, "net: shard count of the daemon")
-		netWindow    = flag.Int("net-window", 256, "net: per-connection in-flight window")
+		netShards    = flag.Int("net-shards", 4, "net/batch: shard count of the daemon")
+		netWindow    = flag.Int("net-window", 256, "net/batch: per-connection in-flight window")
+
+		batchJobsList = flag.String("batch-jobs", "8,32,128,512", "batch: comma-separated jobs-per-frame sizes to sweep")
+		batchPipeline = flag.Int("batch-pipeline", 16, "batch: per-client pipelining depth of the per-job baseline")
 
 		traceShards   = flag.Int("trace-shards", 4, "trace: shard count of both services")
 		traceRepeat   = flag.Int("trace-repeat", 5, "trace: instance repetitions per timed round")
@@ -209,6 +219,23 @@ func main() {
 			window: *netWindow, quick: *quick, check: *check,
 		}
 		if err := runNet(cfg); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *mode == "batch" {
+		if *out == "" {
+			*out = "BENCH_batch.json"
+		}
+		cfg := batchConfig{
+			out: *out, clients: *clientsList, sizes: *batchJobsList,
+			pipeline: *batchPipeline,
+			n:        *n, family: *family, eps: *eps, load: *load, seed: *seed,
+			shards: *netShards, machines: *serveM,
+			queueDepth: *queueDepth, batchSize: *batchSize,
+			window: *netWindow, quick: *quick, check: *check,
+		}
+		if err := runBatch(cfg); err != nil {
 			fatal(err)
 		}
 		return

@@ -87,7 +87,9 @@ func WithClientSpans(rec *obs.SpanRecorder) DialOption {
 // safe for concurrent use: requests are multiplexed over each
 // connection by request id, so many goroutines can have submissions in
 // flight at once (that is where the throughput comes from — one
-// round-trip per request, but many overlapping rounds).
+// round-trip per request, but many overlapping rounds). For raw
+// throughput, SubmitBatch moves many jobs per round trip instead:
+// singles and batches pipeline freely on the same connections.
 type Client struct {
 	cfg   dialConfig
 	conns []*clientConn
@@ -188,12 +190,131 @@ func (c *Client) SubmitTimeout(j job.Job, timeout time.Duration) (online.Decisio
 		c.cfg.spans.Observe(obs.StageClient, c.cfg.spans.Now()-sendNs)
 		return mapVerdict(j, v)
 	case <-timer.C:
-		cc.unregister(id) // a late verdict for this id is discarded
+		// Losing the select race must not fabricate a timeout: when the
+		// verdict and the timer are both ready, Go's select may pick the
+		// timer even though the verdict was delivered. Unregister first —
+		// if the id was already claimed, the read loop's send into the
+		// 1-buffered channel is committed (nothing can intercept it), so
+		// collect the real verdict instead of reporting "outcome unknown".
+		if !cc.unregister(id) {
+			v := <-ch
+			c.cfg.spans.Observe(obs.StageClient, c.cfg.spans.Now()-sendNs)
+			return mapVerdict(j, v)
+		}
 		return online.Decision{}, ErrTimeout
 	case <-cc.dead:
-		cc.unregister(id)
+		// Same recheck on connection death: a verdict that was routed
+		// before the connection died is an answer the caller should get.
+		if !cc.unregister(id) {
+			v := <-ch
+			c.cfg.spans.Observe(obs.StageClient, c.cfg.spans.Now()-sendNs)
+			return mapVerdict(j, v)
+		}
 		return online.Decision{}, cc.transportErr()
 	}
+}
+
+// BatchResult is one job's outcome from SubmitBatch, under the same
+// contract as SubmitTimeout: algorithmic rejection is a Decision with
+// Accepted=false and a nil Err; Err (ErrShed, *RemoteError) means job i
+// never got an algorithmic answer.
+type BatchResult struct {
+	Dec online.Decision
+	Err error
+}
+
+// SubmitBatch submits many jobs in one wire frame (per chunk of
+// MaxBatchJobs) and blocks until the grouped verdict arrives, using the
+// default timeout. See SubmitBatchTimeout.
+func (c *Client) SubmitBatch(jobs []job.Job) ([]BatchResult, error) {
+	return c.SubmitBatchTimeout(jobs, c.cfg.timeout)
+}
+
+// SubmitBatchTimeout sends the jobs as submit-batch frames — one
+// length-prefix, one CRC, one window slot, and (server-side) one shard
+// handoff per sub-batch and one fsync per batch — and returns per-job
+// results aligned with jobs. Batching is transport-only: the server
+// decides the jobs one at a time in batch order, so the results are
+// bit-identical to submitting the jobs individually in that order.
+//
+// The whole call shares one timeout. All chunks travel on one pooled
+// connection, in order, so the server decides the batch in submission
+// order. A non-nil error (ErrTimeout, ErrClientClosed,
+// *TransportError) means the call failed as a whole and no results are
+// returned; per-job outcomes — including ErrShed for a shed batch —
+// come back in the BatchResults.
+func (c *Client) SubmitBatchTimeout(jobs []job.Job, timeout time.Duration) ([]BatchResult, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClientClosed
+	}
+	c.mu.Unlock()
+	if len(jobs) == 0 {
+		return nil, nil
+	}
+	cc := c.pick()
+	if cc == nil {
+		return nil, &TransportError{Op: "submit-batch", Err: errors.New("no live connections")}
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	out := make([]BatchResult, 0, len(jobs))
+	for off := 0; off < len(jobs); off += MaxBatchJobs {
+		chunk := jobs[off:min(off+MaxBatchJobs, len(jobs))]
+		res, err := c.submitChunk(cc, chunk, timer)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res...)
+	}
+	return out, nil
+}
+
+// submitChunk sends one submit-batch frame and awaits its verdict
+// batch. Like the server, the client counts a batch frame as ONE
+// window slot.
+func (c *Client) submitChunk(cc *clientConn, chunk []job.Job, timer *time.Timer) ([]BatchResult, error) {
+	select {
+	case cc.sem <- struct{}{}:
+	case <-timer.C:
+		return nil, ErrTimeout
+	case <-cc.dead:
+		return nil, cc.transportErr()
+	}
+	defer func() { <-cc.sem }()
+
+	sendNs := c.cfg.spans.Now()
+	id, ch := cc.registerBatch()
+	if err := cc.send(appendSubmitBatch(nil, submitBatchFrame{ID: id, Jobs: chunk})); err != nil {
+		cc.unregisterBatch(id)
+		return nil, err
+	}
+	var vb verdictBatchFrame
+	select {
+	case vb = <-ch:
+	case <-timer.C:
+		// Same delivered-verdict recheck as SubmitTimeout.
+		if cc.unregisterBatch(id) {
+			return nil, ErrTimeout
+		}
+		vb = <-ch
+	case <-cc.dead:
+		if cc.unregisterBatch(id) {
+			return nil, cc.transportErr()
+		}
+		vb = <-ch
+	}
+	c.cfg.spans.Observe(obs.StageClient, c.cfg.spans.Now()-sendNs)
+	if len(vb.Verdicts) != len(chunk) {
+		return nil, &TransportError{Op: "verdict-batch", Err: fmt.Errorf("%d verdicts for %d jobs", len(vb.Verdicts), len(chunk))}
+	}
+	out := make([]BatchResult, len(chunk))
+	for i, v := range vb.Verdicts {
+		dec, err := mapVerdict(chunk[i], verdictFrame{Status: v.Status, Machine: v.Machine, Start: v.Start, Msg: v.Msg})
+		out[i] = BatchResult{Dec: dec, Err: err}
+	}
+	return out, nil
 }
 
 // mapVerdict translates a wire verdict into the client contract.
@@ -216,7 +337,12 @@ func mapVerdict(j job.Job, v verdictFrame) (online.Decision, error) {
 // skipped so the pool degrades instead of failing while any peer lives.
 func (c *Client) pick() *clientConn {
 	n := len(c.conns)
-	start := int(c.rr.Add(1))
+	// Reduce the counter in uint64 space BEFORE converting: a plain
+	// int(c.rr.Add(1)) goes negative once the counter passes the int
+	// range (always possible on 32-bit platforms, and after wraparound
+	// anywhere), and a negative start makes (start+i)%n a negative
+	// index — a panic, not a skipped connection.
+	start := int(c.rr.Add(1) % uint64(n))
 	for i := 0; i < n; i++ {
 		cc := c.conns[(start+i)%n]
 		if !cc.isDead() {
@@ -254,10 +380,11 @@ type clientConn struct {
 	wmu sync.Mutex
 	bw  *bufio.Writer
 
-	pmu     sync.Mutex
-	pending map[uint64]chan verdictFrame
-	nextID  uint64
-	err     error // sticky transport error
+	pmu          sync.Mutex
+	pending      map[uint64]chan verdictFrame
+	batchPending map[uint64]chan verdictBatchFrame
+	nextID       uint64
+	err          error // sticky transport error
 
 	dead     chan struct{}
 	deadOnce sync.Once
@@ -268,7 +395,18 @@ func dialConn(addr string, cfg dialConfig) (*clientConn, helloAck, error) {
 	if err != nil {
 		return nil, helloAck{}, &TransportError{Op: "dial " + addr, Err: err}
 	}
-	nc.SetDeadline(time.Now().Add(cfg.dialTimeout))
+	return setupConn(nc, cfg)
+}
+
+// setupConn performs the protocol handshake on an established
+// connection and starts its read loop. A SetDeadline failure is a
+// *TransportError, not something to shrug off: proceeding without the
+// deadline would let a silent peer pin the handshake forever.
+func setupConn(nc net.Conn, cfg dialConfig) (*clientConn, helloAck, error) {
+	if err := nc.SetDeadline(time.Now().Add(cfg.dialTimeout)); err != nil {
+		nc.Close()
+		return nil, helloAck{}, &TransportError{Op: "handshake deadline", Err: err}
+	}
 	if _, err := nc.Write(appendHello(nil)); err != nil {
 		nc.Close()
 		return nil, helloAck{}, &TransportError{Op: "handshake", Err: err}
@@ -284,17 +422,23 @@ func dialConn(addr string, cfg dialConfig) (*clientConn, helloAck, error) {
 		nc.Close()
 		return nil, helloAck{}, err
 	}
-	nc.SetDeadline(time.Time{})
+	if err := nc.SetDeadline(time.Time{}); err != nil {
+		// Failing to CLEAR the deadline matters just as much: every
+		// later read on this connection would spuriously time out.
+		nc.Close()
+		return nil, helloAck{}, &TransportError{Op: "handshake deadline", Err: err}
+	}
 	window := int(ack.Window)
 	if window < 1 {
 		window = 1
 	}
 	cc := &clientConn{
-		nc:      nc,
-		sem:     make(chan struct{}, window),
-		bw:      bufio.NewWriterSize(nc, 32<<10),
-		pending: make(map[uint64]chan verdictFrame),
-		dead:    make(chan struct{}),
+		nc:           nc,
+		sem:          make(chan struct{}, window),
+		bw:           bufio.NewWriterSize(nc, 32<<10),
+		pending:      make(map[uint64]chan verdictFrame),
+		batchPending: make(map[uint64]chan verdictBatchFrame),
+		dead:         make(chan struct{}),
 	}
 	go cc.readLoop(br)
 	return cc, ack, nil
@@ -311,10 +455,39 @@ func (cc *clientConn) register() (uint64, chan verdictFrame) {
 	return id, ch
 }
 
-func (cc *clientConn) unregister(id uint64) {
+// unregister removes the id and reports whether it was still pending. A
+// false return means the read loop already claimed the id, and its send
+// into the 1-buffered reply channel is committed — the caller can (and
+// should) still collect the verdict.
+func (cc *clientConn) unregister(id uint64) bool {
 	cc.pmu.Lock()
+	_, ok := cc.pending[id]
 	delete(cc.pending, id)
 	cc.pmu.Unlock()
+	return ok
+}
+
+// registerBatch allocates a batch id and its 1-buffered reply channel.
+// Batch ids come from the same counter as request ids, so singles and
+// batches pipeline on one connection without colliding.
+func (cc *clientConn) registerBatch() (uint64, chan verdictBatchFrame) {
+	ch := make(chan verdictBatchFrame, 1)
+	cc.pmu.Lock()
+	cc.nextID++
+	id := cc.nextID
+	cc.batchPending[id] = ch
+	cc.pmu.Unlock()
+	return id, ch
+}
+
+// unregisterBatch is unregister for batch ids, with the same claimed
+// contract.
+func (cc *clientConn) unregisterBatch(id uint64) bool {
+	cc.pmu.Lock()
+	_, ok := cc.batchPending[id]
+	delete(cc.batchPending, id)
+	cc.pmu.Unlock()
+	return ok
 }
 
 // send writes one frame. The flush is immediate: pipelining comes from
@@ -338,17 +511,36 @@ func (cc *clientConn) readLoop(br *bufio.Reader) {
 			cc.fail("read", err)
 			return
 		}
-		v, err := decodeVerdict(payload)
-		if err != nil {
-			cc.fail("read", err)
+		switch payload[0] {
+		case frameVerdict:
+			v, err := decodeVerdict(payload)
+			if err != nil {
+				cc.fail("read", err)
+				return
+			}
+			cc.pmu.Lock()
+			ch, ok := cc.pending[v.ID]
+			delete(cc.pending, v.ID)
+			cc.pmu.Unlock()
+			if ok {
+				ch <- v // 1-buffered: never blocks, late receivers already unregistered
+			}
+		case frameVerdictBatch:
+			vb, err := decodeVerdictBatch(payload)
+			if err != nil {
+				cc.fail("read", err)
+				return
+			}
+			cc.pmu.Lock()
+			ch, ok := cc.batchPending[vb.ID]
+			delete(cc.batchPending, vb.ID)
+			cc.pmu.Unlock()
+			if ok {
+				ch <- vb // 1-buffered, same contract as singles
+			}
+		default:
+			cc.fail("read", fmt.Errorf("unexpected frame type %d", payload[0]))
 			return
-		}
-		cc.pmu.Lock()
-		ch, ok := cc.pending[v.ID]
-		delete(cc.pending, v.ID)
-		cc.pmu.Unlock()
-		if ok {
-			ch <- v // 1-buffered: never blocks, late receivers already unregistered
 		}
 	}
 }

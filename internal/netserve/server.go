@@ -37,10 +37,12 @@ func defaultServerConfig() serverConfig {
 
 // WithWindow sets the per-connection in-flight window (default 256): the
 // server dispatches at most this many concurrent requests per
-// connection and sheds the excess. The window is advertised in the
-// handshake, and the Client self-limits to it, so a conforming client
-// only ever sees window sheds from a misbehaving peer sharing its id
-// space. Values < 1 are clamped to 1.
+// connection and sheds the excess. A submit-batch frame occupies ONE
+// window slot — it is one dispatch unit (one worker, one reply frame)
+// regardless of how many jobs it carries. The window is advertised in
+// the handshake, and the Client self-limits to it, so a conforming
+// client only ever sees window sheds from a misbehaving peer sharing
+// its id space. Values < 1 are clamped to 1.
 func WithWindow(n int) ServerOption { return func(c *serverConfig) { c.window = n } }
 
 // WithMaxInflight caps the server-wide number of requests inside
@@ -66,8 +68,8 @@ func WithWriteTimeout(d time.Duration) ServerOption {
 //	netserve_requests_total{verdict} counter  accept/reject/shed/error
 //	netserve_shed_total             counter   shed verdicts (either cause)
 //	netserve_slow_disconnects_total counter   write-timeout disconnects
-//	netserve_request_seconds        histogram dispatch→verdict latency
-//	netserve_rx_frames_total        counter   submit frames read
+//	netserve_request_seconds        histogram dispatch→verdict latency (one sample per frame, batch included)
+//	netserve_rx_frames_total        counter   submit + submit-batch frames read
 //
 // A nil registry (the default) keeps the hot path metric-free.
 func WithServerMetrics(reg *obs.Registry) ServerOption { return func(c *serverConfig) { c.reg = reg } }
@@ -297,36 +299,70 @@ func (c *srvConn) readLoop(br *bufio.Reader) {
 			return // EOF, deadline from Close, or protocol garbage
 		}
 		readNs := rec.Now() // span clock mark; 0 when tracing is off
-		if payload[0] != frameSubmit {
+		switch payload[0] {
+		case frameSubmit:
+			f, err := decodeSubmit(payload)
+			if err != nil {
+				return
+			}
+			s.rxFrames.Inc()
+			if !c.admit() {
+				c.shed(f.ID)
+				continue
+			}
+			// The span is allocated only for dispatched requests and only
+			// under tracing; its decode stage covers frame parse + admission.
+			var sp *obs.Span
+			if rec != nil {
+				sp = &obs.Span{JobID: int64(f.Job.ID), Start: readNs}
+				sp.Stages[obs.StageDecode] = rec.Now() - readNs
+			}
+			go c.serveRequest(f, sp)
+		case frameSubmitBatch:
+			// A batch frame is ONE dispatch unit: one window slot, one
+			// in-flight slot, one worker — that is where the amortization
+			// comes from. Shedding is all-or-nothing per batch, so a
+			// conforming client never sees a partially shed batch.
+			f, err := decodeSubmitBatch(payload)
+			if err != nil {
+				return
+			}
+			s.rxFrames.Inc()
+			if !c.admit() {
+				c.shedBatch(f.ID, len(f.Jobs))
+				continue
+			}
+			var sp *obs.Span
+			if rec != nil {
+				sp = &obs.Span{JobID: int64(f.Jobs[0].ID), Start: readNs}
+				sp.Stages[obs.StageDecode] = rec.Now() - readNs
+			}
+			go c.serveBatch(f, sp)
+		default:
 			return // handshake is over; anything but a submit is a protocol error
 		}
-		f, err := decodeSubmit(payload)
-		if err != nil {
-			return
-		}
-		s.rxFrames.Inc()
-		if c.inflight.Load() >= int64(s.cfg.window) {
-			c.shed(f.ID)
-			continue
-		}
-		select {
-		case s.inflight <- struct{}{}:
-		default:
-			c.shed(f.ID)
-			continue
-		}
-		c.inflight.Add(1)
-		s.inflightGauge.Add(1)
-		c.workers.Add(1)
-		// The span is allocated only for dispatched requests and only
-		// under tracing; its decode stage covers frame parse + admission.
-		var sp *obs.Span
-		if rec != nil {
-			sp = &obs.Span{JobID: int64(f.Job.ID), Start: readNs}
-			sp.Stages[obs.StageDecode] = rec.Now() - readNs
-		}
-		go c.serveRequest(f, sp)
 	}
+}
+
+// admit takes one connection-window slot and one server-wide in-flight
+// slot — a batch frame counts as one dispatch unit on both, because it
+// occupies one worker goroutine and one reply — or reports that the
+// frame must be shed. Admission stays sequential per connection (only
+// the reader calls it), which keeps shedding deterministic.
+func (c *srvConn) admit() bool {
+	s := c.s
+	if c.inflight.Load() >= int64(s.cfg.window) {
+		return false
+	}
+	select {
+	case s.inflight <- struct{}{}:
+	default:
+		return false
+	}
+	c.inflight.Add(1)
+	s.inflightGauge.Add(1)
+	c.workers.Add(1)
+	return true
 }
 
 // shed answers a request the server refused to dispatch. The send
@@ -337,6 +373,64 @@ func (c *srvConn) shed(id uint64) {
 	c.s.shedTotal.Inc()
 	c.s.verdicts.With("shed").Inc()
 	c.resp <- respEntry{buf: appendVerdict(nil, verdictFrame{ID: id, Status: statusShed})}
+}
+
+// shedBatch answers a whole batch the server refused to dispatch: one
+// verdict-batch frame with every entry shed. The shed counters advance
+// per job — a shed batch is n refused admissions, not one.
+func (c *srvConn) shedBatch(id uint64, n int) {
+	c.s.shedTotal.Add(int64(n))
+	c.s.verdicts.With("shed").Add(int64(n))
+	out := verdictBatchFrame{ID: id, Verdicts: make([]batchVerdict, n)}
+	for i := range out.Verdicts {
+		out.Verdicts[i].Status = statusShed
+	}
+	c.resp <- respEntry{buf: appendVerdictBatch(nil, out)}
+}
+
+// serveBatch runs one batched admission through the service and posts
+// the grouped verdict frame. The service decides the jobs one at a time
+// in batch order and — under durability — the whole batch shares one
+// group-commit fsync; the reply leaves only after every job has its
+// durable verdict, so a verdict batch on the wire is n kept promises.
+func (c *srvConn) serveBatch(f submitBatchFrame, sp *obs.Span) {
+	defer c.workers.Done()
+	s := c.s
+	if s.cfg.submitGate != nil {
+		s.cfg.submitGate()
+	}
+	start := time.Now()
+	results := s.svc.SubmitBatchSpan(f.Jobs, sp)
+	s.latHist.Observe(time.Since(start).Seconds())
+	<-s.inflight
+	c.inflight.Add(-1)
+	s.inflightGauge.Add(-1)
+
+	out := verdictBatchFrame{ID: f.ID, Verdicts: make([]batchVerdict, len(results))}
+	for i, r := range results {
+		v := &out.Verdicts[i]
+		switch {
+		case errors.Is(r.Err, serve.ErrBackpressure):
+			// The shard queue itself is full: same overload story, same
+			// retryable verdict.
+			v.Status = statusShed
+			s.shedTotal.Inc()
+			s.verdicts.With("shed").Inc()
+		case r.Err != nil:
+			v.Status = statusError
+			v.Msg = r.Err.Error()
+			s.verdicts.With("error").Inc()
+		case r.Dec.Accepted:
+			v.Status = statusAccept
+			v.Machine = int64(r.Dec.Machine)
+			v.Start = r.Dec.Start
+			s.verdicts.With("accept").Inc()
+		default:
+			v.Status = statusReject
+			s.verdicts.With("reject").Inc()
+		}
+	}
+	c.resp <- respEntry{buf: appendVerdictBatch(nil, out), sp: sp, ns: s.cfg.spans.Now()}
 }
 
 // serveRequest runs one admission through the service and posts the

@@ -26,6 +26,14 @@
 // upstream and VERDICT frames downstream, matched by request id, in
 // whatever order decisions complete.
 //
+// SUBMIT-BATCH packs up to MaxBatchJobs jobs behind a single header and
+// CRC; the server answers with one VERDICT-BATCH echoing the batch id,
+// verdict i deciding job i positionally. Batching amortizes framing,
+// shard handoff, fsync, and trace emission — but it is transport-only:
+// the jobs are still decided one at a time in batch order, so the
+// decision stream is bit-identical to the same jobs submitted
+// individually in that order (VerifyReplay holds with batching on).
+//
 // # Verdicts are not all equal
 //
 // A VERDICT carries one of four statuses, and the distinction matters:
@@ -67,10 +75,12 @@ const protocolMagic = 0x4C4D5831
 
 // Frame types (payload[0]).
 const (
-	frameHello    = 1 // client → server: magic, version
-	frameHelloAck = 2 // server → client: version, window, topology
-	frameSubmit   = 3 // client → server: request id + job
-	frameVerdict  = 4 // server → client: request id + status (+ placement | message)
+	frameHello        = 1 // client → server: magic, version
+	frameHelloAck     = 2 // server → client: version, window, topology
+	frameSubmit       = 3 // client → server: request id + job
+	frameVerdict      = 4 // server → client: request id + status (+ placement | message)
+	frameSubmitBatch  = 5 // client → server: batch id + N jobs (one header + CRC for all)
+	frameVerdictBatch = 6 // server → client: batch id + N verdicts, positional
 )
 
 // Verdict statuses.
@@ -84,12 +94,26 @@ const (
 const (
 	wireHeaderLen = 8 // 4B length + 4B CRC32-C
 
-	helloLen    = 1 + 4 + 2                    // type, magic, version
-	helloAckLen = 1 + 2 + 4 + 4 + 4 + 8        // type, version, window, shards, machines, eps
-	submitLen   = 1 + 8 + 8 + 3*8              // type, req id, job id, r/p/d
-	verdictMin  = 1 + 8 + 1 + 8 + 8 + 2        // type, req id, status, machine, start, msg len
-	maxMsgLen   = 1 << 10                      // error messages are short by construction
-	maxPayload  = verdictMin + maxMsgLen + 128 // corrupt length fields fail fast
+	helloLen    = 1 + 4 + 2             // type, magic, version
+	helloAckLen = 1 + 2 + 4 + 4 + 4 + 8 // type, version, window, shards, machines, eps
+	submitLen   = 1 + 8 + 8 + 3*8       // type, req id, job id, r/p/d
+	verdictMin  = 1 + 8 + 1 + 8 + 8 + 2 // type, req id, status, machine, start, msg len
+	maxMsgLen   = 1 << 10               // error messages are short by construction
+
+	// Batch frames: one length-prefix + one CRC covers the whole batch.
+	// Entries are positional — the verdict batch echoes the batch id and
+	// answers entry i of the submit batch with entry i, so per-job
+	// request ids are unnecessary on the wire.
+	batchHdrLen      = 1 + 8 + 4     // type, batch id, count
+	batchSubEntryLen = 8 + 3*8       // job id, r/p/d
+	batchVerEntryLen = 1 + 8 + 8 + 2 // status, machine, start, msg len
+
+	// MaxBatchJobs caps the jobs one batch frame may carry; the client
+	// chunks larger batches transparently. It bounds frame size (and the
+	// allocation a corrupt length field can force) at ~1 MiB.
+	MaxBatchJobs = 1024
+
+	maxPayload = batchHdrLen + MaxBatchJobs*(batchVerEntryLen+maxMsgLen) // corrupt length fields fail fast
 )
 
 var wireCRC = crc32.MakeTable(crc32.Castagnoli)
@@ -239,6 +263,135 @@ func appendVerdict(dst []byte, f verdictFrame) []byte {
 	binary.LittleEndian.PutUint16(p[26:], uint16(len(msg)))
 	p = append(p, msg...)
 	return appendFrame(dst, p)
+}
+
+// submitBatchFrame is one batched admission request: N jobs sharing a
+// single frame header, CRC, and (server-side) shard handoff + fsync.
+// Batching is transport-only — the server still decides the jobs one at
+// a time in batch order, so the decision stream is bit-identical to N
+// per-job submits in the same order.
+type submitBatchFrame struct {
+	ID   uint64 // batch id, echoed by the verdict batch
+	Jobs []job.Job
+}
+
+// verdictBatchFrame answers a submit batch: Verdicts[i] decides Jobs[i].
+// The per-entry fields mirror verdictFrame minus the request id (the
+// match is positional under the batch id).
+type verdictBatchFrame struct {
+	ID       uint64
+	Verdicts []batchVerdict
+}
+
+// batchVerdict is one positional verdict inside a verdict batch.
+type batchVerdict struct {
+	Status  byte
+	Machine int64
+	Start   float64
+	Msg     string // only for statusError
+}
+
+func appendSubmitBatch(dst []byte, f submitBatchFrame) []byte {
+	p := make([]byte, batchHdrLen, batchHdrLen+len(f.Jobs)*batchSubEntryLen)
+	p[0] = frameSubmitBatch
+	binary.LittleEndian.PutUint64(p[1:], f.ID)
+	binary.LittleEndian.PutUint32(p[9:], uint32(len(f.Jobs)))
+	var e [batchSubEntryLen]byte
+	for _, j := range f.Jobs {
+		binary.LittleEndian.PutUint64(e[0:], uint64(int64(j.ID)))
+		binary.LittleEndian.PutUint64(e[8:], math.Float64bits(j.Release))
+		binary.LittleEndian.PutUint64(e[16:], math.Float64bits(j.Proc))
+		binary.LittleEndian.PutUint64(e[24:], math.Float64bits(j.Deadline))
+		p = append(p, e[:]...)
+	}
+	return appendFrame(dst, p)
+}
+
+func decodeSubmitBatch(p []byte) (submitBatchFrame, error) {
+	if len(p) < batchHdrLen || p[0] != frameSubmitBatch {
+		return submitBatchFrame{}, fmt.Errorf("netserve: malformed submit-batch frame")
+	}
+	var f submitBatchFrame
+	f.ID = binary.LittleEndian.Uint64(p[1:])
+	n := int(binary.LittleEndian.Uint32(p[9:]))
+	if n < 1 || n > MaxBatchJobs {
+		return submitBatchFrame{}, fmt.Errorf("netserve: submit-batch count %d out of range", n)
+	}
+	if len(p) != batchHdrLen+n*batchSubEntryLen {
+		return submitBatchFrame{}, fmt.Errorf("netserve: submit-batch length %d does not match count %d", len(p), n)
+	}
+	f.Jobs = make([]job.Job, n)
+	for i := range f.Jobs {
+		e := p[batchHdrLen+i*batchSubEntryLen:]
+		f.Jobs[i] = job.Job{
+			ID:       int(int64(binary.LittleEndian.Uint64(e[0:]))),
+			Release:  math.Float64frombits(binary.LittleEndian.Uint64(e[8:])),
+			Proc:     math.Float64frombits(binary.LittleEndian.Uint64(e[16:])),
+			Deadline: math.Float64frombits(binary.LittleEndian.Uint64(e[24:])),
+		}
+	}
+	return f, nil
+}
+
+func appendVerdictBatch(dst []byte, f verdictBatchFrame) []byte {
+	p := make([]byte, batchHdrLen, batchHdrLen+len(f.Verdicts)*batchVerEntryLen)
+	p[0] = frameVerdictBatch
+	binary.LittleEndian.PutUint64(p[1:], f.ID)
+	binary.LittleEndian.PutUint32(p[9:], uint32(len(f.Verdicts)))
+	var e [batchVerEntryLen]byte
+	for _, v := range f.Verdicts {
+		msg := v.Msg
+		if len(msg) > maxMsgLen {
+			msg = msg[:maxMsgLen]
+		}
+		e[0] = v.Status
+		binary.LittleEndian.PutUint64(e[1:], uint64(v.Machine))
+		binary.LittleEndian.PutUint64(e[9:], math.Float64bits(v.Start))
+		binary.LittleEndian.PutUint16(e[17:], uint16(len(msg)))
+		p = append(p, e[:]...)
+		p = append(p, msg...)
+	}
+	return appendFrame(dst, p)
+}
+
+func decodeVerdictBatch(p []byte) (verdictBatchFrame, error) {
+	if len(p) < batchHdrLen || p[0] != frameVerdictBatch {
+		return verdictBatchFrame{}, fmt.Errorf("netserve: malformed verdict-batch frame")
+	}
+	var f verdictBatchFrame
+	f.ID = binary.LittleEndian.Uint64(p[1:])
+	n := int(binary.LittleEndian.Uint32(p[9:]))
+	if n < 1 || n > MaxBatchJobs {
+		return verdictBatchFrame{}, fmt.Errorf("netserve: verdict-batch count %d out of range", n)
+	}
+	f.Verdicts = make([]batchVerdict, n)
+	off := batchHdrLen
+	for i := range f.Verdicts {
+		if len(p) < off+batchVerEntryLen {
+			return verdictBatchFrame{}, fmt.Errorf("netserve: verdict-batch entry %d truncated", i)
+		}
+		e := p[off:]
+		v := batchVerdict{
+			Status:  e[0],
+			Machine: int64(binary.LittleEndian.Uint64(e[1:])),
+			Start:   math.Float64frombits(binary.LittleEndian.Uint64(e[9:])),
+		}
+		m := int(binary.LittleEndian.Uint16(e[17:]))
+		off += batchVerEntryLen
+		if len(p) < off+m {
+			return verdictBatchFrame{}, fmt.Errorf("netserve: verdict-batch entry %d message truncated", i)
+		}
+		v.Msg = string(p[off : off+m])
+		off += m
+		if v.Status < statusAccept || v.Status > statusError {
+			return verdictBatchFrame{}, fmt.Errorf("netserve: verdict-batch entry %d unknown status %d", i, v.Status)
+		}
+		f.Verdicts[i] = v
+	}
+	if off != len(p) {
+		return verdictBatchFrame{}, fmt.Errorf("netserve: verdict-batch length %d does not match entries", len(p))
+	}
+	return f, nil
 }
 
 func decodeVerdict(p []byte) (verdictFrame, error) {

@@ -184,10 +184,18 @@ const (
 // are pooled; done is a 1-buffered channel so the shard's reply never
 // blocks on the caller. Under durability the shard parks the decision in
 // dec until the WAL group commits, then releases it.
+//
+// A batched submission (SubmitBatch) sets jobs/out instead of job/dec:
+// the whole sub-batch rides the shard queue as ONE channel send, the
+// shard decides the jobs one at a time in batch order, and out[i] is
+// job i's result. Batch requests are not pooled — their allocation is
+// amortized over the batch.
 type request struct {
 	job  job.Job
 	ctl  ctlOp
 	dec  online.Decision
+	jobs []job.Job     // batched submission (nil for single-job requests)
+	out  []BatchResult // per-job results for a batched submission
 	done chan response
 
 	// Span capture (nil sp unless the service has a recorder AND the
@@ -441,6 +449,161 @@ func (s *Service) SubmitSpan(j job.Job, sp *obs.Span) (online.Decision, error) {
 	return resp.dec, resp.err
 }
 
+// BatchResult is one job's outcome from SubmitBatch: a decision, or the
+// error that prevented one (ErrBackpressure, ErrClosed, a WAL failure).
+// Err == nil means the job was decided — and, under durability, that
+// its record is fsynced to the shard's commitment log.
+type BatchResult struct {
+	Dec online.Decision
+	Err error
+}
+
+// SubmitBatch submits many jobs in one call and returns per-job
+// results aligned with jobs. Batching is a transport optimization, not
+// a semantic one: each job is routed by the same deterministic policy
+// as Submit, every shard still decides its jobs one at a time in batch
+// order, and the decision stream is bit-identical to the same jobs
+// submitted individually in that order (VerifyReplay holds with
+// batching on). What batching amortizes is the handoff: each shard's
+// sub-batch is enqueued as ONE channel send, and under durability the
+// whole sub-batch shares one group-commit fsync.
+//
+// Under the Reject backpressure policy a full shard queue fails that
+// shard's sub-batch with ErrBackpressure (other sub-batches proceed);
+// after Close every job returns ErrClosed.
+func (s *Service) SubmitBatch(jobs []job.Job) []BatchResult {
+	return s.SubmitBatchSpan(jobs, nil)
+}
+
+// SubmitBatchSpan is SubmitBatch with request-lifecycle tracing: when
+// the service was built WithSpans and sp is non-nil, one clock pair per
+// sub-batch (not per job) fills the batch's stages. A batch that splits
+// across shards runs its sub-batches concurrently, so sp aggregates:
+// queue_wait and wal are the maximum across sub-batches (the wall-time
+// the batch waited), decide is the sum (the engine time the batch
+// cost), Shard is the first sub-batch's shard, and Verdict is "accept"
+// if any job was accepted, else "error" if any job failed, else
+// "reject". The span is the caller's — SubmitBatchSpan does not Finish
+// it.
+func (s *Service) SubmitBatchSpan(jobs []job.Job, sp *obs.Span) []BatchResult {
+	out := make([]BatchResult, len(jobs))
+	if len(jobs) == 0 {
+		return out
+	}
+	nsh := len(s.shards)
+	// Route per job, then group into per-shard sub-batches preserving
+	// input order — a batch that splits across shards is just N
+	// independent sub-batches.
+	subIdx := make([][]int, nsh)
+	for i, j := range jobs {
+		idx := s.policy.Route(j, nsh)
+		if idx < 0 || idx >= nsh {
+			idx = ((idx % nsh) + nsh) % nsh
+		}
+		subIdx[idx] = append(subIdx[idx], i)
+	}
+	traced := s.spans != nil && sp != nil
+	var enqNs int64
+	if traced {
+		enqNs = sp.Start + sp.Total() // derived mark, as in SubmitSpan
+	}
+
+	var reqs []*request
+	var reqIdxs [][]int
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		for i := range out {
+			out[i].Err = ErrClosed
+		}
+		return out
+	}
+	for shIdx, idxs := range subIdx {
+		if len(idxs) == 0 {
+			continue
+		}
+		sub := make([]job.Job, len(idxs))
+		for k, i := range idxs {
+			sub[k] = jobs[i]
+		}
+		req := &request{
+			jobs: sub,
+			out:  make([]BatchResult, len(idxs)),
+			done: make(chan response, 1),
+		}
+		if traced {
+			// Each sub-batch gets its own span so concurrent shard
+			// goroutines never share one; they are merged below once
+			// every sub-batch has replied.
+			req.sp = &obs.Span{Start: sp.Start}
+			req.enqNs = enqNs
+		}
+		sh := s.shards[shIdx]
+		if s.bp == Reject {
+			select {
+			case sh.in <- req:
+			default:
+				s.backpressure.Inc()
+				for _, i := range idxs {
+					out[i].Err = ErrBackpressure
+				}
+				continue
+			}
+		} else {
+			sh.in <- req
+		}
+		reqs = append(reqs, req)
+		reqIdxs = append(reqIdxs, idxs)
+	}
+	s.mu.RUnlock()
+
+	for k, req := range reqs {
+		<-req.done
+		for pos, i := range reqIdxs[k] {
+			out[i] = req.out[pos]
+		}
+	}
+	if traced {
+		var queueMax, walMax, decideSum int64
+		shard := int32(0)
+		for k, req := range reqs {
+			if k == 0 {
+				shard = req.sp.Shard
+			}
+			if q := req.sp.Stages[obs.StageQueue]; q > queueMax {
+				queueMax = q
+			}
+			if w := req.sp.Stages[obs.StageWAL]; w > walMax {
+				walMax = w
+			}
+			decideSum += req.sp.Stages[obs.StageDecide]
+		}
+		sp.Shard = shard
+		sp.Stages[obs.StageQueue] = queueMax
+		sp.Stages[obs.StageWAL] = walMax
+		sp.Stages[obs.StageDecide] = decideSum
+		sp.Verdict = batchSpanVerdict(out)
+	}
+	return out
+}
+
+// batchSpanVerdict labels a batch span: accept dominates (at least one
+// commitment was made), then error, then reject.
+func batchSpanVerdict(out []BatchResult) string {
+	anyErr := false
+	for _, r := range out {
+		if r.Err != nil {
+			anyErr = true
+		} else if r.Dec.Accepted {
+			return obs.VerdictAccept
+		}
+	}
+	if anyErr {
+		return obs.VerdictError
+	}
+	return obs.VerdictReject
+}
+
 // Checkpoint makes every shard write an atomic snapshot of its scheduler
 // state and counters, then truncate its commitment log — bounding both
 // log size and recovery time. It rides the shard queues, so it
@@ -607,6 +770,7 @@ func (sh *shard) process(batch []*request) {
 	// atomics: submitted before the verdict counters, so a concurrent
 	// Snapshot can never observe accepted+rejected > submitted.
 	publish := func() {
+		sh.jobsTotal.Add(submitted) // decisions, not drained requests: a batch request is many
 		sh.submitted.Add(submitted)
 		sh.acceptedMassBits.Store(math.Float64bits(mass))
 		sh.accepted.Add(accepted)
@@ -614,7 +778,9 @@ func (sh *shard) process(batch []*request) {
 		submitted, accepted, rejected = 0, 0, 0
 	}
 
-	// pending holds requests whose decisions await the group commit.
+	// pending holds requests whose decisions await the group commit — a
+	// parked batch request waits as one unit, so the whole batch shares
+	// the fsync with everything else in the group.
 	var pending []*request
 	flush := func() {
 		if len(pending) == 0 {
@@ -633,6 +799,20 @@ func (sh *shard) process(batch []*request) {
 		for _, r := range pending {
 			if r.sp != nil {
 				r.sp.Stages[obs.StageWAL] = committedNs - r.walNs
+			}
+			if r.jobs != nil {
+				// Batch request: a failed commit poisons every job that
+				// was awaiting it; jobs that already failed keep their
+				// original error. Results travel in r.out.
+				if err != nil {
+					for i := range r.out {
+						if r.out[i].Err == nil {
+							r.out[i] = BatchResult{Err: sh.walErr}
+						}
+					}
+				}
+				r.done <- response{}
+				continue
 			}
 			if err != nil {
 				r.done <- response{err: sh.walErr}
@@ -657,6 +837,68 @@ func (sh *shard) process(batch []*request) {
 			flush()
 			publish()
 			r.done <- response{err: sh.checkpoint()}
+			lastNs = 0
+			continue
+		}
+		if r.jobs != nil {
+			// Batched submission: decide the jobs one at a time in batch
+			// order. Batching amortizes the channel handoff (one send for
+			// the sub-batch), the WAL fsync (the batch parks as one unit
+			// in the commit group) and, under tracing, the clock reads
+			// (one pair around the whole batch instead of one per job) —
+			// it never changes a decision.
+			var batchStartNs int64
+			if r.sp != nil {
+				batchStartNs = sh.spans.Now()
+				r.sp.Shard = int32(sh.id)
+				r.sp.Stages[obs.StageQueue] = batchStartNs - r.enqNs
+			}
+			parked := false
+			for i := range r.jobs {
+				if sh.walErr != nil {
+					r.out[i] = BatchResult{Err: sh.walErr}
+					continue
+				}
+				j := r.jobs[i]
+				if clock := sh.th.Now(); j.Release < clock {
+					j.Release = clock
+				}
+				dec := sh.th.Submit(j)
+				if sh.log != nil {
+					sh.log.append(j, dec)
+				}
+				submitted++
+				if dec.Accepted {
+					accepted++
+					mass += j.Proc
+				} else {
+					rejected++
+				}
+				if sh.wal == nil {
+					r.out[i] = BatchResult{Dec: dec}
+					continue
+				}
+				seq, err := sh.wal.Append(j, dec)
+				if err != nil {
+					sh.walErr = fmt.Errorf("serve: shard %d wal: %w", sh.id, err)
+					r.out[i] = BatchResult{Err: sh.walErr}
+					continue
+				}
+				sh.walSeq.Store(seq)
+				sh.walTotal.Inc()
+				r.out[i] = BatchResult{Dec: dec}
+				parked = true
+			}
+			if r.sp != nil {
+				decidedNs := sh.spans.Now()
+				r.sp.Stages[obs.StageDecide] = decidedNs - batchStartNs
+				r.walNs = decidedNs
+			}
+			if parked {
+				pending = append(pending, r)
+			} else {
+				r.done <- response{}
+			}
 			lastNs = 0
 			continue
 		}
@@ -728,7 +970,6 @@ func (sh *shard) process(batch []*request) {
 	sh.batches.Add(1)
 	sh.outstandingBits.Store(math.Float64bits(sh.th.TotalLoad()))
 
-	sh.jobsTotal.Add(int64(len(batch)))
 	sh.batchHist.Observe(float64(len(batch)))
 	sh.queueGauge.Set(float64(len(sh.in)))
 }

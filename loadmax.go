@@ -193,8 +193,10 @@ func Simulate(s Scheduler, inst Instance, opts ...SimOption) (*Result, error) {
 // batched submission queues. Commitment on admission makes each shard's
 // decision stream bit-identical to a sequential replay through a lone
 // scheduler (VerifyReplay proves it), so sharding scales admission
-// across cores without weakening any guarantee. Construct with
-// NewShardedService; always Close when done.
+// across cores without weakening any guarantee. SubmitBatch amortizes
+// the per-job handoff (one channel send per shard sub-batch, one
+// group-commit fsync per batch) without touching those semantics.
+// Construct with NewShardedService; always Close when done.
 type ShardedService = serve.Service
 
 // ServeOption configures a ShardedService.
@@ -298,8 +300,25 @@ func Restore(dir string, opts ...ServeOption) (*ShardedService, error) {
 // Algorithmic rejection is NOT an error — a rejected job returns
 // (Decision{Accepted: false}, nil); errors (ErrShed, ErrNetTimeout,
 // *netserve.RemoteError, *netserve.TransportError) mean the job was
-// never decided.
+// never decided. For raw throughput, Client.SubmitBatch moves many
+// jobs per wire frame — one length prefix, one CRC, one shard handoff
+// per sub-batch and one group-commit fsync per batch — while the
+// engine still decides jobs one at a time in batch order, so decisions
+// stay bit-identical to per-job submission.
 type Client = netserve.Client
+
+// NetBatchResult is one job's outcome from Client.SubmitBatch, under
+// the same contract as Submit: a nil Err with Accepted=false is an
+// algorithmic rejection; Err means job i was never decided.
+type NetBatchResult = netserve.BatchResult
+
+// ServeBatchResult is one job's outcome from ShardedService.SubmitBatch
+// (the in-process batched path the network server dispatches into).
+type ServeBatchResult = serve.BatchResult
+
+// MaxBatchJobs is the wire cap on jobs per submit-batch frame; Client
+// chunks larger batches transparently.
+const MaxBatchJobs = netserve.MaxBatchJobs
 
 // DialOption configures Dial.
 type DialOption = netserve.DialOption
