@@ -4,7 +4,7 @@ GO ?= go
 # the last line that supports the go.mod Go version; bump both together.
 STATICCHECK_VERSION ?= 2024.1.1
 
-.PHONY: all build test race bench bench-submit bench-submit-smoke bench-serve bench-serve-smoke bench-recover bench-recover-smoke bench-net bench-net-smoke bench-batch bench-batch-smoke bench-trace bench-trace-smoke net-smoke obs-smoke crash-smoke fuzz-smoke verify fmt vet staticcheck experiments clean
+.PHONY: all build test race race-multicore bench bench-submit bench-submit-smoke bench-serve bench-serve-smoke bench-recover bench-recover-smoke bench-net bench-net-smoke bench-batch bench-batch-smoke bench-trace bench-trace-smoke bench-scale bench-scale-smoke net-smoke obs-smoke crash-smoke fuzz-smoke verify fmt vet staticcheck experiments clean
 
 all: build
 
@@ -16,6 +16,13 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# race-multicore re-runs the race suite with scheduler parallelism
+# forced to 4, regardless of the host's core count: striped counters,
+# the swap-drain shard queues and the pooled frame buffers only
+# interleave interestingly when goroutines actually preempt each other.
+race-multicore:
+	GOMAXPROCS=4 $(GO) test -race -count=1 ./...
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
@@ -103,6 +110,22 @@ bench-trace:
 # divergence — never on overhead numbers, which are timing.
 bench-trace-smoke:
 	$(GO) run ./cmd/bench -mode trace -quick -check -out -
+
+# bench-scale runs the multi-core scaling sweep (serve/net/batch
+# surfaces × GOMAXPROCS × shard count) and writes BENCH_scale.json; see
+# EXPERIMENTS.md §E20 for the schema. Replay verification is hardwired
+# on at every point, and the run aborts unless the untraced Submit hot
+# path measures 0 allocs/op.
+bench-scale:
+	$(GO) run ./cmd/bench -mode scale -out BENCH_scale.json
+
+# bench-scale-smoke is the CI gate for the scaling sweep: GOMAXPROCS
+# {1,2}, 1–2 shards, small n, replay verification at every point plus
+# the 0-alloc Submit gate. It fails on build errors, panics, a
+# decision-stream divergence, or an allocating hot path — never on the
+# scaling numbers, which are timing.
+bench-scale-smoke:
+	$(GO) run ./cmd/bench -mode scale -quick -out -
 
 # obs-smoke is the ops-plane gate: build loadmaxd + loadmaxctl, start a
 # traced daemon with the admin listener, scrape /metrics and /statusz

@@ -20,6 +20,12 @@
 //     shard handoff → one verdict-batch) against the per-job baseline at
 //     the same client count, and emits BENCH_batch.json (jobs/sec,
 //     p50/p99 per-batch round trip, speedup vs per-job).
+//   - scale (ISSUE 8): the multi-core scaling sweep — re-runs the
+//     serve, net and batch surfaces at GOMAXPROCS × shard count with
+//     replay verification forced at every point, gates on the untraced
+//     Submit hot path staying 0 allocs/op, and emits BENCH_scale.json
+//     (jobs/sec, speedup and scaling efficiency vs the GOMAXPROCS
+//     baseline of each surface×shards group).
 //   - trace (ISSUE 6): runs the same workload untraced and span-traced
 //     over two Submit paths — the loopback netserve RPC (headline) and
 //     the raw in-process service (adversarial microbenchmark) — and
@@ -49,6 +55,8 @@
 //	go run ./cmd/bench -mode batch -quick -check -out - # CI smoke for the batched path
 //	go run ./cmd/bench -mode trace -check               # tracing overhead → BENCH_trace.json
 //	go run ./cmd/bench -mode trace -quick -out -        # CI smoke for span tracing
+//	go run ./cmd/bench -mode scale                      # scaling sweep → BENCH_scale.json (always checked)
+//	go run ./cmd/bench -mode scale -quick -out -        # CI smoke for the scaling sweep
 package main
 
 import (
@@ -98,7 +106,7 @@ type report struct {
 
 // knownModes is the authoritative -mode list; keep it in sync with the
 // dispatch in main and the doc comment above.
-var knownModes = []string{"submit", "serve", "recover", "net", "batch", "trace"}
+var knownModes = []string{"submit", "serve", "recover", "net", "batch", "trace", "scale"}
 
 type workloadParams struct {
 	Family string  `json:"family"`
@@ -140,6 +148,12 @@ func main() {
 
 		batchJobsList = flag.String("batch-jobs", "8,32,128,512", "batch: comma-separated jobs-per-frame sizes to sweep")
 		batchPipeline = flag.Int("batch-pipeline", 16, "batch: per-client pipelining depth of the per-job baseline")
+
+		scaleProcs    = flag.String("scale-procs", "1,2,4,8", "scale: comma-separated GOMAXPROCS values to sweep (first value is the baseline)")
+		scaleShards   = flag.String("scale-shards", "1,4", "scale: comma-separated shard counts to sweep")
+		scaleClients  = flag.Int("scale-clients", 2, "scale: wire clients driving the net/batch surfaces")
+		scalePipeline = flag.Int("scale-pipeline", 8, "scale: per-client pipelining depth of the net surface")
+		scaleBatch    = flag.Int("scale-batch", 64, "scale: jobs per frame on the batch surface")
 
 		traceShards   = flag.Int("trace-shards", 4, "trace: shard count of both services")
 		traceRepeat   = flag.Int("trace-repeat", 5, "trace: instance repetitions per timed round")
@@ -236,6 +250,24 @@ func main() {
 			window: *netWindow, quick: *quick, check: *check,
 		}
 		if err := runBatch(cfg); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *mode == "scale" {
+		if *out == "" {
+			*out = "BENCH_scale.json"
+		}
+		// Replay verification is mandatory in scale mode; there is no
+		// -check knob to forget.
+		cfg := scaleConfig{
+			out: *out, procs: *scaleProcs, shards: *scaleShards,
+			n: *n, family: *family, eps: *eps, load: *load, seed: *seed,
+			machines: *serveM, queueDepth: *queueDepth, batchSize: *batchSize,
+			window: *netWindow, clients: *scaleClients, pipeline: *scalePipeline,
+			batchJobs: *scaleBatch, quick: *quick,
+		}
+		if err := runScale(cfg); err != nil {
 			fatal(err)
 		}
 		return

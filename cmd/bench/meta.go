@@ -5,6 +5,7 @@ package main
 // single new "meta" field; all pre-existing report fields are stable.
 
 import (
+	"os"
 	"os/exec"
 	"runtime"
 	"runtime/debug"
@@ -16,8 +17,12 @@ type runMeta struct {
 	GoVersion  string `json:"go_version"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
 	NumCPU     int    `json:"num_cpu"`
-	GOOS       string `json:"goos"`
-	GOARCH     string `json:"goarch"`
+	// CPUModel is the host CPU's self-reported model name (from
+	// /proc/cpuinfo on Linux; empty where unavailable). Scaling numbers
+	// are meaningless without knowing the silicon they ran on.
+	CPUModel string `json:"cpu_model,omitempty"`
+	GOOS     string `json:"goos"`
+	GOARCH   string `json:"goarch"`
 	// Commit is the repository HEAD at run time ("unknown" outside a
 	// checkout), with a "-dirty" suffix when the worktree had local
 	// modifications.
@@ -31,10 +36,29 @@ func collectMeta() runMeta {
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
+		CPUModel:   cpuModel(),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		Commit:     commitHash(),
 	}
+}
+
+// cpuModel reads the first "model name" entry from /proc/cpuinfo.
+// Best-effort: returns "" on non-Linux hosts or unreadable procfs
+// rather than failing the run.
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(line, "model name"); ok {
+			if _, val, ok := strings.Cut(rest, ":"); ok {
+				return strings.TrimSpace(val)
+			}
+		}
+	}
+	return ""
 }
 
 // commitHash resolves the source revision: VCS stamping from the build

@@ -1,0 +1,297 @@
+package main
+
+// The scale benchmark mode (ISSUE 8): the multi-core scaling sweep.
+// It re-runs the three admission surfaces — serve (in-process Submit),
+// net (per-job wire round trips), batch (batched wire frames) — across
+// GOMAXPROCS × shard count, and reports each point's throughput plus
+// its speedup and scaling efficiency against the GOMAXPROCS baseline of
+// the same (surface, shards) group:
+//
+//	speedup(P)    = jobs_per_sec(P) / jobs_per_sec(P₀)
+//	efficiency(P) = speedup(P) × P₀ / P        (1.0 = perfectly linear)
+//
+// where P₀ is the first value of the -scale-procs list (1 by default,
+// which reduces to the textbook jps(P) / (P × jps(1))).
+//
+// Replay verification is NOT optional in this mode: every sweep point
+// first runs the workload through a decision-logged service and proves
+// every shard's stream bit-identical to a sequential replay
+// (VerifyReplay), so a scaling win can never come from a behavioral
+// shortcut. The mode also measures the untraced Submit hot path with
+// testing.AllocsPerRun and refuses to emit a report unless it is
+// 0 allocs/op — the contention-free fast path is a precondition for the
+// numbers meaning anything.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"loadmax/internal/job"
+	"loadmax/internal/serve"
+	"loadmax/internal/workload"
+)
+
+type scaleConfig struct {
+	out        string
+	procs      string // comma-separated GOMAXPROCS values
+	shards     string // comma-separated shard counts
+	n          int
+	family     string
+	eps        float64
+	load       float64
+	seed       int64
+	machines   int
+	queueDepth int
+	batchSize  int
+	window     int
+	clients    int // wire clients on the net/batch surfaces
+	pipeline   int // per-client pipelining depth of the net surface
+	batchJobs  int // jobs per frame on the batch surface
+	quick      bool
+}
+
+// scalePoint is one (surface, shards, GOMAXPROCS) sweep point.
+type scalePoint struct {
+	Surface    string `json:"surface"` // serve | net | batch
+	Mode       string `json:"mode"`    // single | batch submission
+	Shards     int    `json:"shards"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	Jobs       int    `json:"jobs"`
+
+	WallSeconds float64 `json:"wall_seconds"`
+	JobsPerSec  float64 `json:"jobs_per_sec"`
+	P50Ns       float64 `json:"p50_ns"` // per-op round trip (per-frame on batch)
+	P99Ns       float64 `json:"p99_ns"`
+
+	// SpeedupVsBase is jobs/sec relative to the first -scale-procs value
+	// of the same (surface, shards) group; ScalingEfficiency normalizes
+	// that by the core ratio (1.0 = perfectly linear core scaling).
+	SpeedupVsBase      float64 `json:"speedup_vs_base_procs"`
+	ScalingEfficiency  float64 `json:"scaling_efficiency"`
+	EquivalenceChecked bool    `json:"equivalence_checked"`
+}
+
+// scaleReport is the full BENCH_scale.json document.
+type scaleReport struct {
+	Benchmark        string  `json:"benchmark"`
+	SchemaVersion    int     `json:"schema_version"`
+	Meta             runMeta `json:"meta"`
+	NumCPU           int     `json:"num_cpu"`
+	BaseProcs        int     `json:"base_procs"` // the P₀ every group is normalized to
+	MachinesPerShard int     `json:"machines_per_shard"`
+	QueueDepth       int     `json:"queue_depth"`
+	BatchSize        int     `json:"batch_size"` // serve-side drain batch
+	Window           int     `json:"window"`
+	Clients          int     `json:"clients"`
+	Pipeline         int     `json:"pipeline"`
+	BatchJobs        int     `json:"batch_jobs"`
+
+	// SubmitAllocsPerOp is the measured steady-state allocation count of
+	// an untraced in-process Submit (pooled requests, striped counters).
+	// The run aborts if this is not zero.
+	SubmitAllocsPerOp float64 `json:"submit_allocs_per_op"`
+
+	Workload workloadParams `json:"workload"`
+	Results  []scalePoint   `json:"results"`
+}
+
+func runScale(cfg scaleConfig) error {
+	if cfg.quick {
+		cfg.procs = "1,2"
+		cfg.shards = "1,2"
+		if cfg.n > 2000 {
+			cfg.n = 2000
+		}
+	}
+	fam, ok := workload.ByName(cfg.family)
+	if !ok {
+		return fmt.Errorf("unknown workload family %q", cfg.family)
+	}
+	procsValues, err := parseInts(cfg.procs)
+	if err != nil {
+		return fmt.Errorf("bad -scale-procs list: %w", err)
+	}
+	shardCounts, err := parseInts(cfg.shards)
+	if err != nil {
+		return fmt.Errorf("bad -scale-shards list: %w", err)
+	}
+
+	// Stamp before the sweep mutates GOMAXPROCS.
+	rep := scaleReport{
+		Benchmark:        "scale",
+		SchemaVersion:    1,
+		Meta:             collectMeta(),
+		NumCPU:           runtime.NumCPU(),
+		BaseProcs:        procsValues[0],
+		MachinesPerShard: cfg.machines,
+		QueueDepth:       cfg.queueDepth,
+		BatchSize:        cfg.batchSize,
+		Window:           cfg.window,
+		Clients:          cfg.clients,
+		Pipeline:         cfg.pipeline,
+		BatchJobs:        cfg.batchJobs,
+		Workload: workloadParams{
+			Family: fam.Name, N: cfg.n, Eps: cfg.eps, Load: cfg.load, Seed: cfg.seed,
+		},
+	}
+
+	// Gate: the whole point of a scaling sweep is a contention-free hot
+	// path, and a per-request allocation is the first way to lose that.
+	rep.SubmitAllocsPerOp, err = measureSubmitAllocs(cfg)
+	if err != nil {
+		return err
+	}
+	if rep.SubmitAllocsPerOp >= 1 {
+		return fmt.Errorf("untraced Submit allocates %.2f/op, want 0 — refusing to report scaling numbers off an allocating hot path",
+			rep.SubmitAllocsPerOp)
+	}
+	fmt.Printf("untraced Submit: %.2f allocs/op (gate: <1)\n", rep.SubmitAllocsPerOp)
+	if rep.NumCPU < procsValues[len(procsValues)-1] {
+		fmt.Printf("note: host has %d CPU(s); GOMAXPROCS above that measures scheduling overhead, not parallel speedup\n", rep.NumCPU)
+	}
+
+	prevProcs := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prevProcs)
+
+	fmt.Printf("%-7s %-7s %-6s %12s %12s %12s %9s %6s\n",
+		"surface", "shards", "procs", "jobs/sec", "p50 ns", "p99 ns", "speedup", "eff")
+	for _, surface := range []string{"serve", "net", "batch"} {
+		for _, shards := range shardCounts {
+			// One instance per (surface, shards) group: constant across the
+			// procs axis so speedup compares identical work. Wire surfaces
+			// size the workload to the whole cluster, matching their
+			// dedicated modes.
+			m := cfg.machines
+			if surface != "serve" {
+				m = shards * cfg.machines
+			}
+			inst := fam.Gen(workload.Spec{
+				N: cfg.n, Eps: cfg.eps, M: m, Load: cfg.load, Seed: cfg.seed,
+			})
+			base := 0.0
+			for _, procs := range procsValues {
+				runtime.GOMAXPROCS(procs)
+				pt, err := runScalePoint(cfg, inst, surface, shards, procs)
+				if err != nil {
+					runtime.GOMAXPROCS(prevProcs)
+					return err
+				}
+				if procs == procsValues[0] {
+					base = pt.JobsPerSec
+				}
+				if base > 0 {
+					pt.SpeedupVsBase = pt.JobsPerSec / base
+					pt.ScalingEfficiency = pt.SpeedupVsBase * float64(procsValues[0]) / float64(procs)
+				}
+				rep.Results = append(rep.Results, pt)
+				fmt.Printf("%-7s %-7d %-6d %12.0f %12.0f %12.0f %8.2fx %6.2f\n",
+					pt.Surface, pt.Shards, pt.GoMaxProcs, pt.JobsPerSec,
+					pt.P50Ns, pt.P99Ns, pt.SpeedupVsBase, pt.ScalingEfficiency)
+			}
+		}
+	}
+	runtime.GOMAXPROCS(prevProcs)
+
+	blob, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if cfg.out == "-" {
+		os.Stdout.Write(blob)
+		return nil
+	}
+	if err := os.WriteFile(cfg.out, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", cfg.out)
+	return nil
+}
+
+// runScalePoint measures one sweep point by delegating to the surface's
+// dedicated-mode runner with equivalence checking forced on, then
+// normalizes the result into a scalePoint.
+func runScalePoint(cfg scaleConfig, inst job.Instance, surface string, shards, procs int) (scalePoint, error) {
+	pt := scalePoint{Surface: surface, Mode: "single", Shards: shards, GoMaxProcs: procs, Jobs: len(inst)}
+	ncfg := netConfig{
+		n: cfg.n, family: cfg.family, eps: cfg.eps, load: cfg.load, seed: cfg.seed,
+		shards: shards, machines: cfg.machines,
+		queueDepth: cfg.queueDepth, batchSize: cfg.batchSize, window: cfg.window,
+		check: true,
+	}
+	switch surface {
+	case "serve":
+		scfg := serveConfig{
+			n: cfg.n, family: cfg.family, eps: cfg.eps, load: cfg.load, seed: cfg.seed,
+			machines: cfg.machines, queueDepth: cfg.queueDepth, batchSize: cfg.batchSize,
+			policy: "hash-by-id", check: true,
+		}
+		sp, err := runServePoint(scfg, inst, shards, procs)
+		if err != nil {
+			return pt, err
+		}
+		pt.WallSeconds, pt.JobsPerSec = sp.WallSeconds, sp.JobsPerSec
+		pt.P50Ns, pt.P99Ns = sp.P50SubmitNs, sp.P99SubmitNs
+		pt.EquivalenceChecked = sp.EquivalenceChecked
+	case "net":
+		np, err := runNetPoint(ncfg, inst, cfg.clients, cfg.pipeline)
+		if err != nil {
+			return pt, err
+		}
+		pt.WallSeconds, pt.JobsPerSec = np.WallSeconds, np.JobsPerSec
+		pt.P50Ns, pt.P99Ns = np.P50SubmitNs, np.P99SubmitNs
+		pt.EquivalenceChecked = np.EquivalenceChecked
+	case "batch":
+		pt.Mode = "batch"
+		bcfg := batchConfig{
+			n: cfg.n, family: cfg.family, eps: cfg.eps, load: cfg.load, seed: cfg.seed,
+			shards: shards, machines: cfg.machines,
+			queueDepth: cfg.queueDepth, batchSize: cfg.batchSize, window: cfg.window,
+			check: true,
+		}
+		bp, err := runBatchPoint(bcfg, ncfg, inst, cfg.clients, cfg.batchJobs)
+		if err != nil {
+			return pt, err
+		}
+		pt.WallSeconds, pt.JobsPerSec = bp.WallSeconds, bp.JobsPerSec
+		pt.P50Ns, pt.P99Ns = bp.P50BatchNs, bp.P99BatchNs
+		pt.EquivalenceChecked = bp.EquivalenceChecked
+	default:
+		return pt, fmt.Errorf("unknown scale surface %q", surface)
+	}
+	if !pt.EquivalenceChecked {
+		return pt, fmt.Errorf("scale point %s shards=%d procs=%d ran without replay verification", surface, shards, procs)
+	}
+	return pt, nil
+}
+
+// measureSubmitAllocs reports the steady-state allocations of an
+// untraced in-process Submit on a warm single-shard service — the same
+// guard internal/serve's TestSubmitUntracedStaysLean pins, re-measured
+// here so the report carries the number it was gated on.
+// testing.AllocsPerRun pins GOMAXPROCS to 1 for the measurement, so run
+// it before the sweep, not inside it.
+func measureSubmitAllocs(cfg scaleConfig) (float64, error) {
+	svc, err := serve.New(1, cfg.machines, cfg.eps,
+		serve.WithQueueDepth(cfg.queueDepth), serve.WithBatchSize(cfg.batchSize))
+	if err != nil {
+		return 0, err
+	}
+	defer svc.Close()
+	j := job.Job{ID: 1, Proc: 0.001, Deadline: 1e12}
+	for i := 0; i < 100; i++ { // warm the request pool and batch scratch
+		if _, err := svc.Submit(j); err != nil {
+			return 0, err
+		}
+	}
+	var submitErr error
+	allocs := testing.AllocsPerRun(500, func() {
+		if _, err := svc.Submit(j); err != nil {
+			submitErr = err
+		}
+	})
+	return allocs, submitErr
+}

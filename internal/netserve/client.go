@@ -181,7 +181,13 @@ func (c *Client) SubmitTimeout(j job.Job, timeout time.Duration) (online.Decisio
 
 	sendNs := c.cfg.spans.Now()
 	id, ch := cc.register()
-	if err := cc.send(appendSubmit(nil, submitFrame{ID: id, Job: j})); err != nil {
+	// Pooled encode scratch: send flushes through the buffered writer
+	// before returning, so the buffer is reusable the moment it does.
+	fb := getFrameBuf()
+	fb.b = appendSubmit(fb.b, submitFrame{ID: id, Job: j})
+	err := cc.send(fb.b)
+	fb.release()
+	if err != nil {
 		cc.unregister(id)
 		return online.Decision{}, err
 	}
@@ -286,7 +292,11 @@ func (c *Client) submitChunk(cc *clientConn, chunk []job.Job, timer *time.Timer)
 
 	sendNs := c.cfg.spans.Now()
 	id, ch := cc.registerBatch()
-	if err := cc.send(appendSubmitBatch(nil, submitBatchFrame{ID: id, Jobs: chunk})); err != nil {
+	fb := getFrameBuf()
+	fb.b = appendSubmitBatch(fb.b, submitBatchFrame{ID: id, Jobs: chunk})
+	err := cc.send(fb.b)
+	fb.release()
+	if err != nil {
 		cc.unregisterBatch(id)
 		return nil, err
 	}
@@ -307,6 +317,7 @@ func (c *Client) submitChunk(cc *clientConn, chunk []job.Job, timer *time.Timer)
 	}
 	c.cfg.spans.Observe(obs.StageClient, c.cfg.spans.Now()-sendNs)
 	if len(vb.Verdicts) != len(chunk) {
+		putVerdicts(vb.Verdicts)
 		return nil, &TransportError{Op: "verdict-batch", Err: fmt.Errorf("%d verdicts for %d jobs", len(vb.Verdicts), len(chunk))}
 	}
 	out := make([]BatchResult, len(chunk))
@@ -314,6 +325,9 @@ func (c *Client) submitChunk(cc *clientConn, chunk []job.Job, timer *time.Timer)
 		dec, err := mapVerdict(chunk[i], verdictFrame{Status: v.Status, Machine: v.Machine, Start: v.Start, Msg: v.Msg})
 		out[i] = BatchResult{Dec: dec, Err: err}
 	}
+	// The verdict slice came from the read loop's pool; everything the
+	// caller needs is copied into out, so it goes back now.
+	putVerdicts(vb.Verdicts)
 	return out, nil
 }
 
@@ -526,8 +540,13 @@ func (cc *clientConn) readLoop(br *bufio.Reader) {
 				ch <- v // 1-buffered: never blocks, late receivers already unregistered
 			}
 		case frameVerdictBatch:
-			vb, err := decodeVerdictBatch(payload)
+			// Decode into a pooled verdict slice. Ownership transfers
+			// with the frame: the waiter that receives vb releases the
+			// slice after mapping it; with no waiter left (timed out and
+			// unregistered), it goes back here.
+			vb, err := decodeVerdictBatchInto(payload, getVerdicts())
 			if err != nil {
+				putVerdicts(vb.Verdicts)
 				cc.fail("read", err)
 				return
 			}
@@ -537,6 +556,8 @@ func (cc *clientConn) readLoop(br *bufio.Reader) {
 			cc.pmu.Unlock()
 			if ok {
 				ch <- vb // 1-buffered, same contract as singles
+			} else {
+				putVerdicts(vb.Verdicts)
 			}
 		default:
 			cc.fail("read", fmt.Errorf("unexpected frame type %d", payload[0]))

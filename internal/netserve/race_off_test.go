@@ -1,0 +1,7 @@
+//go:build !race
+
+package netserve
+
+// raceEnabled lets allocation-guard tests skip under the race detector;
+// see race_on_test.go.
+const raceEnabled = false

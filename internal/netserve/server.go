@@ -112,6 +112,45 @@ type Server struct {
 	slowCuts      *obs.Counter
 	latHist       *obs.Histogram
 	rxFrames      *obs.Counter
+
+	// Pre-resolved members of the verdicts family: With() takes the
+	// family mutex, so the per-request paths resolve each label exactly
+	// once here instead of once per verdict.
+	vAccept *obs.Counter
+	vReject *obs.Counter
+	vShed   *obs.Counter
+	vError  *obs.Counter
+
+	connSeq atomic.Int64 // stripe-lane assignment for new connections
+}
+
+// connStripes is one connection's set of cache-line-padded counter
+// lanes, resolved once at accept time: connections hammering the shared
+// per-request counters from different cores land on different lanes
+// instead of false-sharing one cell, and the verdict-family mutex is
+// off the hot path entirely. All handles are nil-safe (no registry →
+// nil lanes).
+type connStripes struct {
+	rx       *obs.CounterStripe
+	accept   *obs.CounterStripe
+	reject   *obs.CounterStripe
+	shed     *obs.CounterStripe
+	errs     *obs.CounterStripe
+	shedTot  *obs.CounterStripe
+	inflight *obs.GaugeStripe
+}
+
+func (s *Server) newConnStripes() connStripes {
+	lane := int(s.connSeq.Add(1))
+	return connStripes{
+		rx:       s.rxFrames.Stripe(lane),
+		accept:   s.vAccept.Stripe(lane),
+		reject:   s.vReject.Stripe(lane),
+		shed:     s.vShed.Stripe(lane),
+		errs:     s.vError.Stripe(lane),
+		shedTot:  s.shedTotal.Stripe(lane),
+		inflight: s.inflightGauge.Stripe(lane),
+	}
 }
 
 // Serve listens on addr ("host:port"; ":0" picks a free port) and
@@ -153,6 +192,10 @@ func ServeListener(svc *serve.Service, ln net.Listener, opts ...ServerOption) (*
 		latHist:       cfg.reg.Histogram("netserve_request_seconds", obs.ExpBucketsRange(1e-6, 4, 12)),
 		rxFrames:      cfg.reg.Counter("netserve_rx_frames_total"),
 	}
+	s.vAccept = s.verdicts.With("accept")
+	s.vReject = s.verdicts.With("reject")
+	s.vShed = s.verdicts.With("shed")
+	s.vError = s.verdicts.With("error")
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -196,7 +239,7 @@ func (s *Server) acceptLoop() {
 			nc.Close()
 			return
 		}
-		c := &srvConn{s: s, nc: nc, resp: make(chan respEntry, s.cfg.window+16)}
+		c := &srvConn{s: s, nc: nc, resp: make(chan respEntry, s.cfg.window+16), m: s.newConnStripes()}
 		s.conns[c] = struct{}{}
 		s.wg.Add(1)
 		s.mu.Unlock()
@@ -204,14 +247,19 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-// respEntry is one verdict bound for the wire: the encoded frame plus,
-// under tracing, the request's span and the recorder-clock mark at which
-// the verdict was queued (the reply-write stage runs from that mark to
-// the flush that puts the frame on the wire).
+// respEntry is one verdict bound for the wire: the pooled buffer
+// holding the encoded frame plus, under tracing, the request's span and
+// the recorder-clock mark at which the verdict was queued (the
+// reply-write stage runs from that mark to the flush that puts the
+// frame on the wire). Ownership of fb travels with the entry: the
+// worker that encoded it hands it to the writer, and only the writer
+// releases it — after the bytes are copied into the buffered writer,
+// or on the discard path when the connection dies. The span never
+// retains frame bytes, so releasing fb cannot corrupt a trace.
 type respEntry struct {
-	buf []byte
-	sp  *obs.Span
-	ns  int64
+	fb *frameBuf
+	sp *obs.Span
+	ns int64
 }
 
 // srvConn is one client connection: a reader goroutine that dispatches
@@ -221,6 +269,7 @@ type srvConn struct {
 	s        *Server
 	nc       net.Conn
 	resp     chan respEntry // encoded verdict frames
+	m        connStripes    // this connection's counter lanes
 	inflight atomic.Int64
 	workers  sync.WaitGroup
 }
@@ -305,7 +354,7 @@ func (c *srvConn) readLoop(br *bufio.Reader) {
 			if err != nil {
 				return
 			}
-			s.rxFrames.Inc()
+			c.m.rx.Inc()
 			if !c.admit() {
 				c.shed(f.ID)
 				continue
@@ -327,7 +376,7 @@ func (c *srvConn) readLoop(br *bufio.Reader) {
 			if err != nil {
 				return
 			}
-			s.rxFrames.Inc()
+			c.m.rx.Inc()
 			if !c.admit() {
 				c.shedBatch(f.ID, len(f.Jobs))
 				continue
@@ -360,7 +409,7 @@ func (c *srvConn) admit() bool {
 		return false
 	}
 	c.inflight.Add(1)
-	s.inflightGauge.Add(1)
+	c.m.inflight.Add(1)
 	c.workers.Add(1)
 	return true
 }
@@ -370,22 +419,26 @@ func (c *srvConn) admit() bool {
 // instead of buffering unboundedly; the write timeout cuts the
 // connection if the client will not drain.
 func (c *srvConn) shed(id uint64) {
-	c.s.shedTotal.Inc()
-	c.s.verdicts.With("shed").Inc()
-	c.resp <- respEntry{buf: appendVerdict(nil, verdictFrame{ID: id, Status: statusShed})}
+	c.m.shedTot.Inc()
+	c.m.shed.Inc()
+	fb := getFrameBuf()
+	fb.b = appendVerdict(fb.b, verdictFrame{ID: id, Status: statusShed})
+	c.resp <- respEntry{fb: fb}
 }
 
 // shedBatch answers a whole batch the server refused to dispatch: one
 // verdict-batch frame with every entry shed. The shed counters advance
 // per job — a shed batch is n refused admissions, not one.
 func (c *srvConn) shedBatch(id uint64, n int) {
-	c.s.shedTotal.Add(int64(n))
-	c.s.verdicts.With("shed").Add(int64(n))
+	c.m.shedTot.Add(int64(n))
+	c.m.shed.Add(int64(n))
 	out := verdictBatchFrame{ID: id, Verdicts: make([]batchVerdict, n)}
 	for i := range out.Verdicts {
 		out.Verdicts[i].Status = statusShed
 	}
-	c.resp <- respEntry{buf: appendVerdictBatch(nil, out)}
+	fb := getFrameBuf()
+	fb.b = appendVerdictBatch(fb.b, out)
+	c.resp <- respEntry{fb: fb}
 }
 
 // serveBatch runs one batched admission through the service and posts
@@ -404,7 +457,7 @@ func (c *srvConn) serveBatch(f submitBatchFrame, sp *obs.Span) {
 	s.latHist.Observe(time.Since(start).Seconds())
 	<-s.inflight
 	c.inflight.Add(-1)
-	s.inflightGauge.Add(-1)
+	c.m.inflight.Add(-1)
 
 	out := verdictBatchFrame{ID: f.ID, Verdicts: make([]batchVerdict, len(results))}
 	for i, r := range results {
@@ -414,23 +467,25 @@ func (c *srvConn) serveBatch(f submitBatchFrame, sp *obs.Span) {
 			// The shard queue itself is full: same overload story, same
 			// retryable verdict.
 			v.Status = statusShed
-			s.shedTotal.Inc()
-			s.verdicts.With("shed").Inc()
+			c.m.shedTot.Inc()
+			c.m.shed.Inc()
 		case r.Err != nil:
 			v.Status = statusError
 			v.Msg = r.Err.Error()
-			s.verdicts.With("error").Inc()
+			c.m.errs.Inc()
 		case r.Dec.Accepted:
 			v.Status = statusAccept
 			v.Machine = int64(r.Dec.Machine)
 			v.Start = r.Dec.Start
-			s.verdicts.With("accept").Inc()
+			c.m.accept.Inc()
 		default:
 			v.Status = statusReject
-			s.verdicts.With("reject").Inc()
+			c.m.reject.Inc()
 		}
 	}
-	c.resp <- respEntry{buf: appendVerdictBatch(nil, out), sp: sp, ns: s.cfg.spans.Now()}
+	fb := getFrameBuf()
+	fb.b = appendVerdictBatch(fb.b, out)
+	c.resp <- respEntry{fb: fb, sp: sp, ns: s.cfg.spans.Now()}
 }
 
 // serveRequest runs one admission through the service and posts the
@@ -448,7 +503,7 @@ func (c *srvConn) serveRequest(f submitFrame, sp *obs.Span) {
 	s.latHist.Observe(time.Since(start).Seconds())
 	<-s.inflight
 	c.inflight.Add(-1)
-	s.inflightGauge.Add(-1)
+	c.m.inflight.Add(-1)
 
 	v := verdictFrame{ID: f.ID}
 	switch {
@@ -456,15 +511,15 @@ func (c *srvConn) serveRequest(f submitFrame, sp *obs.Span) {
 		// The shard queue itself is full: same overload story, same
 		// retryable verdict.
 		v.Status = statusShed
-		s.shedTotal.Inc()
-		s.verdicts.With("shed").Inc()
+		c.m.shedTot.Inc()
+		c.m.shed.Inc()
 		if sp != nil {
 			sp.Verdict = obs.VerdictShed
 		}
 	case err != nil:
 		v.Status = statusError
 		v.Msg = err.Error()
-		s.verdicts.With("error").Inc()
+		c.m.errs.Inc()
 		if sp != nil {
 			sp.Verdict = obs.VerdictError
 		}
@@ -472,12 +527,14 @@ func (c *srvConn) serveRequest(f submitFrame, sp *obs.Span) {
 		v.Status = statusAccept
 		v.Machine = int64(dec.Machine)
 		v.Start = dec.Start
-		s.verdicts.With("accept").Inc()
+		c.m.accept.Inc()
 	default:
 		v.Status = statusReject
-		s.verdicts.With("reject").Inc()
+		c.m.reject.Inc()
 	}
-	c.resp <- respEntry{buf: appendVerdict(nil, v), sp: sp, ns: s.cfg.spans.Now()}
+	fb := getFrameBuf()
+	fb.b = appendVerdict(fb.b, v)
+	c.resp <- respEntry{fb: fb, sp: sp, ns: s.cfg.spans.Now()}
 }
 
 // writeLoop batches verdicts onto the wire: it blocks for one frame,
@@ -496,8 +553,11 @@ func (c *srvConn) writeLoop(done chan struct{}) {
 			c.s.slowCuts.Inc()
 		}
 		c.nc.Close() // unblocks the reader; workers still drain into resp
-		for range c.resp {
-			// Discard until the conn goroutine closes the channel.
+		for e := range c.resp {
+			// Discard until the conn goroutine closes the channel; the
+			// pooled buffers still go back — losing a frame must not
+			// leak its scratch.
+			e.fb.release()
 		}
 	}
 	// pending collects the spans of the frames coalesced into the current
@@ -507,7 +567,11 @@ func (c *srvConn) writeLoop(done chan struct{}) {
 	var pending []respEntry
 	for e := range c.resp {
 		c.nc.SetWriteDeadline(time.Now().Add(c.s.cfg.writeTimeout))
-		if _, err := bw.Write(e.buf); err != nil {
+		// bufio.Writer copies on Write, so the pooled buffer is free the
+		// moment Write returns — no need to hold it across the flush.
+		_, err := bw.Write(e.fb.b)
+		e.fb.release()
+		if err != nil {
 			fail(err)
 			return
 		}
@@ -521,7 +585,9 @@ func (c *srvConn) writeLoop(done chan struct{}) {
 				if !ok {
 					break coalesce
 				}
-				if _, err := bw.Write(more.buf); err != nil {
+				_, err := bw.Write(more.fb.b)
+				more.fb.release()
+				if err != nil {
 					fail(err)
 					return
 				}

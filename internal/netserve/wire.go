@@ -60,6 +60,7 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
+	"sync"
 
 	"loadmax/internal/job"
 )
@@ -146,13 +147,97 @@ type verdictFrame struct {
 }
 
 // appendFrame wraps payload in the length+CRC header and appends the
-// whole frame to dst.
+// whole frame to dst. It suits small fixed-size frames whose payload
+// already lives in a stack array; variable-size encoders build their
+// payload directly in dst via beginFrame/sealFrame instead, so no
+// intermediate payload slice is ever allocated.
 func appendFrame(dst, payload []byte) []byte {
 	var h [wireHeaderLen]byte
 	binary.LittleEndian.PutUint32(h[0:], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(h[4:], crc32.Checksum(payload, wireCRC))
 	dst = append(dst, h[:]...)
 	return append(dst, payload...)
+}
+
+// beginFrame reserves the 8-byte frame header at the end of dst and
+// returns its offset. The caller appends the payload bytes directly to
+// dst and then calls sealFrame with the same offset — encode-in-place,
+// one buffer, zero intermediate allocations.
+func beginFrame(dst []byte) ([]byte, int) {
+	off := len(dst)
+	var h [wireHeaderLen]byte
+	return append(dst, h[:]...), off
+}
+
+// sealFrame backfills the length and CRC of everything appended after
+// beginFrame's reservation at off.
+func sealFrame(dst []byte, off int) []byte {
+	payload := dst[off+wireHeaderLen:]
+	binary.LittleEndian.PutUint32(dst[off:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(dst[off+4:], crc32.Checksum(payload, wireCRC))
+	return dst
+}
+
+// frameBuf is a pooled frame-encode scratch buffer for the reply and
+// request hot paths, where per-frame `make([]byte)` churn used to
+// dominate allocation profiles.
+//
+// Ownership rules (the whole contract, enforced by review and the
+// 0-alloc guards in wire_bench_test.go):
+//
+//  1. Whoever gets a frameBuf owns it exclusively and encodes into b.
+//  2. Ownership travels WITH the encoded bytes — e.g. from a worker
+//     through the response queue to the connection writer.
+//  3. The final writer releases the buffer only after the bytes are
+//     handed to the socket/bufio layer (bufio.Writer copies on Write,
+//     so release-after-write is safe even before the flush lands).
+//  4. Nothing long-lived may retain b or a sub-slice of it — spans,
+//     logs, and error values must copy what they need. A released
+//     buffer is re-filled by an unrelated frame.
+type frameBuf struct{ b []byte }
+
+var framePool = sync.Pool{
+	New: func() any { return &frameBuf{b: make([]byte, 0, 512)} },
+}
+
+// getFrameBuf hands out an empty pooled buffer.
+func getFrameBuf() *frameBuf { return framePool.Get().(*frameBuf) }
+
+// release returns the buffer to the pool; the caller must not touch fb
+// afterwards. Nil-safe so error paths can release unconditionally.
+func (fb *frameBuf) release() {
+	if fb == nil {
+		return
+	}
+	fb.b = fb.b[:0]
+	framePool.Put(fb)
+}
+
+// verdictSlices pools the client's verdict-batch decode slices at full
+// MaxBatchJobs capacity, so decodeVerdictBatchInto never reallocates in
+// steady state. The pool stores array pointers rather than boxed
+// slices: putting a pointer into a sync.Pool is allocation-free, where
+// re-boxing a slice header would cost one alloc per release. Same
+// ownership discipline as frameBuf: the slice travels with the decoded
+// frame, and whoever consumes the frame returns it via putVerdicts.
+var verdictSlices = sync.Pool{
+	New: func() any { return new([MaxBatchJobs]batchVerdict) },
+}
+
+func getVerdicts() []batchVerdict {
+	return verdictSlices.Get().(*[MaxBatchJobs]batchVerdict)[:0]
+}
+
+// putVerdicts returns a verdict slice to the pool, clearing it first so
+// pooled entries don't pin Msg strings. Slices that did not come from
+// the pool (including nil — error paths release blindly) are dropped
+// for the GC.
+func putVerdicts(s []batchVerdict) {
+	if cap(s) != MaxBatchJobs {
+		return
+	}
+	clear(s[:cap(s)])
+	verdictSlices.Put((*[MaxBatchJobs]batchVerdict)(s[:MaxBatchJobs]))
 }
 
 // readFrame reads one frame and returns its verified payload. The
@@ -226,6 +311,10 @@ func decodeHelloAck(p []byte) (helloAck, error) {
 }
 
 func appendSubmit(dst []byte, f submitFrame) []byte {
+	// Seal-frame style even though the payload is fixed-size: routing the
+	// stack array through appendFrame makes it escape into the checksum
+	// call, costing one alloc on the client's per-request send path.
+	dst, off := beginFrame(dst)
 	var p [submitLen]byte
 	p[0] = frameSubmit
 	binary.LittleEndian.PutUint64(p[1:], f.ID)
@@ -233,7 +322,8 @@ func appendSubmit(dst []byte, f submitFrame) []byte {
 	binary.LittleEndian.PutUint64(p[17:], math.Float64bits(f.Job.Release))
 	binary.LittleEndian.PutUint64(p[25:], math.Float64bits(f.Job.Proc))
 	binary.LittleEndian.PutUint64(p[33:], math.Float64bits(f.Job.Deadline))
-	return appendFrame(dst, p[:])
+	dst = append(dst, p[:]...)
+	return sealFrame(dst, off)
 }
 
 func decodeSubmit(p []byte) (submitFrame, error) {
@@ -254,15 +344,17 @@ func appendVerdict(dst []byte, f verdictFrame) []byte {
 	if len(msg) > maxMsgLen {
 		msg = msg[:maxMsgLen]
 	}
-	p := make([]byte, verdictMin, verdictMin+len(msg))
+	dst, off := beginFrame(dst)
+	var p [verdictMin]byte
 	p[0] = frameVerdict
 	binary.LittleEndian.PutUint64(p[1:], f.ID)
 	p[9] = f.Status
 	binary.LittleEndian.PutUint64(p[10:], uint64(f.Machine))
 	binary.LittleEndian.PutUint64(p[18:], math.Float64bits(f.Start))
 	binary.LittleEndian.PutUint16(p[26:], uint16(len(msg)))
-	p = append(p, msg...)
-	return appendFrame(dst, p)
+	dst = append(dst, p[:]...)
+	dst = append(dst, msg...)
+	return sealFrame(dst, off)
 }
 
 // submitBatchFrame is one batched admission request: N jobs sharing a
@@ -292,19 +384,21 @@ type batchVerdict struct {
 }
 
 func appendSubmitBatch(dst []byte, f submitBatchFrame) []byte {
-	p := make([]byte, batchHdrLen, batchHdrLen+len(f.Jobs)*batchSubEntryLen)
-	p[0] = frameSubmitBatch
-	binary.LittleEndian.PutUint64(p[1:], f.ID)
-	binary.LittleEndian.PutUint32(p[9:], uint32(len(f.Jobs)))
+	dst, off := beginFrame(dst)
+	var h [batchHdrLen]byte
+	h[0] = frameSubmitBatch
+	binary.LittleEndian.PutUint64(h[1:], f.ID)
+	binary.LittleEndian.PutUint32(h[9:], uint32(len(f.Jobs)))
+	dst = append(dst, h[:]...)
 	var e [batchSubEntryLen]byte
 	for _, j := range f.Jobs {
 		binary.LittleEndian.PutUint64(e[0:], uint64(int64(j.ID)))
 		binary.LittleEndian.PutUint64(e[8:], math.Float64bits(j.Release))
 		binary.LittleEndian.PutUint64(e[16:], math.Float64bits(j.Proc))
 		binary.LittleEndian.PutUint64(e[24:], math.Float64bits(j.Deadline))
-		p = append(p, e[:]...)
+		dst = append(dst, e[:]...)
 	}
-	return appendFrame(dst, p)
+	return sealFrame(dst, off)
 }
 
 func decodeSubmitBatch(p []byte) (submitBatchFrame, error) {
@@ -334,10 +428,12 @@ func decodeSubmitBatch(p []byte) (submitBatchFrame, error) {
 }
 
 func appendVerdictBatch(dst []byte, f verdictBatchFrame) []byte {
-	p := make([]byte, batchHdrLen, batchHdrLen+len(f.Verdicts)*batchVerEntryLen)
-	p[0] = frameVerdictBatch
-	binary.LittleEndian.PutUint64(p[1:], f.ID)
-	binary.LittleEndian.PutUint32(p[9:], uint32(len(f.Verdicts)))
+	dst, off := beginFrame(dst)
+	var h [batchHdrLen]byte
+	h[0] = frameVerdictBatch
+	binary.LittleEndian.PutUint64(h[1:], f.ID)
+	binary.LittleEndian.PutUint32(h[9:], uint32(len(f.Verdicts)))
+	dst = append(dst, h[:]...)
 	var e [batchVerEntryLen]byte
 	for _, v := range f.Verdicts {
 		msg := v.Msg
@@ -348,13 +444,22 @@ func appendVerdictBatch(dst []byte, f verdictBatchFrame) []byte {
 		binary.LittleEndian.PutUint64(e[1:], uint64(v.Machine))
 		binary.LittleEndian.PutUint64(e[9:], math.Float64bits(v.Start))
 		binary.LittleEndian.PutUint16(e[17:], uint16(len(msg)))
-		p = append(p, e[:]...)
-		p = append(p, msg...)
+		dst = append(dst, e[:]...)
+		dst = append(dst, msg...)
 	}
-	return appendFrame(dst, p)
+	return sealFrame(dst, off)
 }
 
 func decodeVerdictBatch(p []byte) (verdictBatchFrame, error) {
+	return decodeVerdictBatchInto(p, nil)
+}
+
+// decodeVerdictBatchInto decodes a verdict batch reusing scratch as the
+// verdict slice when it has the capacity — the client's read loop feeds
+// it pooled slices so steady-state batch decode allocates only the Msg
+// strings (none on the happy path). Passing nil scratch allocates, and
+// is exactly decodeVerdictBatch.
+func decodeVerdictBatchInto(p []byte, scratch []batchVerdict) (verdictBatchFrame, error) {
 	if len(p) < batchHdrLen || p[0] != frameVerdictBatch {
 		return verdictBatchFrame{}, fmt.Errorf("netserve: malformed verdict-batch frame")
 	}
@@ -364,7 +469,11 @@ func decodeVerdictBatch(p []byte) (verdictBatchFrame, error) {
 	if n < 1 || n > MaxBatchJobs {
 		return verdictBatchFrame{}, fmt.Errorf("netserve: verdict-batch count %d out of range", n)
 	}
-	f.Verdicts = make([]batchVerdict, n)
+	if cap(scratch) >= n {
+		f.Verdicts = scratch[:n]
+	} else {
+		f.Verdicts = make([]batchVerdict, n)
+	}
 	off := batchHdrLen
 	for i := range f.Verdicts {
 		if len(p) < off+batchVerEntryLen {

@@ -26,8 +26,51 @@ import (
 	"sync/atomic"
 )
 
+// NumStripes is the lane count of a striped Counter or Gauge: a fixed
+// power of two so Stripe can mask instead of mod. 16 padded lanes cost
+// 1 KiB per striped metric — only metrics that actually call Stripe pay
+// it — and cover the shard/connection counts this repository runs at;
+// wider topologies share lanes, which stays correct (merges are sums)
+// and still splits the traffic 16 ways.
+const NumStripes = 16
+
+// stripePad rounds an 8-byte atomic up to a 64-byte cache line so
+// adjacent lanes never share one — the whole point of striping: two
+// cores incrementing neighboring lanes must not ping-pong a line.
+const stripePad = 64 - 8
+
+// CounterStripe is one cache-line-padded lane of a striped Counter.
+// Ownership rule: a hot-path writer (a shard goroutine, a connection)
+// obtains its lane once via Counter.Stripe and increments only that
+// lane; merging happens at read time (Value/Snapshot), never on the
+// write path. All methods are nil-safe so disabled observability stays
+// guard-free.
+type CounterStripe struct {
+	v atomic.Int64
+	_ [stripePad]byte
+}
+
+// Inc adds 1 to this lane. No-op on a nil receiver.
+func (s *CounterStripe) Inc() { s.Add(1) }
+
+// Add adds n to this lane. No-op on a nil receiver.
+func (s *CounterStripe) Add(n int64) {
+	if s == nil {
+		return
+	}
+	s.v.Add(n)
+}
+
 // Counter is a monotonically increasing int64, safe for concurrent use.
-type Counter struct{ v atomic.Int64 }
+// Inc/Add hit a single base cell — the right call for cold or
+// single-writer paths. Hot paths shared across cores call Stripe once
+// per writer and increment their own padded lane; Value (and therefore
+// Snapshot and the Prometheus exposition) merges base plus lanes, so
+// striping is invisible to every reader.
+type Counter struct {
+	v     atomic.Int64
+	lanes atomic.Pointer[[NumStripes]CounterStripe]
+}
 
 // Inc adds 1. No-op on a nil receiver.
 func (c *Counter) Inc() { c.Add(1) }
@@ -40,19 +83,74 @@ func (c *Counter) Add(n int64) {
 	c.v.Add(n)
 }
 
-// Value returns the current count (0 for a nil receiver).
+// Stripe returns lane i&(NumStripes-1), allocating the padded lane
+// block on first use. Callers hold the returned handle for the life of
+// their hot loop — one atomic load per Stripe call is cheap, but the
+// point of striping is to resolve the lane once, not per increment.
+// Nil-safe: a nil counter returns a nil stripe.
+func (c *Counter) Stripe(i int) *CounterStripe {
+	if c == nil {
+		return nil
+	}
+	lp := c.lanes.Load()
+	if lp == nil {
+		lp = new([NumStripes]CounterStripe)
+		if !c.lanes.CompareAndSwap(nil, lp) {
+			lp = c.lanes.Load()
+		}
+	}
+	return &lp[uint(i)%NumStripes]
+}
+
+// Value returns the current count (0 for a nil receiver): the base cell
+// plus every stripe, loaded lock-free. After writers quiesce the merge
+// is exact — no update is ever lost to striping.
 func (c *Counter) Value() int64 {
 	if c == nil {
 		return 0
 	}
-	return c.v.Load()
+	total := c.v.Load()
+	if lp := c.lanes.Load(); lp != nil {
+		for i := range lp {
+			total += lp[i].v.Load()
+		}
+	}
+	return total
+}
+
+// GaugeStripe is one cache-line-padded lane of a striped Gauge. Lanes
+// accumulate deltas only (Add); Set stays on the gauge's base cell. A
+// gauge that mixes Set with striped Adds is unsupported — use stripes
+// for pure up/down accounting (in-flight counts), Set for levels.
+type GaugeStripe struct {
+	bits atomic.Uint64 // float64 bits of this lane's accumulated delta
+	_    [stripePad]byte
+}
+
+// Add adds v to this lane's delta. No-op on a nil receiver.
+func (s *GaugeStripe) Add(v float64) {
+	if s == nil {
+		return
+	}
+	for {
+		old := s.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if s.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
 }
 
 // Gauge is a float64 that can move in both directions, safe for
-// concurrent use.
-type Gauge struct{ bits atomic.Uint64 }
+// concurrent use. Like Counter, hot shared paths stripe their Adds;
+// Value merges base plus lane deltas.
+type Gauge struct {
+	bits  atomic.Uint64
+	lanes atomic.Pointer[[NumStripes]GaugeStripe]
+}
 
-// Set stores v. No-op on a nil receiver.
+// Set stores v into the base cell. No-op on a nil receiver. See
+// GaugeStripe for why Set never touches lanes.
 func (g *Gauge) Set(v float64) {
 	if g == nil {
 		return
@@ -60,7 +158,7 @@ func (g *Gauge) Set(v float64) {
 	g.bits.Store(math.Float64bits(v))
 }
 
-// Add adds v atomically. No-op on a nil receiver.
+// Add adds v atomically to the base cell. No-op on a nil receiver.
 func (g *Gauge) Add(v float64) {
 	if g == nil {
 		return
@@ -74,12 +172,35 @@ func (g *Gauge) Add(v float64) {
 	}
 }
 
-// Value returns the current value (0 for a nil receiver).
+// Stripe returns lane i&(NumStripes-1), allocating the lane block on
+// first use. Nil-safe: a nil gauge returns a nil stripe.
+func (g *Gauge) Stripe(i int) *GaugeStripe {
+	if g == nil {
+		return nil
+	}
+	lp := g.lanes.Load()
+	if lp == nil {
+		lp = new([NumStripes]GaugeStripe)
+		if !g.lanes.CompareAndSwap(nil, lp) {
+			lp = g.lanes.Load()
+		}
+	}
+	return &lp[uint(i)%NumStripes]
+}
+
+// Value returns the current value (0 for a nil receiver): the base cell
+// plus every lane's accumulated delta.
 func (g *Gauge) Value() float64 {
 	if g == nil {
 		return 0
 	}
-	return math.Float64frombits(g.bits.Load())
+	total := math.Float64frombits(g.bits.Load())
+	if lp := g.lanes.Load(); lp != nil {
+		for i := range lp {
+			total += math.Float64frombits(lp[i].bits.Load())
+		}
+	}
+	return total
 }
 
 // Histogram counts observations into fixed buckets. Bounds are upper
@@ -388,6 +509,14 @@ func labeledKey(name, label, value string) string {
 
 // Snapshot copies the current state of every metric. Nil-safe: a nil
 // registry yields an empty snapshot.
+//
+// The registry mutex is held only long enough to collect metric
+// pointers — never while reading values, merging stripes, walking
+// histogram buckets, or formatting labeled keys. A scrape therefore
+// stalls a hot path only for the microseconds of a few map walks, no
+// matter how many buckets and label values it renders afterwards;
+// metrics live for the registry's lifetime (Reset drops the maps, not
+// the objects), so reading them after unlock is safe.
 func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{
 		Counters:   map[string]int64{},
@@ -397,30 +526,79 @@ func (r *Registry) Snapshot() Snapshot {
 	if r == nil {
 		return s
 	}
+	type namedCounter struct {
+		name string
+		c    *Counter
+	}
+	type namedGauge struct {
+		name string
+		g    *Gauge
+	}
+	type namedHist struct {
+		name string
+		h    *Histogram
+	}
+	type namedCVec struct {
+		name string
+		v    *CounterVec
+	}
+	type namedGVec struct {
+		name string
+		v    *GaugeVec
+	}
+	type namedHVec struct {
+		name string
+		v    *HistogramVec
+	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
+	counters := make([]namedCounter, 0, len(r.counters))
 	for name, c := range r.counters {
-		s.Counters[name] = c.Value()
+		counters = append(counters, namedCounter{name, c})
 	}
+	gauges := make([]namedGauge, 0, len(r.gauges))
 	for name, g := range r.gauges {
-		s.Gauges[name] = g.Value()
+		gauges = append(gauges, namedGauge{name, g})
 	}
+	hists := make([]namedHist, 0, len(r.hists))
 	for name, h := range r.hists {
-		s.Histograms[name] = h.snapshot()
+		hists = append(hists, namedHist{name, h})
 	}
+	cvecs := make([]namedCVec, 0, len(r.cvecs))
 	for name, v := range r.cvecs {
-		for _, lv := range v.labels() {
-			s.Counters[labeledKey(name, v.label, lv)] = v.With(lv).Value()
-		}
+		cvecs = append(cvecs, namedCVec{name, v})
 	}
+	gvecs := make([]namedGVec, 0, len(r.gvecs))
 	for name, v := range r.gvecs {
-		for _, lv := range v.labels() {
-			s.Gauges[labeledKey(name, v.label, lv)] = v.With(lv).Value()
+		gvecs = append(gvecs, namedGVec{name, v})
+	}
+	hvecs := make([]namedHVec, 0, len(r.hvecs))
+	for name, v := range r.hvecs {
+		hvecs = append(hvecs, namedHVec{name, v})
+	}
+	r.mu.Unlock()
+
+	for _, nc := range counters {
+		s.Counters[nc.name] = nc.c.Value()
+	}
+	for _, ng := range gauges {
+		s.Gauges[ng.name] = ng.g.Value()
+	}
+	for _, nh := range hists {
+		s.Histograms[nh.name] = nh.h.snapshot()
+	}
+	for _, nv := range cvecs {
+		for _, lv := range nv.v.labels() {
+			s.Counters[labeledKey(nv.name, nv.v.label, lv)] = nv.v.With(lv).Value()
 		}
 	}
-	for name, v := range r.hvecs {
-		for _, lv := range v.labels() {
-			s.Histograms[labeledKey(name, v.label, lv)] = v.With(lv).snapshot()
+	for _, nv := range gvecs {
+		for _, lv := range nv.v.labels() {
+			s.Gauges[labeledKey(nv.name, nv.v.label, lv)] = nv.v.With(lv).Value()
+		}
+	}
+	for _, nv := range hvecs {
+		for _, lv := range nv.v.labels() {
+			s.Histograms[labeledKey(nv.name, nv.v.label, lv)] = nv.v.With(lv).snapshot()
 		}
 	}
 	return s

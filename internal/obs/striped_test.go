@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestCounterStripeExactMerge hammers every lane from its own goroutine
+// (run under -race) while the base cell takes traffic too, then checks
+// the merge is exact: striping must never lose or double-count an
+// update.
+func TestCounterStripeExactMerge(t *testing.T) {
+	const writers = 8
+	const perWriter = 10_000
+
+	c := &Counter{}
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lane := c.Stripe(w)
+			for i := 0; i < perWriter; i++ {
+				if i%2 == 0 {
+					lane.Inc()
+				} else {
+					lane.Add(1)
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < perWriter; i++ {
+		c.Inc() // base cell concurrently with lanes
+	}
+	wg.Wait()
+
+	want := int64((writers + 1) * perWriter)
+	if got := c.Value(); got != want {
+		t.Fatalf("Counter.Value() = %d, want %d", got, want)
+	}
+}
+
+// TestGaugeStripeExactMerge mirrors the counter test for gauges: lane
+// deltas in both directions plus base Adds must merge exactly (all
+// deltas are small integers, so float64 addition is exact).
+func TestGaugeStripeExactMerge(t *testing.T) {
+	const writers = 8
+	const perWriter = 5_000
+
+	g := &Gauge{}
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lane := g.Stripe(w)
+			for i := 0; i < perWriter; i++ {
+				lane.Add(2)
+				lane.Add(-1)
+			}
+		}(w)
+	}
+	for i := 0; i < perWriter; i++ {
+		g.Add(1)
+	}
+	wg.Wait()
+
+	want := float64((writers + 1) * perWriter)
+	if got := g.Value(); got != want {
+		t.Fatalf("Gauge.Value() = %v, want %v", got, want)
+	}
+}
+
+// TestStripeLaneAliasing pins the masking contract: indices NumStripes
+// apart share a lane (callers never need to bounds-check their index),
+// negative-ish large indices stay in range, and aliased writers still
+// merge exactly.
+func TestStripeLaneAliasing(t *testing.T) {
+	c := &Counter{}
+	if c.Stripe(3) != c.Stripe(3+NumStripes) {
+		t.Fatal("Stripe(i) and Stripe(i+NumStripes) should alias the same lane")
+	}
+	c.Stripe(1).Add(5)
+	c.Stripe(1 + NumStripes).Add(7)
+	c.Stripe(1 + 2*NumStripes).Add(1)
+	if got := c.Value(); got != 13 {
+		t.Fatalf("aliased lanes merged to %d, want 13", got)
+	}
+
+	g := &Gauge{}
+	if g.Stripe(0) != g.Stripe(NumStripes) {
+		t.Fatal("Gauge.Stripe(i) and Stripe(i+NumStripes) should alias the same lane")
+	}
+}
+
+// TestStripeNilSafe extends the package's nil-safety contract to the
+// striped API: nil metrics hand out nil stripes and nil stripes absorb
+// writes, so disabled observability needs no call-site guards.
+func TestStripeNilSafe(t *testing.T) {
+	var c *Counter
+	lane := c.Stripe(4)
+	if lane != nil {
+		t.Fatal("nil Counter should return a nil stripe")
+	}
+	lane.Inc()
+	lane.Add(10)
+
+	var g *Gauge
+	glane := g.Stripe(4)
+	if glane != nil {
+		t.Fatal("nil Gauge should return a nil stripe")
+	}
+	glane.Add(1.5)
+
+	if c.Value() != 0 || g.Value() != 0 {
+		t.Fatal("nil metrics should read zero")
+	}
+}
+
+// TestStripedCounterInvisibleInSnapshot checks the registry sees one
+// merged value per metric regardless of how writes were split across
+// base and lanes — the byte-identical-exposition guarantee rests on
+// this.
+func TestStripedCounterInvisibleInSnapshot(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("striped_total")
+	c.Add(100)
+	c.Stripe(0).Add(10)
+	c.Stripe(5).Add(1)
+	g := r.Gauge("striped_level")
+	g.Add(2)
+	g.Stripe(3).Add(0.5)
+
+	s := r.Snapshot()
+	if got := s.Counters["striped_total"]; got != 111 {
+		t.Fatalf("snapshot counter = %d, want 111", got)
+	}
+	if got := s.Gauges["striped_level"]; got != 2.5 {
+		t.Fatalf("snapshot gauge = %v, want 2.5", got)
+	}
+}
+
+// TestSnapshotDuringStripedTraffic interleaves Snapshot with striped
+// writers under -race: snapshots must be safe and monotone, and the
+// final merge exact once writers quiesce.
+func TestSnapshotDuringStripedTraffic(t *testing.T) {
+	const writers = 4
+	const perWriter = 20_000
+
+	r := NewRegistry()
+	c := r.Counter("traffic_total")
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lane := c.Stripe(w)
+			for i := 0; i < perWriter; i++ {
+				lane.Inc()
+			}
+		}(w)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var last int64
+		for i := 0; i < 200; i++ {
+			got := r.Snapshot().Counters["traffic_total"]
+			if got < last {
+				t.Errorf("snapshot went backwards: %d after %d", got, last)
+				return
+			}
+			last = got
+		}
+	}()
+
+	wg.Wait()
+	<-done
+	if got := c.Value(); got != writers*perWriter {
+		t.Fatalf("final merge = %d, want %d", got, writers*perWriter)
+	}
+}
+
+// TestStripeAddZeroAllocs is the hot-path guard: once a writer holds
+// its lane, Inc/Add must never allocate. Stripe itself is also
+// allocation-free after the lane block exists.
+func TestStripeAddZeroAllocs(t *testing.T) {
+	c := &Counter{}
+	lane := c.Stripe(2)
+	if n := testing.AllocsPerRun(1000, func() {
+		lane.Inc()
+		lane.Add(3)
+	}); n != 0 {
+		t.Fatalf("CounterStripe Add/Inc allocates %.1f allocs/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Stripe(7).Add(1)
+	}); n != 0 {
+		t.Fatalf("Counter.Stripe resolve+Add allocates %.1f allocs/op, want 0", n)
+	}
+
+	g := &Gauge{}
+	glane := g.Stripe(2)
+	if n := testing.AllocsPerRun(1000, func() {
+		glane.Add(1)
+	}); n != 0 {
+		t.Fatalf("GaugeStripe.Add allocates %.1f allocs/op, want 0", n)
+	}
+}
+
+// BenchmarkCounterAddParallel is the contention baseline: every
+// goroutine hits the same base cell.
+func BenchmarkCounterAddParallel(b *testing.B) {
+	c := &Counter{}
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Add(1)
+		}
+	})
+	b.ReportAllocs()
+}
+
+// BenchmarkCounterStripeAddParallel is the striped hot path: each
+// goroutine owns one padded lane, resolved once outside the loop.
+func BenchmarkCounterStripeAddParallel(b *testing.B) {
+	c := &Counter{}
+	var next atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		lane := c.Stripe(int(next.Add(1)))
+		for pb.Next() {
+			lane.Add(1)
+		}
+	})
+	b.ReportAllocs()
+}

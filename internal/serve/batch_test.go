@@ -194,7 +194,7 @@ func TestSubmitBatchBackpressure(t *testing.T) {
 	go svc.Submit(job.Job{ID: 2, Proc: 1, Deadline: 100})
 	for {
 		svc.mu.RLock()
-		depth := len(svc.shards[0].in)
+		depth := svc.shards[0].q.Len()
 		svc.mu.RUnlock()
 		if depth == 1 {
 			break

@@ -1,0 +1,117 @@
+package serve
+
+import "sync"
+
+// reqQueue is the bounded MPSC submission queue feeding one shard: many
+// producers (Submit callers) append under a mutex, ONE consumer (the
+// shard goroutine) takes everything queued in a single swap-drain per
+// wakeup. Compared to the buffered channel it replaces, a drain costs
+// one lock round-trip for the whole backlog instead of one channel
+// receive per request, so the per-job synchronization overhead
+// amortizes toward zero as load rises — exactly when it matters.
+//
+// Ordering contract: push order IS drain order. Producers append under
+// the lock and the consumer copies the buffer out in index order, so
+// jobs reach the shard in queue-arrival order, same as the channel did
+// (the decision stream stays bit-identical; VerifyReplay holds).
+//
+// Liveness mirrors the channel semantics Close depends on: a push
+// blocked on a full queue is always eventually admitted because the
+// consumer keeps draining until close(), and close() happens only
+// under the service write lock, which waits out every in-flight push.
+type reqQueue struct {
+	mu       sync.Mutex
+	notEmpty sync.Cond
+	notFull  sync.Cond
+	buf      []*request
+	capacity int
+	closed   bool
+}
+
+func newReqQueue(capacity int) *reqQueue {
+	q := &reqQueue{
+		buf:      make([]*request, 0, capacity),
+		capacity: capacity,
+	}
+	q.notEmpty.L = &q.mu
+	q.notFull.L = &q.mu
+	return q
+}
+
+// push appends r, blocking while the queue is full. It returns false
+// if the queue was closed (r was not enqueued).
+func (q *reqQueue) push(r *request) bool {
+	q.mu.Lock()
+	for len(q.buf) >= q.capacity && !q.closed {
+		q.notFull.Wait()
+	}
+	if q.closed {
+		q.mu.Unlock()
+		return false
+	}
+	q.buf = append(q.buf, r)
+	q.mu.Unlock()
+	q.notEmpty.Signal()
+	return true
+}
+
+// tryPush appends r without blocking. It returns (false, false) on a
+// full queue — the Reject backpressure path — and (false, true) if the
+// queue was closed.
+func (q *reqQueue) tryPush(r *request) (ok, closed bool) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return false, true
+	}
+	if len(q.buf) >= q.capacity {
+		q.mu.Unlock()
+		return false, false
+	}
+	q.buf = append(q.buf, r)
+	q.mu.Unlock()
+	q.notEmpty.Signal()
+	return true, false
+}
+
+// drain blocks until at least one request is queued (or the queue is
+// closed), then moves the ENTIRE backlog into `into` in arrival order
+// and empties the buffer in place — one wakeup per backlog, not per
+// request. It returns false only when the queue is closed and empty:
+// the consumer's signal to exit. The caller passes a reused scratch
+// slice (typically `scratch[:0]`) and owns every moved pointer; the
+// queue retains none of them.
+func (q *reqQueue) drain(into []*request) ([]*request, bool) {
+	q.mu.Lock()
+	for len(q.buf) == 0 && !q.closed {
+		q.notEmpty.Wait()
+	}
+	if len(q.buf) == 0 { // closed and empty
+		q.mu.Unlock()
+		return into, false
+	}
+	into = append(into, q.buf...)
+	clear(q.buf) // drop request pointers; the consumer owns them now
+	q.buf = q.buf[:0]
+	q.mu.Unlock()
+	q.notFull.Broadcast()
+	return into, true
+}
+
+// close marks the queue closed and wakes everyone: blocked pushes
+// return false, and the consumer drains what remains, then exits.
+func (q *reqQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.notEmpty.Broadcast()
+	q.notFull.Broadcast()
+}
+
+// Len reports how many requests are queued right now.
+func (q *reqQueue) Len() int {
+	q.mu.Lock()
+	n := len(q.buf)
+	q.mu.Unlock()
+	return n
+}

@@ -239,7 +239,7 @@ type Service struct {
 type shard struct {
 	id       int
 	th       *core.Threshold
-	in       chan *request
+	q        *reqQueue
 	maxBatch int
 	hook     func()
 	log      *shardLog // nil unless WithDecisionLog
@@ -266,10 +266,14 @@ type shard struct {
 	acceptedMassBits atomic.Uint64
 	outstandingBits  atomic.Uint64
 
-	jobsTotal  *obs.Counter
+	jobsTotal *obs.Counter
+	// walTotal is this shard's cache-line-padded lane of the shared
+	// serve_wal_records_total counter: one Inc per durable record is the
+	// hottest counter write in the service, and lanes keep S shards from
+	// false-sharing one cell.
+	walTotal   *obs.CounterStripe
 	queueGauge *obs.Gauge
 	batchHist  *obs.Histogram
-	walTotal   *obs.Counter
 }
 
 // New builds a Service with the given shard count, machines per shard,
@@ -339,13 +343,13 @@ func build(shards, m int, eps float64, cfg *config) (*Service, error) {
 		sh := &shard{
 			id:         i,
 			th:         th,
-			in:         make(chan *request, cfg.queueDepth),
+			q:          newReqQueue(cfg.queueDepth),
 			maxBatch:   cfg.batchSize,
 			hook:       cfg.batchHook,
 			jobsTotal:  jobsVec.With(fmt.Sprint(i)),
 			queueGauge: queueVec.With(fmt.Sprint(i)),
 			batchHist:  batchHist,
-			walTotal:   s.walRecords,
+			walTotal:   s.walRecords.Stripe(i),
 			spans:      cfg.spans,
 		}
 		if cfg.log {
@@ -416,11 +420,11 @@ func (s *Service) SubmitSpan(j job.Job, sp *obs.Span) (online.Decision, error) {
 		req.enqNs = sp.Start + sp.Total()
 	}
 
-	// The read lock pins the channels open: Close flips closed and
-	// closes them only under the write lock, which waits for every
-	// in-flight send. A blocked send cannot deadlock Close — the shard
-	// goroutine keeps draining until its channel is closed, which
-	// happens only after this send completes and the lock is released.
+	// The read lock pins the queues open: Close flips closed and closes
+	// them only under the write lock, which waits for every in-flight
+	// push. A blocked push cannot deadlock Close — the shard goroutine
+	// keeps draining until its queue is closed, which happens only after
+	// this push completes and the lock is released.
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
@@ -429,17 +433,23 @@ func (s *Service) SubmitSpan(j job.Job, sp *obs.Span) (online.Decision, error) {
 		return online.Decision{}, ErrClosed
 	}
 	if s.bp == Reject {
-		select {
-		case sh.in <- req:
-		default:
+		if ok, closed := sh.q.tryPush(req); !ok {
 			s.mu.RUnlock()
 			req.sp = nil
 			s.pool.Put(req)
-			s.backpressure.Inc()
+			if closed {
+				return online.Decision{}, ErrClosed
+			}
+			// Rejects stripe by shard index: N submitters bouncing off N
+			// full queues must not serialize on one backpressure cell.
+			s.backpressure.Stripe(idx).Inc()
 			return online.Decision{}, ErrBackpressure
 		}
-	} else {
-		sh.in <- req
+	} else if !sh.q.push(req) {
+		s.mu.RUnlock()
+		req.sp = nil
+		s.pool.Put(req)
+		return online.Decision{}, ErrClosed
 	}
 	s.mu.RUnlock()
 
@@ -540,17 +550,24 @@ func (s *Service) SubmitBatchSpan(jobs []job.Job, sp *obs.Span) []BatchResult {
 		}
 		sh := s.shards[shIdx]
 		if s.bp == Reject {
-			select {
-			case sh.in <- req:
-			default:
-				s.backpressure.Inc()
+			ok, closed := sh.q.tryPush(req)
+			if !ok {
+				err := ErrBackpressure
+				if closed {
+					err = ErrClosed
+				} else {
+					s.backpressure.Stripe(shIdx).Inc()
+				}
 				for _, i := range idxs {
-					out[i].Err = ErrBackpressure
+					out[i].Err = err
 				}
 				continue
 			}
-		} else {
-			sh.in <- req
+		} else if !sh.q.push(req) {
+			for _, i := range idxs {
+				out[i].Err = ErrClosed
+			}
+			continue
 		}
 		reqs = append(reqs, req)
 		reqIdxs = append(reqIdxs, idxs)
@@ -623,7 +640,7 @@ func (s *Service) Checkpoint() error {
 	reqs := make([]*request, len(s.shards))
 	for i, sh := range s.shards {
 		reqs[i] = &request{ctl: ctlCheckpoint, done: make(chan response, 1)}
-		sh.in <- reqs[i]
+		sh.q.push(reqs[i])
 	}
 	s.mu.RUnlock()
 	var first error
@@ -648,7 +665,7 @@ func (s *Service) Close() error {
 	}
 	s.closed = true
 	for _, sh := range s.shards {
-		close(sh.in)
+		sh.q.close()
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
@@ -697,7 +714,7 @@ func (s *Service) Snapshot() []ShardSnapshot {
 		rejected := sh.rejected.Load()
 		out[i] = ShardSnapshot{
 			Shard:           sh.id,
-			QueueDepth:      len(sh.in),
+			QueueDepth:      sh.q.Len(),
 			Submitted:       sh.submitted.Load(),
 			Accepted:        accepted,
 			Rejected:        rejected,
@@ -719,39 +736,28 @@ func (s *Service) AcceptedMass() float64 {
 	return sum
 }
 
-// run is the shard goroutine: block for one request, then opportunistically
-// drain up to maxBatch-1 more, decide the whole batch, publish stats.
+// run is the shard goroutine: one swap-drain per wakeup moves the whole
+// backlog into a reused scratch slice (one lock round-trip, however deep
+// the queue), which is then decided in maxBatch-sized chunks so WAL
+// commit groups and the batch-size histogram keep the same granularity
+// the channel-fed loop had. Arrival order is exactly drain order.
 func (sh *shard) run() {
-	batch := make([]*request, 0, sh.maxBatch)
+	scratch := make([]*request, 0, sh.maxBatch)
 	for {
-		req, ok := <-sh.in
+		var ok bool
+		scratch, ok = sh.q.drain(scratch[:0])
 		if !ok {
 			return
 		}
-		batch = append(batch[:0], req)
-		batch, ok = sh.fill(batch)
-		sh.process(batch)
-		if !ok {
-			return
-		}
-	}
-}
-
-// fill drains already-queued requests without blocking, up to the batch
-// cap. It reports false once the intake channel is closed and empty.
-func (sh *shard) fill(batch []*request) ([]*request, bool) {
-	for len(batch) < cap(batch) {
-		select {
-		case r, ok := <-sh.in:
-			if !ok {
-				return batch, false
+		for off := 0; off < len(scratch); off += sh.maxBatch {
+			end := off + sh.maxBatch
+			if end > len(scratch) {
+				end = len(scratch)
 			}
-			batch = append(batch, r)
-		default:
-			return batch, true
+			sh.process(scratch[off:end])
 		}
+		clear(scratch) // drop request pointers before the slice is reused
 	}
-	return batch, true
 }
 
 // process decides one batch. Only the shard goroutine calls it, so the
@@ -971,5 +977,5 @@ func (sh *shard) process(batch []*request) {
 	sh.outstandingBits.Store(math.Float64bits(sh.th.TotalLoad()))
 
 	sh.batchHist.Observe(float64(len(batch)))
-	sh.queueGauge.Set(float64(len(sh.in)))
+	sh.queueGauge.Set(float64(sh.q.Len()))
 }

@@ -259,10 +259,10 @@ func TestBackpressureReject(t *testing.T) {
 	// Wait until the queue is actually full (enqueue is asynchronous
 	// with respect to Submit's goroutine start).
 	deadline := time.After(5 * time.Second)
-	for len(svc.shards[0].in) < depth {
+	for svc.shards[0].q.Len() < depth {
 		select {
 		case <-deadline:
-			t.Fatalf("queue never filled: depth %d", len(svc.shards[0].in))
+			t.Fatalf("queue never filled: depth %d", svc.shards[0].q.Len())
 		case <-time.After(time.Millisecond):
 		}
 	}
