@@ -4,7 +4,7 @@ GO ?= go
 # the last line that supports the go.mod Go version; bump both together.
 STATICCHECK_VERSION ?= 2024.1.1
 
-.PHONY: all build test race race-multicore bench bench-submit bench-submit-smoke bench-serve bench-serve-smoke bench-recover bench-recover-smoke bench-net bench-net-smoke bench-batch bench-batch-smoke bench-trace bench-trace-smoke bench-scale bench-scale-smoke net-smoke obs-smoke crash-smoke fuzz-smoke verify fmt vet staticcheck experiments clean
+.PHONY: all build test race race-multicore bench bench-submit bench-submit-smoke bench-serve bench-serve-smoke bench-recover bench-recover-smoke bench-net bench-net-smoke bench-batch bench-batch-smoke bench-trace bench-trace-smoke bench-scale bench-scale-smoke bench-arena bench-arena-smoke net-smoke obs-smoke crash-smoke fuzz-smoke verify fmt vet staticcheck experiments clean
 
 all: build
 
@@ -21,8 +21,14 @@ race:
 # forced to 4, regardless of the host's core count: striped counters,
 # the swap-drain shard queues and the pooled frame buffers only
 # interleave interestingly when goroutines actually preempt each other.
+# The second invocation re-runs the policy-equivalence matrix (every
+# registered admission policy through concurrent serve + kill/restore +
+# WAL state round-trips) on its own, so a policy-specific interleaving
+# bug fails with a policy-named test rather than somewhere in the bulk
+# suite.
 race-multicore:
 	GOMAXPROCS=4 $(GO) test -race -count=1 ./...
+	GOMAXPROCS=4 $(GO) test -race -count=1 -run 'TestServePolicyMatrix|TestPolicyMatrixKillRestore|TestPolicyStateRoundTrip|TestPolicyDeterminism' ./internal/serve/ ./internal/policy/
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
@@ -126,6 +132,23 @@ bench-scale:
 # scaling numbers, which are timing.
 bench-scale-smoke:
 	$(GO) run ./cmd/bench -mode scale -quick -out -
+
+# bench-arena races every registered admission policy (Threshold, the
+# δ-commitment grid, the greedy baseline) over the Section 3 adversary
+# at an ε grid and over every workload family, and writes
+# BENCH_arena.json; see EXPERIMENTS.md §E21 for the schema. -check
+# lockstep-verifies each policy decides deterministically on every
+# workload stream before its curve is reported.
+bench-arena:
+	$(GO) run ./cmd/bench -mode arena -check -out BENCH_arena.json
+
+# bench-arena-smoke is the CI gate for the policy arena: small n, a
+# two-point ε grid, determinism check forced on. It fails on build
+# errors, panics, an adversary protocol violation (an infeasible
+# commitment is a policy bug), or a nondeterministic policy — never on
+# the competitive-ratio numbers, which are exact model outputs anyway.
+bench-arena-smoke:
+	$(GO) run ./cmd/bench -mode arena -quick -check -out -
 
 # obs-smoke is the ops-plane gate: build loadmaxd + loadmaxctl, start a
 # traced daemon with the admin listener, scrape /metrics and /statusz

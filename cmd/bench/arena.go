@@ -1,0 +1,247 @@
+package main
+
+// The arena benchmark mode (ISSUE 9): race every registered admission
+// policy over the same streams and report accepted-mass-vs-OPT
+// competitive curves. Two stream classes are covered:
+//
+//   - E-series adversarial: the Section 3 lower-bound adversary
+//     (internal/adversary) plays each policy at every ε on the grid.
+//     OPT here is the adversary's certified optimal schedule, so the
+//     reported ratio is a genuine realized competitive ratio. A policy
+//     that rejects the set-up job is recorded as unbounded (JSON has no
+//     +Inf, so the point carries "unbounded": true and ratio 0).
+//
+//   - Workload-generator streams: every workload family is run through
+//     every policy; OPT is the offline upper bound
+//     (internal/offline.UpperBound), so the reported ratio is an upper
+//     bound on the true competitive ratio at that point.
+//
+// With -check every workload point is additionally run in lockstep
+// twice (two fresh instances of the same policy), proving the policy
+// decides deterministically — the property VerifyReplay and WAL
+// recovery lean on.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"loadmax/internal/adversary"
+	"loadmax/internal/offline"
+	"loadmax/internal/online"
+	"loadmax/internal/policy"
+	"loadmax/internal/workload"
+)
+
+type arenaConfig struct {
+	out      string
+	policies string // comma-separated admission-policy specs
+	epsGrid  string // comma-separated ε values for the adversary games
+	machines int
+	n        int
+	load     float64
+	seed     int64
+	eps      float64 // workload-stream slack ε
+	quick    bool
+	check    bool
+}
+
+// arenaAdvPoint is one adversary game: one policy at one ε.
+type arenaAdvPoint struct {
+	Policy       string  `json:"policy"`
+	Eps          float64 `json:"eps"`
+	M            int     `json:"m"`
+	TheoreticalC float64 `json:"theoretical_c"` // c(ε,m), the Theorem 1 target
+	Jobs         int     `json:"jobs"`
+	ALGLoad      float64 `json:"alg_load"`
+	OPTLoad      float64 `json:"opt_load"`
+	Ratio        float64 `json:"ratio"` // OPT/ALG; 0 when unbounded
+	Unbounded    bool    `json:"unbounded"`
+	U            int     `json:"u"` // final phase-2 subphase
+	H            int     `json:"h"` // final phase-3 subphase (0 = never ran)
+}
+
+// arenaWorkPoint is one workload-generator stream: one policy × family.
+type arenaWorkPoint struct {
+	Policy             string  `json:"policy"`
+	Family             string  `json:"family"`
+	Jobs               int     `json:"jobs"`
+	Accepted           int     `json:"accepted"`
+	AcceptedMass       float64 `json:"accepted_mass"`
+	OfflineUpperBound  float64 `json:"offline_upper_bound"`
+	CompetitiveRatio   float64 `json:"competitive_ratio"` // upper bound / accepted mass
+	DeterminismChecked bool    `json:"determinism_checked"`
+}
+
+// arenaReport is the full BENCH_arena.json document (EXPERIMENTS.md §E21).
+type arenaReport struct {
+	Benchmark     string           `json:"benchmark"`
+	SchemaVersion int              `json:"schema_version"`
+	Meta          runMeta          `json:"meta"`
+	Machines      int              `json:"machines"`
+	Policies      []string         `json:"policies"`
+	Workload      workloadParams   `json:"workload"`
+	Adversary     []arenaAdvPoint  `json:"adversary"`
+	Workloads     []arenaWorkPoint `json:"workloads"`
+}
+
+func runArena(cfg arenaConfig) error {
+	if cfg.quick {
+		if cfg.n > 600 {
+			cfg.n = 600
+		}
+		cfg.epsGrid = "0.25,1"
+		if cfg.machines > 3 {
+			cfg.machines = 3
+		}
+	}
+	specs := splitList(cfg.policies)
+	if len(specs) == 0 {
+		return fmt.Errorf("empty -arena-policies list")
+	}
+	builders := make([]policy.Builder, len(specs))
+	for i, spec := range specs {
+		b, err := policy.Parse(spec)
+		if err != nil {
+			return err
+		}
+		builders[i] = b
+		specs[i] = b.Spec // canonical spelling in the report
+	}
+	epsGrid, err := parseFloats(cfg.epsGrid)
+	if err != nil {
+		return fmt.Errorf("bad -arena-eps list: %v", err)
+	}
+
+	rep := arenaReport{
+		Benchmark:     "arena",
+		SchemaVersion: 1,
+		Meta:          collectMeta(),
+		Machines:      cfg.machines,
+		Policies:      specs,
+		Workload:      workloadParams{Family: "all", N: cfg.n, Eps: cfg.eps, Load: cfg.load, Seed: cfg.seed},
+	}
+
+	// --- E-series adversarial games.
+	fmt.Printf("%-26s %-6s %8s %10s %10s %8s %10s\n",
+		"policy", "eps", "jobs", "ALG", "OPT", "ratio", "c(eps,m)")
+	for i, b := range builders {
+		for _, eps := range epsGrid {
+			s, err := b.New(cfg.machines, eps)
+			if err != nil {
+				return fmt.Errorf("%s at eps=%g: %w", specs[i], eps, err)
+			}
+			out, err := adversary.Run(s, eps, adversary.Config{})
+			if err != nil {
+				return fmt.Errorf("adversary vs %s at eps=%g: %w", specs[i], eps, err)
+			}
+			pt := arenaAdvPoint{
+				Policy: specs[i], Eps: eps, M: cfg.machines,
+				TheoreticalC: out.Params.C, Jobs: len(out.Instance),
+				ALGLoad: out.ALGLoad, OPTLoad: out.OPTLoad,
+				Unbounded: out.Unbounded, U: out.U, H: out.H,
+			}
+			ratioStr := "unbounded"
+			if !out.Unbounded && !math.IsInf(out.Ratio, 0) {
+				pt.Ratio = out.Ratio
+				ratioStr = fmt.Sprintf("%.4f", out.Ratio)
+			}
+			rep.Adversary = append(rep.Adversary, pt)
+			fmt.Printf("%-26s %-6g %8d %10.4f %10.4f %8s %10.4f\n",
+				pt.Policy, pt.Eps, pt.Jobs, pt.ALGLoad, pt.OPTLoad, ratioStr, pt.TheoreticalC)
+		}
+	}
+
+	// --- Workload-generator streams.
+	fmt.Printf("\n%-26s %-16s %8s %10s %14s %10s %8s\n",
+		"policy", "family", "jobs", "accepted", "accepted mass", "OPT ub", "ratio")
+	for _, fam := range workload.Families {
+		inst := fam.Gen(workload.Spec{
+			N: cfg.n, Eps: cfg.eps, M: cfg.machines, Load: cfg.load, Seed: cfg.seed,
+		})
+		opt := offline.UpperBound(inst, cfg.machines)
+		for i, b := range builders {
+			s, err := b.New(cfg.machines, cfg.eps)
+			if err != nil {
+				return err
+			}
+			pt := arenaWorkPoint{
+				Policy: specs[i], Family: fam.Name, Jobs: len(inst),
+				OfflineUpperBound: opt,
+			}
+			for _, j := range inst {
+				if d := s.Submit(j); d.Accepted {
+					pt.Accepted++
+					pt.AcceptedMass += j.Proc
+				}
+			}
+			if pt.AcceptedMass > 0 {
+				pt.CompetitiveRatio = opt / pt.AcceptedMass
+			}
+			if cfg.check {
+				a, err := b.New(cfg.machines, cfg.eps)
+				if err != nil {
+					return err
+				}
+				c, err := b.New(cfg.machines, cfg.eps)
+				if err != nil {
+					return err
+				}
+				if div := online.Lockstep(a, c, inst); div != nil {
+					return fmt.Errorf("%s is nondeterministic on %s: %v", specs[i], fam.Name, div)
+				}
+				pt.DeterminismChecked = true
+			}
+			rep.Workloads = append(rep.Workloads, pt)
+			fmt.Printf("%-26s %-16s %8d %10d %14.3f %10.3f %8.4f\n",
+				pt.Policy, pt.Family, pt.Jobs, pt.Accepted, pt.AcceptedMass,
+				pt.OfflineUpperBound, pt.CompetitiveRatio)
+		}
+	}
+
+	blob, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if cfg.out == "-" {
+		os.Stdout.Write(blob)
+		return nil
+	}
+	if err := os.WriteFile(cfg.out, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", cfg.out)
+	return nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range splitList(s) {
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, err
+		}
+		if v <= 0 {
+			return nil, fmt.Errorf("eps %g must be > 0", v)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}

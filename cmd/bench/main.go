@@ -26,6 +26,11 @@
 //     Submit hot path staying 0 allocs/op, and emits BENCH_scale.json
 //     (jobs/sec, speedup and scaling efficiency vs the GOMAXPROCS
 //     baseline of each surface×shards group).
+//   - arena (ISSUE 9): races every registered admission policy
+//     (Threshold, the δ-commitment grid, the greedy baseline) over the
+//     Section 3 adversary at an ε grid and over every workload family,
+//     and emits BENCH_arena.json (accepted mass, realized or bounded
+//     competitive ratio per policy × stream).
 //   - trace (ISSUE 6): runs the same workload untraced and span-traced
 //     over two Submit paths — the loopback netserve RPC (headline) and
 //     the raw in-process service (adversarial microbenchmark) — and
@@ -57,6 +62,8 @@
 //	go run ./cmd/bench -mode trace -quick -out -        # CI smoke for span tracing
 //	go run ./cmd/bench -mode scale                      # scaling sweep → BENCH_scale.json (always checked)
 //	go run ./cmd/bench -mode scale -quick -out -        # CI smoke for the scaling sweep
+//	go run ./cmd/bench -mode arena -check               # policy arena → BENCH_arena.json
+//	go run ./cmd/bench -mode arena -quick -check -out - # CI smoke for the policy arena
 package main
 
 import (
@@ -106,7 +113,7 @@ type report struct {
 
 // knownModes is the authoritative -mode list; keep it in sync with the
 // dispatch in main and the doc comment above.
-var knownModes = []string{"submit", "serve", "recover", "net", "batch", "trace", "scale"}
+var knownModes = []string{"submit", "serve", "recover", "net", "batch", "trace", "scale", "arena"}
 
 type workloadParams struct {
 	Family string  `json:"family"`
@@ -160,6 +167,12 @@ func main() {
 		traceRounds   = flag.Int("trace-rounds", 3, "trace: timed rounds per configuration (best-of)")
 		traceClients  = flag.Int("trace-clients", 2, "trace: wire clients driving the RPC passes")
 		tracePipeline = flag.Int("trace-pipeline", 4, "trace: concurrent submitters per wire client")
+
+		arenaPolicies = flag.String("arena-policies",
+			"threshold,greedy,delta-commit:delta=0.25,delta-commit:delta=0.5,delta-commit:delta=0.75",
+			"arena: comma-separated admission-policy specs to race")
+		arenaEps = flag.String("arena-eps", "0.1,0.25,0.5,1", "arena: comma-separated ε grid for the adversary games")
+		arenaM   = flag.Int("arena-machines", 4, "arena: machine count of each policy instance")
 
 		adminAddr = flag.String("admin", "", "admin HTTP listen address (/statusz, /healthz, /debug/pprof) while the benchmark runs (empty = disabled)")
 	)
@@ -268,6 +281,23 @@ func main() {
 			batchJobs: *scaleBatch, quick: *quick,
 		}
 		if err := runScale(cfg); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *mode == "arena" {
+		if *out == "" {
+			*out = "BENCH_arena.json"
+		}
+		cfg := arenaConfig{
+			out: *out, policies: *arenaPolicies, epsGrid: *arenaEps,
+			machines: *arenaM, n: *n, load: *load, seed: *seed, eps: *eps,
+			quick: *quick, check: *check,
+		}
+		if cfg.n > 2000 {
+			cfg.n = 2000 // the offline bound is the cost driver, not Submit
+		}
+		if err := runArena(cfg); err != nil {
 			fatal(err)
 		}
 		return

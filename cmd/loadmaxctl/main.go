@@ -6,7 +6,8 @@
 //	loadmaxctl [-admin host:port] [-timeout d] <command>
 //
 //	status            pretty-print /statusz (process, build, shard state)
-//	metrics [-grep s] dump /metrics (Prometheus text), optionally filtered
+//	metrics [-grep re] dump /metrics (Prometheus text), optionally filtered
+//	                  to lines matching the regular expression re
 //	slow              table of slow-request spans from /spanz?slow=1
 //	spans             table of recent request spans from /spanz
 //	health            hit /healthz; exit 0 healthy, 1 draining/down
@@ -25,6 +26,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"regexp"
 	"sort"
 	"strings"
 	"time"
@@ -49,11 +51,11 @@ func main() {
 	case "status":
 		err = c.status()
 	case "metrics":
-		grep := ""
-		fs := flag.NewFlagSet("metrics", flag.ExitOnError)
-		fs.StringVar(&grep, "grep", "", "only print lines containing this substring")
-		fs.Parse(flag.Args()[1:])
-		err = c.metrics(grep)
+		var re *regexp.Regexp
+		re, err = parseMetricsArgs(flag.Args()[1:])
+		if err == nil {
+			err = c.metrics(re)
+		}
 	case "slow":
 		err = c.spans(true)
 	case "spans":
@@ -98,7 +100,49 @@ func (c *client) status() error {
 	return nil
 }
 
-func (c *client) metrics(grep string) error {
+// parseMetricsArgs parses the metrics subcommand's flags. -grep is a
+// regular expression (RE2); an invalid pattern is rejected here, before
+// any network traffic, with an error that names the pattern — the caller
+// turns that into a non-zero exit. A nil, nil return means "no filter".
+func parseMetricsArgs(args []string) (*regexp.Regexp, error) {
+	grep := ""
+	fs := flag.NewFlagSet("metrics", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	fs.StringVar(&grep, "grep", "", "only print lines matching this regular expression")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if rest := fs.Args(); len(rest) > 0 {
+		return nil, fmt.Errorf("metrics: unexpected argument %q", rest[0])
+	}
+	if grep == "" {
+		return nil, nil
+	}
+	re, err := regexp.Compile(grep)
+	if err != nil {
+		return nil, fmt.Errorf("metrics: invalid -grep pattern %q: %w", grep, err)
+	}
+	return re, nil
+}
+
+// filterMetrics keeps the lines of a Prometheus text dump that match re
+// (nil means keep everything). Split on \n so a trailing newline does
+// not produce a spurious empty match.
+func filterMetrics(body []byte, re *regexp.Regexp) []string {
+	lines := strings.Split(strings.TrimRight(string(body), "\n"), "\n")
+	if re == nil {
+		return lines
+	}
+	out := lines[:0]
+	for _, line := range lines {
+		if re.MatchString(line) {
+			out = append(out, line)
+		}
+	}
+	return out
+}
+
+func (c *client) metrics(re *regexp.Regexp) error {
 	body, code, err := c.get("/metrics")
 	if err != nil {
 		return err
@@ -106,14 +150,12 @@ func (c *client) metrics(grep string) error {
 	if code != http.StatusOK {
 		return fmt.Errorf("metrics: HTTP %d", code)
 	}
-	if grep == "" {
+	if re == nil {
 		os.Stdout.Write(body)
 		return nil
 	}
-	for _, line := range strings.Split(string(body), "\n") {
-		if strings.Contains(line, grep) {
-			fmt.Println(line)
-		}
+	for _, line := range filterMetrics(body, re) {
+		fmt.Println(line)
 	}
 	return nil
 }

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestParseMetricsArgs table-tests the metrics subcommand's arg parsing:
+// valid regexes compile, an empty -grep means "no filter", and invalid
+// patterns or stray positional arguments are rejected with a clear error
+// (which main turns into a non-zero exit) instead of a panic or a silent
+// empty match.
+func TestParseMetricsArgs(t *testing.T) {
+	tests := []struct {
+		name    string
+		args    []string
+		wantNil bool   // expect a nil (pass-through) filter
+		match   string // a line the compiled filter must match
+		miss    string // a line it must not match
+		wantErr string // substring of the expected error
+	}{
+		{name: "no flags", args: nil, wantNil: true},
+		{name: "empty grep", args: []string{"-grep", ""}, wantNil: true},
+		{name: "literal", args: []string{"-grep", "span_stage"},
+			match: `span_stage_ns{stage="wal"} 12`, miss: `submit_total 9`},
+		{name: "anchored", args: []string{"-grep", "^# HELP"},
+			match: "# HELP submit_total count", miss: "submit_total 9 # HELP trailing"},
+		{name: "alternation", args: []string{"-grep", "wal|shard"},
+			match: `shard_depth{shard="1"} 3`, miss: "uptime_seconds 4"},
+		{name: "escaped meta", args: []string{"-grep", `submit_total\{`},
+			match: `submit_total{shard="0"} 7`, miss: "submit_total 7"},
+		{name: "invalid regex", args: []string{"-grep", "["},
+			wantErr: "invalid -grep pattern"},
+		{name: "invalid repeat", args: []string{"-grep", "*x"},
+			wantErr: "invalid -grep pattern"},
+		{name: "unknown flag", args: []string{"-pattern", "x"},
+			wantErr: "flag provided but not defined"},
+		{name: "stray positional", args: []string{"-grep", "x", "extra"},
+			wantErr: "unexpected argument"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			re, err := parseMetricsArgs(tc.args)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("parseMetricsArgs(%q) err = %v, want error containing %q", tc.args, err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("parseMetricsArgs(%q): %v", tc.args, err)
+			}
+			if tc.wantNil {
+				if re != nil {
+					t.Fatalf("parseMetricsArgs(%q) = %v, want nil filter", tc.args, re)
+				}
+				return
+			}
+			if re == nil {
+				t.Fatalf("parseMetricsArgs(%q) returned nil filter, want a compiled regexp", tc.args)
+			}
+			if !re.MatchString(tc.match) {
+				t.Errorf("filter %q should match %q", re, tc.match)
+			}
+			if tc.miss != "" && re.MatchString(tc.miss) {
+				t.Errorf("filter %q should not match %q", re, tc.miss)
+			}
+		})
+	}
+}
+
+// TestFilterMetrics covers the line filter itself, including the
+// trailing-newline edge (no spurious empty line) and nil pass-through.
+func TestFilterMetrics(t *testing.T) {
+	body := []byte("# HELP submit_total count\nsubmit_total 9\nshard_depth 3\n")
+	re, err := parseMetricsArgs([]string{"-grep", "^submit"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := filterMetrics(body, re)
+	if len(got) != 1 || got[0] != "submit_total 9" {
+		t.Fatalf("filterMetrics = %q, want just the submit_total sample", got)
+	}
+	if all := filterMetrics(body, nil); len(all) != 3 {
+		t.Fatalf("nil filter kept %d lines, want 3 (no trailing empty)", len(all))
+	}
+	if none := filterMetrics(body, mustCompile(t, "nomatch")); len(none) != 0 {
+		t.Fatalf("non-matching filter kept %q, want none", none)
+	}
+}
+
+func mustCompile(t *testing.T, pat string) *regexp.Regexp {
+	t.Helper()
+	re, err := parseMetricsArgs([]string{"-grep", pat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return re
+}

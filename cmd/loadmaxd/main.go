@@ -7,12 +7,20 @@
 // Usage:
 //
 //	loadmaxd -addr :7133 -shards 8 -machines 64 -eps 0.1
+//	loadmaxd -policy delta-commit:delta=0.5 -router length-class
 //	loadmaxd -durable /var/lib/loadmax -checkpoint-interval 30s
 //	loadmaxd -addr 127.0.0.1:0 -admin 127.0.0.1:7134 -spans
 //
+// -policy selects the admission policy every shard runs (threshold,
+// greedy, delta-commit:delta=D); the chosen spec is announced to every
+// client in the HELLO ack. -router selects how submissions are routed
+// to shards (hash-by-id, length-class, round-robin).
+//
 // With -durable, a directory that already holds a service is restored
-// (topology comes from its manifest and -shards/-machines/-eps are
-// ignored); a fresh directory starts a new durable service. On SIGINT/
+// (topology and the admission policy come from its manifest and
+// -shards/-machines/-eps are ignored; an explicitly set -policy acts as
+// an assertion and the restore fails loudly on a mismatch); a fresh
+// directory starts a new durable service. On SIGINT/
 // SIGTERM the daemon drains connections gracefully, checkpoints durable
 // state to bound the next recovery, closes the service, and (with
 // -metrics-out) writes a final metrics snapshot.
@@ -31,12 +39,14 @@ import (
 	"os/signal"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
 	"loadmax/internal/netserve"
 	"loadmax/internal/obs"
 	"loadmax/internal/obs/expo"
+	"loadmax/internal/policy"
 	"loadmax/internal/serve"
 )
 
@@ -46,7 +56,8 @@ func main() {
 		shards   = flag.Int("shards", 4, "shard count (ignored when restoring a durable dir)")
 		machines = flag.Int("machines", 64, "machines per shard (ignored when restoring)")
 		eps      = flag.Float64("eps", 0.1, "slack ε (ignored when restoring)")
-		policy   = flag.String("policy", "hash-by-id", "routing policy: hash-by-id, length-class, round-robin")
+		router   = flag.String("router", "hash-by-id", "shard routing: hash-by-id, length-class, round-robin")
+		admSpec  = flag.String("policy", "threshold", "admission policy: "+strings.Join(policy.Specs(), ", ")+" (a durable restore adopts the directory's policy unless -policy is set explicitly)")
 		queue    = flag.Int("queue", 1024, "per-shard submission queue depth")
 		batch    = flag.Int("batch", 64, "max submissions a shard drains per batch")
 
@@ -84,7 +95,7 @@ func main() {
 	if rec != nil {
 		svcOpts = append(svcOpts, serve.WithSpans(rec))
 	}
-	switch *policy {
+	switch *router {
 	case "hash-by-id":
 		svcOpts = append(svcOpts, serve.WithPolicy(serve.HashByID()))
 	case "length-class":
@@ -92,7 +103,24 @@ func main() {
 	case "round-robin":
 		svcOpts = append(svcOpts, serve.WithPolicy(serve.RoundRobin()))
 	default:
-		fatal(fmt.Errorf("unknown routing policy %q (want hash-by-id, length-class or round-robin)", *policy))
+		fatal(fmt.Errorf("unknown router %q (want hash-by-id, length-class or round-robin)", *router))
+	}
+	// The admission policy only rides along when -policy was given
+	// explicitly: a durable restore must adopt the directory's stamped
+	// policy, and an explicit flag there acts as a loud assertion
+	// (serve.Restore refuses a mismatch).
+	policySet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "policy" {
+			policySet = true
+		}
+	})
+	admission, err := policy.Parse(*admSpec)
+	if err != nil {
+		fatal(err)
+	}
+	if policySet || !restoring(*durable) {
+		svcOpts = append(svcOpts, serve.WithAdmissionPolicy(admission))
 	}
 	if *flushIv > 0 {
 		svcOpts = append(svcOpts, serve.WithFlushInterval(*flushIv))
@@ -133,7 +161,8 @@ func main() {
 				"shards":        svc.Shards(),
 				"machines":      svc.Machines(),
 				"eps":           svc.Eps(),
-				"policy":        svc.Policy().Name(),
+				"policy":        svc.AdmissionPolicy(),
+				"router":        svc.Policy().Name(),
 				"durable_dir":   *durable,
 				"accepted_mass": svc.AcceptedMass(),
 				"shard_status":  svc.Snapshot(),
@@ -223,8 +252,8 @@ func banner(build expo.Build, svc *serve.Service, srv *netserve.Server, durable,
 	if rec != nil {
 		tracing = fmt.Sprintf("on (slow threshold %v)", rec.SlowThreshold())
 	}
-	fmt.Printf("loadmaxd: serving %d shards × %d machines (ε=%g, policy=%s) on %s — %s, tracing %s\n",
-		svc.Shards(), svc.Machines(), svc.Eps(), svc.Policy().Name(), srv.Addr(), dur, tracing)
+	fmt.Printf("loadmaxd: serving %d shards × %d machines (ε=%g, policy=%s, router=%s) on %s — %s, tracing %s\n",
+		svc.Shards(), svc.Machines(), svc.Eps(), svc.AdmissionPolicy(), svc.Policy().Name(), srv.Addr(), dur, tracing)
 }
 
 // heartbeatLoop logs a one-line service digest every interval: totals,
@@ -264,13 +293,23 @@ func heartbeatLoop(svc *serve.Service, reg *obs.Registry, rec *obs.SpanRecorder,
 	}
 }
 
+// restoring reports whether dir already holds a durable service (so a
+// start will go through serve.Restore and adopt its manifest).
+func restoring(dir string) bool {
+	if dir == "" {
+		return false
+	}
+	_, err := os.Stat(filepath.Join(dir, "manifest.json"))
+	return err == nil
+}
+
 // openService restores dir when it already holds a durable service,
 // starts a fresh (durable or in-memory) one otherwise.
 func openService(dir string, shards, machines int, eps float64, opts []serve.Option) (*serve.Service, error) {
 	if dir == "" {
 		return serve.New(shards, machines, eps, opts...)
 	}
-	if _, err := os.Stat(filepath.Join(dir, "manifest.json")); err == nil {
+	if restoring(dir) {
 		fmt.Printf("loadmaxd: restoring durable service from %s\n", dir)
 		return serve.Restore(dir, opts...)
 	}

@@ -139,6 +139,10 @@ func (c *Client) Eps() float64 { return c.ack.Eps }
 // enforces; the client self-limits to it.
 func (c *Client) Window() int { return int(c.ack.Window) }
 
+// Policy returns the canonical admission-policy spec the server runs,
+// learned in the handshake — what `loadmaxd -policy` was started with.
+func (c *Client) Policy() string { return c.ack.Policy }
+
 // Submit sends the job and blocks until its verdict arrives (or the
 // default timeout expires). See SubmitTimeout for the error contract.
 func (c *Client) Submit(j job.Job) (online.Decision, error) {
@@ -351,6 +355,11 @@ func mapVerdict(j job.Job, v verdictFrame) (online.Decision, error) {
 // skipped so the pool degrades instead of failing while any peer lives.
 func (c *Client) pick() *clientConn {
 	n := len(c.conns)
+	if n == 0 {
+		// A half-constructed client (Dial failed partway and the caller
+		// kept the value anyway) must fail fast, not divide by zero.
+		return nil
+	}
 	// Reduce the counter in uint64 space BEFORE converting: a plain
 	// int(c.rr.Add(1)) goes negative once the counter passes the int
 	// range (always possible on 32-bit platforms, and after wraparound

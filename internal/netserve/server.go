@@ -328,6 +328,7 @@ func (c *srvConn) handshake(br *bufio.Reader) error {
 		Shards:   uint32(c.s.svc.Shards()),
 		Machines: uint32(c.s.svc.Machines()),
 		Eps:      c.s.svc.Eps(),
+		Policy:   c.s.svc.AdmissionPolicy(),
 	})
 	c.nc.SetWriteDeadline(time.Now().Add(c.s.cfg.writeTimeout))
 	_, err = c.nc.Write(ack)

@@ -67,8 +67,10 @@ import (
 
 // ProtocolVersion is the wire protocol version this package speaks. The
 // handshake fails closed on a mismatch: a v1 endpoint never guesses at
-// v2 frames.
-const ProtocolVersion = 1
+// v2 frames. Version 2 added the admission-policy spec to the HELLO ack
+// so `loadmaxd -policy` and its clients can never silently disagree
+// about which algorithm is deciding.
+const ProtocolVersion = 2
 
 // protocolMagic opens every HELLO frame ("LMX1"): a TCP client that is
 // not speaking this protocol is rejected at the first frame.
@@ -95,11 +97,14 @@ const (
 const (
 	wireHeaderLen = 8 // 4B length + 4B CRC32-C
 
-	helloLen    = 1 + 4 + 2             // type, magic, version
-	helloAckLen = 1 + 2 + 4 + 4 + 4 + 8 // type, version, window, shards, machines, eps
-	submitLen   = 1 + 8 + 8 + 3*8       // type, req id, job id, r/p/d
-	verdictMin  = 1 + 8 + 1 + 8 + 8 + 2 // type, req id, status, machine, start, msg len
-	maxMsgLen   = 1 << 10               // error messages are short by construction
+	helloLen = 1 + 4 + 2 // type, magic, version
+	// The hello-ack is the one variable-size handshake frame: the fixed
+	// fields are followed by a length-prefixed policy spec string.
+	helloAckMin  = 1 + 2 + 4 + 4 + 4 + 8 + 2 // type, version, window, shards, machines, eps, policy len
+	maxPolicyLen = 1 << 8                    // policy specs are short by construction
+	submitLen    = 1 + 8 + 8 + 3*8           // type, req id, job id, r/p/d
+	verdictMin   = 1 + 8 + 1 + 8 + 8 + 2     // type, req id, status, machine, start, msg len
+	maxMsgLen    = 1 << 10                   // error messages are short by construction
 
 	// Batch frames: one length-prefix + one CRC covers the whole batch.
 	// Entries are positional — the verdict batch echoes the batch id and
@@ -121,14 +126,15 @@ var wireCRC = crc32.MakeTable(crc32.Castagnoli)
 
 // helloAck is the server's half of the handshake: the negotiated
 // protocol version, the per-connection in-flight window the server will
-// enforce, and the service topology so clients can introspect what they
-// are talking to.
+// enforce, and the service topology — admission-policy spec included —
+// so clients can introspect what they are talking to.
 type helloAck struct {
 	Version  uint16
 	Window   uint32
 	Shards   uint32
 	Machines uint32
 	Eps      float64
+	Policy   string // canonical admission-policy spec (policy.Parse syntax)
 }
 
 // submitFrame is one admission request in flight.
@@ -283,18 +289,26 @@ func decodeHello(p []byte) error {
 }
 
 func appendHelloAck(dst []byte, a helloAck) []byte {
-	var p [helloAckLen]byte
+	spec := a.Policy
+	if len(spec) > maxPolicyLen {
+		spec = spec[:maxPolicyLen]
+	}
+	dst, off := beginFrame(dst)
+	var p [helloAckMin]byte
 	p[0] = frameHelloAck
 	binary.LittleEndian.PutUint16(p[1:], a.Version)
 	binary.LittleEndian.PutUint32(p[3:], a.Window)
 	binary.LittleEndian.PutUint32(p[7:], a.Shards)
 	binary.LittleEndian.PutUint32(p[11:], a.Machines)
 	binary.LittleEndian.PutUint64(p[15:], math.Float64bits(a.Eps))
-	return appendFrame(dst, p[:])
+	binary.LittleEndian.PutUint16(p[23:], uint16(len(spec)))
+	dst = append(dst, p[:]...)
+	dst = append(dst, spec...)
+	return sealFrame(dst, off)
 }
 
 func decodeHelloAck(p []byte) (helloAck, error) {
-	if len(p) != helloAckLen || p[0] != frameHelloAck {
+	if len(p) < helloAckMin || p[0] != frameHelloAck {
 		return helloAck{}, fmt.Errorf("netserve: malformed hello-ack")
 	}
 	a := helloAck{
@@ -307,6 +321,11 @@ func decodeHelloAck(p []byte) (helloAck, error) {
 	if a.Version != ProtocolVersion {
 		return helloAck{}, fmt.Errorf("netserve: server protocol version %d, client speaks %d", a.Version, ProtocolVersion)
 	}
+	n := int(binary.LittleEndian.Uint16(p[23:]))
+	if n > maxPolicyLen || len(p) != helloAckMin+n {
+		return helloAck{}, fmt.Errorf("netserve: hello-ack policy length %d does not match frame", n)
+	}
+	a.Policy = string(p[helloAckMin:])
 	return a, nil
 }
 

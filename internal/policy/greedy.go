@@ -1,0 +1,141 @@
+package policy
+
+import (
+	"fmt"
+	"math"
+
+	"loadmax/internal/job"
+	"loadmax/internal/online"
+)
+
+// SpecGreedy is the canonical spec of the non-committing baseline.
+const SpecGreedy = "greedy"
+
+// Greedy is the non-committing admission baseline: accept any job some
+// machine can still finish by its deadline, queue it best-fit behind
+// the most-loaded machine that stays feasible (the tightest fit — an
+// EDF-style packing that keeps lightly-loaded machines free for later
+// tight jobs). It reasons about nothing but current horizons: no
+// threshold on the commitment horizon, no reserved slack — which is
+// exactly why it is the floor of the arena comparison (the adversary
+// makes it over-commit to long early jobs).
+type Greedy struct {
+	m        int
+	now      float64
+	horizons []float64 // absolute completion time of machine i's queue
+}
+
+var _ AdmissionPolicy = (*Greedy)(nil)
+
+// NewGreedy builds the greedy baseline on m machines.
+func NewGreedy(m int) (*Greedy, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("policy: greedy m=%d must be ≥ 1", m)
+	}
+	return &Greedy{m: m, horizons: make([]float64, m)}, nil
+}
+
+// Name implements online.Scheduler.
+func (g *Greedy) Name() string { return SpecGreedy }
+
+// Machines implements online.Scheduler.
+func (g *Greedy) Machines() int { return g.m }
+
+// Reset implements online.Scheduler.
+func (g *Greedy) Reset() {
+	g.now = 0
+	for i := range g.horizons {
+		g.horizons[i] = 0
+	}
+}
+
+// Now implements AdmissionPolicy.
+func (g *Greedy) Now() float64 { return g.now }
+
+// TotalLoad implements AdmissionPolicy: summed outstanding work.
+func (g *Greedy) TotalLoad() float64 {
+	var sum float64
+	for _, h := range g.horizons {
+		if h > g.now {
+			sum += h - g.now
+		}
+	}
+	return sum
+}
+
+// Submit implements online.Scheduler: best fit over the machines that
+// can still complete the job on time — the most-loaded feasible machine
+// wins, ties to the lowest index, so the decision is a pure function of
+// (state, job) and replays bit-identically.
+func (g *Greedy) Submit(j job.Job) online.Decision {
+	g.now = effectiveRelease(g.now, j)
+	t := g.now
+	best, bestLoad := -1, math.Inf(-1)
+	for i := 0; i < g.m; i++ {
+		l := g.horizons[i] - t
+		if l < 0 {
+			l = 0
+		}
+		if !job.LessEq(t+l+j.Proc, j.Deadline) {
+			continue
+		}
+		if l > bestLoad {
+			best, bestLoad = i, l
+		}
+	}
+	if best < 0 {
+		return online.Decision{JobID: j.ID}
+	}
+	start := t + bestLoad
+	g.horizons[best] = start + j.Proc
+	return online.Decision{JobID: j.ID, Accepted: true, Machine: best, Start: start}
+}
+
+// greedyState is the export blob.
+type greedyState struct {
+	M        int       `json:"m"`
+	Now      float64   `json:"now"`
+	Horizons []float64 `json:"horizons"`
+}
+
+// ExportState implements AdmissionPolicy.
+func (g *Greedy) ExportState() (State, error) {
+	hz := make([]float64, g.m)
+	copy(hz, g.horizons)
+	return marshalState(SpecGreedy, greedyState{M: g.m, Now: g.now, Horizons: hz})
+}
+
+// ImportState implements AdmissionPolicy.
+func (g *Greedy) ImportState(s State) error {
+	var st greedyState
+	if err := unmarshalState(s, SpecGreedy, &st); err != nil {
+		return err
+	}
+	if st.M != g.m {
+		return fmt.Errorf("policy: greedy state for m=%d imported into m=%d", st.M, g.m)
+	}
+	if len(st.Horizons) != g.m {
+		return fmt.Errorf("policy: greedy state has %d horizons, want %d", len(st.Horizons), g.m)
+	}
+	if math.IsNaN(st.Now) || math.IsInf(st.Now, 0) || st.Now < 0 {
+		return fmt.Errorf("policy: greedy state clock %g not a finite non-negative time", st.Now)
+	}
+	for i, h := range st.Horizons {
+		if math.IsNaN(h) || math.IsInf(h, 0) || h < 0 {
+			return fmt.Errorf("policy: greedy state horizon[%d]=%g not a finite non-negative time", i, h)
+		}
+	}
+	g.now = st.Now
+	copy(g.horizons, st.Horizons)
+	return nil
+}
+
+// GreedyBuilder returns the Builder for the greedy baseline.
+func GreedyBuilder() Builder {
+	return Builder{
+		Spec: SpecGreedy,
+		New: func(m int, eps float64) (AdmissionPolicy, error) {
+			return NewGreedy(m)
+		},
+	}
+}

@@ -1,0 +1,168 @@
+// Package policy defines the pluggable admission-policy contract the
+// serving stack schedules through, and the registry that names each
+// policy so every layer — shard goroutines, WAL snapshots, the network
+// handshake, the bench arena — agrees on which algorithm is deciding.
+//
+// An AdmissionPolicy is an online.Scheduler (immediate, irrevocable
+// decisions at Submit) extended with the serving-layer obligations: a
+// readable clock for the shard release-clamp, a load snapshot, and
+// state export/import so a WAL replay can re-decide a recorded stream
+// bit-identically. core.Threshold — the paper's Algorithm 1 — is the
+// reference implementation (wrapped by Threshold in this package); the
+// package adds two competitors from the related δ-commitment
+// literature:
+//
+//   - DeltaCommit (Chen–Eberle–Megow–Schewior–Stein, arXiv:1811.08238
+//     model): a job is admitted with a planned slot but joins a pending
+//     set; the commitment to its machine triggers only once (1−δ) of
+//     its slack has elapsed, and no machine time before that trigger is
+//     ever booked — the early window stays open for tighter arrivals.
+//   - Greedy (EDF-fit): the non-committing baseline — admit anything
+//     that still fits, best-fit on the tightest feasible machine.
+//
+// Policies are named by canonical spec strings ("threshold", "greedy",
+// "delta-commit:delta=0.5") that Parse resolves to a Builder. The spec
+// is what gets stamped into durable manifests and the HELLO ack, so a
+// mismatch between the policy that wrote a log and the one asked to
+// replay it fails loudly instead of silently re-deciding differently.
+package policy
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"loadmax/internal/job"
+	"loadmax/internal/online"
+)
+
+// State is a policy checkpoint as it travels through WAL snapshots: the
+// canonical spec of the policy that produced it plus an opaque,
+// policy-defined JSON blob. Every implementation's blob contains only
+// finite float64s, which encoding/json round-trips bit-exactly, so an
+// imported policy decides every future submission exactly as the
+// exporting one would have.
+type State struct {
+	// Policy is the canonical spec of the producing policy; ImportState
+	// refuses a blob stamped with a different spec.
+	Policy string `json:"policy"`
+	// Blob is the policy-defined state document.
+	Blob json.RawMessage `json:"blob"`
+}
+
+// AdmissionPolicy is the serving-layer admission contract. Submit's
+// decision is immediate and irrevocable (the online.Scheduler
+// protocol); Now feeds the shard release-clamp; ExportState/ImportState
+// carry the WAL snapshot round-trip. Implementations are single-writer:
+// none of these methods may be called concurrently.
+type AdmissionPolicy interface {
+	online.Scheduler
+	// Now returns the policy clock: the latest effective release seen.
+	Now() float64
+	// TotalLoad returns the outstanding booked work across machines.
+	TotalLoad() float64
+	// ExportState captures the dynamic state between submissions.
+	ExportState() (State, error)
+	// ImportState replaces the dynamic state with an exported
+	// checkpoint from the same policy spec and topology.
+	ImportState(State) error
+}
+
+// Builder names a policy configuration and constructs fresh instances
+// of it — one per shard, one per replay verifier. Spec is canonical:
+// Parse(b.Spec) returns an equivalent builder, and every instance's
+// exported State carries it.
+type Builder struct {
+	Spec string
+	New  func(m int, eps float64) (AdmissionPolicy, error)
+}
+
+// DefaultDelta is the δ used by "delta-commit" specs that don't name
+// one.
+const DefaultDelta = 0.5
+
+// Specs lists the canonical policy spec forms Parse accepts, for help
+// text and error messages.
+func Specs() []string {
+	return []string{"threshold", "greedy", "delta-commit:delta=D (0 < D ≤ 1)"}
+}
+
+// Parse resolves a policy spec string to its Builder:
+//
+//	threshold                the paper's Algorithm 1 (core.Threshold)
+//	greedy                   non-committing EDF best-fit baseline
+//	delta-commit             δ-commitment at the default δ = 0.5
+//	delta-commit:delta=0.25  δ-commitment at an explicit δ ∈ (0, 1]
+//
+// The returned Builder's Spec is canonical (defaults made explicit), so
+// two specs naming the same configuration compare equal after a Parse
+// round-trip.
+func Parse(spec string) (Builder, error) {
+	name, args := spec, ""
+	if i := strings.IndexByte(spec, ':'); i >= 0 {
+		name, args = spec[:i], spec[i+1:]
+	}
+	switch name {
+	case "threshold":
+		if args != "" {
+			return Builder{}, fmt.Errorf("policy: threshold takes no parameters (got %q)", args)
+		}
+		return ThresholdBuilder(), nil
+	case "greedy":
+		if args != "" {
+			return Builder{}, fmt.Errorf("policy: greedy takes no parameters (got %q)", args)
+		}
+		return GreedyBuilder(), nil
+	case "delta-commit":
+		delta := DefaultDelta
+		if args != "" {
+			v, ok := strings.CutPrefix(args, "delta=")
+			if !ok {
+				return Builder{}, fmt.Errorf("policy: delta-commit parameter %q, want delta=D", args)
+			}
+			d, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return Builder{}, fmt.Errorf("policy: delta-commit delta %q: %w", v, err)
+			}
+			delta = d
+		}
+		return DeltaCommitBuilder(delta)
+	default:
+		return Builder{}, fmt.Errorf("policy: unknown policy %q (specs: %s)", name, strings.Join(Specs(), ", "))
+	}
+}
+
+// marshalState wraps a policy's blob document under its spec.
+func marshalState(spec string, doc any) (State, error) {
+	blob, err := json.Marshal(doc)
+	if err != nil {
+		return State{}, fmt.Errorf("policy: export %s: %w", spec, err)
+	}
+	return State{Policy: spec, Blob: blob}, nil
+}
+
+// unmarshalState checks the spec stamp and decodes the blob. The stamp
+// check is the "fails loudly on a policy mismatch" half of the WAL
+// replay contract: a snapshot written by one policy must never be
+// folded into another.
+func unmarshalState(s State, spec string, doc any) error {
+	if s.Policy != spec {
+		return fmt.Errorf("policy: state written by %q imported into %q", s.Policy, spec)
+	}
+	if err := json.Unmarshal(s.Blob, doc); err != nil {
+		return fmt.Errorf("policy: import %s: %w", spec, err)
+	}
+	return nil
+}
+
+// effectiveRelease clamps a job's release to the policy clock. Jobs
+// arrive in non-decreasing release order — core.Threshold enforces it
+// by panicking, the serving layer by clamping at the shard — so the
+// non-core policies just clamp defensively the same way.
+func effectiveRelease(now float64, j job.Job) float64 {
+	if j.Release > now {
+		return j.Release
+	}
+	return now
+}

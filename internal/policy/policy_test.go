@@ -1,0 +1,200 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+
+	"loadmax/internal/job"
+)
+
+func TestParseCanonical(t *testing.T) {
+	cases := []struct {
+		spec    string
+		want    string
+		wantErr string
+	}{
+		{spec: "threshold", want: "threshold"},
+		{spec: "greedy", want: "greedy"},
+		{spec: "delta-commit", want: "delta-commit:delta=0.5"},
+		{spec: "delta-commit:delta=0.25", want: "delta-commit:delta=0.25"},
+		{spec: "delta-commit:delta=1", want: "delta-commit:delta=1"},
+		{spec: "delta-commit:delta=0", wantErr: "must be in (0, 1]"},
+		{spec: "delta-commit:delta=1.5", wantErr: "must be in (0, 1]"},
+		{spec: "delta-commit:delta=bogus", wantErr: "delta"},
+		{spec: "delta-commit:gamma=0.5", wantErr: "want delta=D"},
+		{spec: "threshold:x=1", wantErr: "takes no parameters"},
+		{spec: "greedy:x=1", wantErr: "takes no parameters"},
+		{spec: "nope", wantErr: "unknown policy"},
+		{spec: "", wantErr: "unknown policy"},
+	}
+	for _, tc := range cases {
+		b, err := Parse(tc.spec)
+		if tc.wantErr != "" {
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("Parse(%q) err = %v, want containing %q", tc.spec, err, tc.wantErr)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tc.spec, err)
+			continue
+		}
+		if b.Spec != tc.want {
+			t.Errorf("Parse(%q).Spec = %q, want %q", tc.spec, b.Spec, tc.want)
+		}
+		// Canonical specs must re-parse to themselves.
+		rb, err := Parse(b.Spec)
+		if err != nil || rb.Spec != b.Spec {
+			t.Errorf("Parse(%q) round-trip = (%q, %v)", b.Spec, rb.Spec, err)
+		}
+		p, err := b.New(2, 0.5)
+		if err != nil {
+			t.Fatalf("Parse(%q).New: %v", tc.spec, err)
+		}
+		if p.Machines() != 2 {
+			t.Errorf("Parse(%q).New machines = %d, want 2", tc.spec, p.Machines())
+		}
+	}
+}
+
+func TestGreedyBestFit(t *testing.T) {
+	g, err := NewGreedy(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First two jobs land on distinct machines only if one machine can't
+	// finish them — with plenty of slack, best-fit stacks the most-loaded
+	// feasible machine, which is machine 0 both times.
+	d1 := g.Submit(job.Job{ID: 0, Release: 0, Proc: 2, Deadline: 100})
+	d2 := g.Submit(job.Job{ID: 1, Release: 0, Proc: 2, Deadline: 100})
+	if !d1.Accepted || d1.Machine != 0 || d1.Start != 0 {
+		t.Fatalf("job 0: %+v", d1)
+	}
+	if !d2.Accepted || d2.Machine != 0 || d2.Start != 2 {
+		t.Fatalf("job 1: %+v", d2)
+	}
+	// A tight job that machine 0 can no longer finish spills to machine 1.
+	d3 := g.Submit(job.Job{ID: 2, Release: 0, Proc: 2, Deadline: 3})
+	if !d3.Accepted || d3.Machine != 1 || d3.Start != 0 {
+		t.Fatalf("job 2: %+v", d3)
+	}
+	// Nothing fits: both machines busy past the deadline.
+	d4 := g.Submit(job.Job{ID: 3, Release: 0, Proc: 4, Deadline: 3})
+	if d4.Accepted {
+		t.Fatalf("job 3 accepted: %+v", d4)
+	}
+	if got := g.TotalLoad(); got != 6 {
+		t.Fatalf("TotalLoad = %g, want 6", got)
+	}
+}
+
+func TestDeltaCommitDefersStart(t *testing.T) {
+	// δ = 0.5, job with slack 8: trigger = 0 + 0.5·8 = 4, so the planned
+	// start must be ≥ 4 even though the machine is idle at 0.
+	dc, err := NewDeltaCommit(1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := dc.Submit(job.Job{ID: 0, Release: 0, Proc: 2, Deadline: 10})
+	if !d.Accepted || d.Start != 4 {
+		t.Fatalf("decision = %+v, want accept at start 4", d)
+	}
+	if got := dc.Pending(); got != 1 {
+		t.Fatalf("Pending = %d, want 1 (trigger not reached)", got)
+	}
+	// A later arrival past the trigger matures the slot.
+	dc.Submit(job.Job{ID: 1, Release: 5, Proc: 100, Deadline: 6})
+	if got := dc.Pending(); got != 0 {
+		t.Fatalf("Pending = %d, want 0 after clock passed trigger", got)
+	}
+}
+
+func TestDeltaCommitGapFilling(t *testing.T) {
+	// The deferred window [0, 4) of the slack-rich job stays open, so a
+	// tight job arriving next packs into the gap before it.
+	dc, err := NewDeltaCommit(1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := dc.Submit(job.Job{ID: 0, Release: 0, Proc: 2, Deadline: 10}) // start 4
+	d2 := dc.Submit(job.Job{ID: 1, Release: 0, Proc: 3, Deadline: 3})  // zero slack: trigger 0
+	if !d1.Accepted || d1.Start != 4 {
+		t.Fatalf("job 0: %+v", d1)
+	}
+	if !d2.Accepted || d2.Start != 0 {
+		t.Fatalf("job 1 should fill the deferred gap: %+v", d2)
+	}
+}
+
+func TestDeltaCommitOneCommitsAtArrival(t *testing.T) {
+	// δ = 1 means trigger = release: immediate commitment, nothing pending.
+	dc, err := NewDeltaCommit(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := job.Instance{
+		{ID: 0, Release: 0, Proc: 2, Deadline: 10},
+		{ID: 1, Release: 1, Proc: 3, Deadline: 20},
+		{ID: 2, Release: 2, Proc: 1, Deadline: 4},
+	}
+	for _, j := range jobs {
+		d := dc.Submit(j)
+		if !d.Accepted {
+			t.Fatalf("job %d rejected: %+v", j.ID, d)
+		}
+		if dc.Pending() != 0 {
+			t.Fatalf("job %d left %d pending under δ=1", j.ID, dc.Pending())
+		}
+	}
+}
+
+func TestDeltaCommitRejectsInfeasible(t *testing.T) {
+	dc, err := NewDeltaCommit(1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Negative slack at arrival.
+	if d := dc.Submit(job.Job{ID: 0, Release: 0, Proc: 5, Deadline: 3}); d.Accepted {
+		t.Fatalf("infeasible job accepted: %+v", d)
+	}
+	// Machine saturated inside the window.
+	if d := dc.Submit(job.Job{ID: 1, Release: 0, Proc: 4, Deadline: 4}); !d.Accepted {
+		t.Fatalf("job 1: %+v", d)
+	}
+	if d := dc.Submit(job.Job{ID: 2, Release: 0, Proc: 4, Deadline: 4}); d.Accepted {
+		t.Fatalf("job 2 should not fit: %+v", d)
+	}
+}
+
+func TestImportStateRefusesForeignPolicy(t *testing.T) {
+	g, _ := NewGreedy(2)
+	dc, _ := NewDeltaCommit(2, 0.5)
+	th, err := NewThreshold(2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, err := g.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dc.ImportState(gs); err == nil || !strings.Contains(err.Error(), "written by") {
+		t.Errorf("delta-commit imported greedy state: %v", err)
+	}
+	if err := th.ImportState(gs); err == nil || !strings.Contains(err.Error(), "written by") {
+		t.Errorf("threshold imported greedy state: %v", err)
+	}
+	// Same policy, different parameters: also a mismatch.
+	ds, err := dc.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc25, _ := NewDeltaCommit(2, 0.25)
+	if err := dc25.ImportState(ds); err == nil {
+		t.Error("delta=0.25 imported delta=0.5 state")
+	}
+	// Different topology.
+	g3, _ := NewGreedy(3)
+	if err := g3.ImportState(gs); err == nil {
+		t.Error("m=3 greedy imported m=2 state")
+	}
+}

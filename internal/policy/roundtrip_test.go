@@ -1,0 +1,172 @@
+package policy
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"loadmax/internal/job"
+	"loadmax/internal/online"
+	"loadmax/internal/workload"
+)
+
+// registeredBuilders is the roster the WAL round-trip property is
+// checked against: every policy the serving stack can be configured
+// with, δ-commitment at the arena's δ grid.
+func registeredBuilders(t *testing.T) []Builder {
+	t.Helper()
+	var bs []Builder
+	for _, spec := range []string{
+		"threshold",
+		"greedy",
+		"delta-commit:delta=0.25",
+		"delta-commit:delta=0.5",
+		"delta-commit:delta=1",
+	} {
+		b, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		bs = append(bs, b)
+	}
+	return bs
+}
+
+// roundTripInstances collects the workloads the property runs over:
+// every generator family at two seeds (randomized), a tie-heavy stream
+// of identical jobs, and phase-corner instances whose slack sits
+// exactly on the decision boundaries (zero extra slack, trigger at
+// release, trigger at the last feasible start).
+func roundTripInstances(eps float64, m int) map[string]job.Instance {
+	insts := make(map[string]job.Instance)
+	for _, f := range workload.Families {
+		for _, seed := range []int64{1, 42} {
+			inst := f.Gen(workload.Spec{N: 120, Eps: eps, M: m, Seed: seed})
+			insts[fmt.Sprintf("%s/seed=%d", f.Name, seed)] = inst
+		}
+	}
+
+	ties := make(job.Instance, 64)
+	for i := range ties {
+		ties[i] = job.Job{ID: i, Release: float64(i / 8), Proc: 1, Deadline: float64(i/8) + 1 + (1 + eps)}
+	}
+	insts["tie-heavy"] = ties
+
+	corner := make(job.Instance, 0, 48)
+	id := 0
+	for k := 0; k < 16; k++ {
+		r := float64(k)
+		// Exactly the minimum slack the ε-condition allows: d = r+(1+ε)p.
+		corner = append(corner, job.Job{ID: id, Release: r, Proc: 2, Deadline: r + (1+eps)*2})
+		id++
+		// Generous slack, so δ-commitment's trigger lands strictly inside
+		// the window.
+		corner = append(corner, job.Job{ID: id, Release: r, Proc: 1, Deadline: r + 8})
+		id++
+		// Release ties with the previous pair, deadline ties with the
+		// tight one.
+		corner = append(corner, job.Job{ID: id, Release: r, Proc: 2, Deadline: r + (1+eps)*2})
+		id++
+	}
+	insts["phase-corner"] = corner
+	return insts
+}
+
+// TestPolicyStateRoundTrip is the WAL round-trip property: for every
+// registered policy and workload, export state mid-stream, push it
+// through the JSON encoding WAL snapshots use, import it into a fresh
+// instance, and require the original and the restored policy to decide
+// the rest of the stream bit-identically — and to export byte-equal
+// final states.
+func TestPolicyStateRoundTrip(t *testing.T) {
+	const m, eps = 3, 0.5
+	insts := roundTripInstances(eps, m)
+	for _, b := range registeredBuilders(t) {
+		b := b
+		t.Run(b.Spec, func(t *testing.T) {
+			t.Parallel()
+			for name, inst := range insts {
+				n := len(inst)
+				for _, cut := range []int{0, n / 3, n / 2, n - 1} {
+					orig, err := b.New(m, eps)
+					if err != nil {
+						t.Fatalf("%s: New: %v", name, err)
+					}
+					for _, j := range inst[:cut] {
+						orig.Submit(j)
+					}
+					st, err := orig.ExportState()
+					if err != nil {
+						t.Fatalf("%s cut=%d: export: %v", name, cut, err)
+					}
+					// The snapshot path is JSON: the state must survive an
+					// encode/decode cycle, not just a struct copy.
+					wire, err := json.Marshal(st)
+					if err != nil {
+						t.Fatalf("%s cut=%d: marshal: %v", name, cut, err)
+					}
+					var back State
+					if err := json.Unmarshal(wire, &back); err != nil {
+						t.Fatalf("%s cut=%d: unmarshal: %v", name, cut, err)
+					}
+					restored, err := b.New(m, eps)
+					if err != nil {
+						t.Fatalf("%s: New: %v", name, err)
+					}
+					if err := restored.ImportState(back); err != nil {
+						t.Fatalf("%s cut=%d: import: %v", name, cut, err)
+					}
+					if got, want := restored.Now(), orig.Now(); got != want {
+						t.Fatalf("%s cut=%d: restored clock %g, want %g", name, cut, got, want)
+					}
+					for i, j := range inst[cut:] {
+						da, db := orig.Submit(j), restored.Submit(j)
+						if !online.SameDecision(da, db) {
+							t.Fatalf("%s cut=%d: job %d (#%d after cut): original %+v, restored %+v",
+								name, cut, j.ID, i, da, db)
+						}
+					}
+					fa, err := orig.ExportState()
+					if err != nil {
+						t.Fatalf("%s cut=%d: final export (original): %v", name, cut, err)
+					}
+					fb, err := restored.ExportState()
+					if err != nil {
+						t.Fatalf("%s cut=%d: final export (restored): %v", name, cut, err)
+					}
+					if fa.Policy != fb.Policy || !bytes.Equal(fa.Blob, fb.Blob) {
+						t.Fatalf("%s cut=%d: final states diverge:\n  original: %s %s\n  restored: %s %s",
+							name, cut, fa.Policy, fa.Blob, fb.Policy, fb.Blob)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPolicyDeterminism re-runs every policy twice over the same stream
+// and requires identical decision sequences — the property VerifyReplay
+// leans on.
+func TestPolicyDeterminism(t *testing.T) {
+	const m, eps = 2, 0.25
+	insts := roundTripInstances(eps, m)
+	for _, b := range registeredBuilders(t) {
+		for name, inst := range insts {
+			a, err := b.New(m, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := b.New(m, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, j := range inst {
+				da, dc := a.Submit(j), c.Submit(j)
+				if !online.SameDecision(da, dc) {
+					t.Fatalf("%s/%s: job %d: %+v vs %+v", b.Spec, name, j.ID, da, dc)
+				}
+			}
+		}
+	}
+}

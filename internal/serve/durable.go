@@ -9,8 +9,8 @@ import (
 	"path/filepath"
 	"time"
 
-	"loadmax/internal/core"
 	"loadmax/internal/online"
+	"loadmax/internal/policy"
 	"loadmax/internal/wal"
 )
 
@@ -24,7 +24,9 @@ import (
 //	  shard-0001/ ...
 const (
 	manifestSchema = 1
-	snapshotSchema = 1
+	// snapshotSchema 2 replaced the raw core.State snapshot with the
+	// policy-stamped envelope (schema 1 predates pluggable admission).
+	snapshotSchema = 2
 	manifestName   = "manifest.json"
 	snapshotName   = "snapshot.json"
 	walName        = "wal.log"
@@ -32,30 +34,33 @@ const (
 )
 
 // manifest records the service topology so Restore needs nothing but the
-// directory. Topology is immutable for the life of a durable directory —
-// decisions are only replayable onto the exact (shards, m, ε) that made
-// them.
+// directory. Topology — the admission policy included — is immutable for
+// the life of a durable directory: decisions are only replayable onto
+// the exact (shards, m, ε, policy) that made them.
 type manifest struct {
 	Schema int     `json:"schema_version"`
 	Shards int     `json:"shards"`
 	M      int     `json:"machines"`
 	Eps    float64 `json:"eps"`
+	// Policy is the canonical admission-policy spec; empty in manifests
+	// written before pluggable admission, which always meant Threshold.
+	Policy string `json:"policy,omitempty"`
 }
 
-// shardCheckpoint is one shard's snapshot file: the core scheduler state
-// plus the serving counters, and the log sequence it covers. Records
-// with Seq ≤ LastSeq are already folded into Core; recovery replays only
-// the rest.
+// shardCheckpoint is one shard's snapshot file: the scheduler state —
+// stamped with the policy spec that produced it — plus the serving
+// counters, and the log sequence it covers. Records with Seq ≤ LastSeq
+// are already folded into State; recovery replays only the rest.
 type shardCheckpoint struct {
-	Schema       int        `json:"schema_version"`
-	Shard        int        `json:"shard"`
-	LastSeq      int64      `json:"last_seq"`
-	Core         core.State `json:"core"`
-	Submitted    int64      `json:"submitted"`
-	Accepted     int64      `json:"accepted"`
-	Rejected     int64      `json:"rejected"`
-	Batches      int64      `json:"batches"`
-	AcceptedMass float64    `json:"accepted_mass"`
+	Schema       int          `json:"schema_version"`
+	Shard        int          `json:"shard"`
+	LastSeq      int64        `json:"last_seq"`
+	State        policy.State `json:"policy_state"`
+	Submitted    int64        `json:"submitted"`
+	Accepted     int64        `json:"accepted"`
+	Rejected     int64        `json:"rejected"`
+	Batches      int64        `json:"batches"`
+	AcceptedMass float64      `json:"accepted_mass"`
 }
 
 func shardDir(dir string, id int) string {
@@ -91,6 +96,7 @@ func (s *Service) initDurable(cfg *config) error {
 	}
 	blob, err := json.Marshal(manifest{
 		Schema: manifestSchema, Shards: len(s.shards), M: s.m, Eps: s.eps,
+		Policy: s.admission.Spec,
 	})
 	if err != nil {
 		return err
@@ -129,11 +135,16 @@ func (sh *shard) checkpoint() error {
 	if sh.walErr != nil {
 		return sh.walErr
 	}
+	st, err := sh.th.ExportState()
+	if err != nil {
+		sh.walErr = fmt.Errorf("serve: shard %d checkpoint: %w", sh.id, err)
+		return sh.walErr
+	}
 	ck := shardCheckpoint{
 		Schema:       snapshotSchema,
 		Shard:        sh.id,
 		LastSeq:      sh.wal.NextSeq() - 1,
-		Core:         sh.th.ExportState(),
+		State:        st,
 		Submitted:    sh.submitted.Load(),
 		Accepted:     sh.accepted.Load(),
 		Rejected:     sh.rejected.Load(),
@@ -168,10 +179,13 @@ func (sh *shard) checkpoint() error {
 // crash mid-write) are truncated; they can only belong to decisions
 // whose verdicts were never released.
 //
-// Topology (shards, machines, ε) comes from the manifest; opts carries
-// the rest of the configuration (policy, batching, metrics, decision
-// log, flush interval). The restored service resumes appending to the
-// recovered logs.
+// Topology (shards, machines, ε) and the admission policy come from the
+// manifest; opts carries the rest of the configuration (routing,
+// batching, metrics, decision log, flush interval). Passing
+// WithAdmissionPolicy is allowed only as an assertion: a builder whose
+// spec differs from the manifest's fails loudly, because replaying one
+// policy's commitment log through another would silently re-decide it.
+// The restored service resumes appending to the recovered logs.
 func Restore(dir string, opts ...Option) (*Service, error) {
 	start := time.Now()
 	blob, err := os.ReadFile(filepath.Join(dir, manifestName))
@@ -185,9 +199,23 @@ func Restore(dir string, opts ...Option) (*Service, error) {
 	if mf.Schema != manifestSchema {
 		return nil, fmt.Errorf("serve: restore %s: manifest schema %d, want %d", dir, mf.Schema, manifestSchema)
 	}
+	if mf.Policy == "" {
+		mf.Policy = policy.SpecThreshold // pre-arena manifests were always Threshold
+	}
 	cfg := defaultConfig()
 	for _, o := range opts {
 		o(&cfg)
+	}
+	if cfg.admission.New != nil && cfg.admission.Spec != mf.Policy {
+		return nil, fmt.Errorf("serve: restore %s: directory was written under policy %q, caller asked for %q",
+			dir, mf.Policy, cfg.admission.Spec)
+	}
+	if cfg.admission.New == nil {
+		b, err := policy.Parse(mf.Policy)
+		if err != nil {
+			return nil, fmt.Errorf("serve: restore %s: manifest policy: %w", dir, err)
+		}
+		cfg.admission = b
 	}
 	cfg.durDir = dir
 	s, err := build(mf.Shards, mf.M, mf.Eps, &cfg)
@@ -231,10 +259,10 @@ func (s *Service) recoverShard(sh *shard, cfg *config) (replayed int64, err erro
 		if ck.Shard != sh.id {
 			return 0, fmt.Errorf("serve: shard %d snapshot claims shard %d", sh.id, ck.Shard)
 		}
-		if err := sh.th.ImportState(ck.Core); err != nil {
+		if err := sh.th.ImportState(ck.State); err != nil {
 			return 0, fmt.Errorf("serve: shard %d snapshot: %w", sh.id, err)
 		}
-		st := ck.Core
+		st := ck.State
 		sh.base = &st
 		sh.baseMass = ck.AcceptedMass
 		sh.submitted.Store(ck.Submitted)

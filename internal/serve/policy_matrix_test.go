@@ -1,0 +1,271 @@
+package serve
+
+// Policy-matrix coverage (ISSUE 9 tentpole): every registered admission
+// policy must hold the serving stack's full correctness contract — the
+// concurrent run replays bit-identically (VerifyReplay), checkpoints and
+// kill-and-Restore round-trip the policy state exactly, and a restored
+// service continues deciding as if the crash never happened. The matrix
+// is what makes WithAdmissionPolicy trustworthy: the guarantees were
+// proven for Threshold in earlier PRs; here they are re-proven per
+// policy.
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"loadmax/internal/online"
+	"loadmax/internal/policy"
+	"loadmax/internal/wal"
+	"loadmax/internal/workload"
+)
+
+// matrixSpecs is the policy roster the serving matrix runs over —
+// Threshold, the greedy baseline, and δ-commitment across the δ grid.
+var matrixSpecs = []string{
+	"threshold",
+	"greedy",
+	"delta-commit:delta=0.25",
+	"delta-commit:delta=0.5",
+	"delta-commit:delta=1",
+}
+
+func matrixBuilder(t *testing.T, spec string) policy.Builder {
+	t.Helper()
+	b, err := policy.Parse(spec)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", spec, err)
+	}
+	return b
+}
+
+// TestServePolicyMatrix: per policy — a durable service under a
+// concurrent submit burst with mid-stream checkpoints, closed, replay-
+// verified, then restored and driven through a second wave (the restored
+// half replay-verifies from the imported base state, covering the
+// policy-state snapshot path end to end).
+func TestServePolicyMatrix(t *testing.T) {
+	const shards, m, eps = 2, 4, 0.5
+	for _, spec := range matrixSpecs {
+		spec := spec
+		t.Run(spec, func(t *testing.T) {
+			t.Parallel()
+			dir := filepath.Join(t.TempDir(), "d")
+			svc, err := New(shards, m, eps,
+				WithAdmissionPolicy(matrixBuilder(t, spec)),
+				WithDurability(dir), WithDecisionLog())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := svc.AdmissionPolicy(); got != spec {
+				t.Fatalf("AdmissionPolicy = %q, want %q", got, spec)
+			}
+			inst := workload.Poisson(workload.Spec{N: 1200, Eps: eps, M: shards * m, Load: 2.0, Seed: 31})
+
+			var wg sync.WaitGroup
+			const submitters = 4
+			for w := 0; w < submitters; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := w; i < len(inst); i += submitters {
+						if _, err := svc.Submit(inst[i]); err != nil {
+							t.Errorf("submit %d: %v", inst[i].ID, err)
+							return
+						}
+						if i%300 == 0 {
+							if err := svc.Checkpoint(); err != nil {
+								t.Errorf("checkpoint: %v", err)
+								return
+							}
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			if err := svc.Close(); err != nil {
+				t.Fatalf("close: %v", err)
+			}
+			if err := svc.VerifyReplay(); err != nil {
+				t.Fatalf("verify replay (%s): %v", spec, err)
+			}
+			mass := svc.AcceptedMass()
+
+			// Restore adopts the policy from the manifest — no option
+			// needed — and must continue bit-identically from the
+			// checkpointed state.
+			rec, err := Restore(dir, WithDecisionLog())
+			if err != nil {
+				t.Fatalf("restore: %v", err)
+			}
+			if got := rec.AdmissionPolicy(); got != spec {
+				t.Fatalf("restored AdmissionPolicy = %q, want %q", got, spec)
+			}
+			if got := rec.AcceptedMass(); got != mass {
+				t.Fatalf("restored accepted mass %g, want %g", got, mass)
+			}
+			wave2 := workload.Poisson(workload.Spec{N: 400, Eps: eps, M: shards * m, Load: 2.0, Seed: 37})
+			for _, j := range wave2 {
+				if _, err := rec.Submit(j); err != nil {
+					t.Fatalf("post-restore submit: %v", err)
+				}
+			}
+			if err := rec.Close(); err != nil {
+				t.Fatalf("close restored: %v", err)
+			}
+			if err := rec.VerifyReplay(); err != nil {
+				t.Fatalf("verify replay after restore (%s): %v", spec, err)
+			}
+		})
+	}
+}
+
+// TestPolicyMatrixKillRestore: per policy, a deterministic mid-stream
+// kill (after the 120th durable sync) followed by Restore must preserve
+// every acknowledged decision and re-decide the remaining stream exactly
+// as an uninterrupted same-policy run — single submitter and batch size
+// 1, so the two runs' per-shard streams align index by index.
+func TestPolicyMatrixKillRestore(t *testing.T) {
+	const shards, m, eps, n = 2, 3, 0.25, 400
+	for _, spec := range matrixSpecs {
+		spec := spec
+		t.Run(spec, func(t *testing.T) {
+			t.Parallel()
+			b := matrixBuilder(t, spec)
+			jobs := workload.Poisson(workload.Spec{N: n, Eps: eps, M: shards * m, Load: 2.5, Seed: 11})
+
+			ref, err := New(shards, m, eps, WithAdmissionPolicy(b), WithBatchSize(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			refDecs := make([]online.Decision, n)
+			for i, j := range jobs {
+				if refDecs[i], err = ref.Submit(j); err != nil {
+					t.Fatal(err)
+				}
+			}
+			ref.Close()
+
+			dir := t.TempDir()
+			plan := &wal.CrashPlan{Point: wal.KillAfterSync, After: 120}
+			svc, err := New(shards, m, eps, WithAdmissionPolicy(b),
+				WithDurability(dir), withCrashPlan(plan), WithBatchSize(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			acked := make(map[int]online.Decision)
+			for i, j := range jobs {
+				if i > 0 && i%100 == 0 {
+					_ = svc.Checkpoint() // errors after the kill are the point
+				}
+				if dec, err := svc.Submit(j); err == nil {
+					acked[i] = dec
+				}
+			}
+			if !plan.Crashed() {
+				t.Fatal("crash plan never fired")
+			}
+			svc.Close()
+
+			rec, err := Restore(dir, WithBatchSize(1))
+			if err != nil {
+				t.Fatalf("restore: %v", err)
+			}
+			defer rec.Close()
+			// With one submitter the durable records form a per-shard
+			// prefix: job i survived iff its per-shard position is below
+			// the recovered count. Every acknowledged decision must have
+			// survived, and the recovered service must finish the stream
+			// bit-identically to the uninterrupted reference.
+			counts := make([]int, shards)
+			snaps := rec.Snapshot()
+			pos := make([]int, n)
+			shardOf := make([]int, n)
+			for i, j := range jobs {
+				s := HashByID().Route(j, shards)
+				shardOf[i], pos[i] = s, counts[s]
+				counts[s]++
+			}
+			for i := range jobs {
+				survived := int64(pos[i]) < snaps[shardOf[i]].Submitted
+				if dec, ok := acked[i]; ok {
+					if !survived {
+						t.Fatalf("job %d: acknowledged decision lost in the crash", i)
+					}
+					_ = dec
+					continue
+				}
+				if survived {
+					continue // decided and durable, just never acknowledged: allowed
+				}
+				// Not recovered: re-submit and demand the reference decision.
+				dec, err := rec.Submit(jobs[i])
+				if err != nil {
+					t.Fatalf("job %d resubmit: %v", i, err)
+				}
+				if !online.SameDecision(dec, refDecs[i]) {
+					t.Fatalf("%s: job %d diverged after kill-restore: got %+v, reference %+v",
+						spec, i, dec, refDecs[i])
+				}
+			}
+		})
+	}
+}
+
+// TestRestorePolicyMismatch: a durable directory written under one
+// policy must refuse to restore under another — loudly, naming both.
+func TestRestorePolicyMismatch(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "d")
+	svc, err := New(1, 2, 0.5, WithAdmissionPolicy(matrixBuilder(t, "greedy")), WithDurability(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Submit(workload.Uniform(workload.Spec{N: 1, Eps: 0.5})[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Checkpoint so the directory holds a greedy-stamped snapshot blob —
+	// the stamp is what must fail loudly below.
+	if err := svc.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	svc.Close()
+
+	_, err = Restore(dir, WithAdmissionPolicy(matrixBuilder(t, "threshold")))
+	if err == nil || !strings.Contains(err.Error(), "greedy") || !strings.Contains(err.Error(), "threshold") {
+		t.Fatalf("restore under wrong policy: err = %v, want a loud mismatch naming both", err)
+	}
+	// Matching explicit assertion is fine.
+	rec, err := Restore(dir, WithAdmissionPolicy(matrixBuilder(t, "greedy")))
+	if err != nil {
+		t.Fatalf("restore with matching policy: %v", err)
+	}
+	rec.Close()
+
+	// Legacy manifests (no policy field) mean Threshold: rewrite the
+	// manifest without the field and the greedy-stamped WAL/snapshot
+	// state must make recovery fail loudly rather than silently replay a
+	// greedy log through Threshold.
+	mfPath := filepath.Join(dir, manifestName)
+	blob, err := os.ReadFile(mfPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mf manifest
+	if err := json.Unmarshal(blob, &mf); err != nil {
+		t.Fatal(err)
+	}
+	mf.Policy = ""
+	blob, err = json.Marshal(mf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(mfPath, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Restore(dir); err == nil {
+		t.Fatal("restore replayed a greedy log through the legacy-threshold default without complaint")
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"sync"
 
-	"loadmax/internal/core"
 	"loadmax/internal/job"
 	"loadmax/internal/online"
 )
@@ -50,12 +49,12 @@ func (s *Service) ShardStream(i int) []DecisionRecord {
 
 // VerifyReplay proves the sharded run equivalent to sequential
 // execution: each shard's recorded job stream is replayed through a
-// fresh, lone core.Threshold for the same (m, ε), and every decision
-// must match bit-identically (same verdict, machine, and committed
-// start time). Commitment-on-admission makes this the complete
-// correctness statement — a shard's decisions depend on nothing but its
-// own stream — so any divergence means the concurrent plumbing, not the
-// algorithm, corrupted a decision.
+// fresh, lone instance of the service's admission policy for the same
+// (m, ε), and every decision must match bit-identically (same verdict,
+// machine, and committed start time). Commitment-on-admission makes
+// this the complete correctness statement — a shard's decisions depend
+// on nothing but its own stream — so any divergence means the
+// concurrent plumbing, not the algorithm, corrupted a decision.
 //
 // Requires WithDecisionLog. Call after Close (or at a quiescent point);
 // it verifies the stream recorded so far.
@@ -68,7 +67,7 @@ func (s *Service) VerifyReplay() error {
 			return fmt.Errorf("serve: shard %d has no decision log (construct with WithDecisionLog)", i)
 		}
 		recs := sh.log.snapshot()
-		th, err := core.New(s.m, s.eps)
+		th, err := s.admission.New(s.m, s.eps)
 		if err != nil {
 			return fmt.Errorf("serve: replay shard %d: %w", i, err)
 		}

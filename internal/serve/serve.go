@@ -1,7 +1,8 @@
 // Package serve is the sharded concurrent admission frontend over the
-// core engine: S independent shards, each a single-writer goroutine
-// owning one core.Threshold, fed through buffered submission queues that
-// drain in batches to amortize channel handoffs.
+// admission policies: S independent shards, each a single-writer
+// goroutine owning one policy.AdmissionPolicy (core.Threshold by
+// default; see WithAdmissionPolicy), fed through buffered submission
+// queues that drain in batches to amortize channel handoffs.
 //
 // The design leans on the paper's own structure. Commitment on admission
 // means every decision is irrevocable the moment it is made, so a
@@ -51,6 +52,7 @@ import (
 	"loadmax/internal/job"
 	"loadmax/internal/obs"
 	"loadmax/internal/online"
+	"loadmax/internal/policy"
 	"loadmax/internal/wal"
 )
 
@@ -91,6 +93,7 @@ type Option func(*config)
 
 type config struct {
 	policy        Policy
+	admission     policy.Builder
 	queueDepth    int
 	batchSize     int
 	bp            Backpressure
@@ -106,6 +109,17 @@ type config struct {
 
 // WithPolicy sets the routing policy (default HashByID).
 func WithPolicy(p Policy) Option { return func(c *config) { c.policy = p } }
+
+// WithAdmissionPolicy sets the admission policy every shard runs
+// (default policy.ThresholdBuilder — the paper's Algorithm 1). The
+// builder's spec is stamped into durable manifests and policy-state
+// snapshots, so a Restore under a different policy fails loudly instead
+// of silently re-deciding the log differently. Use policy.Parse to
+// resolve a spec string ("threshold", "greedy", "delta-commit:delta=D")
+// to a builder.
+func WithAdmissionPolicy(b policy.Builder) Option {
+	return func(c *config) { c.admission = b }
+}
 
 // WithQueueDepth sets the per-shard submission queue capacity
 // (default 1024). Depth 0 is clamped to 1.
@@ -215,14 +229,15 @@ type response struct {
 // Service is the sharded admission frontend. Construct with New, or
 // with Restore to resurrect a durable service after a crash.
 type Service struct {
-	m      int // machines per shard
-	eps    float64
-	policy Policy
-	bp     Backpressure
-	shards []*shard
-	pool   sync.Pool
-	durDir string // "" when not durable
-	spans  *obs.SpanRecorder
+	m         int // machines per shard
+	eps       float64
+	policy    Policy
+	admission policy.Builder // constructs each shard's scheduler and the replay verifiers
+	bp        Backpressure
+	shards    []*shard
+	pool      sync.Pool
+	durDir    string // "" when not durable
+	spans     *obs.SpanRecorder
 
 	backpressure *obs.Counter
 	fsyncHist    *obs.Histogram
@@ -238,7 +253,7 @@ type Service struct {
 // touches th; everything readers see goes through atomics.
 type shard struct {
 	id       int
-	th       *core.Threshold
+	th       policy.AdmissionPolicy
 	q        *reqQueue
 	maxBatch int
 	hook     func()
@@ -250,9 +265,9 @@ type shard struct {
 	wal      *wal.Writer
 	snapPath string
 	plan     *wal.CrashPlan
-	walErr   error       // sticky: a WAL failure poisons the shard
-	base     *core.State // checkpoint the restored scheduler started from
-	baseMass float64     // accepted mass covered by base
+	walErr   error         // sticky: a WAL failure poisons the shard
+	base     *policy.State // checkpoint the restored scheduler started from
+	baseMass float64       // accepted mass covered by base
 	spans    *obs.SpanRecorder
 
 	walSeq atomic.Int64 // last appended WAL sequence (durable shards)
@@ -277,7 +292,8 @@ type shard struct {
 }
 
 // New builds a Service with the given shard count, machines per shard,
-// and slack ε. Each shard owns an independent core.Threshold for (m, ε);
+// and slack ε. Each shard owns an independent admission policy instance
+// for (m, ε) — core.Threshold unless WithAdmissionPolicy says otherwise;
 // total machine capacity is therefore shards×m.
 func New(shards, m int, eps float64, opts ...Option) (*Service, error) {
 	cfg := defaultConfig()
@@ -314,13 +330,21 @@ func build(shards, m int, eps float64, cfg *config) (*Service, error) {
 	if cfg.batchSize < 1 {
 		cfg.batchSize = 1
 	}
+	// Resolve the admission builder: Threshold by default, and Threshold
+	// always carries the core options (engine selection, tracer) — a
+	// threshold builder from policy.Parse doesn't know about them.
+	if cfg.admission.New == nil ||
+		(cfg.admission.Spec == policy.SpecThreshold && len(cfg.coreOpts) > 0) {
+		cfg.admission = policy.ThresholdBuilder(cfg.coreOpts...)
+	}
 	s := &Service{
-		m:      m,
-		eps:    eps,
-		policy: cfg.policy,
-		bp:     cfg.bp,
-		durDir: cfg.durDir,
-		spans:  cfg.spans,
+		m:         m,
+		eps:       eps,
+		policy:    cfg.policy,
+		admission: cfg.admission,
+		bp:        cfg.bp,
+		durDir:    cfg.durDir,
+		spans:     cfg.spans,
 	}
 	s.pool.New = func() any {
 		return &request{done: make(chan response, 1)}
@@ -336,7 +360,7 @@ func build(shards, m int, eps float64, cfg *config) (*Service, error) {
 
 	s.shards = make([]*shard, shards)
 	for i := range s.shards {
-		th, err := core.New(m, eps, cfg.coreOpts...)
+		th, err := s.admission.New(m, eps)
 		if err != nil {
 			return nil, fmt.Errorf("serve: shard %d: %w", i, err)
 		}
@@ -382,6 +406,11 @@ func (s *Service) Eps() float64 { return s.eps }
 
 // Policy returns the routing policy in use.
 func (s *Service) Policy() Policy { return s.policy }
+
+// AdmissionPolicy returns the canonical spec of the admission policy
+// every shard runs — what gets stamped into durable manifests and the
+// network HELLO ack.
+func (s *Service) AdmissionPolicy() string { return s.admission.Spec }
 
 // Submit routes the job to its shard and blocks until that shard has
 // decided. It is safe from any number of goroutines. Under the Reject

@@ -164,6 +164,127 @@ func TestShutdownRaceNonDurable(t *testing.T) {
 	wg.Wait()
 }
 
+// TestSubmitStrictlyAfterClose is the post-Close contract test (ISSUE 9
+// satellite): once Close has RETURNED — not merely raced with the burst
+// — every entry point must answer with a typed ErrClosed, never panic on
+// a closed shard queue or hang on a drained one. Both service flavors
+// are covered, and the concurrent hammering comes from many goroutines
+// calling into an already-closed service at once.
+func TestSubmitStrictlyAfterClose(t *testing.T) {
+	const shards, m = 2, 4
+	const eps = 0.25
+	inst := raceInstance(t, 64, shards*m, eps, 21)
+
+	for _, tc := range []struct {
+		name string
+		mk   func(t *testing.T) *Service
+	}{
+		{"non-durable", func(t *testing.T) *Service {
+			svc, err := New(shards, m, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return svc
+		}},
+		{"durable", func(t *testing.T) *Service {
+			svc, err := New(shards, m, eps, WithDurability(filepath.Join(t.TempDir(), "d")))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return svc
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			svc := tc.mk(t)
+			// A little pre-Close traffic so the shards have real state.
+			for _, j := range inst[:8] {
+				if _, err := svc.Submit(j); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := svc.Close(); err != nil {
+				t.Fatalf("close: %v", err)
+			}
+
+			var wg sync.WaitGroup
+			for w := 0; w < 8; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < 50; i++ {
+						if _, err := svc.Submit(inst[(w*50+i)%len(inst)]); !errors.Is(err, ErrClosed) {
+							t.Errorf("Submit after Close: got %v, want ErrClosed", err)
+							return
+						}
+						for _, r := range svc.SubmitBatch(inst[:4]) {
+							if !errors.Is(r.Err, ErrClosed) {
+								t.Errorf("SubmitBatch after Close: got %v, want ErrClosed", r.Err)
+								return
+							}
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+
+			// Checkpoint after Close: ErrClosed on a durable service (the
+			// logs are gone), ErrNotDurable otherwise (the stronger,
+			// configuration-level answer).
+			wantCkpt := ErrNotDurable
+			if tc.name == "durable" {
+				wantCkpt = ErrClosed
+			}
+			if err := svc.Checkpoint(); !errors.Is(err, wantCkpt) {
+				t.Fatalf("Checkpoint after Close: got %v, want %v", err, wantCkpt)
+			}
+			// And Close stays idempotent after all of it.
+			if err := svc.Close(); err != nil {
+				t.Fatalf("second close: %v", err)
+			}
+		})
+	}
+}
+
+// TestSubmitBatchRaceWithClose extends the concurrent-burst coverage to
+// the batch path: SubmitBatch fighting Close must yield only decided
+// jobs or ErrClosed, per job, with no panics or hangs.
+func TestSubmitBatchRaceWithClose(t *testing.T) {
+	const shards, m = 2, 8
+	const eps = 0.25
+	svc, err := New(shards, m, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := raceInstance(t, 2000, shards*m, eps, 17)
+
+	var wg sync.WaitGroup
+	const submitters = 6
+	for w := 0; w < submitters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for off := w * 40; off+40 <= len(inst); off += submitters * 40 {
+				for _, r := range svc.SubmitBatch(inst[off : off+40]) {
+					if r.Err != nil && !errors.Is(r.Err, ErrClosed) {
+						t.Errorf("batch job: unexpected error %v", r.Err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	time.Sleep(time.Millisecond)
+	if err := svc.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	wg.Wait()
+	for _, r := range svc.SubmitBatch(inst[:10]) {
+		if !errors.Is(r.Err, ErrClosed) {
+			t.Fatalf("SubmitBatch strictly after Close: got %v, want ErrClosed", r.Err)
+		}
+	}
+}
+
 // TestShutdownRaceConcurrentClose hammers Close itself: many goroutines
 // closing at once (with submits still in flight) must all return nil —
 // Close is idempotent and safe for concurrent use.

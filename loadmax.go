@@ -49,6 +49,7 @@ import (
 	"loadmax/internal/obs"
 	"loadmax/internal/offline"
 	"loadmax/internal/online"
+	"loadmax/internal/policy"
 	"loadmax/internal/randomized"
 	"loadmax/internal/ratio"
 	"loadmax/internal/serve"
@@ -246,6 +247,37 @@ func RoundRobinRouter() RoutingPolicy { return serve.RoundRobin() }
 
 // WithServePolicy sets the routing policy (default HashByIDRouter).
 func WithServePolicy(p RoutingPolicy) ServeOption { return serve.WithPolicy(p) }
+
+// AdmissionPolicy is a pluggable per-shard admission algorithm: an
+// online Scheduler extended with the clock/load/state accessors the
+// serving stack needs for replay verification and durable recovery.
+type AdmissionPolicy = policy.AdmissionPolicy
+
+// AdmissionBuilder names an admission policy (a canonical spec string)
+// and constructs fresh instances of it. Obtain one from
+// ParseAdmissionPolicy.
+type AdmissionBuilder = policy.Builder
+
+// ParseAdmissionPolicy resolves a policy spec — "threshold" (the
+// paper's Algorithm 1, the default), "greedy" (best-fit EDF baseline),
+// or "delta-commit:delta=D" (δ-commitment, arXiv:1811.08238 adapted to
+// immediate verdicts) — into a builder for WithServeAdmissionPolicy.
+func ParseAdmissionPolicy(spec string) (AdmissionBuilder, error) { return policy.Parse(spec) }
+
+// AdmissionPolicySpecs lists the recognized admission-policy spec
+// forms.
+func AdmissionPolicySpecs() []string { return policy.Specs() }
+
+// WithServeAdmissionPolicy runs every shard of the service on the given
+// admission policy instead of the default Threshold scheduler. All
+// serving guarantees are policy-relative: VerifyReplay proves the
+// concurrent decision stream bit-identical to a sequential replay
+// through the same policy, durable directories record the policy in
+// their manifest, and Restore refuses a directory written under a
+// different policy.
+func WithServeAdmissionPolicy(b AdmissionBuilder) ServeOption {
+	return serve.WithAdmissionPolicy(b)
+}
 
 // WithServeQueueDepth sets the per-shard submission queue capacity.
 func WithServeQueueDepth(n int) ServeOption { return serve.WithQueueDepth(n) }
