@@ -4,7 +4,7 @@ GO ?= go
 # the last line that supports the go.mod Go version; bump both together.
 STATICCHECK_VERSION ?= 2024.1.1
 
-.PHONY: all build test race race-multicore bench bench-submit bench-submit-smoke bench-serve bench-serve-smoke bench-recover bench-recover-smoke bench-net bench-net-smoke bench-batch bench-batch-smoke bench-trace bench-trace-smoke bench-scale bench-scale-smoke bench-arena bench-arena-smoke net-smoke obs-smoke crash-smoke fuzz-smoke verify fmt vet staticcheck experiments clean
+.PHONY: all build test race race-multicore bench bench-submit bench-submit-smoke bench-serve bench-serve-smoke bench-recover bench-recover-smoke bench-net bench-net-smoke bench-batch bench-batch-smoke bench-trace bench-trace-smoke bench-scale bench-scale-smoke bench-arena bench-arena-smoke bench-cluster bench-cluster-smoke net-smoke gateway-smoke obs-smoke crash-smoke fuzz-smoke verify fmt vet staticcheck experiments clean
 
 all: build
 
@@ -29,6 +29,7 @@ race:
 race-multicore:
 	GOMAXPROCS=4 $(GO) test -race -count=1 ./...
 	GOMAXPROCS=4 $(GO) test -race -count=1 -run 'TestServePolicyMatrix|TestPolicyMatrixKillRestore|TestPolicyStateRoundTrip|TestPolicyDeterminism' ./internal/serve/ ./internal/policy/
+	GOMAXPROCS=4 $(GO) test -race -count=1 -run 'TestGateway|TestRoutingDeterminism|TestMirror|TestDrain' ./internal/gateway/
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
@@ -149,6 +150,35 @@ bench-arena:
 # the competitive-ratio numbers, which are exact model outputs anyway.
 bench-arena-smoke:
 	$(GO) run ./cmd/bench -mode arena -quick -check -out -
+
+# bench-cluster runs the gateway-tier sweep (backend groups × wire
+# clients, with a kill -9 of group 0's primary mid-burst at every
+# point) and writes BENCH_cluster.json; see EXPERIMENTS.md §E22 for the
+# schema. Replay verification is hardwired on: every point must fail
+# over with zero acknowledged-verdict loss and pass the merged
+# per-backend replay proof (gateway.VerifyMergedReplay).
+bench-cluster:
+	$(GO) run ./cmd/bench -mode cluster -out BENCH_cluster.json
+
+# bench-cluster-smoke is the CI gate for the cluster tier: 1–2 groups,
+# 1–2 clients, small n, the mid-burst kill and the merged replay proof
+# at every point. It fails on build errors, panics, a lost or altered
+# acknowledged verdict, or a stream divergence — never on throughput
+# or latency numbers, which are timing.
+bench-cluster-smoke:
+	$(GO) run ./cmd/bench -mode cluster -quick -out -
+
+# gateway-smoke is the failover gate: the gateway suite under the race
+# detector — concurrent submitters, a kill -9 (Server.Abort) of a
+# primary mid-burst, standby promotion with the mirror queue flushed
+# first, and the merged per-backend decision streams proven
+# bit-identical by policy-generic replay with zero acked-verdict loss.
+# Plus the routing-determinism table (every router × admission policy:
+# gateway submission ≡ direct per-backend submission), mirror-lag
+# shedding, and the drain path. Outcomes are deterministic; nothing
+# asserts on wall-clock timing.
+gateway-smoke:
+	$(GO) test -race -count=1 ./internal/gateway/
 
 # obs-smoke is the ops-plane gate: build loadmaxd + loadmaxctl, start a
 # traced daemon with the admin listener, scrape /metrics and /statusz

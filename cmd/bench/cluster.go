@@ -1,0 +1,327 @@
+package main
+
+// The cluster benchmark mode (ISSUE 10): measure the gateway tier
+// end-to-end and prove its failover story at every sweep point. Each
+// point stands up G in-process backend groups (primary + warm standby,
+// all decision-logged) behind a gateway fronted by the netserve wire
+// protocol, then drives the workload over clients×pipeline wire
+// streams. Mid-burst, group 0's primary is killed at the wire
+// (Server.Abort — the in-process kill -9); the point only passes if the
+// gateway fails over and the merged per-backend decision streams verify
+// bit-identically (gateway.VerifyMergedReplay), with zero acknowledged
+// verdicts lost. Replay verification is mandatory in cluster mode;
+// there is no -check knob to forget.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"loadmax/internal/gateway"
+	"loadmax/internal/job"
+	"loadmax/internal/netserve"
+	"loadmax/internal/policy"
+	"loadmax/internal/serve"
+	"loadmax/internal/workload"
+)
+
+type clusterConfig struct {
+	out           string
+	groups        string // comma-separated group counts
+	clients       string // comma-separated client counts
+	pipeline      int
+	n             int
+	family        string
+	eps           float64
+	load          float64
+	seed          int64
+	backendShards int
+	machines      int
+	policy        string
+	window        int
+	killFrac      float64
+	quick         bool
+}
+
+// clusterPoint is one (groups, clients) sweep point.
+type clusterPoint struct {
+	Groups   int `json:"groups"`
+	Clients  int `json:"clients"`
+	Pipeline int `json:"pipeline"`
+	Jobs     int `json:"jobs"`
+
+	WallSeconds float64 `json:"wall_seconds"`
+	JobsPerSec  float64 `json:"jobs_per_sec"`
+	P50SubmitNs float64 `json:"p50_submit_ns"`
+	P99SubmitNs float64 `json:"p99_submit_ns"`
+	Accepted    int64   `json:"accepted"`
+
+	KilledGroup   int    `json:"killed_group"`
+	KillAfterJobs int64  `json:"kill_after_jobs"`
+	Failovers     int64  `json:"failovers"`
+	Replay        string `json:"replay"` // "ok" or the bench failed
+}
+
+// clusterReport is the full BENCH_cluster.json document.
+type clusterReport struct {
+	Benchmark        string         `json:"benchmark"`
+	SchemaVersion    int            `json:"schema_version"`
+	Meta             runMeta        `json:"meta"`
+	NumCPU           int            `json:"num_cpu"`
+	BackendShards    int            `json:"backend_shards"`
+	MachinesPerShard int            `json:"machines_per_shard"`
+	Policy           string         `json:"policy"`
+	Window           int            `json:"window"`
+	KillFraction     float64        `json:"kill_fraction"`
+	Workload         workloadParams `json:"workload"`
+	Results          []clusterPoint `json:"results"`
+}
+
+func runCluster(cfg clusterConfig) error {
+	if cfg.quick {
+		cfg.groups = "1,2"
+		cfg.clients = "1,2"
+		if cfg.n > 3000 {
+			cfg.n = 3000
+		}
+	}
+	fam, ok := workload.ByName(cfg.family)
+	if !ok {
+		return fmt.Errorf("unknown workload family %q", cfg.family)
+	}
+	groupCounts, err := parseInts(cfg.groups)
+	if err != nil {
+		return fmt.Errorf("bad -cluster-groups list: %w", err)
+	}
+	clientCounts, err := parseInts(cfg.clients)
+	if err != nil {
+		return fmt.Errorf("bad -clients list: %w", err)
+	}
+	builder, err := policy.Parse(cfg.policy)
+	if err != nil {
+		return err
+	}
+	inst := fam.Gen(workload.Spec{
+		N: cfg.n, Eps: cfg.eps, M: cfg.backendShards * cfg.machines, Load: cfg.load, Seed: cfg.seed,
+	})
+	rep := clusterReport{
+		Benchmark:        "cluster",
+		SchemaVersion:    1,
+		Meta:             collectMeta(),
+		NumCPU:           runtime.NumCPU(),
+		BackendShards:    cfg.backendShards,
+		MachinesPerShard: cfg.machines,
+		Policy:           builder.Spec,
+		Window:           cfg.window,
+		KillFraction:     cfg.killFrac,
+		Workload: workloadParams{
+			Family: fam.Name, N: cfg.n, Eps: cfg.eps, Load: cfg.load, Seed: cfg.seed,
+		},
+	}
+
+	fmt.Printf("%-7s %-8s %12s %12s %12s %10s %10s %7s\n",
+		"groups", "clients", "jobs/sec", "p50 ns", "p99 ns", "accepted", "failovers", "replay")
+	for _, groups := range groupCounts {
+		for _, clients := range clientCounts {
+			pt, err := runClusterPoint(cfg, builder, inst, groups, clients)
+			if err != nil {
+				return fmt.Errorf("cluster point groups=%d clients=%d: %w", groups, clients, err)
+			}
+			rep.Results = append(rep.Results, pt)
+			fmt.Printf("%-7d %-8d %12.0f %12.0f %12.0f %10d %10d %7s\n",
+				pt.Groups, pt.Clients, pt.JobsPerSec,
+				pt.P50SubmitNs, pt.P99SubmitNs, pt.Accepted, pt.Failovers, pt.Replay)
+		}
+	}
+
+	blob, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if cfg.out == "-" {
+		os.Stdout.Write(blob)
+		return nil
+	}
+	if err := os.WriteFile(cfg.out, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", cfg.out)
+	return nil
+}
+
+// clusterBackend is one in-process daemon of a sweep point.
+type clusterBackend struct {
+	svc *serve.Service
+	srv *netserve.Server
+}
+
+func startClusterBackend(cfg clusterConfig, builder policy.Builder) (*clusterBackend, error) {
+	svc, err := serve.New(cfg.backendShards, cfg.machines, cfg.eps,
+		serve.WithAdmissionPolicy(builder), serve.WithDecisionLog())
+	if err != nil {
+		return nil, err
+	}
+	srv, err := netserve.Serve(svc, "127.0.0.1:0", netserve.WithWindow(cfg.window))
+	if err != nil {
+		svc.Close()
+		return nil, err
+	}
+	return &clusterBackend{svc: svc, srv: srv}, nil
+}
+
+// runClusterPoint measures one sweep point: fresh backends, fresh
+// gateway, a mid-burst kill of group 0's primary, then full merged
+// replay verification of every group.
+func runClusterPoint(cfg clusterConfig, builder policy.Builder, inst job.Instance, groups, clients int) (clusterPoint, error) {
+	pt := clusterPoint{Groups: groups, Clients: clients, Pipeline: cfg.pipeline, Jobs: len(inst)}
+
+	primaries := make([]*clusterBackend, groups)
+	standbys := make([]*clusterBackend, groups)
+	specs := make([]gateway.BackendSpec, groups)
+	defer func() {
+		for _, b := range append(primaries, standbys...) {
+			if b != nil {
+				b.srv.Close()
+				b.svc.Close()
+			}
+		}
+	}()
+	for g := 0; g < groups; g++ {
+		var err error
+		if primaries[g], err = startClusterBackend(cfg, builder); err != nil {
+			return pt, err
+		}
+		if standbys[g], err = startClusterBackend(cfg, builder); err != nil {
+			return pt, err
+		}
+		specs[g] = gateway.BackendSpec{
+			Primary: primaries[g].srv.Addr().String(),
+			Standby: standbys[g].srv.Addr().String(),
+		}
+	}
+
+	gw, err := gateway.New(specs,
+		gateway.WithJournal(),
+		gateway.WithProbeInterval(100*time.Millisecond),
+		gateway.WithFailThreshold(2),
+		gateway.WithCallTimeout(30*time.Second))
+	if err != nil {
+		return pt, err
+	}
+	gwClosed := false
+	defer func() {
+		if !gwClosed {
+			gw.Close()
+		}
+	}()
+	front, err := netserve.Serve(gw, "127.0.0.1:0", netserve.WithWindow(cfg.window))
+	if err != nil {
+		return pt, err
+	}
+	defer front.Close()
+
+	// The assassin: once the burst is killFrac through, group 0's
+	// primary dies at the wire. In-flight frames are lost unacked; the
+	// sequencer fails over and re-decides them on the promoted standby.
+	kill := int64(float64(len(inst)) * cfg.killFrac)
+	pt.KillAfterJobs = kill
+	killed := make(chan struct{})
+	go func() {
+		defer close(killed)
+		for gw.DecidedJobs() < kill {
+			time.Sleep(200 * time.Microsecond)
+		}
+		primaries[0].srv.Abort()
+	}()
+
+	latencies := make([]int64, 0, len(inst))
+	start := time.Now()
+	lat, err := driveNet(front.Addr().String(), inst, clients, cfg.pipeline, latencies)
+	if err != nil {
+		return pt, err
+	}
+	pt.WallSeconds = time.Since(start).Seconds()
+	<-killed
+
+	// The kill may have landed after the drive's last frame to group 0;
+	// keep poking fresh job IDs until the failover registers so the
+	// point always verifies the path it exists to verify.
+	if err := awaitFailover(gw, inst); err != nil {
+		return pt, err
+	}
+
+	if err := front.Close(); err != nil {
+		return pt, err
+	}
+	if err := gw.Close(); err != nil { // flushes every surviving mirror
+		return pt, err
+	}
+	gwClosed = true
+
+	st := gw.Status()
+	for _, g := range st.Groups {
+		pt.Failovers += g.Failovers
+	}
+	for g := 0; g < groups; g++ {
+		pt.Accepted += countAccepted(gw.Journal(g))
+	}
+	if pt.WallSeconds > 0 {
+		pt.JobsPerSec = float64(len(inst)) / pt.WallSeconds
+	}
+	sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
+	pt.P50SubmitNs = percentile(lat, 0.50)
+	pt.P99SubmitNs = percentile(lat, 0.99)
+
+	// Verification, every point, no opt-out: each backend self-replays,
+	// and each group's merged (dead primary + promoted/flushed standby)
+	// stream passes the failover proof with zero acked-verdict loss.
+	for g := 0; g < groups; g++ {
+		for _, b := range []*clusterBackend{primaries[g], standbys[g]} {
+			if err := b.svc.VerifyReplay(); err != nil {
+				return pt, fmt.Errorf("group %d backend replay: %w", g, err)
+			}
+		}
+		if err := gateway.VerifyMergedReplay(builder, cfg.machines, cfg.eps,
+			gw.Journal(g), gateway.Streams(primaries[g].svc), gateway.Streams(standbys[g].svc)); err != nil {
+			return pt, fmt.Errorf("group %d merged replay: %w", g, err)
+		}
+	}
+	pt.Replay = "ok"
+	return pt, nil
+}
+
+// awaitFailover nudges the gateway with fresh-ID jobs until group 0
+// reports its promotion (probe and submit paths both count).
+func awaitFailover(gw *gateway.Gateway, inst job.Instance) error {
+	deadline := time.Now().Add(15 * time.Second)
+	nextID := 10_000_000
+	for {
+		for _, g := range gw.Status().Groups {
+			if g.Group == 0 && g.Failovers > 0 {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("no failover within 15s of killing group 0's primary")
+		}
+		j := inst[len(inst)-1]
+		j.ID = nextID
+		nextID++
+		gw.Submit(j) //nolint:errcheck // only poking the sequencer
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func countAccepted(journal []gateway.JournalEntry) int64 {
+	var n int64
+	for _, e := range journal {
+		if e.Dec.Accepted {
+			n++
+		}
+	}
+	return n
+}

@@ -113,7 +113,7 @@ type report struct {
 
 // knownModes is the authoritative -mode list; keep it in sync with the
 // dispatch in main and the doc comment above.
-var knownModes = []string{"submit", "serve", "recover", "net", "batch", "trace", "scale", "arena"}
+var knownModes = []string{"submit", "serve", "recover", "net", "batch", "trace", "scale", "arena", "cluster"}
 
 type workloadParams struct {
 	Family string  `json:"family"`
@@ -173,6 +173,12 @@ func main() {
 			"arena: comma-separated admission-policy specs to race")
 		arenaEps = flag.String("arena-eps", "0.1,0.25,0.5,1", "arena: comma-separated ε grid for the adversary games")
 		arenaM   = flag.Int("arena-machines", 4, "arena: machine count of each policy instance")
+
+		clusterGroups   = flag.String("cluster-groups", "1,2,4", "cluster: comma-separated backend-group counts to sweep")
+		clusterPipeline = flag.Int("cluster-pipeline", 4, "cluster: concurrent submitters per wire client")
+		clusterShards   = flag.Int("cluster-shards", 2, "cluster: shard count of each backend daemon")
+		clusterPolicy   = flag.String("cluster-policy", "delta-commit:delta=0.5", "cluster: admission policy every backend runs")
+		clusterKill     = flag.Float64("cluster-kill", 0.4, "cluster: kill group 0's primary after this fraction of the burst is decided")
 
 		adminAddr = flag.String("admin", "", "admin HTTP listen address (/statusz, /healthz, /debug/pprof) while the benchmark runs (empty = disabled)")
 	)
@@ -298,6 +304,23 @@ func main() {
 			cfg.n = 2000 // the offline bound is the cost driver, not Submit
 		}
 		if err := runArena(cfg); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *mode == "cluster" {
+		if *out == "" {
+			*out = "BENCH_cluster.json"
+		}
+		cfg := clusterConfig{
+			out: *out, groups: *clusterGroups, clients: *clientsList,
+			pipeline: *clusterPipeline,
+			n:        *n, family: *family, eps: *eps, load: *load, seed: *seed,
+			backendShards: *clusterShards, machines: *serveM,
+			policy: *clusterPolicy, window: *netWindow,
+			killFrac: *clusterKill, quick: *quick,
+		}
+		if err := runCluster(cfg); err != nil {
 			fatal(err)
 		}
 		return

@@ -11,12 +11,16 @@
 //	slow              table of slow-request spans from /spanz?slow=1
 //	spans             table of recent request spans from /spanz
 //	health            hit /healthz; exit 0 healthy, 1 draining/down
+//	backends          table of a loadmaxgw's backend groups: roles,
+//	                  health, mirror lag, failovers (reads the gateway
+//	                  section of /statusz)
 //
 // Examples:
 //
 //	loadmaxctl -admin 127.0.0.1:7134 status
 //	loadmaxctl -admin 127.0.0.1:7134 metrics -grep span_stage
 //	loadmaxctl -admin 127.0.0.1:7134 slow
+//	loadmaxctl -admin 127.0.0.1:7234 backends
 package main
 
 import (
@@ -36,7 +40,7 @@ func main() {
 	admin := flag.String("admin", "127.0.0.1:7134", "loadmaxd admin address")
 	timeout := flag.Duration("timeout", 5*time.Second, "request timeout")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: loadmaxctl [-admin host:port] [-timeout d] status|metrics|slow|spans|health")
+		fmt.Fprintln(os.Stderr, "usage: loadmaxctl [-admin host:port] [-timeout d] status|metrics|slow|spans|health|backends")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -62,6 +66,8 @@ func main() {
 		err = c.spans(false)
 	case "health":
 		err = c.health()
+	case "backends":
+		err = c.backends()
 	default:
 		fmt.Fprintf(os.Stderr, "loadmaxctl: unknown command %q\n", cmd)
 		flag.Usage()
@@ -218,6 +224,84 @@ func printSpanTable(spans []spanView) {
 		fmt.Printf("%10d %5d %-7s %12v  %s\n",
 			sp.JobID, sp.Shard, sp.Verdict, time.Duration(sp.TotalNs), strings.Join(parts, " "))
 	}
+}
+
+// gwStatus mirrors the gateway section of a loadmaxgw /statusz; kept
+// local so the CLI depends only on the wire contract.
+type gwStatus struct {
+	Router  string    `json:"router"`
+	Policy  string    `json:"policy"`
+	Decided int64     `json:"decided_jobs"`
+	Groups  []gwGroup `json:"groups"`
+}
+
+type gwGroup struct {
+	Group          int         `json:"group"`
+	State          string      `json:"state"`
+	MirrorLagJobs  int64       `json:"mirror_lag_jobs"`
+	Failovers      int64       `json:"failovers"`
+	LastFailoverMs float64     `json:"last_failover_ms"`
+	Diverged       bool        `json:"diverged"`
+	Backends       []gwBackend `json:"backends"`
+}
+
+type gwBackend struct {
+	Addr    string `json:"addr"`
+	Role    string `json:"role"`
+	Healthy bool   `json:"healthy"`
+	Jobs    int64  `json:"jobs"`
+}
+
+func (c *client) backends() error {
+	body, code, err := c.get("/statusz")
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK {
+		return fmt.Errorf("statusz: HTTP %d: %s", code, strings.TrimSpace(string(body)))
+	}
+	var out struct {
+		Gateway *gwStatus `json:"gateway"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		return fmt.Errorf("statusz: %w", err)
+	}
+	if out.Gateway == nil {
+		return fmt.Errorf("no gateway section in /statusz — is -admin pointing at a loadmaxgw (not a loadmaxd)?")
+	}
+	fmt.Print(renderBackends(*out.Gateway))
+	return nil
+}
+
+// renderBackends formats the cluster table: a header line with the
+// cluster-wide identity, then one row per backend grouped by routing
+// group.
+func renderBackends(st gwStatus) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "router=%s policy=%s decided=%d groups=%d\n",
+		st.Router, st.Policy, st.Decided, len(st.Groups))
+	fmt.Fprintf(&b, "%5s %-12s %-22s %-8s %-9s %10s %9s %9s\n",
+		"GROUP", "STATE", "ADDR", "ROLE", "HEALTH", "JOBS", "MIRRORLAG", "FAILOVERS")
+	for _, g := range st.Groups {
+		state := g.State
+		if g.Diverged {
+			state += "!diverged"
+		}
+		for i, be := range g.Backends {
+			health := "down"
+			if be.Healthy {
+				health = "ok"
+			}
+			if i == 0 {
+				fmt.Fprintf(&b, "%5d %-12s %-22s %-8s %-9s %10d %9d %9d\n",
+					g.Group, state, be.Addr, be.Role, health, be.Jobs, g.MirrorLagJobs, g.Failovers)
+			} else {
+				fmt.Fprintf(&b, "%5s %-12s %-22s %-8s %-9s %10d %9s %9s\n",
+					"", "", be.Addr, be.Role, health, be.Jobs, "", "")
+			}
+		}
+	}
+	return b.String()
 }
 
 func (c *client) health() error {

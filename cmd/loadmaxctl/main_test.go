@@ -98,3 +98,49 @@ func mustCompile(t *testing.T, pat string) *regexp.Regexp {
 	}
 	return re
 }
+
+// TestRenderBackends pins the backends table: cluster identity header,
+// one row per backend with group columns only on the group's first row,
+// and a loud diverged marker — the operator's one-glance failover view.
+func TestRenderBackends(t *testing.T) {
+	st := gwStatus{
+		Router:  "hash-by-id",
+		Policy:  "delta-commit:delta=0.5",
+		Decided: 1234,
+		Groups: []gwGroup{
+			{
+				Group: 0, State: "degraded", MirrorLagJobs: 0, Failovers: 1,
+				Backends: []gwBackend{
+					{Addr: "127.0.0.1:7135", Role: "primary", Healthy: true, Jobs: 700},
+					{Addr: "127.0.0.1:7133", Role: "dead", Healthy: false, Jobs: 300},
+				},
+			},
+			{
+				Group: 1, State: "active", MirrorLagJobs: 7, Diverged: true,
+				Backends: []gwBackend{
+					{Addr: "127.0.0.1:7137", Role: "primary", Healthy: true, Jobs: 234},
+				},
+			},
+		},
+	}
+	got := renderBackends(st)
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	if len(lines) != 5 { // header + columns + 3 backend rows
+		t.Fatalf("renderBackends produced %d lines, want 5:\n%s", len(lines), got)
+	}
+	if !strings.Contains(lines[0], "router=hash-by-id") || !strings.Contains(lines[0], "decided=1234") {
+		t.Errorf("header line missing identity: %q", lines[0])
+	}
+	for want, line := range map[string]string{
+		"primary": lines[2], "dead": lines[3], "active!diverged": lines[4],
+	} {
+		if !strings.Contains(line, want) {
+			t.Errorf("line %q missing %q", line, want)
+		}
+	}
+	// Group columns appear once per group: the second backend row of
+	// group 0 must not repeat the group id or state.
+	if strings.Contains(lines[3], "degraded") {
+		t.Errorf("continuation row repeats group state: %q", lines[3])
+	}
+}

@@ -56,7 +56,7 @@ func main() {
 		shards   = flag.Int("shards", 4, "shard count (ignored when restoring a durable dir)")
 		machines = flag.Int("machines", 64, "machines per shard (ignored when restoring)")
 		eps      = flag.Float64("eps", 0.1, "slack ε (ignored when restoring)")
-		router   = flag.String("router", "hash-by-id", "shard routing: hash-by-id, length-class, round-robin")
+		router   = flag.String("router", "hash-by-id", "shard routing: "+strings.Join(serve.RouterNames(), ", "))
 		admSpec  = flag.String("policy", "threshold", "admission policy: "+strings.Join(policy.Specs(), ", ")+" (a durable restore adopts the directory's policy unless -policy is set explicitly)")
 		queue    = flag.Int("queue", 1024, "per-shard submission queue depth")
 		batch    = flag.Int("batch", 64, "max submissions a shard drains per batch")
@@ -67,6 +67,7 @@ func main() {
 		window   = flag.Int("window", 256, "per-connection in-flight window")
 		inflight = flag.Int("max-inflight", 4096, "server-wide in-flight cap before shedding")
 		wtimeout = flag.Duration("write-timeout", 10*time.Second, "slow-client disconnect threshold")
+		hellotmo = flag.Duration("hello-timeout", 10*time.Second, "handshake deadline: a connection that has not completed HELLO by then is cut")
 		metOut   = flag.String("metrics-out", "", "write a JSON metrics snapshot here on shutdown (\"-\" = stdout)")
 
 		adminAddr = flag.String("admin", "", "admin HTTP listen address for /metrics, /statusz, /healthz, /spanz, /debug/pprof (empty = disabled)")
@@ -95,16 +96,11 @@ func main() {
 	if rec != nil {
 		svcOpts = append(svcOpts, serve.WithSpans(rec))
 	}
-	switch *router {
-	case "hash-by-id":
-		svcOpts = append(svcOpts, serve.WithPolicy(serve.HashByID()))
-	case "length-class":
-		svcOpts = append(svcOpts, serve.WithPolicy(serve.LengthClass()))
-	case "round-robin":
-		svcOpts = append(svcOpts, serve.WithPolicy(serve.RoundRobin()))
-	default:
-		fatal(fmt.Errorf("unknown router %q (want hash-by-id, length-class or round-robin)", *router))
+	routerPolicy, err := serve.ParseRouter(*router)
+	if err != nil {
+		fatal(err)
 	}
+	svcOpts = append(svcOpts, serve.WithPolicy(routerPolicy))
 	// The admission policy only rides along when -policy was given
 	// explicitly: a durable restore must adopt the directory's stamped
 	// policy, and an explicit flag there acts as a loud assertion
@@ -136,6 +132,7 @@ func main() {
 		netserve.WithWindow(*window),
 		netserve.WithMaxInflight(*inflight),
 		netserve.WithWriteTimeout(*wtimeout),
+		netserve.WithHelloTimeout(*hellotmo),
 	}
 	if rec != nil {
 		srvOpts = append(srvOpts, netserve.WithServerSpans(rec))

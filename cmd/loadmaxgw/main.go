@@ -1,0 +1,306 @@
+// Command loadmaxgw is the loadmax cluster gateway: it fronts N
+// loadmaxd backends with the same netserve wire protocol the daemons
+// themselves speak, routing job-id spaces to backend groups, mirroring
+// every decided verdict to a warm standby per group, health-probing the
+// backends, and promoting a standby when a primary dies — without
+// revoking a single acknowledged commitment.
+//
+// Usage:
+//
+//	loadmaxgw -addr :7233 -backends 127.0.0.1:7133/127.0.0.1:7135,127.0.0.1:7137
+//	loadmaxgw -router length-class -probe-interval 250ms -fail-threshold 2
+//	loadmaxgw -admin 127.0.0.1:7234 -spans
+//
+// -backends is a comma-separated list of groups, each "primary" or
+// "primary/standby". All backends must advertise the same topology
+// (machines, ε) and admission policy; the gateway refuses a mixed
+// cluster at startup.
+//
+// With -admin, the ops plane serves the standard /metrics, /statusz
+// (with a "gateway" section: groups, roles, health, mirror lag,
+// failovers — what `loadmaxctl backends` renders), /healthz, /spanz and
+// /debug/pprof, plus POST /drainz?group=N to drain a group's primary
+// (promote its standby) without dropping in-flight commitments.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"loadmax/internal/gateway"
+	"loadmax/internal/netserve"
+	"loadmax/internal/obs"
+	"loadmax/internal/obs/expo"
+	"loadmax/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":7233", "TCP listen address (\":0\" picks a free port)")
+		backends = flag.String("backends", "", "backend groups, comma-separated, each \"primary[/standby]\" (required)")
+		router   = flag.String("router", "hash-by-id", "group routing: "+strings.Join(serve.RouterNames(), ", "))
+
+		window   = flag.Int("window", 256, "per-connection in-flight window")
+		inflight = flag.Int("max-inflight", 4096, "server-wide in-flight cap before shedding")
+		wtimeout = flag.Duration("write-timeout", 10*time.Second, "slow-client disconnect threshold")
+		hellotmo = flag.Duration("hello-timeout", 10*time.Second, "handshake deadline: a connection that has not completed HELLO by then is cut")
+
+		probeIv   = flag.Duration("probe-interval", 500*time.Millisecond, "backend HELLO health-probe cadence (0 = disabled)")
+		failThr   = flag.Int("fail-threshold", 3, "consecutive probe failures before a primary is failed over")
+		mirrorD   = flag.Int("mirror-depth", 256, "max decided batches a standby may lag before new intake sheds")
+		intakeD   = flag.Int("intake-depth", 1024, "per-group pending-submission queue depth")
+		callTmo   = flag.Duration("call-timeout", 30*time.Second, "backend round-trip deadline; exceeding it triggers failover")
+		dialTmo   = flag.Duration("dial-timeout", 5*time.Second, "backend dial + probe deadline")
+		metOut    = flag.String("metrics-out", "", "write a JSON metrics snapshot here on shutdown (\"-\" = stdout)")
+		adminAddr = flag.String("admin", "", "admin HTTP listen address (empty = disabled)")
+		spans     = flag.Bool("spans", false, "trace request lifecycles into per-stage histograms and the /spanz ring")
+		slowThr   = flag.Duration("slow-threshold", time.Second, "log requests slower than this (0 = disabled; requires -spans)")
+		spanRing  = flag.Int("span-ring", 512, "finished-span ring capacity for /spanz (requires -spans)")
+		heartbeat = flag.Duration("heartbeat", time.Minute, "periodic one-line stats log interval (0 = disabled)")
+	)
+	flag.Parse()
+
+	specs, err := parseBackends(*backends)
+	if err != nil {
+		fatal(err)
+	}
+	routerPolicy, err := serve.ParseRouter(*router)
+	if err != nil {
+		fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	var rec *obs.SpanRecorder
+	if *spans {
+		rec = obs.NewSpanRecorder(reg,
+			obs.WithSpanRing(*spanRing),
+			obs.WithSlowThreshold(*slowThr))
+	}
+
+	gwOpts := []gateway.Option{
+		gateway.WithRouter(routerPolicy),
+		gateway.WithMetrics(reg),
+		gateway.WithProbeInterval(*probeIv),
+		gateway.WithFailThreshold(*failThr),
+		gateway.WithMirrorDepth(*mirrorD),
+		gateway.WithIntakeDepth(*intakeD),
+		gateway.WithCallTimeout(*callTmo),
+		gateway.WithDialTimeout(*dialTmo),
+	}
+	if rec != nil {
+		gwOpts = append(gwOpts, gateway.WithSpans(rec))
+	}
+	gw, err := gateway.New(specs, gwOpts...)
+	if err != nil {
+		fatal(err)
+	}
+
+	srvOpts := []netserve.ServerOption{
+		netserve.WithServerMetrics(reg),
+		netserve.WithWindow(*window),
+		netserve.WithMaxInflight(*inflight),
+		netserve.WithWriteTimeout(*wtimeout),
+		netserve.WithHelloTimeout(*hellotmo),
+	}
+	if rec != nil {
+		srvOpts = append(srvOpts, netserve.WithServerSpans(rec))
+	}
+	srv, err := netserve.Serve(gw, *addr, srvOpts...)
+	if err != nil {
+		gw.Close()
+		fatal(err)
+	}
+
+	build := expo.CollectBuild()
+	banner(build, gw, srv.Addr().String(), rec)
+
+	var admin *expo.Admin
+	var adminSrv *http.Server
+	if *adminAddr != "" {
+		admin = expo.NewAdmin(reg,
+			expo.WithServerName("loadmaxgw"),
+			expo.WithBuild(build),
+			expo.WithSpans(rec))
+		admin.RegisterStatus("gateway", func() any { return gw.Status() })
+		// The gateway adds one operator verb the stock plane lacks:
+		// POST /drainz?group=N promotes group N's standby and retires
+		// its primary, with every in-flight commitment honored.
+		mux := http.NewServeMux()
+		mux.Handle("/", admin.Handler())
+		mux.HandleFunc("/drainz", func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodPost {
+				http.Error(w, "POST only", http.StatusMethodNotAllowed)
+				return
+			}
+			gi, err := strconv.Atoi(r.URL.Query().Get("group"))
+			if err != nil {
+				http.Error(w, "need ?group=N", http.StatusBadRequest)
+				return
+			}
+			if err := gw.DrainBackend(gi); err != nil {
+				http.Error(w, err.Error(), http.StatusConflict)
+				return
+			}
+			fmt.Fprintf(w, "group %d drained: standby promoted\n", gi)
+		})
+		adminSrv = &http.Server{Addr: *adminAddr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+		ln, err := listen(adminSrv)
+		if err != nil {
+			srv.Close()
+			gw.Close()
+			fatal(err)
+		}
+		fmt.Printf("loadmaxgw: admin plane on http://%s (/metrics /statusz /healthz /spanz /drainz /debug/pprof)\n", ln)
+	}
+
+	stop := make(chan struct{})
+	if *heartbeat > 0 {
+		go heartbeatLoop(gw, reg, *heartbeat, stop)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	fmt.Printf("loadmaxgw: %v — draining\n", s)
+	if admin != nil {
+		admin.SetDraining(true)
+	}
+	close(stop)
+	if err := srv.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "loadmaxgw: drain:", err)
+	}
+	if err := gw.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "loadmaxgw: close:", err)
+	}
+	if adminSrv != nil {
+		adminSrv.Close()
+	}
+	if *metOut != "" {
+		if err := writeMetrics(reg, *metOut); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// parseBackends splits "p1[/s1],p2[/s2],..." into group specs.
+func parseBackends(s string) ([]gateway.BackendSpec, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("-backends is required (comma-separated \"primary[/standby]\" groups)")
+	}
+	var specs []gateway.BackendSpec
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		pr, sb, _ := strings.Cut(part, "/")
+		pr, sb = strings.TrimSpace(pr), strings.TrimSpace(sb)
+		if pr == "" {
+			return nil, fmt.Errorf("backend group %q has no primary", part)
+		}
+		specs = append(specs, gateway.BackendSpec{Primary: pr, Standby: sb})
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("-backends lists no groups")
+	}
+	return specs, nil
+}
+
+// listen binds the admin server's address and serves in the background,
+// returning the resolved address.
+func listen(srv *http.Server) (string, error) {
+	ln, err := net.Listen("tcp", srv.Addr)
+	if err != nil {
+		return "", err
+	}
+	go srv.Serve(ln) //nolint:errcheck // ErrServerClosed on shutdown
+	return ln.Addr().String(), nil
+}
+
+func banner(build expo.Build, gw *gateway.Gateway, addr string, rec *obs.SpanRecorder) {
+	commit := build.Commit
+	if len(commit) > 12 {
+		commit = commit[:12]
+	}
+	if build.Dirty {
+		commit += "-dirty"
+	}
+	fmt.Printf("loadmaxgw: starting %s commit=%s pid=%d gomaxprocs=%d\n",
+		build.GoVersion, commit, os.Getpid(), runtime.GOMAXPROCS(0))
+	st := gw.Status()
+	standbys := 0
+	for _, g := range st.Groups {
+		for _, b := range g.Backends {
+			if b.Role == gateway.RoleStandby {
+				standbys++
+			}
+		}
+	}
+	tracing := "off"
+	if rec != nil {
+		tracing = fmt.Sprintf("on (slow threshold %v)", rec.SlowThreshold())
+	}
+	fmt.Printf("loadmaxgw: fronting %d groups (%d standbys) × %d machines (ε=%g, policy=%s, router=%s) on %s — tracing %s\n",
+		len(st.Groups), standbys, gw.Machines(), gw.Eps(), gw.AdmissionPolicy(), gw.Router(), addr, tracing)
+}
+
+// heartbeatLoop logs a one-line cluster digest every interval.
+func heartbeatLoop(gw *gateway.Gateway, reg *obs.Registry, interval time.Duration, stop <-chan struct{}) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	var lastDecided int64
+	lastBeat := time.Now()
+	for {
+		select {
+		case <-t.C:
+			st := gw.Status()
+			healthy, lag, failovers := 0, int64(0), int64(0)
+			for _, g := range st.Groups {
+				lag += g.MirrorLagJobs
+				failovers += g.Failovers
+				for _, b := range g.Backends {
+					if b.Healthy && (b.Role == gateway.RolePrimary || b.Role == gateway.RoleStandby) {
+						healthy++
+					}
+				}
+			}
+			now := time.Now()
+			rate := float64(st.Decided-lastDecided) / now.Sub(lastBeat).Seconds()
+			lastDecided, lastBeat = st.Decided, now
+			snap := reg.Snapshot()
+			fmt.Printf("loadmaxgw: decided=%d rate=%.0f/s healthy=%d mirror_lag=%d failovers=%d conns=%.0f\n",
+				st.Decided, rate, healthy, lag, failovers, snap.Gauges["netserve_connections"])
+		case <-stop:
+			return
+		}
+	}
+}
+
+func writeMetrics(reg *obs.Registry, path string) error {
+	if path == "-" {
+		return reg.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "loadmaxgw:", err)
+	os.Exit(1)
+}

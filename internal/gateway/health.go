@@ -1,0 +1,67 @@
+package gateway
+
+import (
+	"time"
+
+	"loadmax/internal/netserve"
+)
+
+// probeLoop health-checks every backend on a fixed cadence with full
+// HELLO probes — dial, handshake, close — the strongest liveness signal
+// the wire offers (a backend that acks a HELLO is serving, not just
+// accepting TCP). failThreshold consecutive failures on a group's
+// primary raise a failover signal to that group's sequencer; the
+// signal names the backend so a stale probe can never kill a freshly
+// promoted standby.
+func (gw *Gateway) probeLoop() {
+	defer gw.probeWg.Done()
+	t := time.NewTicker(gw.cfg.probeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-gw.closeCh:
+			return
+		case <-t.C:
+		}
+		healthy := int64(0)
+		for _, g := range gw.groups {
+			g.bmu.Lock()
+			pb, sb := g.primary, g.standby
+			g.bmu.Unlock()
+			for _, b := range [...]*backend{pb, sb} {
+				if b == nil {
+					continue
+				}
+				if err := gw.probe(b.addr); err != nil {
+					b.healthy.Store(false)
+					b.fails.Add(1)
+					gw.probeFails.Inc()
+				} else {
+					b.healthy.Store(true)
+					b.fails.Store(0)
+					healthy++
+				}
+			}
+			if pb != nil && int(pb.fails.Load()) >= gw.cfg.failThreshold {
+				select {
+				case g.failoverCh <- pb:
+				default: // one pending signal is plenty
+				}
+			}
+		}
+		gw.healthyGauge.Set(float64(healthy))
+	}
+}
+
+// probe performs one HELLO round trip. Redial is disabled: a probe
+// wants the first failure reported, not papered over.
+func (gw *Gateway) probe(addr string) error {
+	cl, err := netserve.Dial(addr,
+		netserve.WithConns(1),
+		netserve.WithDialTimeout(gw.cfg.dialTimeout),
+		netserve.WithRedial(0, 0, 0))
+	if err != nil {
+		return err
+	}
+	return cl.Close()
+}

@@ -1,0 +1,74 @@
+package gateway
+
+import "time"
+
+// BackendStatus is one backend's row in the ops plane.
+type BackendStatus struct {
+	Addr    string `json:"addr"`
+	Role    string `json:"role"` // primary | standby | drained | dead
+	Healthy bool   `json:"healthy"`
+	Jobs    int64  `json:"jobs"` // verdicts decided via this backend
+}
+
+// GroupStatus is one routing group's row.
+type GroupStatus struct {
+	Group          int             `json:"group"`
+	State          string          `json:"state"` // active | degraded | failing-over | down
+	MirrorLagJobs  int64           `json:"mirror_lag_jobs"`
+	Failovers      int64           `json:"failovers"`
+	LastFailoverMs float64         `json:"last_failover_ms,omitempty"`
+	Diverged       bool            `json:"diverged,omitempty"`
+	Backends       []BackendStatus `json:"backends"`
+}
+
+// ClusterStatus is the gateway section of /statusz: what loadmaxctl
+// backends renders.
+type ClusterStatus struct {
+	Router  string        `json:"router"`
+	Policy  string        `json:"policy"`
+	Groups  []GroupStatus `json:"groups"`
+	Decided int64         `json:"decided_jobs"`
+}
+
+// Status snapshots the cluster: roles, health, mirror lag, failovers,
+// per-backend decided-job counts. Lock-held time is pointer collection
+// only — it is safe to call on the serving path.
+func (gw *Gateway) Status() ClusterStatus {
+	st := ClusterStatus{
+		Router:  gw.cfg.router.Name(),
+		Policy:  gw.ack.policy,
+		Decided: gw.DecidedJobs(),
+	}
+	for _, g := range gw.groups {
+		g.bmu.Lock()
+		backends := make([]*backend, 0, 2+len(g.retired))
+		if g.primary != nil {
+			backends = append(backends, g.primary)
+		}
+		if g.standby != nil {
+			backends = append(backends, g.standby)
+		}
+		backends = append(backends, g.retired...)
+		g.bmu.Unlock()
+		gs := GroupStatus{
+			Group:         g.id,
+			State:         g.state.Load().(string),
+			MirrorLagJobs: g.mirrorLag.Load(),
+			Failovers:     g.failoverCount.Load(),
+			Diverged:      g.diverged.Load(),
+		}
+		if ns := g.lastFailoverNs.Load(); ns > 0 {
+			gs.LastFailoverMs = float64(ns) / float64(time.Millisecond)
+		}
+		for _, b := range backends {
+			gs.Backends = append(gs.Backends, BackendStatus{
+				Addr:    b.addr,
+				Role:    b.role.Load().(string),
+				Healthy: b.healthy.Load(),
+				Jobs:    b.jobs.Load(),
+			})
+		}
+		st.Groups = append(st.Groups, gs)
+	}
+	return st
+}

@@ -1,0 +1,132 @@
+package gateway
+
+import (
+	"fmt"
+
+	"loadmax/internal/job"
+	"loadmax/internal/online"
+	"loadmax/internal/policy"
+	"loadmax/internal/serve"
+)
+
+// JournalEntry is one acknowledged verdict: the job as submitted to the
+// gateway and the decision the caller was given. The journal is the
+// gateway's side of the commitment ledger — whatever is in it was
+// promised, and VerifyMergedReplay holds the cluster to it.
+type JournalEntry struct {
+	Job job.Job
+	Dec online.Decision
+}
+
+// Streams collects every shard's recorded decision stream from an
+// in-process backend service (requires serve.WithDecisionLog) — the
+// per-backend halves of the merged stream the failover proof checks.
+func Streams(svc *serve.Service) [][]serve.DecisionRecord {
+	out := make([][]serve.DecisionRecord, svc.Shards())
+	for i := range out {
+		out[i] = svc.ShardStream(i)
+	}
+	return out
+}
+
+// VerifyMergedReplay proves a group's decision stream bit-identical
+// across a failover. Inputs: the policy the cluster runs (fresh
+// instances are built per shard for the replay), the backend topology
+// (m, eps), the gateway's acknowledged-verdict journal for the group,
+// and the two backends' per-shard decision streams — the dead (or
+// drained) primary's and the promoted standby's.
+//
+// Job IDs must be unique within the group's traffic (they are the
+// journal/stream join key).
+//
+// It checks, in order:
+//
+//  1. Tail discipline on the dead primary: each of its shard streams is
+//     an acknowledged prefix followed only by unacknowledged records —
+//     the in-flight work at the kill. A decided-but-unacked record
+//     *mid*-stream would mean the gateway acked out of order.
+//  2. Prefix identity: the promoted backend's shard streams begin with
+//     exactly that acknowledged prefix, record for record — same
+//     effective job, same verdict, same machine, bit-identical start
+//     time (online.SameDecision).
+//  3. Policy-generic replay: every promoted shard stream, replayed
+//     job by job through a fresh policy instance, reproduces its
+//     recorded decisions bit-identically — serve.VerifyReplay's
+//     contract, applied to the merged post-failover stream.
+//  4. Zero acknowledged-verdict loss: every journal entry appears in
+//     the promoted streams with the identical decision. This is the
+//     paper's commitment guarantee lifted to the cluster: no verdict a
+//     client saw is revoked or altered by the failover.
+func VerifyMergedReplay(b policy.Builder, m int, eps float64, acked []JournalEntry, dead, promoted [][]serve.DecisionRecord) error {
+	if len(dead) != len(promoted) {
+		return fmt.Errorf("gateway verify: shard count mismatch: dead %d, promoted %d", len(dead), len(promoted))
+	}
+	ackedBy := make(map[int]online.Decision, len(acked))
+	for _, e := range acked {
+		ackedBy[e.Job.ID] = e.Dec
+	}
+
+	for s := range dead {
+		ds, ps := dead[s], promoted[s]
+		k := 0
+		for k < len(ds) {
+			if _, ok := ackedBy[ds[k].Decision.JobID]; !ok {
+				break
+			}
+			k++
+		}
+		for i := k; i < len(ds); i++ {
+			if _, ok := ackedBy[ds[i].Decision.JobID]; ok {
+				return fmt.Errorf("gateway verify: shard %d: acked record for job %d at index %d follows unacked record %d — unacked work is not a contiguous tail",
+					s, ds[i].Decision.JobID, i, k)
+			}
+		}
+		if len(ps) < k {
+			return fmt.Errorf("gateway verify: shard %d: promoted stream has %d records, shorter than the dead primary's acked prefix %d",
+				s, len(ps), k)
+		}
+		for i := 0; i < k; i++ {
+			if ds[i].Job != ps[i].Job || !online.SameDecision(ds[i].Decision, ps[i].Decision) {
+				return fmt.Errorf("gateway verify: shard %d record %d not bit-identical across failover: primary (%+v → %+v) vs promoted (%+v → %+v)",
+					s, i, ds[i].Job, ds[i].Decision, ps[i].Job, ps[i].Decision)
+			}
+		}
+	}
+
+	for s, ps := range promoted {
+		sched, err := b.New(m, eps)
+		if err != nil {
+			return fmt.Errorf("gateway verify: shard %d: build %s replayer: %w", s, b.Spec, err)
+		}
+		for i, rec := range ps {
+			dec := sched.Submit(rec.Job)
+			if !online.SameDecision(dec, rec.Decision) {
+				return fmt.Errorf("gateway verify: shard %d: promoted stream does not replay: record %d (job %d) recorded %+v, replayed %+v",
+					s, i, rec.Job.ID, rec.Decision, dec)
+			}
+		}
+	}
+
+	seen := make(map[int]online.Decision)
+	for _, ps := range promoted {
+		for _, rec := range ps {
+			seen[rec.Decision.JobID] = rec.Decision
+		}
+	}
+	for _, e := range acked {
+		got, ok := seen[e.Dec.JobID]
+		if !ok {
+			return fmt.Errorf("gateway verify: acknowledged verdict for job %d missing from the promoted backend — an acked verdict was lost", e.Dec.JobID)
+		}
+		if !online.SameDecision(got, e.Dec) {
+			return fmt.Errorf("gateway verify: acknowledged verdict for job %d changed across failover: acked %+v, promoted holds %+v", e.Dec.JobID, e.Dec, got)
+		}
+	}
+	return nil
+}
+
+func (g *group) journalSnapshot() []JournalEntry {
+	g.jmu.Lock()
+	defer g.jmu.Unlock()
+	return append([]JournalEntry(nil), g.journal...)
+}

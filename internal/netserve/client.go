@@ -29,6 +29,13 @@ var (
 	ErrTimeout = errors.New("netserve: request timed out awaiting verdict")
 	// ErrClientClosed reports a Submit after Close.
 	ErrClientClosed = errors.New("netserve: client closed")
+	// ErrBackendDown reports that every pooled connection is dead AND
+	// the redial budget is exhausted: the backend is gone as far as this
+	// client can tell, and no submission will ever succeed again on it.
+	// It is wrapped in a *TransportError; test with errors.Is. Distinct
+	// from the transient "all connections down, redialing" state, which
+	// is a plain *TransportError and may heal.
+	ErrBackendDown = errors.New("netserve: backend down (redial budget exhausted)")
 )
 
 // RemoteError is a server-side failure relayed over the wire (service
@@ -51,14 +58,25 @@ func (e *TransportError) Unwrap() error { return e.Err }
 type DialOption func(*dialConfig)
 
 type dialConfig struct {
-	conns       int
-	timeout     time.Duration
-	dialTimeout time.Duration
-	spans       *obs.SpanRecorder
+	conns        int
+	timeout      time.Duration
+	dialTimeout  time.Duration
+	spans        *obs.SpanRecorder
+	dialer       func() (net.Conn, error)
+	redialBudget int
+	redialBase   time.Duration
+	redialMax    time.Duration
 }
 
 func defaultDialConfig() dialConfig {
-	return dialConfig{conns: 1, timeout: 30 * time.Second, dialTimeout: 10 * time.Second}
+	return dialConfig{
+		conns:        1,
+		timeout:      30 * time.Second,
+		dialTimeout:  10 * time.Second,
+		redialBudget: 6,
+		redialBase:   25 * time.Millisecond,
+		redialMax:    2 * time.Second,
+	}
 }
 
 // WithConns sets the connection-pool size (default 1). Submissions are
@@ -73,6 +91,30 @@ func WithTimeout(d time.Duration) DialOption { return func(c *dialConfig) { c.ti
 // WithDialTimeout bounds connection establishment and the handshake
 // (default 10s).
 func WithDialTimeout(d time.Duration) DialOption { return func(c *dialConfig) { c.dialTimeout = d } }
+
+// WithDialer replaces the TCP dialer (default: DialTimeout to the Dial
+// addr). Both the initial pool and every redial go through it, which is
+// how tests drive the reconnect path deterministically over net.Pipe
+// and how in-process backends are reached without a real socket.
+func WithDialer(d func() (net.Conn, error)) DialOption {
+	return func(c *dialConfig) { c.dialer = d }
+}
+
+// WithRedial tunes the reconnect path: a pooled connection that dies is
+// redialed in the background with exponential backoff, up to budget
+// dial attempts per outage starting at base and capped at max (default
+// 6 attempts, 25ms..2s). A successful redial resets the budget; once it
+// is spent the slot is down for good and — with every slot down —
+// submissions fail with ErrBackendDown. budget = 0 disables redial,
+// restoring the conn-stays-dead behavior (used by health probes, which
+// want the first failure reported, not retried).
+func WithRedial(budget int, base, max time.Duration) DialOption {
+	return func(c *dialConfig) {
+		c.redialBudget = budget
+		c.redialBase = base
+		c.redialMax = max
+	}
+}
 
 // WithClientSpans attaches a span recorder: every decided Submit's
 // send→verdict round trip is observed into the recorder's "client"
@@ -92,13 +134,24 @@ func WithClientSpans(rec *obs.SpanRecorder) DialOption {
 // singles and batches pipeline freely on the same connections.
 type Client struct {
 	cfg   dialConfig
-	conns []*clientConn
+	slots []*connSlot
 	rr    atomic.Uint64
 
 	mu     sync.Mutex
 	closed bool
 
+	closeCh chan struct{} // closed by Close; stops the slot monitors
+
 	ack helloAck // topology from the first connection's handshake
+}
+
+// connSlot is one position in the connection pool. The current
+// connection is behind an atomic pointer because the slot's monitor
+// goroutine swaps in a fresh connection after a successful redial while
+// submitters read it lock-free.
+type connSlot struct {
+	cur  atomic.Pointer[clientConn]
+	down atomic.Bool // redial budget exhausted: this slot will never heal
 }
 
 // Dial connects to a loadmax daemon at addr and performs the protocol
@@ -111,17 +164,120 @@ func Dial(addr string, opts ...DialOption) (*Client, error) {
 	if cfg.conns < 1 {
 		cfg.conns = 1
 	}
-	c := &Client{cfg: cfg}
+	if cfg.dialer == nil {
+		dt := cfg.dialTimeout
+		cfg.dialer = func() (net.Conn, error) { return net.DialTimeout("tcp", addr, dt) }
+	}
+	c := &Client{cfg: cfg, closeCh: make(chan struct{})}
 	for i := 0; i < cfg.conns; i++ {
-		cc, ack, err := dialConn(addr, cfg)
+		nc, err := cfg.dialer()
+		if err != nil {
+			c.Close()
+			return nil, &TransportError{Op: "dial " + addr, Err: err}
+		}
+		cc, ack, err := setupConn(nc, cfg)
 		if err != nil {
 			c.Close()
 			return nil, err
 		}
-		c.conns = append(c.conns, cc)
+		sl := &connSlot{}
+		sl.cur.Store(cc)
+		c.slots = append(c.slots, sl)
 		c.ack = ack
 	}
+	for _, sl := range c.slots {
+		go c.watch(sl)
+	}
 	return c, nil
+}
+
+// newClientWith assembles a client over pre-established connections —
+// the test seam for net.Pipe-backed pools. Monitors run exactly as in
+// Dial; with no dialer configured, a dead slot goes straight to down.
+func newClientWith(cfg dialConfig, ack helloAck, ccs ...*clientConn) *Client {
+	c := &Client{cfg: cfg, ack: ack, closeCh: make(chan struct{})}
+	for _, cc := range ccs {
+		sl := &connSlot{}
+		sl.cur.Store(cc)
+		c.slots = append(c.slots, sl)
+	}
+	for _, sl := range c.slots {
+		go c.watch(sl)
+	}
+	return c
+}
+
+// watch is slot sl's reconnect monitor: it blocks until the slot's
+// connection dies, runs the redial loop, and either re-arms on the
+// fresh connection or marks the slot down for good when the budget is
+// spent. One goroutine per slot, started at Dial, stopped by Close.
+func (c *Client) watch(sl *connSlot) {
+	for {
+		cc := sl.cur.Load()
+		select {
+		case <-cc.dead:
+		case <-c.closeCh:
+			return
+		}
+		if !c.redial(sl) {
+			sl.down.Store(true)
+			return
+		}
+	}
+}
+
+// redial tries to re-establish sl's connection: up to redialBudget dial
+// attempts with exponential backoff. A redialed connection must
+// advertise the same topology and policy as the original handshake — a
+// backend that came back *different* is a different backend, and
+// silently switching to it would corrupt the caller's view of the
+// decision stream, so a mismatched ack counts as a failed attempt.
+// Returns false when the budget is spent (or redial is disabled).
+func (c *Client) redial(sl *connSlot) bool {
+	if c.cfg.dialer == nil || c.cfg.redialBudget <= 0 {
+		return false
+	}
+	backoff := c.cfg.redialBase
+	for attempt := 0; attempt < c.cfg.redialBudget; attempt++ {
+		nc, err := c.cfg.dialer()
+		if err == nil {
+			cc, ack, serr := setupConn(nc, c.cfg)
+			if serr == nil && !sameTopology(ack, c.ack) {
+				cc.close()
+				serr = errors.New("redialed backend advertises a different topology")
+			}
+			if serr == nil {
+				// Publish under the client mutex so a concurrent Close
+				// cannot miss the fresh connection and leak it.
+				c.mu.Lock()
+				if c.closed {
+					c.mu.Unlock()
+					cc.close()
+					return false
+				}
+				sl.cur.Store(cc)
+				c.mu.Unlock()
+				return true
+			}
+		}
+		select {
+		case <-time.After(backoff):
+		case <-c.closeCh:
+			return false
+		}
+		backoff *= 2
+		if backoff > c.cfg.redialMax {
+			backoff = c.cfg.redialMax
+		}
+	}
+	return false
+}
+
+// sameTopology reports whether a redialed handshake matches the
+// original: same serving shape, same admission policy. Window may
+// differ (the new connection self-limits to its own ack).
+func sameTopology(a, b helloAck) bool {
+	return a.Shards == b.Shards && a.Machines == b.Machines && a.Eps == b.Eps && a.Policy == b.Policy
 }
 
 // Shards returns the serving topology's shard count, learned in the
@@ -165,9 +321,9 @@ func (c *Client) SubmitTimeout(j job.Job, timeout time.Duration) (online.Decisio
 	}
 	c.mu.Unlock()
 
-	cc := c.pick()
+	cc, pickErr := c.pick()
 	if cc == nil {
-		return online.Decision{}, &TransportError{Op: "submit", Err: errors.New("no live connections")}
+		return online.Decision{}, pickErr
 	}
 	timer := time.NewTimer(timeout)
 	defer timer.Stop()
@@ -263,9 +419,9 @@ func (c *Client) SubmitBatchTimeout(jobs []job.Job, timeout time.Duration) ([]Ba
 	if len(jobs) == 0 {
 		return nil, nil
 	}
-	cc := c.pick()
+	cc, pickErr := c.pick()
 	if cc == nil {
-		return nil, &TransportError{Op: "submit-batch", Err: errors.New("no live connections")}
+		return nil, pickErr
 	}
 	timer := time.NewTimer(timeout)
 	defer timer.Stop()
@@ -352,13 +508,16 @@ func mapVerdict(j job.Job, v verdictFrame) (online.Decision, error) {
 }
 
 // pick chooses a live connection round-robin; a dead connection is
-// skipped so the pool degrades instead of failing while any peer lives.
-func (c *Client) pick() *clientConn {
-	n := len(c.conns)
+// skipped so the pool degrades instead of failing while any peer
+// lives. With every slot dead the error distinguishes the transient
+// state (monitors still redialing — a later submission may succeed)
+// from the terminal one (every budget spent — ErrBackendDown).
+func (c *Client) pick() (*clientConn, error) {
+	n := len(c.slots)
 	if n == 0 {
 		// A half-constructed client (Dial failed partway and the caller
 		// kept the value anyway) must fail fast, not divide by zero.
-		return nil
+		return nil, &TransportError{Op: "submit", Err: errors.New("no live connections")}
 	}
 	// Reduce the counter in uint64 space BEFORE converting: a plain
 	// int(c.rr.Add(1)) goes negative once the counter passes the int
@@ -367,16 +526,20 @@ func (c *Client) pick() *clientConn {
 	// index — a panic, not a skipped connection.
 	start := int(c.rr.Add(1) % uint64(n))
 	for i := 0; i < n; i++ {
-		cc := c.conns[(start+i)%n]
-		if !cc.isDead() {
-			return cc
+		if cc := c.slots[(start+i)%n].cur.Load(); cc != nil && !cc.isDead() {
+			return cc, nil
 		}
 	}
-	return nil
+	for _, sl := range c.slots {
+		if !sl.down.Load() {
+			return nil, &TransportError{Op: "submit", Err: errors.New("all connections down, redialing")}
+		}
+	}
+	return nil, &TransportError{Op: "submit", Err: ErrBackendDown}
 }
 
-// Close tears down every pooled connection. In-flight submissions
-// return a *TransportError.
+// Close tears down every pooled connection and stops the reconnect
+// monitors. In-flight submissions return a *TransportError.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	if c.closed {
@@ -385,8 +548,15 @@ func (c *Client) Close() error {
 	}
 	c.closed = true
 	c.mu.Unlock()
+	if c.closeCh != nil {
+		close(c.closeCh)
+	}
 	var first error
-	for _, cc := range c.conns {
+	for _, sl := range c.slots {
+		cc := sl.cur.Load()
+		if cc == nil {
+			continue
+		}
 		if err := cc.close(); err != nil && first == nil {
 			first = err
 		}
@@ -411,14 +581,6 @@ type clientConn struct {
 
 	dead     chan struct{}
 	deadOnce sync.Once
-}
-
-func dialConn(addr string, cfg dialConfig) (*clientConn, helloAck, error) {
-	nc, err := net.DialTimeout("tcp", addr, cfg.dialTimeout)
-	if err != nil {
-		return nil, helloAck{}, &TransportError{Op: "dial " + addr, Err: err}
-	}
-	return setupConn(nc, cfg)
 }
 
 // setupConn performs the protocol handshake on an established
@@ -585,7 +747,9 @@ func (cc *clientConn) fail(op string, err error) error {
 	out := cc.err
 	cc.pmu.Unlock()
 	cc.deadOnce.Do(func() { close(cc.dead) })
-	cc.nc.Close()
+	if cc.nc != nil {
+		cc.nc.Close()
+	}
 	return out
 }
 

@@ -42,20 +42,21 @@ func poolClient(t *testing.T, n int) (*Client, []net.Conn) {
 	t.Helper()
 	cfg := defaultDialConfig()
 	cfg.timeout = 5 * time.Second
-	c := &Client{cfg: cfg}
 	srvs := make([]net.Conn, n)
+	ccs := make([]*clientConn, n)
+	var ack helloAck
 	for i := 0; i < n; i++ {
 		cliSide, srvSide := net.Pipe()
 		go echoServer(t, srvSide, 8)
-		cc, ack, err := setupConn(cliSide, cfg)
+		cc, a, err := setupConn(cliSide, cfg)
 		if err != nil {
 			t.Fatalf("setupConn %d: %v", i, err)
 		}
-		c.conns = append(c.conns, cc)
-		c.ack = ack
+		ccs[i] = cc
+		ack = a
 		srvs[i] = srvSide
 	}
-	return c, srvs
+	return newClientWith(cfg, ack, ccs...), srvs
 }
 
 // waitDead blocks until the connection's read loop has observed the
@@ -83,15 +84,16 @@ func TestPoolSkipsDeadConn(t *testing.T) {
 	}
 
 	srvs[0].Close() // kill connection 0 mid-stream
-	waitDead(t, c.conns[0])
+	waitDead(t, c.slots[0].cur.Load())
 
 	// More submits than the pool size, so round-robin passes the dead
 	// slot repeatedly; every one must land on the live connection.
+	live := c.slots[1].cur.Load()
 	for i := 0; i < 6; i++ {
 		if _, err := c.Submit(j); err != nil {
 			t.Fatalf("submit %d after kill: %v", i, err)
 		}
-		if cc := c.pick(); cc != c.conns[1] {
+		if cc, _ := c.pick(); cc != live {
 			t.Fatalf("pick %d returned the dead connection", i)
 		}
 	}
@@ -105,7 +107,7 @@ func TestPoolAllDeadFailsFast(t *testing.T) {
 	defer c.Close()
 	for i, s := range srvs {
 		s.Close()
-		waitDead(t, c.conns[i])
+		waitDead(t, c.slots[i].cur.Load())
 	}
 	j := job.Job{ID: 1, Release: 0, Proc: 1, Deadline: 10}
 
@@ -127,7 +129,7 @@ func TestPoolAllDeadFailsFast(t *testing.T) {
 // value kept after a Dial failure) must fail fast, not divide by zero.
 func TestPickEmptyPool(t *testing.T) {
 	c := &Client{cfg: defaultDialConfig()}
-	if cc := c.pick(); cc != nil {
+	if cc, _ := c.pick(); cc != nil {
 		t.Fatalf("pick on empty pool = %v, want nil", cc)
 	}
 	var te *TransportError
@@ -155,7 +157,7 @@ func TestClientLearnsPolicy(t *testing.T) {
 	if err != nil {
 		t.Fatalf("setupConn: %v", err)
 	}
-	c := &Client{cfg: defaultDialConfig(), conns: []*clientConn{cc}, ack: ack}
+	c := newClientWith(defaultDialConfig(), ack, cc)
 	defer c.Close()
 	if got := c.Policy(); got != "delta-commit:delta=0.25" {
 		t.Fatalf("Policy = %q", got)

@@ -52,7 +52,7 @@ func pipeClient(t *testing.T, window int) (*Client, *clientConn, net.Conn, *bufi
 	if br == nil {
 		t.Fatal("fake handshake failed")
 	}
-	c := &Client{cfg: cfg, conns: []*clientConn{cc}, ack: ack}
+	c := newClientWith(cfg, ack, cc)
 	return c, cc, srvSide, br
 }
 
@@ -204,30 +204,32 @@ func TestSubmitTimeoutStillTimesOut(t *testing.T) {
 // keep returning live connections across both the int and uint64
 // boundaries.
 func TestPickWraparound(t *testing.T) {
-	c := &Client{conns: []*clientConn{
+	ccs := []*clientConn{
 		{dead: make(chan struct{})},
 		{dead: make(chan struct{})},
 		{dead: make(chan struct{})},
-	}}
+	}
+	c := newClientWith(defaultDialConfig(), helloAck{}, ccs...)
+	defer c.Close()
 	c.rr.Store(math.MaxInt64) // next Add(1) is 2^63: negative as int
-	for i := 0; i < 2*len(c.conns); i++ {
-		if c.pick() == nil {
+	for i := 0; i < 2*len(ccs); i++ {
+		if cc, _ := c.pick(); cc == nil {
 			t.Fatal("pick returned nil with every connection live")
 		}
 	}
 	c.rr.Store(math.MaxUint64) // next Add(1) wraps the counter itself
-	if c.pick() == nil {
+	if cc, _ := c.pick(); cc == nil {
 		t.Fatal("pick failed across uint64 wraparound")
 	}
 	// Dead connections are still skipped, whatever the counter says.
-	close(c.conns[0].dead)
+	ccs[0].deadOnce.Do(func() { close(ccs[0].dead) })
 	c.rr.Store(math.MaxInt64)
-	for i := 0; i < 2*len(c.conns); i++ {
-		cc := c.pick()
+	for i := 0; i < 2*len(ccs); i++ {
+		cc, _ := c.pick()
 		if cc == nil {
 			t.Fatal("pick returned nil with two live connections")
 		}
-		if cc == c.conns[0] {
+		if cc == ccs[0] {
 			t.Fatal("pick returned a dead connection")
 		}
 	}

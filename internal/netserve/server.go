@@ -9,9 +9,28 @@ import (
 	"sync/atomic"
 	"time"
 
+	"loadmax/internal/job"
 	"loadmax/internal/obs"
+	"loadmax/internal/online"
 	"loadmax/internal/serve"
 )
+
+// Admitter is what the wire front end serves: anything that can decide
+// jobs and describe its serving topology for the HELLO ack.
+// serve.Service is the canonical implementation; the gateway implements
+// it one level up (its "shards" are backend groups), which is how the
+// whole protocol surface — windows, shedding, batching, spans — is
+// reused verbatim in front of a cluster. A returned
+// serve.ErrBackpressure is answered as a SHED verdict (retryable
+// overload); any other error as a server-error verdict.
+type Admitter interface {
+	Shards() int
+	Machines() int
+	Eps() float64
+	AdmissionPolicy() string
+	SubmitSpan(j job.Job, sp *obs.Span) (online.Decision, error)
+	SubmitBatchSpan(jobs []job.Job, sp *obs.Span) []serve.BatchResult
+}
 
 // ServerOption configures a Server.
 type ServerOption func(*serverConfig)
@@ -84,17 +103,31 @@ func WithServerSpans(rec *obs.SpanRecorder) ServerOption {
 	return func(c *serverConfig) { c.spans = rec }
 }
 
+// WithHelloTimeout bounds the HELLO handshake read (default 10s): a
+// peer that connects and then sends nothing — or trickles a frame
+// forever, the classic slow loris — is cut when the deadline expires
+// instead of pinning a connection goroutine for the life of the
+// process. Values <= 0 keep the default.
+func WithHelloTimeout(d time.Duration) ServerOption {
+	return func(c *serverConfig) {
+		if d > 0 {
+			c.helloTimeout = d
+		}
+	}
+}
+
 // withSubmitGate is the white-box test hook: f runs in each dispatched
 // worker after the in-flight slots are taken and before Submit, letting
 // tests hold the server at a chosen occupancy deterministically.
 func withSubmitGate(f func()) ServerOption { return func(c *serverConfig) { c.submitGate = f } }
 
-// Server is the TCP admission front end over a serve.Service. Construct
-// with Serve or ServeListener; Close drains gracefully. The Server does
-// not own the Service — closing the server leaves the service (and its
-// durability state) untouched.
+// Server is the TCP admission front end over an Admitter (usually a
+// serve.Service; the gateway for a cluster). Construct with Serve or
+// ServeListener; Close drains gracefully. The Server does not own the
+// Admitter — closing the server leaves it (and its durability state)
+// untouched.
 type Server struct {
-	svc *serve.Service
+	svc Admitter
 	ln  net.Listener
 	cfg serverConfig
 
@@ -155,7 +188,7 @@ func (s *Server) newConnStripes() connStripes {
 
 // Serve listens on addr ("host:port"; ":0" picks a free port) and
 // serves svc until Close. It returns once the listener is live.
-func Serve(svc *serve.Service, addr string, opts ...ServerOption) (*Server, error) {
+func Serve(svc Admitter, addr string, opts ...ServerOption) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("netserve: listen %s: %w", addr, err)
@@ -166,7 +199,7 @@ func Serve(svc *serve.Service, addr string, opts ...ServerOption) (*Server, erro
 // ServeListener serves svc on an existing listener — loopback tests,
 // socket activation, in-process pipes. The server owns the listener and
 // closes it on Close.
-func ServeListener(svc *serve.Service, ln net.Listener, opts ...ServerOption) (*Server, error) {
+func ServeListener(svc Admitter, ln net.Listener, opts ...ServerOption) (*Server, error) {
 	cfg := defaultServerConfig()
 	for _, o := range opts {
 		o(&cfg)
@@ -203,6 +236,35 @@ func ServeListener(svc *serve.Service, ln net.Listener, opts ...ServerOption) (*
 
 // Addr returns the listener address (useful with ":0").
 func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Listener exposes the server's listener so in-process harnesses (the
+// gateway tests, the cluster bench) can hold the real net.Listener of a
+// backend they plan to kill.
+func (s *Server) Listener() net.Listener { return s.ln }
+
+// Abort kills the server without draining: the listener and every
+// connection close immediately, so verdicts still in flight never reach
+// the wire and clients observe transport errors — the in-process
+// equivalent of kill -9 at the wire layer. The underlying Admitter is
+// untouched: requests already dispatched into it run to completion
+// server-side, they just go unacknowledged, which is exactly the
+// "decided but never acked" tail the failover proof reasons about.
+// Idempotent, and mutually idempotent with Close.
+func (s *Server) Abort() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	err := s.ln.Close()
+	for c := range s.conns {
+		c.nc.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
 
 // Close drains the server gracefully: stop accepting, stop reading new
 // frames, let every dispatched request finish and its verdict reach the

@@ -1,7 +1,9 @@
 package serve
 
 import (
+	"fmt"
 	"math"
+	"strings"
 	"sync/atomic"
 
 	"loadmax/internal/job"
@@ -17,6 +19,28 @@ type Policy interface {
 	Name() string
 	// Route returns the shard index in [0, shards) for the job.
 	Route(j job.Job, shards int) int
+}
+
+// RouterNames lists the routing policies ParseRouter accepts, for help
+// text.
+func RouterNames() []string {
+	return []string{"hash-by-id", "length-class", "round-robin"}
+}
+
+// ParseRouter builds a fresh routing policy from its canonical name.
+// Fresh matters: round-robin carries a counter, so two layers (say, a
+// gateway and a shadow replayer) must never share one instance.
+func ParseRouter(name string) (Policy, error) {
+	switch name {
+	case "hash-by-id":
+		return HashByID(), nil
+	case "length-class":
+		return LengthClass(), nil
+	case "round-robin":
+		return RoundRobin(), nil
+	default:
+		return nil, fmt.Errorf("serve: unknown router %q (want %s)", name, strings.Join(RouterNames(), ", "))
+	}
 }
 
 // HashByID returns the default routing policy: an FNV-1a hash of the
